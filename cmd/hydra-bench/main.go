@@ -1,0 +1,71 @@
+// Command hydra-bench regenerates the paper-reproduction experiments
+// (E1-E8, see DESIGN.md / EXPERIMENTS.md) and prints their tables.
+//
+// Usage:
+//
+//	hydra-bench [-scale quick|full] [e1 e2 ...]
+//
+// With no experiment ids, every experiment runs in order.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"hydra/internal/harness"
+)
+
+func main() {
+	scaleFlag := flag.String("scale", "quick", "experiment sizing: quick or full")
+	list := flag.Bool("list", false, "list experiments and exit")
+	flag.Parse()
+
+	if *list {
+		for _, e := range harness.All() {
+			fmt.Printf("%-4s %s\n", e.ID, e.Title)
+		}
+		return
+	}
+
+	var scale harness.Scale
+	switch *scaleFlag {
+	case "quick":
+		scale = harness.Quick
+	case "full":
+		scale = harness.Full
+	default:
+		fmt.Fprintf(os.Stderr, "hydra-bench: unknown scale %q\n", *scaleFlag)
+		os.Exit(2)
+	}
+
+	ids := flag.Args()
+	var exps []harness.Experiment
+	if len(ids) == 0 {
+		exps = harness.All()
+	} else {
+		for _, id := range ids {
+			e, err := harness.Find(id)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "hydra-bench: %v\n", err)
+				os.Exit(2)
+			}
+			exps = append(exps, e)
+		}
+	}
+
+	fmt.Printf("hydra-bench: %d experiment(s), scale=%s, GOMAXPROCS=%d\n\n",
+		len(exps), *scaleFlag, runtime.GOMAXPROCS(0))
+	for _, e := range exps {
+		start := time.Now()
+		rep, err := e.Run(scale)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "hydra-bench: %s failed: %v\n", e.ID, err)
+			os.Exit(1)
+		}
+		rep.Fprint(os.Stdout)
+		fmt.Printf("(%s took %v)\n\n", e.ID, time.Since(start).Round(time.Millisecond))
+	}
+}

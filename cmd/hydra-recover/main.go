@@ -1,0 +1,101 @@
+// Command hydra-recover inspects a hydra write-ahead log: it scans
+// the records, prints a per-transaction summary, and reports what an
+// ARIES restart would do (winners, losers, torn tail).
+//
+// Usage:
+//
+//	hydra-recover -log /path/to/wal.log [-v]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"hydra/internal/wal"
+)
+
+func main() {
+	path := flag.String("log", "", "path to wal.log")
+	verbose := flag.Bool("v", false, "print every record")
+	flag.Parse()
+	if *path == "" {
+		fmt.Fprintln(os.Stderr, "hydra-recover: -log is required")
+		os.Exit(2)
+	}
+	dev, err := wal.OpenFile(*path)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "hydra-recover: %v\n", err)
+		os.Exit(1)
+	}
+	defer dev.Close()
+
+	sc, err := wal.NewScanner(dev, 0)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "hydra-recover: %v\n", err)
+		os.Exit(1)
+	}
+	type txnSum struct {
+		records   int
+		committed bool
+		ended     bool
+	}
+	txns := map[uint64]*txnSum{}
+	byType := map[wal.RecType]int{}
+	total := 0
+	for sc.Next() {
+		r := sc.Record()
+		total++
+		byType[r.Type]++
+		if *verbose {
+			fmt.Printf("%10d  %-10s txn=%-6d prev=%d page=%d payload=%dB\n",
+				r.LSN, r.Type, r.TxnID, int64(r.PrevLSN), r.PageID, len(r.Payload))
+		}
+		if r.TxnID == 0 {
+			continue
+		}
+		ts := txns[r.TxnID]
+		if ts == nil {
+			ts = &txnSum{}
+			txns[r.TxnID] = ts
+		}
+		ts.records++
+		switch r.Type {
+		case wal.RecCommit:
+			ts.committed = true
+		case wal.RecEnd:
+			ts.ended = true
+		}
+	}
+	if err := sc.Err(); err != nil {
+		fmt.Fprintf(os.Stderr, "hydra-recover: log corrupt: %v\n", err)
+		os.Exit(1)
+	}
+	size, _ := dev.Size()
+	fmt.Printf("log: %d bytes, %d records, usable to LSN %d", size, total, sc.Pos())
+	if int64(sc.Pos()) < size {
+		fmt.Printf(" (torn tail: %d trailing bytes)", size-int64(sc.Pos()))
+	}
+	fmt.Println()
+
+	var types []wal.RecType
+	for t := range byType {
+		types = append(types, t)
+	}
+	sort.Slice(types, func(i, j int) bool { return types[i] < types[j] })
+	for _, t := range types {
+		fmt.Printf("  %-10s %d\n", t, byType[t])
+	}
+
+	winners, losers := 0, 0
+	for _, ts := range txns {
+		if ts.committed || ts.ended {
+			winners++
+		} else {
+			losers++
+		}
+	}
+	fmt.Printf("transactions: %d total, %d complete, %d losers (would be rolled back at restart)\n",
+		len(txns), winners, losers)
+}

@@ -1,0 +1,71 @@
+// Command hydra-server serves a hydra storage manager over TCP using
+// the line protocol in internal/server.
+//
+// Usage:
+//
+//	hydra-server [-addr :7654] [-dir /path/to/data] [-config scalable]
+//
+// With -dir, the database is durable and ARIES recovery runs on
+// restart; without it, the server is in-memory.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"hydra/internal/core"
+	"hydra/internal/server"
+)
+
+func main() {
+	addr := flag.String("addr", ":7654", "listen address")
+	dir := flag.String("dir", "", "data directory (empty = in-memory)")
+	config := flag.String("config", "scalable", "engine configuration: conventional or scalable")
+	flag.Parse()
+
+	var cfg core.Config
+	switch *config {
+	case "conventional":
+		cfg = core.Conventional()
+	case "scalable":
+		cfg = core.Scalable()
+	default:
+		fmt.Fprintf(os.Stderr, "hydra-server: unknown config %q\n", *config)
+		os.Exit(2)
+	}
+	cfg.Dir = *dir
+
+	engine, err := core.Open(cfg)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "hydra-server: open engine: %v\n", err)
+		os.Exit(1)
+	}
+	if rep := engine.RecoveryReport; rep.Scanned > 0 {
+		fmt.Printf("recovery: scanned=%d redone=%d losers=%d index-entries=%d\n",
+			rep.Scanned, rep.Redone, rep.LosersUndone, rep.IndexEntries)
+	}
+
+	srv := server.New(engine)
+	done := make(chan error, 1)
+	go func() { done <- srv.ListenAndServe(*addr) }()
+	fmt.Printf("hydra-server: listening on %s (config=%s, dir=%q)\n", *addr, *config, *dir)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	select {
+	case err := <-done:
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "hydra-server: %v\n", err)
+		}
+	case s := <-sig:
+		fmt.Printf("hydra-server: %v, shutting down\n", s)
+	}
+	srv.Close()
+	if err := engine.Close(); err != nil {
+		fmt.Fprintf(os.Stderr, "hydra-server: close: %v\n", err)
+		os.Exit(1)
+	}
+}

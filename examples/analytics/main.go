@@ -1,0 +1,89 @@
+// Analytics: concurrent aggregate queries over one fact table through
+// the staged engine — first query-at-a-time, then with shared scans —
+// showing how the scan stage amortizes one physical pass over a whole
+// batch of queries (claim C7).
+package main
+
+import (
+	"fmt"
+	"log"
+	"sync"
+	"time"
+
+	"hydra/internal/core"
+	"hydra/internal/staged"
+	"hydra/internal/workload"
+)
+
+const (
+	rows    = 20000
+	clients = 12
+	queries = 4 // per client
+)
+
+func main() {
+	engine, err := core.Open(core.Scalable())
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer engine.Close()
+	if _, err := workload.SetupMicro(engine, rows, 0, 0, 16); err != nil {
+		log.Fatal(err)
+	}
+	facts, err := engine.Table("micro_kv")
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("fact table: %d rows; %d clients x %d aggregate queries each\n\n", rows, clients, queries)
+	for _, shared := range []bool{false, true} {
+		se := staged.New(engine, staged.Options{SharedScans: shared})
+		start := time.Now()
+		var wg sync.WaitGroup
+		for c := 0; c < clients; c++ {
+			wg.Add(1)
+			go func(c int) {
+				defer wg.Done()
+				for q := 0; q < queries; q++ {
+					res, err := se.Execute(staged.Query{
+						Table:  facts,
+						Filter: func(t staged.Tuple) bool { return t.Key%2 == 0 },
+					})
+					if err != nil {
+						log.Printf("client %d: %v", c, err)
+						return
+					}
+					if res.Count != rows/2 {
+						log.Printf("client %d: saw %d rows, want %d", c, res.Count, rows/2)
+					}
+				}
+			}(c)
+		}
+		wg.Wait()
+		elapsed := time.Since(start)
+		st := se.StatsSnapshot()
+		mode := "query-at-a-time"
+		if shared {
+			mode = "shared scans   "
+		}
+		fmt.Printf("%s: %d queries in %7v  (%5.1f q/s), %3d physical table scans\n",
+			mode, st.Queries, elapsed.Round(time.Millisecond),
+			float64(st.Queries)/elapsed.Seconds(), st.PhysicalScans)
+	}
+	// Group-by on the shared engine: one pass, per-group aggregates.
+	se := staged.New(engine, staged.Options{SharedScans: true})
+	res, err := se.Execute(staged.Query{
+		Table:   facts,
+		GroupBy: func(t staged.Tuple) uint64 { return t.Key % 4 },
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\ngroup-by (key mod 4) over one shared pass:")
+	for g := uint64(0); g < 4; g++ {
+		if agg := res.Groups[g]; agg != nil {
+			fmt.Printf("  group %d: %d rows\n", g, agg.Count)
+		}
+	}
+	fmt.Println("\nwith sharing, physical scans stay near-constant as query count grows")
+}

@@ -1,0 +1,151 @@
+package btree
+
+import (
+	"errors"
+	"testing"
+
+	"hydra/internal/buffer"
+	"hydra/internal/rng"
+)
+
+func bulkPool() *buffer.Pool {
+	return buffer.NewPool(buffer.NewMemStore(), buffer.Options{Frames: 4096, Shards: 8})
+}
+
+func TestBulkLoadEmpty(t *testing.T) {
+	tr, err := BulkLoad(bulkPool(), Crabbing, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tr.Get(1); !errors.Is(err, ErrNotFound) {
+		t.Fatal("empty bulk tree returned a value")
+	}
+	if err := tr.Insert(1, 2); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBulkLoadSizes(t *testing.T) {
+	// Cover single leaf, multi leaf, and multi level.
+	for _, n := range []int{1, 10, 508, 509, 510, 5000, 300000} {
+		n := n
+		pairs := make([]KV, n)
+		for i := range pairs {
+			pairs[i] = KV{Key: uint64(i * 3), Value: uint64(i)}
+		}
+		tr, err := BulkLoad(bulkPool(), Crabbing, pairs)
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		if err := tr.CheckInvariants(); err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		if c, _ := tr.Count(); c != n {
+			t.Fatalf("n=%d: Count = %d", n, c)
+		}
+		// Spot lookups, including both ends.
+		step := n/7 + 1
+		for i := 0; i < n; i += step {
+			v, err := tr.Get(uint64(i * 3))
+			if err != nil || v != uint64(i) {
+				t.Fatalf("n=%d Get(%d) = %d, %v", n, i*3, v, err)
+			}
+		}
+		if _, err := tr.Get(1); !errors.Is(err, ErrNotFound) {
+			t.Fatalf("n=%d: absent key found", n)
+		}
+	}
+}
+
+func TestBulkLoadRejectsUnsorted(t *testing.T) {
+	if _, err := BulkLoad(bulkPool(), Coarse, []KV{{5, 0}, {3, 0}}); err == nil {
+		t.Fatal("unsorted input accepted")
+	}
+	if _, err := BulkLoad(bulkPool(), Coarse, []KV{{5, 0}, {5, 1}}); err == nil {
+		t.Fatal("duplicate keys accepted")
+	}
+}
+
+func TestBulkLoadThenMutate(t *testing.T) {
+	pairs := make([]KV, 10000)
+	for i := range pairs {
+		pairs[i] = KV{Key: uint64(i * 2), Value: uint64(i)}
+	}
+	tr, err := BulkLoad(bulkPool(), Crabbing, pairs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Inserts into the packed tree (splits must work).
+	for i := 0; i < 3000; i++ {
+		if err := tr.Insert(uint64(i*2+1), 999); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Deletes.
+	for i := 0; i < 1000; i++ {
+		if err := tr.Delete(uint64(i * 2)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := tr.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	if c, _ := tr.Count(); c != 10000+3000-1000 {
+		t.Fatalf("Count = %d", c)
+	}
+}
+
+func TestBulkLoadScanOrdered(t *testing.T) {
+	src := rng.New(5)
+	pairs := make([]KV, 20000)
+	seen := map[uint64]bool{}
+	for i := range pairs {
+		k := src.Uint64() % 1_000_000
+		for seen[k] {
+			k = src.Uint64() % 1_000_000
+		}
+		seen[k] = true
+		pairs[i] = KV{Key: k, Value: k + 1}
+	}
+	SortKVs(pairs)
+	tr, err := BulkLoad(bulkPool(), Coarse, pairs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var last int64 = -1
+	n := 0
+	tr.Scan(0, ^uint64(0), func(k, v uint64) bool {
+		if int64(k) <= last || v != k+1 {
+			t.Fatalf("scan out of order or wrong value at %d", k)
+		}
+		last = int64(k)
+		n++
+		return true
+	})
+	if n != len(pairs) {
+		t.Fatalf("scan saw %d of %d", n, len(pairs))
+	}
+}
+
+func BenchmarkBulkLoadVsInserts(b *testing.B) {
+	const n = 100000
+	pairs := make([]KV, n)
+	for i := range pairs {
+		pairs[i] = KV{Key: uint64(i), Value: uint64(i)}
+	}
+	b.Run("bulkload", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := BulkLoad(bulkPool(), Coarse, pairs); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("inserts", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			tr, _ := Create(bulkPool(), Coarse)
+			for _, kv := range pairs {
+				tr.Insert(kv.Key, kv.Value)
+			}
+		}
+	})
+}

@@ -1,0 +1,153 @@
+// Package btree implements a B+-tree keyed by uint64 with uint64
+// values (packed record ids), stored in buffer-pool pages. Two
+// concurrency disciplines are provided: a coarse tree lock (the
+// conventional single-threaded-Atlas design) and latch crabbing
+// (latch coupling), the scalable discipline where a descent releases
+// ancestor latches as soon as the child is split-safe.
+package btree
+
+import (
+	"encoding/binary"
+
+	"hydra/internal/page"
+)
+
+// Node layouts (offsets relative to page.HeaderSize):
+//
+// Leaf (page.TypeBTreeLeaf):
+//
+//	entry i at 16*i: key uint64, value uint64; page.SlotCount = n;
+//	page.Next = right sibling.
+//
+// Inner (page.TypeBTreeInner):
+//
+//	bytes 0..8: child0 (page id for keys < key 0)
+//	entry i at 8+16*i: key uint64, child uint64 (subtree for keys
+//	>= key i and < key i+1); page.SlotCount = number of keys.
+const (
+	entrySize = 16
+	// LeafCap is the maximum number of (key, value) pairs per leaf.
+	LeafCap = (page.Size - page.HeaderSize) / entrySize
+	// InnerCap is the maximum number of keys per interior node (it
+	// has InnerCap+1 children).
+	InnerCap = (page.Size - page.HeaderSize - 8) / entrySize
+)
+
+// node wraps a page with typed accessors. It carries no state of its
+// own, so it is copied freely.
+type node struct {
+	p *page.Page
+}
+
+func (n node) isLeaf() bool { return n.p.Type() == page.TypeBTreeLeaf }
+func (n node) count() int   { return n.p.SlotCount() }
+
+func (n node) setCount(c int) {
+	// SlotCount doubles as the entry count for tree nodes.
+	b := n.p.Bytes()
+	binary.LittleEndian.PutUint16(b[18:20], uint16(c))
+}
+
+func (n node) body() []byte { return n.p.Bytes()[page.HeaderSize:] }
+
+// Leaf accessors.
+
+func (n node) leafKey(i int) uint64 {
+	return binary.LittleEndian.Uint64(n.body()[i*entrySize:])
+}
+
+func (n node) leafVal(i int) uint64 {
+	return binary.LittleEndian.Uint64(n.body()[i*entrySize+8:])
+}
+
+func (n node) setLeafEntry(i int, key, val uint64) {
+	b := n.body()[i*entrySize:]
+	binary.LittleEndian.PutUint64(b, key)
+	binary.LittleEndian.PutUint64(b[8:], val)
+}
+
+// leafSearch returns the position of key, or (insertion point, false).
+func (n node) leafSearch(key uint64) (int, bool) {
+	lo, hi := 0, n.count()
+	for lo < hi {
+		mid := (lo + hi) / 2
+		switch k := n.leafKey(mid); {
+		case k == key:
+			return mid, true
+		case k < key:
+			lo = mid + 1
+		default:
+			hi = mid
+		}
+	}
+	return lo, false
+}
+
+// leafInsertAt shifts entries right and writes the new pair at pos.
+func (n node) leafInsertAt(pos int, key, val uint64) {
+	b := n.body()
+	c := n.count()
+	copy(b[(pos+1)*entrySize:(c+1)*entrySize], b[pos*entrySize:c*entrySize])
+	n.setLeafEntry(pos, key, val)
+	n.setCount(c + 1)
+}
+
+// leafDeleteAt removes the entry at pos.
+func (n node) leafDeleteAt(pos int) {
+	b := n.body()
+	c := n.count()
+	copy(b[pos*entrySize:], b[(pos+1)*entrySize:c*entrySize])
+	n.setCount(c - 1)
+}
+
+// Inner accessors.
+
+func (n node) child0() page.ID {
+	return page.ID(binary.LittleEndian.Uint64(n.body()))
+}
+
+func (n node) setChild0(id page.ID) {
+	binary.LittleEndian.PutUint64(n.body(), uint64(id))
+}
+
+func (n node) innerKey(i int) uint64 {
+	return binary.LittleEndian.Uint64(n.body()[8+i*entrySize:])
+}
+
+func (n node) innerChild(i int) page.ID {
+	return page.ID(binary.LittleEndian.Uint64(n.body()[8+i*entrySize+8:]))
+}
+
+func (n node) setInnerEntry(i int, key uint64, child page.ID) {
+	b := n.body()[8+i*entrySize:]
+	binary.LittleEndian.PutUint64(b, key)
+	binary.LittleEndian.PutUint64(b[8:], uint64(child))
+}
+
+// innerSearch returns the child page to descend into for key, and the
+// index of that child (-1 for child0).
+func (n node) innerSearch(key uint64) (page.ID, int) {
+	// Find the largest i with innerKey(i) <= key.
+	lo, hi := 0, n.count()
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if n.innerKey(mid) <= key {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo == 0 {
+		return n.child0(), -1
+	}
+	return n.innerChild(lo - 1), lo - 1
+}
+
+// innerInsertAt inserts (key, child) at key position pos.
+func (n node) innerInsertAt(pos int, key uint64, child page.ID) {
+	b := n.body()
+	c := n.count()
+	copy(b[8+(pos+1)*entrySize:8+(c+1)*entrySize], b[8+pos*entrySize:8+c*entrySize])
+	n.setInnerEntry(pos, key, child)
+	n.setCount(c + 1)
+}

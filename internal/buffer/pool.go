@@ -1,0 +1,305 @@
+package buffer
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"hydra/internal/latch"
+	"hydra/internal/page"
+)
+
+// Frame is a buffer slot holding one resident page. Content access
+// must be bracketed by Latch acquisition; residency (pin/unpin) is
+// managed by the pool.
+type Frame struct {
+	Page  *page.Page
+	Latch latch.Latch
+
+	id    page.ID // current occupant; pool-internal, guarded by shard mutex
+	pins  int32
+	ref   bool // clock reference bit
+	dirty bool
+	// recLSN is the LSN of the first update that dirtied the page
+	// since it was last flushed; feeds the dirty-page table at
+	// checkpoints.
+	recLSN uint64
+}
+
+// ID returns the id of the page currently in the frame.
+func (f *Frame) ID() page.ID { return f.id }
+
+// Options configures a Pool.
+type Options struct {
+	// Frames is the pool capacity in pages. Default 1024.
+	Frames int
+	// Shards partitions the pool; 1 reproduces the conventional
+	// single-mutex design. Default 16.
+	Shards int
+	// LatchKind selects the per-frame latch implementation.
+	LatchKind latch.Kind
+	// FlushLog, when set, is invoked with a page's LSN before that
+	// page is written back (the WAL rule). It must block until the
+	// log is durable up to that LSN.
+	FlushLog func(pageLSN uint64) error
+}
+
+func (o *Options) fill() {
+	if o.Frames <= 0 {
+		o.Frames = 1024
+	}
+	if o.Shards <= 0 {
+		o.Shards = 16
+	}
+	if o.Shards > o.Frames {
+		o.Shards = o.Frames
+	}
+}
+
+// Stats are cumulative pool counters.
+type Stats struct {
+	Hits, Misses, Evictions, Writebacks uint64
+}
+
+// ErrNoFrames is returned when every frame in the target shard is
+// pinned and no victim exists.
+var ErrNoFrames = errors.New("buffer: all frames pinned")
+
+// Pool is the buffer pool.
+type Pool struct {
+	opts   Options
+	store  PageStore
+	shards []shard
+
+	hits, misses, evictions, writebacks atomic.Uint64
+}
+
+type shard struct {
+	mu     sync.Mutex
+	table  map[page.ID]*Frame
+	frames []*Frame
+	hand   int
+	_      [32]byte // avoid false sharing between shard headers
+}
+
+// NewPool creates a pool of opts.Frames frames over store.
+func NewPool(store PageStore, opts Options) *Pool {
+	opts.fill()
+	p := &Pool{opts: opts, store: store, shards: make([]shard, opts.Shards)}
+	for i := range p.shards {
+		p.shards[i].table = make(map[page.ID]*Frame)
+	}
+	for i := 0; i < opts.Frames; i++ {
+		f := &Frame{Page: &page.Page{}, Latch: latch.New(opts.LatchKind), id: page.InvalidID}
+		s := &p.shards[i%opts.Shards]
+		s.frames = append(s.frames, f)
+	}
+	return p
+}
+
+func (p *Pool) shardFor(id page.ID) *shard {
+	// Fibonacci hashing spreads sequential ids across shards.
+	h := uint64(id) * 0x9e3779b97f4a7c15
+	return &p.shards[h%uint64(len(p.shards))]
+}
+
+// Fetch pins the page with the given id, reading it from the store on
+// a miss, and returns its frame. The caller must Unpin exactly once.
+// Content access requires acquiring the frame latch.
+func (p *Pool) Fetch(id page.ID) (*Frame, error) {
+	s := p.shardFor(id)
+	s.mu.Lock()
+	if f, ok := s.table[id]; ok {
+		f.pins++
+		f.ref = true
+		s.mu.Unlock()
+		p.hits.Add(1)
+		return f, nil
+	}
+	p.misses.Add(1)
+	f, err := p.victimLocked(s)
+	if err != nil {
+		s.mu.Unlock()
+		return nil, err
+	}
+	if err := p.store.ReadPage(id, f.Page); err != nil {
+		// Put the frame back into circulation empty.
+		f.id = page.InvalidID
+		s.mu.Unlock()
+		return nil, err
+	}
+	f.id = id
+	f.pins = 1
+	f.ref = true
+	f.dirty = false
+	f.recLSN = 0
+	s.table[id] = f
+	s.mu.Unlock()
+	return f, nil
+}
+
+// NewPage allocates a fresh page in the store, formats it with the
+// given type, pins it, and returns its frame.
+func (p *Pool) NewPage(t page.Type) (*Frame, error) {
+	id, err := p.store.Allocate()
+	if err != nil {
+		return nil, err
+	}
+	s := p.shardFor(id)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	f, err := p.victimLocked(s)
+	if err != nil {
+		return nil, err
+	}
+	f.Page.Format(id, t)
+	f.id = id
+	f.pins = 1
+	f.ref = true
+	f.dirty = true // a formatted page must reach disk eventually
+	f.recLSN = 0
+	s.table[id] = f
+	return f, nil
+}
+
+// victimLocked returns an unoccupied or evictable frame in s,
+// evicting (and writing back if dirty) as needed. Caller holds s.mu.
+func (p *Pool) victimLocked(s *shard) (*Frame, error) {
+	// Clock sweep: up to two full passes (first pass clears ref bits).
+	for pass := 0; pass < 2*len(s.frames); pass++ {
+		f := s.frames[s.hand]
+		s.hand = (s.hand + 1) % len(s.frames)
+		if f.pins > 0 {
+			continue
+		}
+		if f.ref {
+			f.ref = false
+			continue
+		}
+		if f.id != page.InvalidID {
+			if f.dirty {
+				if err := p.writeBack(f); err != nil {
+					return nil, err
+				}
+			}
+			delete(s.table, f.id)
+			f.id = page.InvalidID
+			p.evictions.Add(1)
+		}
+		return f, nil
+	}
+	return nil, ErrNoFrames
+}
+
+func (p *Pool) writeBack(f *Frame) error {
+	if p.opts.FlushLog != nil {
+		if err := p.opts.FlushLog(f.Page.LSN()); err != nil {
+			return fmt.Errorf("buffer: WAL flush before writeback: %w", err)
+		}
+	}
+	if err := p.store.WritePage(f.Page); err != nil {
+		return err
+	}
+	f.dirty = false
+	f.recLSN = 0
+	p.writebacks.Add(1)
+	return nil
+}
+
+// Unpin releases one pin. If dirty is true the page is marked for
+// writeback; recLSN records the earliest dirtying update for the
+// dirty-page table.
+func (p *Pool) Unpin(f *Frame, dirty bool) {
+	s := p.shardFor(f.id)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if f.pins <= 0 {
+		panic(fmt.Sprintf("buffer: unpin of unpinned page %d", f.id))
+	}
+	if dirty {
+		if !f.dirty {
+			f.dirty = true
+			f.recLSN = f.Page.LSN()
+		} else if f.recLSN == 0 && f.Page.LSN() != 0 {
+			// The frame was born dirty (NewPage) before any logged
+			// update reached it; adopt the first real LSN so the
+			// dirty-page table bounds redo correctly.
+			f.recLSN = f.Page.LSN()
+		}
+	}
+	f.pins--
+}
+
+// FlushAll writes back every dirty page (checkpoint helper). Pages
+// pinned by concurrent users are flushed too: their frame latch is
+// taken shared to get a consistent image.
+func (p *Pool) FlushAll() error {
+	for i := range p.shards {
+		s := &p.shards[i]
+		s.mu.Lock()
+		var dirty []*Frame
+		for _, f := range s.frames {
+			if f.id != page.InvalidID && f.dirty {
+				f.pins++ // hold residency while we flush outside the shard lock
+				dirty = append(dirty, f)
+			}
+		}
+		s.mu.Unlock()
+		for _, f := range dirty {
+			f.Latch.Acquire(latch.Shared)
+			err := p.writeBack(f)
+			f.Latch.Release(latch.Shared)
+			s.mu.Lock()
+			f.pins--
+			s.mu.Unlock()
+			if err != nil {
+				return err
+			}
+		}
+	}
+	return p.store.Sync()
+}
+
+// FlushPage writes back one pinned frame immediately (used for the
+// checkpoint master record). The caller must hold a pin; the frame
+// latch is taken shared for a consistent image.
+func (p *Pool) FlushPage(f *Frame) error {
+	f.Latch.Acquire(latch.Shared)
+	defer f.Latch.Release(latch.Shared)
+	s := p.shardFor(f.id)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return p.writeBack(f)
+}
+
+// DirtyPageTable returns (pageID -> recLSN) for every dirty resident
+// page, the DPT snapshot a fuzzy checkpoint logs.
+func (p *Pool) DirtyPageTable() map[uint64]uint64 {
+	dpt := make(map[uint64]uint64)
+	for i := range p.shards {
+		s := &p.shards[i]
+		s.mu.Lock()
+		for _, f := range s.frames {
+			if f.id != page.InvalidID && f.dirty {
+				dpt[uint64(f.id)] = f.recLSN
+			}
+		}
+		s.mu.Unlock()
+	}
+	return dpt
+}
+
+// StatsSnapshot returns a copy of the cumulative counters.
+func (p *Pool) StatsSnapshot() Stats {
+	return Stats{
+		Hits:       p.hits.Load(),
+		Misses:     p.misses.Load(),
+		Evictions:  p.evictions.Load(),
+		Writebacks: p.writebacks.Load(),
+	}
+}
+
+// Store exposes the underlying page store (used by recovery, which
+// bypasses the pool).
+func (p *Pool) Store() PageStore { return p.store }

@@ -1,0 +1,180 @@
+// Package buffer implements the buffer pool: the cache of database
+// pages between the storage manager and stable storage. It supports a
+// conventional configuration (a single shard, i.e. one global mutex —
+// the classic scalability choke point) and a scalable configuration
+// (hash-partitioned shards with per-shard clock replacement).
+package buffer
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"sync"
+
+	"hydra/internal/page"
+)
+
+// PageStore is the stable storage pages are read from and written to.
+type PageStore interface {
+	// ReadPage fills p with the stored image of page id.
+	ReadPage(id page.ID, p *page.Page) error
+	// WritePage persists p's current image.
+	WritePage(p *page.Page) error
+	// Allocate extends the store by one page and returns its id.
+	Allocate() (page.ID, error)
+	// NumPages returns the number of allocated pages.
+	NumPages() (uint64, error)
+	// Sync makes preceding writes durable.
+	Sync() error
+	// Close releases the store.
+	Close() error
+}
+
+// ErrBadPage is returned when a page read fails verification.
+var ErrBadPage = errors.New("buffer: page failed checksum verification")
+
+// FileStore is a PageStore over a single file of page.Size pages.
+// Page ids are file offsets divided by the page size.
+type FileStore struct {
+	mu sync.Mutex // guards npages during Allocate
+	f  *os.File
+	n  uint64
+}
+
+// OpenFileStore opens (creating if necessary) a file-backed store.
+func OpenFileStore(path string) (*FileStore, error) {
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("buffer: open %s: %w", path, err)
+	}
+	st, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	if st.Size()%page.Size != 0 {
+		f.Close()
+		return nil, fmt.Errorf("buffer: %s is not page aligned (%d bytes)", path, st.Size())
+	}
+	return &FileStore{f: f, n: uint64(st.Size()) / page.Size}, nil
+}
+
+// ReadPage implements PageStore, verifying the checksum.
+func (s *FileStore) ReadPage(id page.ID, p *page.Page) error {
+	if _, err := s.f.ReadAt(p.Bytes(), int64(id)*page.Size); err != nil {
+		return fmt.Errorf("buffer: read page %d: %w", id, err)
+	}
+	if err := p.Verify(); err != nil {
+		return fmt.Errorf("%w: %v", ErrBadPage, err)
+	}
+	return nil
+}
+
+// WritePage implements PageStore, sealing the checksum first.
+func (s *FileStore) WritePage(p *page.Page) error {
+	p.Seal()
+	if _, err := s.f.WriteAt(p.Bytes(), int64(p.ID())*page.Size); err != nil {
+		return fmt.Errorf("buffer: write page %d: %w", p.ID(), err)
+	}
+	return nil
+}
+
+// Allocate implements PageStore. The new page is zeroed on disk.
+func (s *FileStore) Allocate() (page.ID, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	id := page.ID(s.n)
+	var zero [page.Size]byte
+	if _, err := s.f.WriteAt(zero[:], int64(id)*page.Size); err != nil {
+		return 0, fmt.Errorf("buffer: allocate page %d: %w", id, err)
+	}
+	s.n++
+	return id, nil
+}
+
+// NumPages implements PageStore.
+func (s *FileStore) NumPages() (uint64, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.n, nil
+}
+
+// Sync implements PageStore.
+func (s *FileStore) Sync() error { return s.f.Sync() }
+
+// Close implements PageStore.
+func (s *FileStore) Close() error { return s.f.Close() }
+
+// MemStore is an in-memory PageStore for tests and CPU-bound
+// experiments.
+type MemStore struct {
+	mu    sync.RWMutex
+	pages [][]byte
+	// FailReads, when set, makes every ReadPage return this error
+	// (fault injection).
+	failRead error
+}
+
+// NewMemStore returns an empty in-memory store.
+func NewMemStore() *MemStore { return &MemStore{} }
+
+// FailReads arranges for subsequent reads to fail with err; pass nil
+// to heal.
+func (s *MemStore) FailReads(err error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.failRead = err
+}
+
+// ReadPage implements PageStore.
+func (s *MemStore) ReadPage(id page.ID, p *page.Page) error {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if s.failRead != nil {
+		return s.failRead
+	}
+	if uint64(id) >= uint64(len(s.pages)) {
+		return fmt.Errorf("buffer: read unallocated page %d", id)
+	}
+	if err := p.Load(s.pages[id]); err != nil {
+		return err
+	}
+	if err := p.Verify(); err != nil {
+		return fmt.Errorf("%w: %v", ErrBadPage, err)
+	}
+	return nil
+}
+
+// WritePage implements PageStore.
+func (s *MemStore) WritePage(p *page.Page) error {
+	p.Seal()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	id := uint64(p.ID())
+	if id >= uint64(len(s.pages)) {
+		return fmt.Errorf("buffer: write unallocated page %d", id)
+	}
+	copy(s.pages[id], p.Bytes())
+	return nil
+}
+
+// Allocate implements PageStore.
+func (s *MemStore) Allocate() (page.ID, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.pages = append(s.pages, make([]byte, page.Size))
+	return page.ID(len(s.pages) - 1), nil
+}
+
+// NumPages implements PageStore.
+func (s *MemStore) NumPages() (uint64, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return uint64(len(s.pages)), nil
+}
+
+// Sync implements PageStore.
+func (s *MemStore) Sync() error { return nil }
+
+// Close implements PageStore.
+func (s *MemStore) Close() error { return nil }

@@ -1,0 +1,289 @@
+// Package cmpmodel is an analytical performance model of database
+// workloads on chip multiprocessors, in the tradition of the scaling
+// studies the paper builds its argument on ("a careful analysis of
+// database performance scaling trends on future chip multiprocessors
+// demonstrates that current parallelism methods are of bounded
+// utility" — claim C1 — and "increasing on-chip cache size or
+// aggressively sharing data among processors is often detrimental" —
+// claim C2).
+//
+// Hardware sweeps over core counts and cache hierarchies cannot be
+// run on a test machine, so this package substitutes a first-order
+// queueing-free model: per-core CPI built from a three-level memory
+// hierarchy (fixed-latency L1, capacity- and sharing-sensitive L2,
+// fixed-latency DRAM) with an off-chip bandwidth ceiling. Miss rates
+// follow the standard power-law capacity curve with a compulsory +
+// coherence floor; shared caches pay a NUCA-style latency that grows
+// with capacity and with the number of sharers, and shared data pays
+// coherence misses that grow with the writer count. The model's
+// absolute numbers are synthetic; its *shapes* — plateaus, optima,
+// crossovers — are the reproduction target.
+package cmpmodel
+
+import "math"
+
+// Machine describes a chip multiprocessor configuration.
+type Machine struct {
+	// Cores is the number of hardware contexts.
+	Cores int
+	// L2MB is the total on-chip L2 capacity in MiB.
+	L2MB float64
+	// SharedL2 selects one shared L2 (true) or private per-core
+	// slices (false).
+	SharedL2 bool
+	// ClockGHz is the core clock.
+	ClockGHz float64
+	// MemLatency is DRAM access latency in cycles.
+	MemLatency float64
+	// MemBandwidthGBs is the off-chip pin bandwidth ceiling.
+	MemBandwidthGBs float64
+	// L1Latency, L2BaseLatency are hit latencies in cycles.
+	L1Latency, L2BaseLatency float64
+	// L2LatencyPerSqrtMB models NUCA wire delay: hit latency grows
+	// with the square root of the capacity a core actually reaches.
+	L2LatencyPerSqrtMB float64
+	// InterconnectHop is the extra latency per unit of sharing degree
+	// when many cores share one cache.
+	InterconnectHop float64
+}
+
+// DefaultMachine returns a plausible 2011-era CMP baseline.
+func DefaultMachine() Machine {
+	return Machine{
+		Cores:              8,
+		L2MB:               8,
+		SharedL2:           true,
+		ClockGHz:           2.0,
+		MemLatency:         400,
+		MemBandwidthGBs:    25.6,
+		L1Latency:          3,
+		L2BaseLatency:      12,
+		L2LatencyPerSqrtMB: 4.0,
+		InterconnectHop:    1.5,
+	}
+}
+
+// Workload is an abstract instruction/memory profile.
+type Workload struct {
+	Name string
+	// InstrPerTxn is the path length of one transaction/query unit.
+	InstrPerTxn float64
+	// BaseCPI is the no-miss cycles per instruction.
+	BaseCPI float64
+	// MemRefsPerInstr is the fraction of instructions touching memory.
+	MemRefsPerInstr float64
+	// L1MissRate is the (capacity-insensitive) L1 miss ratio.
+	L1MissRate float64
+	// L2MissAt1MB is the L2 local miss ratio with 1 MiB per core.
+	L2MissAt1MB float64
+	// Alpha is the power-law exponent of the capacity miss curve.
+	Alpha float64
+	// MissFloor is the compulsory miss ratio no capacity removes.
+	MissFloor float64
+	// SharedWriteFrac is the fraction of memory references that are
+	// writes to data shared between cores (drives coherence misses).
+	SharedWriteFrac float64
+	// MLP is the memory-level parallelism: how many outstanding
+	// misses overlap. Streaming scans prefetch deeply (high MLP);
+	// OLTP's dependent pointer chases barely overlap (MLP near 1).
+	MLP float64
+	// LineBytes is the coherence/memory transfer granularity.
+	LineBytes float64
+}
+
+// OLTP returns a transaction-processing profile: short transactions,
+// pointer chasing (poor locality), significant shared writes.
+func OLTP() Workload {
+	return Workload{
+		Name:            "oltp",
+		InstrPerTxn:     200_000,
+		BaseCPI:         1.2,
+		MemRefsPerInstr: 0.35,
+		L1MissRate:      0.055,
+		L2MissAt1MB:     0.35,
+		Alpha:           0.60,
+		MissFloor:       0.06,
+		SharedWriteFrac: 0.07,
+		MLP:             1.3,
+		LineBytes:       64,
+	}
+}
+
+// DSS returns a decision-support profile: long scans, streaming
+// access (bandwidth hungry, little sharing).
+func DSS() Workload {
+	return Workload{
+		Name:            "dss",
+		InstrPerTxn:     50_000_000,
+		BaseCPI:         0.8,
+		MemRefsPerInstr: 0.30,
+		L1MissRate:      0.125,
+		L2MissAt1MB:     0.80,
+		Alpha:           0.25,
+		MissFloor:       0.55,
+		SharedWriteFrac: 0.005,
+		MLP:             8,
+		LineBytes:       64,
+	}
+}
+
+// Result is the model's output for one configuration.
+type Result struct {
+	// TPS is transactions (work units) per second for the whole chip.
+	TPS float64
+	// CPI is the effective per-core cycles per instruction.
+	CPI float64
+	// AMAT is the average memory access time in cycles.
+	AMAT float64
+	// L2Miss is the effective L2 miss ratio (capacity + coherence).
+	L2Miss float64
+	// L2HitLatency is the modelled L2 hit latency in cycles.
+	L2HitLatency float64
+	// OffChipGBs is the off-chip traffic the cores would generate
+	// unconstrained.
+	OffChipGBs float64
+	// BandwidthBound reports whether the pin ceiling, not the cores,
+	// set the throughput.
+	BandwidthBound bool
+}
+
+// Evaluate runs the model for one machine and workload.
+func Evaluate(m Machine, w Workload) Result {
+	cores := float64(m.Cores)
+
+	// Capacity each core effectively reaches, and the latency to it.
+	var perCoreMB, l2Lat float64
+	var sharers float64
+	if m.SharedL2 {
+		// All cores reach the whole cache but pay wire + sharing cost.
+		perCoreMB = m.L2MB / coreFootprint(cores, w)
+		l2Lat = m.L2BaseLatency + m.L2LatencyPerSqrtMB*math.Sqrt(m.L2MB) +
+			m.InterconnectHop*math.Sqrt(cores-1)
+		sharers = cores
+	} else {
+		perCoreMB = (m.L2MB / cores) / coreFootprint(1, w)
+		l2Lat = m.L2BaseLatency + m.L2LatencyPerSqrtMB*math.Sqrt(m.L2MB/cores)
+		sharers = 1 // private caches: sharing cost moves to coherence below
+	}
+
+	// Power-law capacity misses with a compulsory floor.
+	capMiss := w.L2MissAt1MB * math.Pow(perCoreMB, -w.Alpha)
+	if capMiss > 1 {
+		capMiss = 1
+	}
+	// Coherence misses: shared writes invalidate other cores' copies.
+	// Private caches pay full invalidation cost; a shared cache turns
+	// most of them into on-chip hits.
+	cohFactor := 1.0
+	if m.SharedL2 {
+		cohFactor = 0.25
+	}
+	cohMiss := w.SharedWriteFrac * (1 - 1/maxf(cores, 1)) * cohFactor * float64(boolTo01(cores > 1))
+	l2Miss := clamp01(w.MissFloor + capMiss + cohMiss)
+	_ = sharers
+
+	mlp := maxf(w.MLP, 1)
+	amat := m.L1Latency + w.L1MissRate*(l2Lat+l2Miss*m.MemLatency/mlp)
+	cpi := w.BaseCPI + w.MemRefsPerInstr*(amat-1)
+
+	clockHz := m.ClockGHz * 1e9
+	perCoreIPS := clockHz / cpi
+	cpuTPS := cores * perCoreIPS / w.InstrPerTxn
+
+	// Off-chip traffic the cores would generate at cpuTPS.
+	missesPerTxn := w.InstrPerTxn * w.MemRefsPerInstr * w.L1MissRate * l2Miss
+	bytesPerTxn := missesPerTxn * w.LineBytes
+	offChip := cpuTPS * bytesPerTxn / 1e9
+	bwTPS := m.MemBandwidthGBs * 1e9 / bytesPerTxn
+
+	res := Result{
+		CPI:          cpi,
+		AMAT:         amat,
+		L2Miss:       l2Miss,
+		L2HitLatency: l2Lat,
+		OffChipGBs:   offChip,
+	}
+	if bwTPS < cpuTPS {
+		res.TPS = bwTPS
+		res.BandwidthBound = true
+	} else {
+		res.TPS = cpuTPS
+	}
+	return res
+}
+
+// coreFootprint models destructive interference in a shared cache:
+// n cores sharing one cache each effectively reach capacity/f(n),
+// where f grows sublinearly because of constructive sharing of hot
+// structures (indexes, code). OLTP shares more than DSS.
+func coreFootprint(cores float64, w Workload) float64 {
+	if cores <= 1 {
+		return 1
+	}
+	constructive := 0.35 * (1 - w.SharedWriteFrac*4) // shared read-only structures
+	if constructive < 0 {
+		constructive = 0
+	}
+	return math.Pow(cores, 1-constructive)
+}
+
+// SweepCores evaluates throughput across core counts at fixed total
+// cache (claim C1's x-axis).
+func SweepCores(base Machine, w Workload, coreCounts []int) []Result {
+	out := make([]Result, 0, len(coreCounts))
+	for _, n := range coreCounts {
+		m := base
+		m.Cores = n
+		out = append(out, Evaluate(m, w))
+	}
+	return out
+}
+
+// SweepCache evaluates throughput across L2 capacities at fixed cores
+// (claim C2's x-axis).
+func SweepCache(base Machine, w Workload, sizesMB []float64) []Result {
+	out := make([]Result, 0, len(sizesMB))
+	for _, s := range sizesMB {
+		m := base
+		m.L2MB = s
+		out = append(out, Evaluate(m, w))
+	}
+	return out
+}
+
+// Speedup returns TPS(n)/TPS(1) for each core count, the scalability
+// curve the paper's claim C1 is about.
+func Speedup(base Machine, w Workload, coreCounts []int) []float64 {
+	one := base
+	one.Cores = 1
+	t1 := Evaluate(one, w).TPS
+	out := make([]float64, 0, len(coreCounts))
+	for _, r := range SweepCores(base, w, coreCounts) {
+		out = append(out, r.TPS/t1)
+	}
+	return out
+}
+
+func clamp01(v float64) float64 {
+	if v < 0 {
+		return 0
+	}
+	if v > 1 {
+		return 1
+	}
+	return v
+}
+
+func maxf(a, b float64) float64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func boolTo01(b bool) int {
+	if b {
+		return 1
+	}
+	return 0
+}

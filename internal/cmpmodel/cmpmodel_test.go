@@ -1,0 +1,158 @@
+package cmpmodel
+
+import (
+	"math"
+	"testing"
+)
+
+func TestBasicSanity(t *testing.T) {
+	for _, w := range []Workload{OLTP(), DSS()} {
+		r := Evaluate(DefaultMachine(), w)
+		if r.TPS <= 0 || math.IsNaN(r.TPS) || math.IsInf(r.TPS, 0) {
+			t.Fatalf("%s: TPS = %v", w.Name, r.TPS)
+		}
+		if r.CPI < w.BaseCPI {
+			t.Fatalf("%s: CPI %v below base %v", w.Name, r.CPI, w.BaseCPI)
+		}
+		if r.L2Miss < w.MissFloor || r.L2Miss > 1 {
+			t.Fatalf("%s: L2 miss %v out of range", w.Name, r.L2Miss)
+		}
+	}
+}
+
+// Claim C1: speedup is sublinear and eventually saturates — "current
+// parallelism methods are of bounded utility as the number of
+// processors per chip increases exponentially."
+func TestC1BoundedSpeedup(t *testing.T) {
+	m := DefaultMachine()
+	cores := []int{1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024}
+	for _, w := range []Workload{OLTP(), DSS()} {
+		sp := Speedup(m, w, cores)
+		// Sublinear everywhere past 1 core.
+		for i, n := range cores {
+			if n > 1 && sp[i] >= float64(n) {
+				t.Fatalf("%s: superlinear speedup %v at %d cores", w.Name, sp[i], n)
+			}
+		}
+		// Diminishing returns: the last doubling gains far less than
+		// the first.
+		gainFirst := sp[1] / sp[0]
+		gainLast := sp[len(sp)-1] / sp[len(sp)-2]
+		if gainLast >= gainFirst {
+			t.Fatalf("%s: no diminishing returns (first %.2fx, last %.2fx)", w.Name, gainFirst, gainLast)
+		}
+		// Bounded utility: at 1024 cores, efficiency is far below 1.
+		if eff := sp[len(sp)-1] / 1024; eff > 0.5 {
+			t.Fatalf("%s: 1024-core efficiency %.2f; model shows no saturation", w.Name, eff)
+		}
+	}
+}
+
+// Claim C2a: growing a shared cache past the working set hurts —
+// there exists an interior throughput optimum in cache size.
+func TestC2CacheSizeHasInteriorOptimum(t *testing.T) {
+	m := DefaultMachine()
+	m.Cores = 16
+	sizes := []float64{0.5, 1, 2, 4, 8, 16, 32, 64, 128, 256}
+	res := SweepCache(m, OLTP(), sizes)
+	best := 0
+	for i, r := range res {
+		if r.TPS > res[best].TPS {
+			best = i
+		}
+	}
+	if best == 0 {
+		t.Fatal("smallest cache is best; capacity misses not modelled")
+	}
+	if best == len(sizes)-1 {
+		t.Fatal("largest cache is best; wire-delay detriment not modelled")
+	}
+	// And the fall past the optimum is material.
+	if res[len(res)-1].TPS >= res[best].TPS*0.98 {
+		t.Fatalf("no meaningful detriment past optimum: best %.0f, largest %.0f",
+			res[best].TPS, res[len(res)-1].TPS)
+	}
+}
+
+// Claim C2b: for write-heavy OLTP at high core counts, aggressive
+// sharing is not free — a shared cache pays latency that private
+// slices avoid, while private slices pay coherence. The model must
+// show a real tradeoff (neither dominates everywhere).
+func TestC2SharingTradeoff(t *testing.T) {
+	m := DefaultMachine()
+	m.Cores = 64
+	m.L2MB = 32
+	shared, private := m, m
+	shared.SharedL2 = true
+	private.SharedL2 = false
+
+	oltpShared := Evaluate(shared, OLTP()).TPS
+	oltpPrivate := Evaluate(private, OLTP()).TPS
+
+	// At one core the two organizations must coincide (modulo the
+	// sharing terms, which vanish).
+	one := m
+	one.Cores = 1
+	oneShared, onePrivate := one, one
+	oneShared.SharedL2 = true
+	onePrivate.SharedL2 = false
+	a, b := Evaluate(oneShared, OLTP()).TPS, Evaluate(onePrivate, OLTP()).TPS
+	if math.Abs(a-b)/b > 0.2 {
+		t.Fatalf("single-core organizations diverge: %v vs %v", a, b)
+	}
+	// At 64 cores they must differ measurably — sharing is a real
+	// design decision, not a no-op.
+	if diff := math.Abs(oltpShared-oltpPrivate) / oltpPrivate; diff < 0.02 {
+		t.Fatalf("sharing indistinguishable at 64 cores (%.1f%% diff)", diff*100)
+	}
+}
+
+// DSS must be more bandwidth-hungry than OLTP in the model.
+func TestDSSBandwidthBound(t *testing.T) {
+	m := DefaultMachine()
+	m.Cores = 64
+	dss := Evaluate(m, DSS())
+	if !dss.BandwidthBound {
+		t.Fatalf("64-core DSS not bandwidth bound (offchip %.1f GB/s vs %v)", dss.OffChipGBs, m.MemBandwidthGBs)
+	}
+}
+
+// More cache must never increase the miss ratio.
+func TestMissMonotoneInCache(t *testing.T) {
+	m := DefaultMachine()
+	m.Cores = 8
+	prev := math.Inf(1)
+	for _, s := range []float64{1, 2, 4, 8, 16, 32, 64} {
+		m.L2MB = s
+		r := Evaluate(m, OLTP())
+		if r.L2Miss > prev+1e-12 {
+			t.Fatalf("miss ratio rose with cache size at %v MB", s)
+		}
+		prev = r.L2Miss
+	}
+}
+
+// L2 hit latency must grow with capacity (the wire-delay mechanism
+// behind claim C2).
+func TestLatencyGrowsWithCache(t *testing.T) {
+	m := DefaultMachine()
+	prev := 0.0
+	for _, s := range []float64{1, 4, 16, 64} {
+		m.L2MB = s
+		r := Evaluate(m, OLTP())
+		if r.L2HitLatency <= prev {
+			t.Fatalf("L2 latency not increasing at %v MB", s)
+		}
+		prev = r.L2HitLatency
+	}
+}
+
+func TestSweepLengths(t *testing.T) {
+	m := DefaultMachine()
+	if got := len(SweepCores(m, OLTP(), []int{1, 2, 3})); got != 3 {
+		t.Fatal("SweepCores length")
+	}
+	if got := len(SweepCache(m, OLTP(), []float64{1, 2})); got != 2 {
+		t.Fatal("SweepCache length")
+	}
+}

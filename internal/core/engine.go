@@ -1,0 +1,399 @@
+// Package core is the storage manager itself — the paper's subject.
+// It composes the substrates (buffer pool, write-ahead log, lock
+// manager, heap files, B+-tree indexes) into a transactional engine
+// with ARIES-style recovery, and exposes two named configurations:
+//
+//   - Conventional (the "single-threaded Atlas"): centralized lock
+//     table, serial log buffer, unpartitioned buffer pool, coarse
+//     index locking. Fastest at one thread.
+//   - Scalable (the "multi-threaded Lernaean Hydra"): partitioned
+//     lock table, Aether-style consolidated log inserts, partitioned
+//     buffer pool, latch-crabbing indexes, early lock release.
+//
+// Every experiment in EXPERIMENTS.md runs the same workload against
+// both and reports the crossover.
+package core
+
+import (
+	"errors"
+	"fmt"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"hydra/internal/btree"
+	"hydra/internal/buffer"
+	"hydra/internal/heap"
+	"hydra/internal/latch"
+	"hydra/internal/lock"
+	"hydra/internal/page"
+	"hydra/internal/wal"
+)
+
+// metaPageID is the catalog page.
+const metaPageID page.ID = 0
+
+// Config selects the engine's structural variants.
+type Config struct {
+	// Dir holds the data and log files; empty means fully in-memory
+	// (tests and CPU-bound experiments).
+	Dir string
+
+	// Frames is the buffer pool size in pages. Default 4096.
+	Frames int
+	// BufferShards partitions the buffer pool. Default 1.
+	BufferShards int
+	// LatchKind selects page latch implementation.
+	LatchKind latch.Kind
+
+	// LogKind selects the log-insert algorithm.
+	LogKind wal.BufferKind
+	// LogBufferSize is the WAL ring size. Default 8 MiB.
+	LogBufferSize int
+	// LogSegmentBytes, when positive (and Dir is set), stores the WAL
+	// as fixed-size segment files that checkpoints recycle; 0 keeps a
+	// single flat file.
+	LogSegmentBytes int64
+	// SyncCommit forces commits to wait for log durability.
+	SyncCommit bool
+
+	// LockPartitions shards the lock table. Default 1.
+	LockPartitions int
+	// LockTimeout bounds lock waits (deadlock safety net).
+	LockTimeout time.Duration
+	// LockEscalation escalates a transaction's row locks on a table
+	// to one table lock past this count; 0 disables.
+	LockEscalation int
+
+	// IndexMode selects the B+-tree concurrency discipline.
+	IndexMode btree.Mode
+
+	// ELR enables early lock release: locks are dropped at the commit
+	// record's insertion rather than after its flush.
+	ELR bool
+}
+
+// Conventional returns the baseline configuration: every construct in
+// its classic centralized form.
+func Conventional() Config {
+	return Config{
+		Frames:         4096,
+		BufferShards:   1,
+		LatchKind:      latch.Blocking,
+		LogKind:        wal.Serial,
+		LockPartitions: 1,
+		LockTimeout:    2 * time.Second,
+		IndexMode:      btree.Coarse,
+		SyncCommit:     true,
+	}
+}
+
+// Scalable returns the configuration with every scalable variant
+// switched on.
+func Scalable() Config {
+	return Config{
+		Frames:         4096,
+		BufferShards:   16,
+		LatchKind:      latch.Spinning,
+		LogKind:        wal.Consolidated,
+		LockPartitions: 16,
+		LockTimeout:    2 * time.Second,
+		IndexMode:      btree.Crabbing,
+		SyncCommit:     true,
+		ELR:            true,
+	}
+}
+
+func (c *Config) fill() {
+	if c.Frames <= 0 {
+		c.Frames = 4096
+	}
+	if c.BufferShards <= 0 {
+		c.BufferShards = 1
+	}
+	if c.LockPartitions <= 0 {
+		c.LockPartitions = 1
+	}
+	if c.LockTimeout <= 0 {
+		c.LockTimeout = 2 * time.Second
+	}
+}
+
+// Errors returned by engine operations.
+var (
+	ErrClosed      = errors.New("core: engine closed")
+	ErrNoTable     = errors.New("core: no such table")
+	ErrTableExists = errors.New("core: table already exists")
+	ErrExists      = errors.New("core: key already exists")
+	ErrNotFound    = errors.New("core: key not found")
+	ErrTxnDone     = errors.New("core: transaction already finished")
+)
+
+// Table is a keyed table: a heap file of rows plus a B+-tree index
+// from key to record id.
+type Table struct {
+	ID    uint32
+	Name  string
+	Heap  *heap.File
+	Index *btree.Tree
+
+	engine *Engine
+
+	// secondary indexes (see secondary.go); registered per process.
+	idxMu     sync.RWMutex
+	secondary []*SecondaryIndex
+}
+
+// Engine is the storage manager.
+type Engine struct {
+	cfg    Config
+	store  buffer.PageStore
+	pool   *buffer.Pool
+	logDev wal.Device
+	log    *wal.Log
+	locks  *lock.Manager
+
+	mu          sync.RWMutex // guards catalog maps
+	tables      map[string]*Table
+	tablesByID  map[uint32]*Table
+	nextTableID uint32
+
+	txnSeq  atomic.Uint64
+	commits atomic.Uint64
+	aborts  atomic.Uint64
+	closed  atomic.Bool
+
+	// active is the live-transaction registry feeding checkpoint ATT
+	// snapshots.
+	activeMu sync.Mutex
+	active   map[uint64]*Txn
+
+	// master is the begin-checkpoint LSN the meta page points at.
+	master wal.LSN
+	ckptMu sync.Mutex // serializes checkpoints
+
+	// RecoveryReport describes what the last Open had to repair.
+	RecoveryReport Recovery
+}
+
+// Open creates or reopens an engine. Reopening a directory (or the
+// in-memory stores passed via OpenWith) runs ARIES recovery.
+func Open(cfg Config) (*Engine, error) {
+	cfg.fill()
+	var store buffer.PageStore
+	var dev wal.Device
+	var err error
+	if cfg.Dir == "" {
+		store = buffer.NewMemStore()
+		dev = wal.NewMem()
+	} else {
+		store, err = buffer.OpenFileStore(filepath.Join(cfg.Dir, "pages.db"))
+		if err != nil {
+			return nil, err
+		}
+		if cfg.LogSegmentBytes > 0 {
+			dev, err = wal.OpenSegmented(filepath.Join(cfg.Dir, "wal"), cfg.LogSegmentBytes)
+		} else {
+			dev, err = wal.OpenFile(filepath.Join(cfg.Dir, "wal.log"))
+		}
+		if err != nil {
+			store.Close()
+			return nil, err
+		}
+	}
+	return OpenWith(cfg, store, dev)
+}
+
+// OpenWith opens an engine over explicit stores; tests use it to
+// simulate crashes by reopening the same in-memory stores.
+func OpenWith(cfg Config, store buffer.PageStore, dev wal.Device) (*Engine, error) {
+	cfg.fill()
+	e := &Engine{
+		cfg:        cfg,
+		store:      store,
+		logDev:     dev,
+		tables:     make(map[string]*Table),
+		tablesByID: make(map[uint32]*Table),
+		active:     make(map[uint64]*Txn),
+		master:     wal.NilLSN,
+	}
+	e.pool = buffer.NewPool(store, buffer.Options{
+		Frames:    cfg.Frames,
+		Shards:    cfg.BufferShards,
+		LatchKind: cfg.LatchKind,
+		FlushLog: func(pageLSN uint64) error {
+			if pageLSN == 0 {
+				return nil
+			}
+			return e.log.WaitFlushed(wal.LSN(pageLSN))
+		},
+	})
+	var err error
+	e.log, err = wal.New(dev, wal.Options{
+		Kind:        cfg.LogKind,
+		BufferSize:  cfg.LogBufferSize,
+		SyncOnFlush: cfg.SyncCommit,
+	})
+	if err != nil {
+		return nil, err
+	}
+	e.locks = lock.NewManager(lock.Options{
+		Partitions:          cfg.LockPartitions,
+		WaitTimeout:         cfg.LockTimeout,
+		EscalationThreshold: cfg.LockEscalation,
+	})
+
+	n, err := store.NumPages()
+	if err != nil {
+		return nil, err
+	}
+	if n == 0 {
+		// Fresh database: allocate and persist the meta page.
+		f, err := e.pool.NewPage(page.TypeMeta)
+		if err != nil {
+			return nil, err
+		}
+		if f.ID() != metaPageID {
+			return nil, fmt.Errorf("core: meta page allocated as %d", f.ID())
+		}
+		e.pool.Unpin(f, true)
+		if err := e.writeMeta(wal.NilLSN); err != nil {
+			return nil, err
+		}
+		return e, nil
+	}
+	if err := e.recover(); err != nil {
+		return nil, fmt.Errorf("core: recovery: %w", err)
+	}
+	return e, nil
+}
+
+// CreateTable creates a keyed table. DDL is synchronously persisted.
+func (e *Engine) CreateTable(name string) (*Table, error) {
+	if e.closed.Load() {
+		return nil, ErrClosed
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if _, ok := e.tables[name]; ok {
+		return nil, fmt.Errorf("%w: %s", ErrTableExists, name)
+	}
+	h, err := heap.Create(e.pool)
+	if err != nil {
+		return nil, err
+	}
+	idx, err := btree.Create(e.pool, e.cfg.IndexMode)
+	if err != nil {
+		return nil, err
+	}
+	t := &Table{
+		ID:     e.nextTableID + 1,
+		Name:   name,
+		Heap:   h,
+		Index:  idx,
+		engine: e,
+	}
+	e.nextTableID++
+	e.installTableLocked(t)
+	if err := e.writeMeta(e.master); err != nil {
+		return nil, err
+	}
+	// The table's initial pages (heap head, index root) are created
+	// without log records; persist them synchronously so recovery can
+	// rely on their existence. DDL is rare.
+	if err := e.pool.FlushAll(); err != nil {
+		return nil, err
+	}
+	return t, nil
+}
+
+// installTableLocked registers t and wires its logging hooks.
+func (e *Engine) installTableLocked(t *Table) {
+	tableID := t.ID
+	t.Heap.SetExtendHook(func(oldTail, newTail page.ID) (uint64, error) {
+		rec := OpRecord{
+			Op:    OpExtend,
+			Table: tableID,
+			Key:   uint64(newTail),
+			RID:   heap.RID{Page: oldTail},
+		}
+		lsn, err := e.log.Append(&wal.Record{
+			Type:    wal.RecUpdate,
+			TxnID:   0, // system action, never undone
+			PrevLSN: wal.NilLSN,
+			PageID:  uint64(oldTail),
+			Payload: encodeOp(&rec),
+		})
+		return uint64(lsn), err
+	})
+	e.tables[t.Name] = t
+	e.tablesByID[t.ID] = t
+}
+
+// Table returns the named table.
+func (e *Engine) Table(name string) (*Table, error) {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	t, ok := e.tables[name]
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrNoTable, name)
+	}
+	return t, nil
+}
+
+// Tables lists the catalog.
+func (e *Engine) Tables() []*Table {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	out := make([]*Table, 0, len(e.tables))
+	for _, t := range e.tables {
+		out = append(out, t)
+	}
+	return out
+}
+
+// Close flushes and shuts down. The engine is unusable afterwards.
+func (e *Engine) Close() error {
+	if e.closed.Swap(true) {
+		return nil
+	}
+	if err := e.pool.FlushAll(); err != nil {
+		return err
+	}
+	if err := e.log.Close(); err != nil {
+		return err
+	}
+	if err := e.logDev.Close(); err != nil {
+		return err
+	}
+	return e.store.Close()
+}
+
+// Stats aggregates subsystem counters.
+type Stats struct {
+	Commits, Aborts uint64
+	Lock            lock.Stats
+	Log             wal.Stats
+	Buffer          buffer.Stats
+}
+
+// StatsSnapshot returns engine-wide counters.
+func (e *Engine) StatsSnapshot() Stats {
+	return Stats{
+		Commits: e.commits.Load(),
+		Aborts:  e.aborts.Load(),
+		Lock:    e.locks.StatsSnapshot(),
+		Log:     e.log.StatsSnapshot(),
+		Buffer:  e.pool.StatsSnapshot(),
+	}
+}
+
+// Locks exposes the lock manager (SLI agents, experiments).
+func (e *Engine) Locks() *lock.Manager { return e.locks }
+
+// Log exposes the log manager (experiments and tools).
+func (e *Engine) Log() *wal.Log { return e.log }
+
+// Pool exposes the buffer pool (experiments and tools).
+func (e *Engine) Pool() *buffer.Pool { return e.pool }

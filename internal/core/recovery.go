@@ -1,0 +1,288 @@
+package core
+
+import (
+	"fmt"
+
+	"hydra/internal/btree"
+	"hydra/internal/heap"
+	"hydra/internal/page"
+	"hydra/internal/wal"
+)
+
+// Recovery describes the work a restart performed (for operators and
+// tests).
+type Recovery struct {
+	Master       wal.LSN // begin-checkpoint the analysis started from (NilLSN = origin)
+	Scanned      int     // log records scanned during analysis
+	Redone       int     // records re-applied
+	SkippedByLSN int     // records skipped because the page already had them
+	LosersUndone int     // loser transactions rolled back
+	UndoOps      int     // compensation actions applied
+	Committed    int     // committed transactions observed
+	IndexEntries int     // index entries rebuilt
+}
+
+// recover runs ARIES restart: analysis from the last checkpoint's
+// master record, redo from the dirty-page table's minimum recLSN
+// (gated per page by pageLSN), undo of loser transactions with CLR
+// logging, and finally index rebuild (indexes are not logged; they
+// are derived state).
+func (e *Engine) recover() error {
+	// Attach tables from the catalog without walking heap chains
+	// (chains may need redo first).
+	master, metas, err := e.readMeta()
+	if err != nil {
+		return err
+	}
+	e.master = master
+	e.mu.Lock()
+	for _, m := range metas {
+		t := &Table{ID: m.ID, Name: m.Name, Heap: heap.Attach(e.pool, m.HeapFirst), engine: e}
+		e.installTableLocked(t)
+		if m.ID > e.nextTableID {
+			e.nextTableID = m.ID
+		}
+	}
+	e.mu.Unlock()
+
+	start := master
+	if start == wal.NilLSN {
+		start = 0
+	}
+	recs, err := wal.ScanAll(e.logDev, start)
+	if err != nil {
+		return fmt.Errorf("log scan: %w", err)
+	}
+	rep := Recovery{Master: master, Scanned: len(recs)}
+
+	// --- Analysis: transaction table (last LSN, outcome). ---
+	type txnInfo struct {
+		lastLSN wal.LSN
+		ended   bool // commit or completed abort (End record seen)
+	}
+	att := map[uint64]*txnInfo{}
+	var maxTxn uint64
+	byLSN := map[wal.LSN]*wal.Record{}
+	redoStart := start
+	for i := range recs {
+		r := &recs[i]
+		byLSN[r.LSN] = r
+		if r.Type == wal.RecCheckpointEnd {
+			snap, err := decodeCkpt(r.Payload)
+			if err != nil {
+				return fmt.Errorf("analysis at %d: %w", r.LSN, err)
+			}
+			// Transactions active at the checkpoint that wrote nothing
+			// since enter the ATT with their snapshotted chain tails.
+			for id, lastLSN := range snap.ATT {
+				if _, seen := att[id]; !seen {
+					att[id] = &txnInfo{lastLSN: lastLSN}
+				}
+				if id > maxTxn {
+					maxTxn = id
+				}
+			}
+			// Pages dirty at the checkpoint may hold unflushed effects
+			// from before it: redo must start at their oldest recLSN.
+			for _, recLSN := range snap.DPT {
+				if recLSN != 0 && wal.LSN(recLSN) < redoStart {
+					redoStart = wal.LSN(recLSN)
+				}
+			}
+			continue
+		}
+		if r.TxnID == 0 { // system records (chain extension, ckpt-begin)
+			continue
+		}
+		if r.TxnID > maxTxn {
+			maxTxn = r.TxnID
+		}
+		ti := att[r.TxnID]
+		if ti == nil {
+			ti = &txnInfo{}
+			att[r.TxnID] = ti
+		}
+		ti.lastLSN = r.LSN
+		switch r.Type {
+		case wal.RecCommit:
+			rep.Committed++
+			ti.ended = true
+		case wal.RecEnd:
+			ti.ended = true
+		}
+	}
+	e.txnSeq.Store(maxTxn)
+
+	// --- Redo: re-apply every data record whose page missed it. ---
+	redoRecs := recs
+	if redoStart < start {
+		redoRecs, err = wal.ScanAll(e.logDev, redoStart)
+		if err != nil {
+			return fmt.Errorf("redo scan: %w", err)
+		}
+	}
+	// The log may reference pages the store never persisted (growth
+	// after a fuzzy backup's page copy, or unsynced file extension at
+	// a crash): extend the store to cover every referenced id before
+	// applying anything.
+	var maxPage uint64
+	for i := range redoRecs {
+		r := &redoRecs[i]
+		if r.Type != wal.RecUpdate && r.Type != wal.RecCLR {
+			continue
+		}
+		op, err := decodeOp(r.Payload)
+		if err != nil {
+			return fmt.Errorf("decode op at %d: %w", r.LSN, err)
+		}
+		if p := uint64(op.RID.Page); p != uint64(page.InvalidID) && p > maxPage {
+			maxPage = p
+		}
+		if op.Op == OpExtend && op.Key > maxPage {
+			maxPage = op.Key
+		}
+	}
+	for {
+		n, err := e.store.NumPages()
+		if err != nil {
+			return err
+		}
+		if n > maxPage {
+			break
+		}
+		if _, err := e.store.Allocate(); err != nil {
+			return fmt.Errorf("extend store for redo: %w", err)
+		}
+	}
+
+	for i := range redoRecs {
+		r := &redoRecs[i]
+		if r.Type != wal.RecUpdate && r.Type != wal.RecCLR {
+			continue
+		}
+		op, err := decodeOp(r.Payload)
+		if err != nil {
+			return fmt.Errorf("decode op at %d: %w", r.LSN, err)
+		}
+		e.mu.RLock()
+		tbl := e.tablesByID[op.Table]
+		e.mu.RUnlock()
+		if tbl == nil {
+			return fmt.Errorf("redo references unknown table %d", op.Table)
+		}
+		if op.Op == OpExtend {
+			// RedoFormat is internally idempotent via pageLSN.
+			if err := tbl.Heap.RedoFormat(op.RID.Page, page.ID(op.Key), uint64(r.LSN)); err != nil {
+				return fmt.Errorf("redo extend at %d: %w", r.LSN, err)
+			}
+			rep.Redone++
+			continue
+		}
+		pageLSN, err := tbl.Heap.PageLSN(op.RID.Page)
+		if err != nil {
+			return fmt.Errorf("redo pageLSN at %d: %w", r.LSN, err)
+		}
+		if pageLSN >= uint64(r.LSN) {
+			rep.SkippedByLSN++
+			continue
+		}
+		if err := e.applyOp(&op, uint64(r.LSN), false); err != nil {
+			return fmt.Errorf("redo %v at %d: %w", op.Op, r.LSN, err)
+		}
+		rep.Redone++
+	}
+
+	// lookup returns the record at lsn, reading below the analysis
+	// window directly from the device when necessary.
+	lookup := func(lsn wal.LSN) (*wal.Record, error) {
+		if r, ok := byLSN[lsn]; ok {
+			return r, nil
+		}
+		r, err := wal.ReadRecordAt(e.logDev, lsn)
+		if err != nil {
+			return nil, err
+		}
+		r.LSN = lsn
+		return &r, nil
+	}
+
+	// --- Undo: roll back losers, newest action first. ---
+	for txnID, ti := range att {
+		if ti.ended {
+			continue
+		}
+		rep.LosersUndone++
+		lastLSN := ti.lastLSN
+		cur := lastLSN
+		for cur != wal.NilLSN {
+			r, err := lookup(cur)
+			if err != nil {
+				return fmt.Errorf("undo chain of txn %d at %d: %w", txnID, cur, err)
+			}
+			switch r.Type {
+			case wal.RecCLR:
+				cur = r.UndoNext
+			case wal.RecUpdate:
+				op, err := decodeOp(r.Payload)
+				if err != nil {
+					return fmt.Errorf("undo decode at %d: %w", r.LSN, err)
+				}
+				if op.Op == OpExtend {
+					cur = r.PrevLSN
+					continue
+				}
+				inv := op.inverse()
+				clr, err := e.undoOp(txnID, &inv, lastLSN, r.PrevLSN, false)
+				if err != nil {
+					return fmt.Errorf("undo %v of txn %d: %w", inv.Op, txnID, err)
+				}
+				lastLSN = clr
+				rep.UndoOps++
+				cur = r.PrevLSN
+			default: // begin, abort
+				cur = r.PrevLSN
+			}
+		}
+		if _, err := e.log.Append(&wal.Record{
+			Type: wal.RecEnd, TxnID: txnID, PrevLSN: lastLSN,
+		}); err != nil {
+			return err
+		}
+	}
+	if err := e.log.Flush(); err != nil {
+		return err
+	}
+
+	// --- Rebuild: indexes are derived from heap contents. ---
+	e.mu.RLock()
+	tables := make([]*Table, 0, len(e.tables))
+	for _, t := range e.tables {
+		tables = append(tables, t)
+	}
+	e.mu.RUnlock()
+	for _, t := range tables {
+		if err := t.Heap.RefreshTail(); err != nil {
+			return fmt.Errorf("refresh tail of %s: %w", t.Name, err)
+		}
+		var pairs []btree.KV
+		err = t.Heap.Scan(func(rid heap.RID, rec []byte) bool {
+			if len(rec) < 8 {
+				return true
+			}
+			pairs = append(pairs, btree.KV{Key: rowKey(rec), Value: rid.Pack()})
+			return true
+		})
+		if err != nil {
+			return fmt.Errorf("rebuild scan of %s: %w", t.Name, err)
+		}
+		btree.SortKVs(pairs)
+		idx, err := btree.BulkLoad(e.pool, e.cfg.IndexMode, pairs)
+		if err != nil {
+			return fmt.Errorf("rebuild index of %s: %w", t.Name, err)
+		}
+		rep.IndexEntries += len(pairs)
+		t.Index = idx
+	}
+	e.RecoveryReport = rep
+	return nil
+}

@@ -1,0 +1,181 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"hydra/internal/btree"
+	"hydra/internal/heap"
+	"hydra/internal/lock"
+)
+
+// SecondaryIndex is a value-derived, non-unique index over a table:
+// an extractor maps each row to an attribute, and the index supports
+// equality and range lookups by that attribute. Entries are stored in
+// a B+-tree under the composite key attr<<32 | rowKey, which makes
+// non-unique attributes range scans; consequently both the attribute
+// and the row keys of an indexed table must fit in 32 bits.
+//
+// Secondary indexes are derived state, like primary indexes: their
+// definitions live in application code (extractors are functions), so
+// after reopening an engine the application re-registers them with
+// AddIndex, which rebuilds from the table. Transactional maintenance
+// — including rollback compensation — is automatic while registered.
+type SecondaryIndex struct {
+	Name string
+	// Extract derives the attribute from a row; returning ok=false
+	// leaves the row out of the index (partial index).
+	Extract func(key uint64, value []byte) (attr uint64, ok bool)
+
+	tree *btree.Tree
+}
+
+// ErrKeyRange is returned when an indexed table's row key or
+// extracted attribute exceeds 32 bits.
+var ErrKeyRange = errors.New("core: secondary index requires 32-bit keys and attributes")
+
+const u32 = 1<<32 - 1
+
+func sxKey(attr, rowKey uint64) uint64 { return attr<<32 | rowKey }
+
+// AddIndex registers (and builds, from existing rows) a secondary
+// index on the table.
+func (t *Table) AddIndex(name string, extract func(key uint64, value []byte) (uint64, bool)) (*SecondaryIndex, error) {
+	if t.engine.closed.Load() {
+		return nil, ErrClosed
+	}
+	tree, err := btree.Create(t.engine.pool, t.engine.cfg.IndexMode)
+	if err != nil {
+		return nil, err
+	}
+	idx := &SecondaryIndex{Name: name, Extract: extract, tree: tree}
+	// Build from current contents under a table-level shared lock via
+	// a plain engine transaction.
+	err = t.engine.Exec(func(tx *Txn) error {
+		return tx.Scan(t, 0, ^uint64(0), func(key uint64, value []byte) bool {
+			attr, ok := extract(key, value)
+			if !ok {
+				return true
+			}
+			if attr > u32 || key > u32 {
+				err = ErrKeyRange
+				return false
+			}
+			if ierr := tree.Insert(sxKey(attr, key), key); ierr != nil {
+				err = ierr
+				return false
+			}
+			return true
+		})
+	})
+	if err != nil {
+		return nil, err
+	}
+	t.idxMu.Lock()
+	t.secondary = append(t.secondary, idx)
+	t.idxMu.Unlock()
+	return idx, nil
+}
+
+// Indexes returns the registered secondary indexes.
+func (t *Table) Indexes() []*SecondaryIndex {
+	t.idxMu.RLock()
+	defer t.idxMu.RUnlock()
+	return append([]*SecondaryIndex(nil), t.secondary...)
+}
+
+// DropIndex unregisters a secondary index (its pages are reclaimed on
+// reorganization).
+func (t *Table) DropIndex(name string) bool {
+	t.idxMu.Lock()
+	defer t.idxMu.Unlock()
+	for i, idx := range t.secondary {
+		if idx.Name == name {
+			t.secondary = append(t.secondary[:i], t.secondary[i+1:]...)
+			return true
+		}
+	}
+	return false
+}
+
+// LookupBy iterates the rows whose extracted attribute is exactly
+// attr, in row-key order, under a table-level shared lock.
+func (tx *Txn) LookupBy(tbl *Table, idx *SecondaryIndex, attr uint64, fn func(key uint64, value []byte) bool) error {
+	return tx.LookupRange(tbl, idx, attr, attr, fn)
+}
+
+// LookupRange iterates rows with loAttr <= attribute <= hiAttr in
+// (attribute, row-key) order.
+func (tx *Txn) LookupRange(tbl *Table, idx *SecondaryIndex, loAttr, hiAttr uint64, fn func(key uint64, value []byte) bool) error {
+	if err := tx.checkActive(); err != nil {
+		return err
+	}
+	if loAttr > u32 || hiAttr > u32 {
+		return ErrKeyRange
+	}
+	if err := tx.acquire(lock.TableName(tbl.ID), lock.S); err != nil {
+		return err
+	}
+	var inner error
+	err := idx.tree.Scan(sxKey(loAttr, 0), sxKey(hiAttr, u32), func(composite, rowKey uint64) bool {
+		packed, err := tbl.Index.Get(rowKey)
+		if err != nil {
+			return true // row vanished between index and heap (stale entry)
+		}
+		rec, err := tbl.Heap.Read(heap.Unpack(packed))
+		if err != nil {
+			inner = err
+			return false
+		}
+		return fn(rowKey, rowValue(rec))
+	})
+	if err != nil {
+		return err
+	}
+	return inner
+}
+
+// maintainSecondaries applies the index-side effect of a committed-
+// or-in-progress row change: oldVal/newVal are nil when absent
+// (insert has no old, delete has no new).
+func (t *Table) maintainSecondaries(key uint64, oldVal, newVal []byte) error {
+	t.idxMu.RLock()
+	indexes := t.secondary
+	t.idxMu.RUnlock()
+	if len(indexes) == 0 {
+		return nil
+	}
+	if key > u32 {
+		return fmt.Errorf("%w: row key %d", ErrKeyRange, key)
+	}
+	for _, idx := range indexes {
+		var oldAttr, newAttr uint64
+		var hadOld, hasNew bool
+		if oldVal != nil {
+			oldAttr, hadOld = idx.Extract(key, oldVal)
+		}
+		if newVal != nil {
+			newAttr, hasNew = idx.Extract(key, newVal)
+		}
+		if hadOld && hasNew && oldAttr == newAttr {
+			continue
+		}
+		if hadOld {
+			if oldAttr > u32 {
+				return fmt.Errorf("%w: attribute %d", ErrKeyRange, oldAttr)
+			}
+			if err := idx.tree.Delete(sxKey(oldAttr, key)); err != nil && !errors.Is(err, btree.ErrNotFound) {
+				return err
+			}
+		}
+		if hasNew {
+			if newAttr > u32 {
+				return fmt.Errorf("%w: attribute %d", ErrKeyRange, newAttr)
+			}
+			if err := idx.tree.Insert(sxKey(newAttr, key), key); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,239 @@
+package core
+
+import (
+	"errors"
+	"testing"
+)
+
+// byFirstByte indexes rows by the first byte of their value.
+func byFirstByte(_ uint64, value []byte) (uint64, bool) {
+	if len(value) == 0 {
+		return 0, false
+	}
+	return uint64(value[0]), true
+}
+
+func TestSecondaryIndexBuildAndLookup(t *testing.T) {
+	e := memEngine(t, Scalable())
+	tbl, _ := e.CreateTable("t")
+	e.Exec(func(tx *Txn) error {
+		for i := uint64(0); i < 300; i++ {
+			if err := tx.Insert(tbl, i, []byte{byte(i % 3), byte(i)}); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	idx, err := tbl.AddIndex("by-class", byFirstByte)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var keys []uint64
+	e.Exec(func(tx *Txn) error {
+		return tx.LookupBy(tbl, idx, 1, func(k uint64, v []byte) bool {
+			if v[0] != 1 {
+				t.Fatalf("key %d has class %d", k, v[0])
+			}
+			keys = append(keys, k)
+			return true
+		})
+	})
+	if len(keys) != 100 {
+		t.Fatalf("class 1 has %d rows, want 100", len(keys))
+	}
+	// Row-key order within the attribute.
+	for i := 1; i < len(keys); i++ {
+		if keys[i] <= keys[i-1] {
+			t.Fatal("lookup not in row-key order")
+		}
+	}
+	// Range across attributes 1..2.
+	n := 0
+	e.Exec(func(tx *Txn) error {
+		return tx.LookupRange(tbl, idx, 1, 2, func(uint64, []byte) bool {
+			n++
+			return true
+		})
+	})
+	if n != 200 {
+		t.Fatalf("range lookup saw %d rows", n)
+	}
+}
+
+func TestSecondaryMaintainedByDML(t *testing.T) {
+	e := memEngine(t, Scalable())
+	tbl, _ := e.CreateTable("t")
+	idx, err := tbl.AddIndex("by-class", byFirstByte)
+	if err != nil {
+		t.Fatal(err)
+	}
+	count := func(attr uint64) int {
+		n := 0
+		e.Exec(func(tx *Txn) error {
+			return tx.LookupBy(tbl, idx, attr, func(uint64, []byte) bool {
+				n++
+				return true
+			})
+		})
+		return n
+	}
+	e.Exec(func(tx *Txn) error { return tx.Insert(tbl, 1, []byte{7, 'a'}) })
+	e.Exec(func(tx *Txn) error { return tx.Insert(tbl, 2, []byte{7, 'b'}) })
+	if count(7) != 2 {
+		t.Fatalf("after inserts: %d", count(7))
+	}
+	// Update moving a row between attribute classes.
+	e.Exec(func(tx *Txn) error { return tx.Update(tbl, 1, []byte{9, 'a'}) })
+	if count(7) != 1 || count(9) != 1 {
+		t.Fatalf("after move: class7=%d class9=%d", count(7), count(9))
+	}
+	// Update within the same class must not duplicate.
+	e.Exec(func(tx *Txn) error { return tx.Update(tbl, 2, []byte{7, 'c'}) })
+	if count(7) != 1 {
+		t.Fatalf("same-class update duplicated: %d", count(7))
+	}
+	e.Exec(func(tx *Txn) error { return tx.Delete(tbl, 2) })
+	if count(7) != 0 {
+		t.Fatalf("after delete: %d", count(7))
+	}
+}
+
+func TestSecondaryRollbackCompensation(t *testing.T) {
+	e := memEngine(t, Scalable())
+	tbl, _ := e.CreateTable("t")
+	idx, err := tbl.AddIndex("by-class", byFirstByte)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.Exec(func(tx *Txn) error { return tx.Insert(tbl, 1, []byte{5, 'x'}) })
+
+	tx := e.Begin()
+	tx.Insert(tbl, 2, []byte{5, 'y'}) // doomed insert
+	tx.Update(tbl, 1, []byte{6, 'x'}) // doomed class move
+	if err := tx.Abort(); err != nil {
+		t.Fatal(err)
+	}
+
+	seen := map[uint64]bool{}
+	e.Exec(func(txr *Txn) error {
+		return txr.LookupBy(tbl, idx, 5, func(k uint64, v []byte) bool {
+			seen[k] = true
+			return true
+		})
+	})
+	if !seen[1] || seen[2] || len(seen) != 1 {
+		t.Fatalf("index after abort: %v", seen)
+	}
+	n := 0
+	e.Exec(func(txr *Txn) error {
+		return txr.LookupBy(tbl, idx, 6, func(uint64, []byte) bool { n++; return true })
+	})
+	if n != 0 {
+		t.Fatalf("aborted class move visible: %d", n)
+	}
+}
+
+func TestSecondaryPartialIndex(t *testing.T) {
+	e := memEngine(t, Scalable())
+	tbl, _ := e.CreateTable("t")
+	// Only index even classes.
+	idx, err := tbl.AddIndex("evens", func(k uint64, v []byte) (uint64, bool) {
+		if len(v) == 0 || v[0]%2 != 0 {
+			return 0, false
+		}
+		return uint64(v[0]), true
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.Exec(func(tx *Txn) error {
+		tx.Insert(tbl, 1, []byte{2})
+		tx.Insert(tbl, 2, []byte{3})
+		return nil
+	})
+	n := 0
+	e.Exec(func(tx *Txn) error {
+		return tx.LookupRange(tbl, idx, 0, ^uint64(0)>>33, func(uint64, []byte) bool { n++; return true })
+	})
+	if n != 1 {
+		t.Fatalf("partial index has %d entries", n)
+	}
+}
+
+func TestSecondaryKeyRangeEnforced(t *testing.T) {
+	e := memEngine(t, Scalable())
+	tbl, _ := e.CreateTable("t")
+	if _, err := tbl.AddIndex("bad", func(k uint64, v []byte) (uint64, bool) {
+		return 1 << 40, true // attribute too large
+	}); err == nil {
+		// Build over an empty table cannot fail; the failure comes on
+		// first insert instead.
+		ierr := e.Exec(func(tx *Txn) error { return tx.Insert(tbl, 1, []byte("v")) })
+		if !errors.Is(ierr, ErrKeyRange) {
+			t.Fatalf("oversized attribute accepted: %v", ierr)
+		}
+	}
+}
+
+func TestDropIndexStopsMaintenance(t *testing.T) {
+	e := memEngine(t, Scalable())
+	tbl, _ := e.CreateTable("t")
+	if _, err := tbl.AddIndex("x", byFirstByte); err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Indexes()) != 1 {
+		t.Fatal("index not registered")
+	}
+	if !tbl.DropIndex("x") {
+		t.Fatal("drop failed")
+	}
+	if tbl.DropIndex("x") {
+		t.Fatal("double drop succeeded")
+	}
+	// DML after drop must not fail even with huge keys.
+	if err := e.Exec(func(tx *Txn) error {
+		return tx.Insert(tbl, 1<<40, []byte{1})
+	}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSecondaryRebuildAfterReopen(t *testing.T) {
+	dir := t.TempDir()
+	cfg := Scalable()
+	cfg.Dir = dir
+	e, err := Open(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tbl, _ := e.CreateTable("t")
+	e.Exec(func(tx *Txn) error {
+		for i := uint64(0); i < 50; i++ {
+			if err := tx.Insert(tbl, i, []byte{byte(i % 5)}); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	if err := e.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	e2, err := Open(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e2.Close()
+	tbl2, _ := e2.Table("t")
+	idx, err := tbl2.AddIndex("by-class", byFirstByte) // re-register = rebuild
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := 0
+	e2.Exec(func(tx *Txn) error {
+		return tx.LookupBy(tbl2, idx, 3, func(uint64, []byte) bool { n++; return true })
+	})
+	if n != 10 {
+		t.Fatalf("rebuilt index class 3 = %d, want 10", n)
+	}
+}

@@ -1,0 +1,195 @@
+package core
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"testing"
+
+	"hydra/internal/buffer"
+	"hydra/internal/rng"
+	"hydra/internal/wal"
+)
+
+// The torture test drives the whole stack — transactions, locking,
+// logging, buffer management, checkpoints, crashes, ARIES restart —
+// with a long random schedule, cross-checking against an in-memory
+// reference model after every crash and at the end. Only committed
+// transactions reach the model, so any divergence means an atomicity
+// or durability bug.
+func TestEngineTortureWithCrashes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("torture test is slow")
+	}
+	for name, cfg := range configs() {
+		cfg := cfg
+		t.Run(name, func(t *testing.T) {
+			tortureRun(t, cfg, 42, 4000)
+		})
+	}
+}
+
+func tortureRun(t *testing.T, cfg Config, seed uint64, txns int) {
+	t.Helper()
+	src := rng.New(seed)
+	store := buffer.NewMemStore()
+	dev := wal.NewMem()
+
+	e, err := OpenWith(cfg, store, dev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const tables = 3
+	tbls := make([]*Table, tables)
+	for i := range tbls {
+		if tbls[i], err = e.CreateTable(fmt.Sprintf("t%d", i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// model mirrors committed state only.
+	model := make([]map[uint64][]byte, tables)
+	for i := range model {
+		model[i] = map[uint64][]byte{}
+	}
+
+	reopen := func(crashed bool) {
+		if crashed {
+			e.Log().Close()
+			e.closed.Store(true)
+		} else {
+			if err := e.Close(); err != nil {
+				t.Fatal(err)
+			}
+		}
+		e, err = OpenWith(cfg, store, dev)
+		if err != nil {
+			t.Fatalf("reopen: %v", err)
+		}
+		for i := range tbls {
+			if tbls[i], err = e.Table(fmt.Sprintf("t%d", i)); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+
+	verify := func(tag string) {
+		t.Helper()
+		if err := e.Verify(); err != nil {
+			t.Fatalf("%s: structural verify: %v", tag, err)
+		}
+		for i, tbl := range tbls {
+			got := map[uint64][]byte{}
+			err := e.Exec(func(tx *Txn) error {
+				return tx.Scan(tbl, 0, ^uint64(0), func(k uint64, v []byte) bool {
+					got[k] = append([]byte(nil), v...)
+					return true
+				})
+			})
+			if err != nil {
+				t.Fatalf("%s: scan t%d: %v", tag, i, err)
+			}
+			if len(got) != len(model[i]) {
+				t.Fatalf("%s: t%d has %d rows, model %d", tag, i, len(got), len(model[i]))
+			}
+			for k, want := range model[i] {
+				if !bytes.Equal(got[k], want) {
+					t.Fatalf("%s: t%d key %d = %q, model %q", tag, i, k, got[k], want)
+				}
+			}
+		}
+	}
+
+	for n := 0; n < txns; n++ {
+		ti := src.Intn(tables)
+		tbl := tbls[ti]
+		// Build a small transaction: 1-5 ops on one table.
+		type pendingOp struct {
+			kind int // 0 insert, 1 update, 2 delete
+			key  uint64
+			val  []byte
+		}
+		var ops []pendingOp
+		for i := 0; i < src.IntRange(1, 5); i++ {
+			op := pendingOp{kind: src.Intn(3), key: uint64(src.Intn(200))}
+			if op.kind != 2 {
+				op.val = make([]byte, src.IntRange(1, 64))
+				src.Bytes(op.val)
+			}
+			ops = append(ops, op)
+		}
+		willAbort := src.Bool(0.25)
+
+		// Apply to a scratch copy of the model; install only on commit.
+		scratch := map[uint64][]byte{}
+		for k, v := range model[ti] {
+			scratch[k] = v
+		}
+		tx := e.Begin()
+		opErr := false
+		for _, op := range ops {
+			var err error
+			switch op.kind {
+			case 0:
+				err = tx.Insert(tbl, op.key, op.val)
+				if err == nil {
+					scratch[op.key] = append([]byte(nil), op.val...)
+				} else if !errors.Is(err, ErrExists) {
+					t.Fatalf("txn %d insert: %v", n, err)
+				}
+			case 1:
+				err = tx.Update(tbl, op.key, op.val)
+				if err == nil {
+					scratch[op.key] = append([]byte(nil), op.val...)
+				} else if !errors.Is(err, ErrNotFound) {
+					t.Fatalf("txn %d update: %v", n, err)
+				}
+			case 2:
+				err = tx.Delete(tbl, op.key)
+				if err == nil {
+					delete(scratch, op.key)
+				} else if !errors.Is(err, ErrNotFound) {
+					t.Fatalf("txn %d delete: %v", n, err)
+				}
+			}
+			_ = err
+			_ = opErr
+		}
+		if willAbort {
+			if err := tx.Abort(); err != nil {
+				t.Fatalf("txn %d abort: %v", n, err)
+			}
+		} else {
+			if err := tx.Commit(); err != nil {
+				t.Fatalf("txn %d commit: %v", n, err)
+			}
+			model[ti] = scratch
+		}
+
+		// Occasional maintenance and disasters.
+		switch {
+		case n%997 == 499:
+			if err := e.Checkpoint(); err != nil {
+				t.Fatalf("checkpoint at %d: %v", n, err)
+			}
+		case n%1500 == 750:
+			reopen(true) // crash
+			verify(fmt.Sprintf("after crash at txn %d", n))
+		case n%2100 == 1050:
+			reopen(false) // clean restart
+			verify(fmt.Sprintf("after clean restart at txn %d", n))
+		}
+	}
+	verify("final")
+	if err := e.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// A second seed exercises different interleavings of checkpoints and
+// crashes relative to the op stream.
+func TestEngineTortureSecondSeed(t *testing.T) {
+	if testing.Short() {
+		t.Skip("torture test is slow")
+	}
+	tortureRun(t, Scalable(), 1337, 3000)
+}

@@ -1,0 +1,488 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"hydra/internal/heap"
+	"hydra/internal/lock"
+	"hydra/internal/page"
+	"hydra/internal/wal"
+)
+
+// undoEntry pairs a forward operation with the PrevLSN of its log
+// record, which becomes the CLR's UndoNext during rollback.
+type undoEntry struct {
+	op   OpRecord
+	prev wal.LSN
+}
+
+type txnState int
+
+const (
+	txnActive txnState = iota
+	txnCommitted
+	txnAborted
+)
+
+// Txn is a transaction handle. A Txn is normally confined to one
+// goroutine; transactions started with BeginNoLock may have their
+// operations executed by multiple DORA executors, so the log chain
+// and undo list are mutex-protected.
+type Txn struct {
+	e      *Engine
+	id     uint64
+	state  txnState
+	agent  *lock.Agent // non-nil when SLI is active for this worker
+	noLock bool        // DORA: partition ownership replaces locking
+
+	mu       sync.Mutex // guards lastLSN, undo, logged
+	lastLSN  wal.LSN
+	firstLSN wal.LSN // begin record (log-truncation horizon)
+	undo     []undoEntry
+	logged   bool // wrote at least one record (begin is lazy)
+}
+
+// Begin starts a transaction.
+func (e *Engine) Begin() *Txn {
+	t := &Txn{e: e, id: e.txnSeq.Add(1), lastLSN: wal.NilLSN, firstLSN: wal.NilLSN}
+	e.activeMu.Lock()
+	e.active[t.id] = t
+	e.activeMu.Unlock()
+	return t
+}
+
+// finish retires the transaction from the active registry.
+func (t *Txn) finish(state txnState) {
+	t.state = state
+	t.e.activeMu.Lock()
+	delete(t.e.active, t.id)
+	t.e.activeMu.Unlock()
+}
+
+// BeginWithAgent starts a transaction whose lock acquisitions go
+// through an SLI agent (one agent per worker goroutine).
+func (e *Engine) BeginWithAgent(a *lock.Agent) *Txn {
+	t := e.Begin()
+	t.agent = a
+	return t
+}
+
+// BeginNoLock starts a transaction that skips the lock manager
+// entirely. Callers (the DORA layer) must guarantee isolation by
+// construction — each datum is accessed only by its owning executor.
+func (e *Engine) BeginNoLock() *Txn {
+	t := e.Begin()
+	t.noLock = true
+	return t
+}
+
+// ID returns the transaction id.
+func (t *Txn) ID() uint64 { return t.id }
+
+func (t *Txn) acquire(name lock.Name, mode lock.Mode) error {
+	if t.noLock {
+		return nil
+	}
+	if t.agent != nil {
+		return t.agent.Acquire(t.id, name, mode)
+	}
+	return t.e.locks.Acquire(t.id, name, mode)
+}
+
+// ensureBegin lazily logs the begin record (read-only transactions
+// never touch the log).
+func (t *Txn) ensureBegin() error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.logged {
+		return nil
+	}
+	lsn, err := t.e.log.Append(&wal.Record{
+		Type: wal.RecBegin, TxnID: t.id, PrevLSN: wal.NilLSN,
+	})
+	if err != nil {
+		return err
+	}
+	t.lastLSN = lsn
+	t.firstLSN = lsn
+	t.logged = true
+	return nil
+}
+
+func (t *Txn) checkActive() error {
+	if t.state != txnActive {
+		return ErrTxnDone
+	}
+	if t.e.closed.Load() {
+		return ErrClosed
+	}
+	return nil
+}
+
+// logOp appends a data record for op, records the undo entry, and
+// returns its LSN. It owns the txn's chain mutex so DORA actions on
+// different executors serialize their log records correctly.
+func (t *Txn) logOp(op *OpRecord) (wal.LSN, error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	prev := t.lastLSN
+	lsn, err := t.e.log.Append(&wal.Record{
+		Type:    wal.RecUpdate,
+		TxnID:   t.id,
+		PrevLSN: prev,
+		PageID:  uint64(op.RID.Page),
+		Payload: encodeOp(op),
+	})
+	if err != nil {
+		return 0, err
+	}
+	t.lastLSN = lsn
+	t.undo = append(t.undo, undoEntry{op: *op, prev: prev})
+	return lsn, nil
+}
+
+// Read returns the value stored under key in table.
+func (t *Txn) Read(tbl *Table, key uint64) ([]byte, error) {
+	if err := t.checkActive(); err != nil {
+		return nil, err
+	}
+	if err := t.acquire(lock.TableName(tbl.ID), lock.IS); err != nil {
+		return nil, err
+	}
+	if err := t.acquire(lock.RowName(tbl.ID, key), lock.S); err != nil {
+		return nil, err
+	}
+	packed, err := tbl.Index.Get(key)
+	if err != nil {
+		return nil, fmt.Errorf("%w: table %s key %d", ErrNotFound, tbl.Name, key)
+	}
+	rec, err := tbl.Heap.Read(heap.Unpack(packed))
+	if err != nil {
+		return nil, err
+	}
+	return rowValue(rec), nil
+}
+
+// ReadForUpdate returns the value under key while taking the row lock
+// exclusively up front. Read-modify-write transactions use it to
+// avoid S-to-X conversion deadlocks on hot rows.
+func (t *Txn) ReadForUpdate(tbl *Table, key uint64) ([]byte, error) {
+	if err := t.checkActive(); err != nil {
+		return nil, err
+	}
+	if err := t.acquire(lock.TableName(tbl.ID), lock.IX); err != nil {
+		return nil, err
+	}
+	if err := t.acquire(lock.RowName(tbl.ID, key), lock.X); err != nil {
+		return nil, err
+	}
+	packed, err := tbl.Index.Get(key)
+	if err != nil {
+		return nil, fmt.Errorf("%w: table %s key %d", ErrNotFound, tbl.Name, key)
+	}
+	rec, err := tbl.Heap.Read(heap.Unpack(packed))
+	if err != nil {
+		return nil, err
+	}
+	return rowValue(rec), nil
+}
+
+// Insert adds a new row; it fails with ErrExists for duplicate keys.
+func (t *Txn) Insert(tbl *Table, key uint64, value []byte) error {
+	if err := t.checkActive(); err != nil {
+		return err
+	}
+	if err := t.ensureBegin(); err != nil {
+		return err
+	}
+	if err := t.acquire(lock.TableName(tbl.ID), lock.IX); err != nil {
+		return err
+	}
+	if err := t.acquire(lock.RowName(tbl.ID, key), lock.X); err != nil {
+		return err
+	}
+	if _, err := tbl.Index.Get(key); err == nil {
+		return fmt.Errorf("%w: table %s key %d", ErrExists, tbl.Name, key)
+	}
+	rec := rowRecord(key, value)
+	op := OpRecord{Op: OpInsert, Table: tbl.ID, Key: key, After: rec}
+	rid, err := tbl.Heap.InsertFn(rec, func(rid heap.RID) (uint64, error) {
+		op.RID = rid
+		lsn, err := t.logOp(&op)
+		return uint64(lsn), err
+	})
+	if err != nil {
+		return err
+	}
+	if err := tbl.Index.Insert(key, rid.Pack()); err != nil {
+		return err
+	}
+	return tbl.maintainSecondaries(key, nil, value)
+}
+
+// Update replaces the value of an existing row.
+func (t *Txn) Update(tbl *Table, key uint64, value []byte) error {
+	if err := t.checkActive(); err != nil {
+		return err
+	}
+	if err := t.ensureBegin(); err != nil {
+		return err
+	}
+	if err := t.acquire(lock.TableName(tbl.ID), lock.IX); err != nil {
+		return err
+	}
+	if err := t.acquire(lock.RowName(tbl.ID, key), lock.X); err != nil {
+		return err
+	}
+	packed, err := tbl.Index.Get(key)
+	if err != nil {
+		return fmt.Errorf("%w: table %s key %d", ErrNotFound, tbl.Name, key)
+	}
+	rid := heap.Unpack(packed)
+	rec := rowRecord(key, value)
+	op := OpRecord{Op: OpUpdate, Table: tbl.ID, Key: key, RID: rid, After: rec}
+	err = tbl.Heap.UpdateFn(rid, rec, func(before []byte) (uint64, error) {
+		op.Before = append([]byte(nil), before...)
+		lsn, lerr := t.logOp(&op)
+		return uint64(lsn), lerr
+	})
+	if err == nil {
+		return tbl.maintainSecondaries(key, rowValue(op.Before), value)
+	}
+	if !errors.Is(err, page.ErrPageFull) {
+		return err
+	}
+	// The grown row no longer fits on its page: delete + re-insert,
+	// which moves the row and updates the index.
+	before, rerr := tbl.Heap.Read(rid)
+	if rerr != nil {
+		return rerr
+	}
+	delOp := OpRecord{Op: OpDelete, Table: tbl.ID, Key: key, RID: rid, Before: before}
+	if err := tbl.Heap.DeleteFn(rid, func([]byte) (uint64, error) {
+		lsn, lerr := t.logOp(&delOp)
+		return uint64(lsn), lerr
+	}); err != nil {
+		return err
+	}
+	insOp := OpRecord{Op: OpInsert, Table: tbl.ID, Key: key, After: rec}
+	newRID, err := tbl.Heap.InsertFn(rec, func(r heap.RID) (uint64, error) {
+		insOp.RID = r
+		lsn, lerr := t.logOp(&insOp)
+		return uint64(lsn), lerr
+	})
+	if err != nil {
+		return err
+	}
+	if err := tbl.Index.Insert(key, newRID.Pack()); err != nil {
+		return err
+	}
+	return tbl.maintainSecondaries(key, rowValue(before), value)
+}
+
+// Delete removes a row.
+func (t *Txn) Delete(tbl *Table, key uint64) error {
+	if err := t.checkActive(); err != nil {
+		return err
+	}
+	if err := t.ensureBegin(); err != nil {
+		return err
+	}
+	if err := t.acquire(lock.TableName(tbl.ID), lock.IX); err != nil {
+		return err
+	}
+	if err := t.acquire(lock.RowName(tbl.ID, key), lock.X); err != nil {
+		return err
+	}
+	packed, err := tbl.Index.Get(key)
+	if err != nil {
+		return fmt.Errorf("%w: table %s key %d", ErrNotFound, tbl.Name, key)
+	}
+	rid := heap.Unpack(packed)
+	op := OpRecord{Op: OpDelete, Table: tbl.ID, Key: key, RID: rid}
+	if err := tbl.Heap.DeleteFn(rid, func(before []byte) (uint64, error) {
+		op.Before = append([]byte(nil), before...)
+		lsn, lerr := t.logOp(&op)
+		return uint64(lsn), lerr
+	}); err != nil {
+		return err
+	}
+	if err := tbl.Index.Delete(key); err != nil {
+		return err
+	}
+	return tbl.maintainSecondaries(key, rowValue(op.Before), nil)
+}
+
+// Scan iterates rows with lo <= key <= hi in key order under a
+// table-level shared lock.
+func (t *Txn) Scan(tbl *Table, lo, hi uint64, fn func(key uint64, value []byte) bool) error {
+	if err := t.checkActive(); err != nil {
+		return err
+	}
+	if err := t.acquire(lock.TableName(tbl.ID), lock.S); err != nil {
+		return err
+	}
+	return tbl.Index.Scan(lo, hi, func(key, packed uint64) bool {
+		rec, err := tbl.Heap.Read(heap.Unpack(packed))
+		if err != nil {
+			return true // row vanished mid-scan (should not happen under S)
+		}
+		return fn(key, rowValue(rec))
+	})
+}
+
+// Commit makes the transaction durable and releases its locks. Under
+// ELR, locks are released as soon as the commit record is in the log
+// buffer; the call still blocks for durability before returning.
+func (t *Txn) Commit() error {
+	if err := t.checkActive(); err != nil {
+		return err
+	}
+	e := t.e
+	if !t.logged {
+		// Read-only: nothing to log or flush.
+		t.releaseLocks(false)
+		t.finish(txnCommitted)
+		e.commits.Add(1)
+		return nil
+	}
+	commitLSN, err := e.log.Append(&wal.Record{
+		Type: wal.RecCommit, TxnID: t.id, PrevLSN: t.lastLSN,
+	})
+	if err != nil {
+		return err
+	}
+	t.lastLSN = commitLSN
+	if e.cfg.ELR {
+		t.releaseLocks(false)
+	}
+	if e.cfg.SyncCommit {
+		if err := e.log.WaitFlushed(commitLSN); err != nil {
+			return err
+		}
+	}
+	if !e.cfg.ELR {
+		t.releaseLocks(false)
+	}
+	// The end record needs no flush wait.
+	if _, err := e.log.Append(&wal.Record{
+		Type: wal.RecEnd, TxnID: t.id, PrevLSN: commitLSN,
+	}); err != nil {
+		return err
+	}
+	t.finish(txnCommitted)
+	e.commits.Add(1)
+	return nil
+}
+
+// Abort rolls the transaction back, writing compensation records so
+// a crash mid-abort resumes correctly, and releases its locks.
+func (t *Txn) Abort() error {
+	if err := t.checkActive(); err != nil {
+		return err
+	}
+	e := t.e
+	if t.logged {
+		lsn, err := e.log.Append(&wal.Record{
+			Type: wal.RecAbort, TxnID: t.id, PrevLSN: t.lastLSN,
+		})
+		if err != nil {
+			return err
+		}
+		t.lastLSN = lsn
+		for i := len(t.undo) - 1; i >= 0; i-- {
+			entry := &t.undo[i]
+			inv := entry.op.inverse()
+			// UndoNext names the next record restart undo would
+			// process: the one logged before the record being undone.
+			clr, err := e.undoOp(t.id, &inv, t.lastLSN, entry.prev, true)
+			if err != nil {
+				return fmt.Errorf("core: abort undo: %w", err)
+			}
+			t.lastLSN = clr
+		}
+		if _, err := e.log.Append(&wal.Record{
+			Type: wal.RecEnd, TxnID: t.id, PrevLSN: t.lastLSN,
+		}); err != nil {
+			return err
+		}
+	}
+	t.releaseLocks(true)
+	t.finish(txnAborted)
+	e.aborts.Add(1)
+	return nil
+}
+
+func (t *Txn) releaseLocks(aborting bool) {
+	if t.agent != nil {
+		if aborting {
+			t.agent.OnAbort(t.id)
+		} else {
+			t.agent.OnCommit(t.id)
+		}
+		return
+	}
+	t.e.locks.ReleaseAll(t.id)
+}
+
+// applyOp applies a (forward or compensation) operation to the heap,
+// stamping lsn as the pageLSN; when maintainIndex is set the table's
+// index is kept in sync (runtime undo; recovery rebuilds instead).
+func (e *Engine) applyOp(op *OpRecord, lsn uint64, maintainIndex bool) error {
+	e.mu.RLock()
+	tbl, ok := e.tablesByID[op.Table]
+	e.mu.RUnlock()
+	if !ok {
+		return fmt.Errorf("%w: id %d", ErrNoTable, op.Table)
+	}
+	switch op.Op {
+	case OpInsert:
+		if err := tbl.Heap.InsertAt(op.RID, op.After, lsn); err != nil {
+			return err
+		}
+		if maintainIndex {
+			return tbl.Index.Insert(op.Key, op.RID.Pack())
+		}
+	case OpUpdate:
+		if err := tbl.Heap.UpdateWithLSN(op.RID, op.After, lsn); err != nil {
+			return err
+		}
+	case OpDelete:
+		if err := tbl.Heap.DeleteWithLSN(op.RID, lsn); err != nil {
+			return err
+		}
+		if maintainIndex {
+			return tbl.Index.Delete(op.Key)
+		}
+	case OpExtend:
+		return tbl.Heap.RedoFormat(op.RID.Page, page.ID(op.Key), lsn)
+	default:
+		return fmt.Errorf("core: unknown op %v", op.Op)
+	}
+	return nil
+}
+
+// Exec runs fn inside a transaction, committing on nil and aborting
+// on error; deadlock and timeout victims are retried.
+func (e *Engine) Exec(fn func(*Txn) error) error {
+	for attempt := 0; ; attempt++ {
+		t := e.Begin()
+		err := fn(t)
+		if err == nil {
+			if err = t.Commit(); err == nil {
+				return nil
+			}
+		}
+		if t.state == txnActive {
+			if aerr := t.Abort(); aerr != nil {
+				return fmt.Errorf("core: abort after %v: %w", err, aerr)
+			}
+		}
+		if (errors.Is(err, lock.ErrDeadlock) || errors.Is(err, lock.ErrTimeout)) && attempt < 10 {
+			continue
+		}
+		return err
+	}
+}

@@ -1,0 +1,87 @@
+package core
+
+import (
+	"fmt"
+
+	"hydra/internal/heap"
+	"hydra/internal/wal"
+)
+
+// undoOp compensates one logged operation: it applies the inverse
+// action and writes the CLR *describing what was actually done* —
+// ARIES's rule, because the inverse of an insert-undone delete may
+// land the record in a different slot than the original (tombstones
+// get reused between the forward op and the undo). The CLR is logged
+// inside the same page latch as the action (via the heap's *Fn
+// variants), so redo of the CLR replays deterministically.
+//
+// undoNext names the next record restart undo would process after
+// this compensation. It returns the CLR's LSN (the transaction's new
+// chain tail).
+func (e *Engine) undoOp(txnID uint64, inv *OpRecord, prevLSN, undoNext wal.LSN, maintainIndex bool) (wal.LSN, error) {
+	e.mu.RLock()
+	tbl, ok := e.tablesByID[inv.Table]
+	e.mu.RUnlock()
+	if !ok {
+		return 0, fmt.Errorf("%w: id %d", ErrNoTable, inv.Table)
+	}
+	var clr wal.LSN
+	logCLR := func() (uint64, error) {
+		lsn, err := e.log.Append(&wal.Record{
+			Type:     wal.RecCLR,
+			TxnID:    txnID,
+			PrevLSN:  prevLSN,
+			PageID:   uint64(inv.RID.Page),
+			UndoNext: undoNext,
+			Payload:  encodeOp(inv),
+		})
+		clr = lsn
+		return uint64(lsn), err
+	}
+	switch inv.Op {
+	case OpInsert: // undoing a delete: put the row back, wherever it fits
+		rid, err := tbl.Heap.InsertFn(inv.After, func(rid heap.RID) (uint64, error) {
+			inv.RID = rid // the CLR records the actual placement
+			return logCLR()
+		})
+		if err != nil {
+			return 0, err
+		}
+		if maintainIndex {
+			if err := tbl.Index.Insert(inv.Key, rid.Pack()); err != nil {
+				return 0, err
+			}
+			if err := tbl.maintainSecondaries(inv.Key, nil, rowValue(inv.After)); err != nil {
+				return 0, err
+			}
+		}
+	case OpUpdate: // undoing an update: restore the before-image in place
+		if err := tbl.Heap.UpdateFn(inv.RID, inv.After, func([]byte) (uint64, error) {
+			return logCLR()
+		}); err != nil {
+			return 0, err
+		}
+		if maintainIndex {
+			if err := tbl.maintainSecondaries(inv.Key, rowValue(inv.Before), rowValue(inv.After)); err != nil {
+				return 0, err
+			}
+		}
+	case OpDelete: // undoing an insert: the row is still at its slot
+		if err := tbl.Heap.DeleteFn(inv.RID, func([]byte) (uint64, error) {
+			return logCLR()
+		}); err != nil {
+			return 0, err
+		}
+		if maintainIndex {
+			if err := tbl.Index.Delete(inv.Key); err != nil {
+				return 0, err
+			}
+			if err := tbl.maintainSecondaries(inv.Key, rowValue(inv.Before), nil); err != nil {
+				return 0, err
+			}
+		}
+	default:
+		return 0, fmt.Errorf("core: cannot undo %v", inv.Op)
+	}
+	return clr, nil
+}

@@ -1,0 +1,260 @@
+// Package dora implements Data-ORiented Architecture transaction
+// execution: instead of assigning a worker thread to a transaction
+// and letting it roam over shared data through the centralized lock
+// manager ("thread-to-transaction"), the key space of every table is
+// split into logical partitions, each owned by exactly one executor
+// goroutine ("thread-to-data"). A transaction is decomposed into
+// actions, each routed to the executor owning the data it touches;
+// rendezvous points separate phases whose actions depend on earlier
+// results. Because an executor serializes all actions on its
+// partition, no lock-table interaction is needed at all — the
+// decoupling of transaction data access from process assignment the
+// paper calls for.
+//
+// Isolation: each executor keeps a *local* lock table over its
+// routing keys (see locallock.go) and holds a transaction's keys
+// until its commit or abort, so arbitrary multi-phase transactions
+// are serializable — strict two-phase locking at partition
+// granularity, with no shared lock-manager state whatsoever.
+// Cross-partition deadlocks are broken by the coordinator's
+// rendezvous timeout.
+package dora
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"hydra/internal/core"
+)
+
+// Action is one unit of a decomposed transaction: work against a
+// single routing key of a single table.
+type Action struct {
+	// Table routes the action (with Key) to an executor.
+	Table *core.Table
+	// Key is the routing key: the primary key the action touches.
+	Key uint64
+	// Fn runs on the owning executor. It must confine its data access
+	// to keys that route identically to Key (same table, same key
+	// family under Options.RouteShift).
+	Fn func(tx *core.Txn) error
+}
+
+// Phase is a set of actions with no mutual dependencies; a rendezvous
+// point follows each phase.
+type Phase []Action
+
+// Options configures a DORA engine.
+type Options struct {
+	// Executors is the number of partition-owning goroutines.
+	// Default GOMAXPROCS-style 8.
+	Executors int
+	// QueueDepth is each executor's action queue capacity. Default 128.
+	QueueDepth int
+	// LockTimeout bounds an action's wait for a partition-local lock;
+	// expiry cancels the transaction (the cross-partition deadlock
+	// breaker). Default 2s.
+	LockTimeout time.Duration
+	// RouteShift coarsens routing: keys are shifted right by this
+	// many bits before hashing, so each partition owns aligned key
+	// families of size 2^RouteShift. Workloads whose transactions
+	// scan a small aligned range (e.g. TATP call-forwarding rows of
+	// one subscriber) set it so the whole range co-locates. Default 0.
+	RouteShift uint
+}
+
+func (o *Options) fill() {
+	if o.Executors <= 0 {
+		o.Executors = 8
+	}
+	if o.QueueDepth <= 0 {
+		o.QueueDepth = 128
+	}
+	if o.LockTimeout <= 0 {
+		o.LockTimeout = 2 * time.Second
+	}
+}
+
+// Engine dispatches decomposed transactions over partition executors.
+type Engine struct {
+	core *core.Engine
+	opts Options
+	exec []*executor
+
+	closed atomic.Bool
+	wg     sync.WaitGroup
+
+	executed   atomic.Uint64 // actions executed
+	rvps       atomic.Uint64 // rendezvous points crossed
+	localWaits atomic.Uint64 // actions parked on a partition-local lock
+	timeouts   atomic.Uint64 // transactions canceled at a rendezvous
+}
+
+type jobKind int
+
+const (
+	jobAction jobKind = iota
+	jobRelease
+	jobCancel
+)
+
+type job struct {
+	kind jobKind
+	txn  *txnCtx
+	key  lockKey
+	fn   func(tx *core.Txn) error
+	done chan<- error
+}
+
+type executor struct {
+	id    int
+	queue chan job
+}
+
+// New starts the executor set over a core engine.
+func New(c *core.Engine, opts Options) *Engine {
+	opts.fill()
+	d := &Engine{core: c, opts: opts}
+	for i := 0; i < opts.Executors; i++ {
+		ex := &executor{id: i, queue: make(chan job, opts.QueueDepth)}
+		d.exec = append(d.exec, ex)
+		d.wg.Add(1)
+		go d.run(ex)
+	}
+	return d
+}
+
+func (d *Engine) run(ex *executor) {
+	defer d.wg.Done()
+	ls := newLocalState()
+	for j := range ex.queue {
+		d.dispatch(ls, j)
+	}
+}
+
+// Route returns the executor index owning (table, key). Partitioning
+// is by hash of the key family (key >> RouteShift), so a table's rows
+// spread across all executors while aligned families co-locate.
+func (d *Engine) Route(table *core.Table, key uint64) int {
+	h := (uint64(table.ID)<<32 ^ (key >> d.opts.RouteShift)) * 0x9e3779b97f4a7c15
+	return int(h % uint64(len(d.exec)))
+}
+
+// Errors returned by Exec.
+var (
+	// ErrClosed is returned after Close.
+	ErrClosed = errors.New("dora: engine closed")
+	// ErrTimeout cancels a transaction whose action waited too long
+	// for a partition-local lock (the deadlock breaker).
+	ErrTimeout = errors.New("dora: local lock wait timed out")
+	// errCanceled is delivered to parked actions of a transaction the
+	// coordinator already gave up on.
+	errCanceled = errors.New("dora: transaction canceled")
+)
+
+// Exec runs a decomposed transaction: each phase's actions execute in
+// parallel on their owning executors, with a rendezvous point (barrier)
+// between phases; the transaction commits when every phase succeeded
+// and aborts otherwise.
+func (d *Engine) Exec(phases []Phase) error {
+	if d.closed.Load() {
+		return ErrClosed
+	}
+	dtx := &txnCtx{tx: d.core.BeginNoLock()}
+	touched := make(map[int]bool)
+	finish := func(result error) error {
+		// Surrender the transaction's partition-local locks; parked
+		// actions of other transactions resume behind this control
+		// message.
+		for id := range touched {
+			d.exec[id].queue <- job{kind: jobRelease, txn: dtx}
+		}
+		return result
+	}
+	for _, ph := range phases {
+		done := make(chan error, len(ph))
+		for _, a := range ph {
+			id := d.Route(a.Table, a.Key)
+			touched[id] = true
+			d.exec[id].queue <- job{
+				kind: jobAction,
+				txn:  dtx,
+				key:  lockKey{table: a.Table.ID, key: a.Key},
+				fn:   a.Fn,
+				done: done,
+			}
+		}
+		var firstErr error
+		timeout := time.NewTimer(d.opts.LockTimeout)
+		timeoutC := timeout.C
+		for pending := len(ph); pending > 0; {
+			select {
+			case err := <-done:
+				pending--
+				if err != nil && firstErr == nil {
+					firstErr = err
+				}
+			case <-timeoutC:
+				// Likely a cross-partition deadlock. Cancel the
+				// transaction and sweep its parked actions out of the
+				// executors' waiting lists: parked actions never
+				// touched data, so removing them breaks the wait
+				// cycle without exposing uncommitted state. Every
+				// outstanding action then reports in — swept and
+				// still-queued ones as canceled, running ones when
+				// their body returns — so the loop drains fully.
+				dtx.canceled.Store(true)
+				d.timeouts.Add(1)
+				if firstErr == nil {
+					firstErr = fmt.Errorf("%w (phase of %d actions)", ErrTimeout, len(ph))
+				}
+				for id := range touched {
+					d.exec[id].queue <- job{kind: jobCancel, txn: dtx, done: done}
+				}
+				timeoutC = nil
+			}
+		}
+		timeout.Stop()
+		d.rvps.Add(1)
+		if firstErr != nil {
+			dtx.canceled.Store(true)
+			if aerr := dtx.tx.Abort(); aerr != nil {
+				return finish(fmt.Errorf("dora: abort after %v: %w", firstErr, aerr))
+			}
+			return finish(firstErr)
+		}
+	}
+	return finish(dtx.tx.Commit())
+}
+
+// ExecSingle is the fast path for one-action transactions (the bulk
+// of OLTP): no barrier allocation beyond the reply channel.
+func (d *Engine) ExecSingle(a Action) error {
+	return d.Exec([]Phase{{a}})
+}
+
+// Stats reports executor activity.
+type Stats struct {
+	ActionsExecuted   uint64
+	RendezvousCrossed uint64
+}
+
+// StatsSnapshot returns cumulative counters.
+func (d *Engine) StatsSnapshot() Stats {
+	return Stats{ActionsExecuted: d.executed.Load(), RendezvousCrossed: d.rvps.Load()}
+}
+
+// Close drains and stops the executors. In-flight Exec calls must
+// have returned.
+func (d *Engine) Close() {
+	if d.closed.Swap(true) {
+		return
+	}
+	for _, ex := range d.exec {
+		close(ex.queue)
+	}
+	d.wg.Wait()
+}

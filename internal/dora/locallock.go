@@ -1,0 +1,141 @@
+package dora
+
+import (
+	"sync/atomic"
+
+	"hydra/internal/core"
+)
+
+// Per-partition local locking, the full DORA design: each executor
+// owns a private lock table over its routing keys. An action whose
+// key is held by another transaction parks in the executor's waiting
+// list — the executor itself never blocks — and runs when the holder
+// commits or aborts (strict two-phase at partition granularity).
+// Because local lock tables are touched by exactly one goroutine,
+// they need no synchronization at all: the centralized lock-manager
+// critical section simply ceases to exist.
+//
+// Cross-partition deadlocks (transaction A holds k1 waiting for k2
+// while B holds k2 waiting for k1) cannot be seen by any single
+// executor, so they are broken by timeout at the rendezvous point:
+// the coordinator cancels the transaction, and its parked actions
+// complete as no-ops when eventually dequeued.
+
+// lockKey identifies a routing key within one executor.
+type lockKey struct {
+	table uint32
+	key   uint64
+}
+
+// txnCtx is the coordinator-side handle shared with parked jobs.
+type txnCtx struct {
+	tx       *core.Txn
+	canceled atomic.Bool
+}
+
+// localState is an executor's private lock table. Accessed only by
+// the owning goroutine.
+type localState struct {
+	owner   map[lockKey]*txnCtx
+	waiting map[lockKey][]job
+	owned   map[*txnCtx][]lockKey
+}
+
+func newLocalState() *localState {
+	return &localState{
+		owner:   make(map[lockKey]*txnCtx),
+		waiting: make(map[lockKey][]job),
+		owned:   make(map[*txnCtx][]lockKey),
+	}
+}
+
+// dispatch handles one incoming job on the executor goroutine.
+func (d *Engine) dispatch(ls *localState, j job) {
+	switch j.kind {
+	case jobAction:
+		d.tryRun(ls, j)
+	case jobRelease:
+		d.release(ls, j.txn)
+	case jobCancel:
+		d.cancelParked(ls, j.txn)
+	}
+}
+
+// cancelParked removes every parked action of txn from the waiting
+// lists, replying canceled for each. Parked actions hold no locks and
+// made no changes, so this is always safe.
+func (d *Engine) cancelParked(ls *localState, txn *txnCtx) {
+	for k, queue := range ls.waiting {
+		kept := queue[:0]
+		for _, w := range queue {
+			if w.txn == txn {
+				w.done <- errCanceled
+			} else {
+				kept = append(kept, w)
+			}
+		}
+		if len(kept) == 0 {
+			delete(ls.waiting, k)
+		} else {
+			ls.waiting[k] = kept
+		}
+	}
+}
+
+// tryRun executes the action now if its key is free or owned by the
+// same transaction; otherwise it parks.
+func (d *Engine) tryRun(ls *localState, j job) {
+	if j.txn.canceled.Load() {
+		j.done <- errCanceled
+		return
+	}
+	if holder, held := ls.owner[j.key]; held && holder != j.txn {
+		ls.waiting[j.key] = append(ls.waiting[j.key], j)
+		d.localWaits.Add(1)
+		return
+	}
+	if _, held := ls.owner[j.key]; !held {
+		ls.owner[j.key] = j.txn
+		ls.owned[j.txn] = append(ls.owned[j.txn], j.key)
+	}
+	err := j.fn(j.txn.tx)
+	d.executed.Add(1)
+	j.done <- err
+}
+
+// release frees every key txn owns on this executor and runs any
+// now-unblocked parked actions.
+func (d *Engine) release(ls *localState, txn *txnCtx) {
+	keys := ls.owned[txn]
+	delete(ls.owned, txn)
+	for _, k := range keys {
+		if ls.owner[k] == txn {
+			delete(ls.owner, k)
+		}
+	}
+	// Drain waiters whose keys are now free. Running a waiter can
+	// only lock keys, not release them, so one pass per freed key
+	// suffices; waiters for still-held keys stay parked.
+	for _, k := range keys {
+		queue := ls.waiting[k]
+		if len(queue) == 0 {
+			delete(ls.waiting, k)
+			continue
+		}
+		// Grant in FIFO order until a waiter of a different
+		// transaction takes the lock.
+		var rest []job
+		for i, w := range queue {
+			if _, held := ls.owner[k]; held && ls.owner[k] != w.txn {
+				rest = append(rest, queue[i:]...)
+				break
+			}
+			d.tryRun(ls, w)
+		}
+		if len(rest) > 0 {
+			ls.waiting[k] = rest
+		} else {
+			delete(ls.waiting, k)
+		}
+	}
+}

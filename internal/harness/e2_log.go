@@ -1,0 +1,95 @@
+package harness
+
+import (
+	"fmt"
+	"runtime"
+
+	"hydra/internal/logsim"
+	"hydra/internal/wal"
+)
+
+// E2 reproduces the Aether log-scalability result (claim C6): a
+// serial log buffer collapses under concurrent insertion, while
+// decoupling the buffer fill from the mutex and consolidating
+// concurrent requests keeps aggregate insert bandwidth up.
+func E2(s Scale) (*Report, error) {
+	recordSize := 120
+	rep := &Report{
+		ID:    "E2",
+		Title: "log insert scalability: serial vs decoupled vs consolidated (Aether)",
+		Claim: "C6: parallelism needs to be extracted from seemingly serial operations such as logging",
+	}
+	tab := &Table{
+		Title:   fmt.Sprintf("log inserts/s, %dB payloads (in-memory device)", recordSize),
+		Columns: []string{"threads", "serial", "decoupled", "consolidated", "cons. mutex-acq/insert"},
+	}
+	for _, threads := range s.Threads() {
+		var cells []string
+		cells = append(cells, fmt.Sprintf("%d", threads))
+		var consRatio float64
+		for _, kind := range wal.BufferKinds() {
+			log, err := wal.New(wal.NewMem(), wal.Options{
+				Kind:        kind,
+				BufferSize:  16 << 20,
+				SyncOnFlush: false, // isolate the insert path, as Aether's insert microbenchmark does
+			})
+			if err != nil {
+				return nil, err
+			}
+			payload := make([]byte, recordSize)
+			ops, dur, err := RunWorkers(threads, s.Window(), func(w int) (uint64, error) {
+				var n uint64
+				for i := 0; i < 64; i++ {
+					if _, err := log.Append(&wal.Record{
+						Type: wal.RecUpdate, TxnID: uint64(w), Payload: payload,
+					}); err != nil {
+						return n, err
+					}
+					n++
+				}
+				return n, nil
+			})
+			if err != nil {
+				return nil, fmt.Errorf("E2 %v: %w", kind, err)
+			}
+			st := log.StatsSnapshot()
+			if kind == wal.Consolidated && st.Inserts > 0 {
+				consRatio = float64(st.MutexAcquires) / float64(st.Inserts)
+			}
+			if err := log.Close(); err != nil {
+				return nil, err
+			}
+			cells = append(cells, F(float64(ops)/dur.Seconds()))
+		}
+		cells = append(cells, fmt.Sprintf("%.3f", consRatio))
+		tab.AddRow(cells...)
+	}
+	rep.Tab = append(rep.Tab, tab)
+
+	// The contention phenomena need genuinely parallel hardware; on a
+	// small host the measured table above flattens. The discrete-event
+	// simulator regenerates the multi-core shape deterministically.
+	sim := &Table{
+		Title:   fmt.Sprintf("simulated CMP (discrete-event, %dB records): inserts per Mcycle", recordSize),
+		Columns: []string{"cores", "serial", "decoupled", "consolidated", "cons. acq/insert", "mean group"},
+	}
+	simCores := []int{1, 2, 4, 8, 16, 32, 64}
+	if s == Full {
+		simCores = append(simCores, 128)
+	}
+	out := logsim.Sweep(logsim.DefaultParams(), simCores, 40000, recordSize)
+	for i, n := range simCores {
+		cons := out[logsim.Consolidated][i]
+		sim.AddRow(fmt.Sprintf("%d", n),
+			F(out[logsim.Serial][i].InsertsPerMCycle),
+			F(out[logsim.Decoupled][i].InsertsPerMCycle),
+			F(cons.InsertsPerMCycle),
+			fmt.Sprintf("%.3f", cons.MutexAcqPerInsert),
+			fmt.Sprintf("%.1f", cons.MeanGroupSize))
+	}
+	rep.Tab = append(rep.Tab, sim)
+	rep.Notes = append(rep.Notes,
+		"expected shape: serial throughput degrades/saturates with threads; consolidated stays flat-to-rising and its mutex acquisitions per insert drop well below 1 under load",
+		fmt.Sprintf("measured table ran with GOMAXPROCS=%d; with a single hardware context insert critical sections never overlap, so the simulated table (substituting for the missing cores) carries the multi-core shape", runtime.GOMAXPROCS(0)))
+	return rep, nil
+}

@@ -1,0 +1,94 @@
+package harness
+
+import (
+	"fmt"
+
+	"hydra/internal/core"
+	"hydra/internal/lock"
+	"hydra/internal/workload"
+)
+
+// E5 reproduces the Speculative Lock Inheritance result (claim C5's
+// locking half): hot intent locks — acquired by every transaction on
+// every table it touches — are exactly the lock-manager traffic that
+// serializes the system, and letting agent threads carry them across
+// transaction boundaries removes most lock-table visits.
+func E5(s Scale) (*Report, error) {
+	keys := uint64(5000)
+	if s == Full {
+		keys = 100000
+	}
+	rep := &Report{
+		ID:    "E5",
+		Title: "Speculative Lock Inheritance: hot intent locks bypass the lock table",
+		Claim: "C5: typical obstacles are by-definition centralized operations, such as locking",
+	}
+	tab := &Table{
+		Title:   fmt.Sprintf("zipf(0.9) microbenchmark over %d keys, 20%% writes", keys),
+		Columns: []string{"threads", "no-SLI tps", "SLI tps", "no-SLI tableops/op", "SLI tableops/op", "inherited hits"},
+	}
+
+	for _, threads := range s.Threads() {
+		row := []string{fmt.Sprintf("%d", threads)}
+		var tableOps [2]float64
+		var inherited uint64
+		for pass, useSLI := range []bool{false, true} {
+			e, err := core.Open(core.Scalable())
+			if err != nil {
+				return nil, err
+			}
+			w, err := workload.SetupMicro(e, keys, 0.2, 0.9, 32)
+			if err != nil {
+				e.Close()
+				return nil, err
+			}
+			before := e.StatsSnapshot().Lock
+
+			agents := make([]*lock.Agent, threads)
+			samplers := make([]*workload.Sampler, threads)
+			for i := range agents {
+				if useSLI {
+					agents[i] = e.Locks().NewAgent()
+				}
+				samplers[i] = w.NewSampler(uint64(1000*threads + i))
+			}
+			ops, dur, err := RunWorkers(threads, s.Window(), func(wk int) (uint64, error) {
+				x := workload.LockExecutor{Engine: e, Agent: agents[wk]}
+				var n uint64
+				for i := 0; i < 32; i++ {
+					if err := w.RunOne(samplers[wk], x); err != nil {
+						return n, err
+					}
+					n++
+				}
+				return n, nil
+			})
+			if err != nil {
+				e.Close()
+				return nil, fmt.Errorf("E5 sli=%v: %w", useSLI, err)
+			}
+			after := e.StatsSnapshot().Lock
+			if ops > 0 {
+				tableOps[pass] = float64(after.TableOps-before.TableOps) / float64(ops)
+			}
+			inherited = after.Inherited - before.Inherited
+			for _, a := range agents {
+				if a != nil {
+					a.Close()
+				}
+			}
+			e.Close()
+			row = append(row, F(float64(ops)/dur.Seconds()))
+		}
+		row = append(row,
+			fmt.Sprintf("%.2f", tableOps[0]),
+			fmt.Sprintf("%.2f", tableOps[1]),
+			fmt.Sprintf("%d", inherited))
+		tab.AddRow(row...)
+	}
+	rep.Tab = append(rep.Tab, tab)
+	rep.Notes = append(rep.Notes,
+		"expected shape: with SLI, lock-table operations per transaction drop (the table IX is inherited, not re-acquired) and throughput rises with thread count",
+		"row X locks are never inherited; only intent locks above row level are speculation-worthy")
+	return rep, nil
+}

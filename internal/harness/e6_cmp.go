@@ -1,0 +1,82 @@
+package harness
+
+import (
+	"fmt"
+
+	"hydra/internal/cmpmodel"
+)
+
+// E6 regenerates the CMP scaling-trend figures (claims C1 and C2)
+// from the analytical model: bounded speedup as cores grow, an
+// interior optimum in cache size, and the shared-vs-private cache
+// tradeoff.
+func E6(s Scale) (*Report, error) {
+	rep := &Report{
+		ID:    "E6",
+		Title: "analytical CMP model: core scaling, cache sizing, sharing",
+		Claim: "C1: parallelism methods are of bounded utility; C2: bigger caches / aggressive sharing often detrimental",
+	}
+
+	cores := []int{1, 2, 4, 8, 16, 32, 64, 128}
+	if s == Full {
+		cores = append(cores, 256, 512, 1024)
+	}
+
+	// Figure A: speedup vs cores, both workload profiles.
+	m := cmpmodel.DefaultMachine()
+	m.L2MB = 16
+	fa := &Table{
+		Title:   "A. speedup over 1 core (16MB shared L2)",
+		Columns: []string{"cores", "oltp speedup", "oltp efficiency", "dss speedup", "dss bw-bound"},
+	}
+	oltpSp := cmpmodel.Speedup(m, cmpmodel.OLTP(), cores)
+	dssSp := cmpmodel.Speedup(m, cmpmodel.DSS(), cores)
+	dssRes := cmpmodel.SweepCores(m, cmpmodel.DSS(), cores)
+	for i, n := range cores {
+		fa.AddRow(fmt.Sprintf("%d", n),
+			fmt.Sprintf("%.1fx", oltpSp[i]),
+			fmt.Sprintf("%.0f%%", 100*oltpSp[i]/float64(n)),
+			fmt.Sprintf("%.1fx", dssSp[i]),
+			fmt.Sprintf("%v", dssRes[i].BandwidthBound))
+	}
+	rep.Tab = append(rep.Tab, fa)
+
+	// Figure B: throughput vs L2 capacity at fixed cores (OLTP).
+	mb := cmpmodel.DefaultMachine()
+	mb.Cores = 16
+	sizes := []float64{0.5, 1, 2, 4, 8, 16, 32, 64, 128, 256}
+	fb := &Table{
+		Title:   "B. OLTP throughput vs shared L2 capacity (16 cores)",
+		Columns: []string{"L2 MB", "tps", "L2 miss", "L2 hit lat (cy)"},
+	}
+	for _, r := range cmpmodel.SweepCache(mb, cmpmodel.OLTP(), sizes) {
+		fb.AddRow("", F(r.TPS), fmt.Sprintf("%.3f", r.L2Miss), fmt.Sprintf("%.1f", r.L2HitLatency))
+	}
+	for i := range fb.Rows {
+		fb.Rows[i][0] = fmt.Sprintf("%g", sizes[i])
+	}
+	rep.Tab = append(rep.Tab, fb)
+
+	// Figure C: shared vs private L2 across core counts (OLTP).
+	fc := &Table{
+		Title:   "C. OLTP throughput: shared vs private L2 (32MB total)",
+		Columns: []string{"cores", "shared", "private", "shared/private"},
+	}
+	for _, n := range cores {
+		mc := cmpmodel.DefaultMachine()
+		mc.Cores = n
+		mc.L2MB = 32
+		mc.SharedL2 = true
+		sh := cmpmodel.Evaluate(mc, cmpmodel.OLTP()).TPS
+		mc.SharedL2 = false
+		pr := cmpmodel.Evaluate(mc, cmpmodel.OLTP()).TPS
+		fc.AddRow(fmt.Sprintf("%d", n), F(sh), F(pr), fmt.Sprintf("%.2f", sh/pr))
+	}
+	rep.Tab = append(rep.Tab, fc)
+
+	rep.Notes = append(rep.Notes,
+		"A: efficiency collapses at high core counts (C1); DSS hits the pin-bandwidth wall outright",
+		"B: throughput peaks at an interior cache size, then falls as wire delay outgrows the miss savings (C2)",
+		"C: the best cache organization flips with core count — aggressive sharing is not universally good (C2)")
+	return rep, nil
+}

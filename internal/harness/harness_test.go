@@ -1,0 +1,96 @@
+package harness
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestRunWorkersCountsOps(t *testing.T) {
+	ops, dur, err := RunWorkers(4, 50*time.Millisecond, func(int) (uint64, error) {
+		return 10, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ops == 0 {
+		t.Fatal("no ops counted")
+	}
+	if dur < 50*time.Millisecond {
+		t.Fatalf("elapsed %v below window", dur)
+	}
+}
+
+func TestRunWorkersPropagatesError(t *testing.T) {
+	_, _, err := RunWorkers(2, 20*time.Millisecond, func(w int) (uint64, error) {
+		if w == 1 {
+			return 0, errTest
+		}
+		return 1, nil
+	})
+	if err != errTest {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+var errTest = &testErr{}
+
+type testErr struct{}
+
+func (*testErr) Error() string { return "test error" }
+
+func TestTablePrint(t *testing.T) {
+	tab := &Table{Title: "demo", Columns: []string{"a", "long-column"}}
+	tab.AddRow("1", "2")
+	tab.AddRow("333333", "4")
+	var sb strings.Builder
+	tab.Fprint(&sb)
+	out := sb.String()
+	if !strings.Contains(out, "demo") || !strings.Contains(out, "long-column") || !strings.Contains(out, "333333") {
+		t.Fatalf("table output malformed:\n%s", out)
+	}
+}
+
+func TestFFormat(t *testing.T) {
+	if F(12.3) != "12.3" || F(12300) != "12.3k" || F(12_300_000) != "12.30M" {
+		t.Fatalf("F formats: %s %s %s", F(12.3), F(12300), F(12_300_000))
+	}
+}
+
+func TestFindRegistry(t *testing.T) {
+	if len(All()) != 9 {
+		t.Fatalf("registry has %d experiments", len(All()))
+	}
+	if _, err := Find("e4"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Find("nope"); err == nil {
+		t.Fatal("Find accepted unknown id")
+	}
+}
+
+// Every experiment must run end-to-end at Quick scale and produce a
+// non-empty report. This is the integration test of the whole stack.
+func TestAllExperimentsQuick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiments take seconds each")
+	}
+	for _, exp := range All() {
+		exp := exp
+		t.Run(exp.ID, func(t *testing.T) {
+			rep, err := exp.Run(Quick)
+			if err != nil {
+				t.Fatalf("%s: %v", exp.ID, err)
+			}
+			if len(rep.Tab) == 0 || len(rep.Tab[0].Rows) == 0 {
+				t.Fatalf("%s produced an empty report", exp.ID)
+			}
+			var sb strings.Builder
+			rep.Fprint(&sb)
+			if !strings.Contains(sb.String(), rep.ID+":") {
+				t.Fatalf("%s report print malformed", exp.ID)
+			}
+			t.Logf("\n%s", sb.String())
+		})
+	}
+}

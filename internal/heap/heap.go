@@ -1,0 +1,327 @@
+// Package heap implements heap files: unordered collections of
+// variable-length records stored in chained slotted pages, addressed
+// by record id (page, slot). This is the storage manager's base table
+// representation; indexes map keys to the record ids handed out here.
+package heap
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"hydra/internal/buffer"
+	"hydra/internal/latch"
+	"hydra/internal/page"
+)
+
+// RID is a record id: the physical address of a record.
+type RID struct {
+	Page page.ID
+	Slot uint16
+}
+
+func (r RID) String() string { return fmt.Sprintf("rid(%d,%d)", r.Page, r.Slot) }
+
+// Pack encodes the RID into a uint64 (48-bit page, 16-bit slot) for
+// storage in index leaves.
+func (r RID) Pack() uint64 { return uint64(r.Page)<<16 | uint64(r.Slot) }
+
+// Unpack decodes a RID produced by Pack.
+func Unpack(v uint64) RID { return RID{Page: page.ID(v >> 16), Slot: uint16(v)} }
+
+// ErrNotFound is returned for reads of deleted or never-written RIDs.
+var ErrNotFound = errors.New("heap: record not found")
+
+// File is a heap file. It is safe for concurrent use; record content
+// consistency across transactions is the caller's (lock manager's)
+// concern.
+type File struct {
+	pool  *buffer.Pool
+	first page.ID
+
+	// mu guards the insert target and chain tail.
+	mu   sync.Mutex
+	last page.ID
+
+	// extend, when set, logs chain growth (see SetExtendHook).
+	extend ExtendHook
+}
+
+// Create allocates a new heap file and returns it. The first page id
+// is the file's persistent identity: store it in the catalog and pass
+// it to Open on restart.
+func Create(pool *buffer.Pool) (*File, error) {
+	f, err := pool.NewPage(page.TypeHeap)
+	if err != nil {
+		return nil, err
+	}
+	id := f.ID()
+	pool.Unpin(f, true)
+	return &File{pool: pool, first: id, last: id}, nil
+}
+
+// Open attaches to an existing heap file rooted at first, walking the
+// chain to find the current tail.
+func Open(pool *buffer.Pool, first page.ID) (*File, error) {
+	last := first
+	for {
+		f, err := pool.Fetch(last)
+		if err != nil {
+			return nil, err
+		}
+		f.Latch.Acquire(latch.Shared)
+		next := f.Page.Next()
+		f.Latch.Release(latch.Shared)
+		pool.Unpin(f, false)
+		if next == page.InvalidID {
+			break
+		}
+		last = next
+	}
+	return &File{pool: pool, first: first, last: last}, nil
+}
+
+// FirstPage returns the persistent identity of the file.
+func (h *File) FirstPage() page.ID { return h.first }
+
+// Attach returns a handle on an existing heap file without walking
+// the chain (which may be inconsistent before recovery redo). Call
+// RefreshTail before using Insert.
+func Attach(pool *buffer.Pool, first page.ID) *File {
+	return &File{pool: pool, first: first, last: first}
+}
+
+// RefreshTail re-walks the chain to locate the current tail; used
+// after recovery has repaired next pointers.
+func (h *File) RefreshTail() error {
+	last := h.first
+	for {
+		f, err := h.pool.Fetch(last)
+		if err != nil {
+			return err
+		}
+		f.Latch.Acquire(latch.Shared)
+		next := f.Page.Next()
+		f.Latch.Release(latch.Shared)
+		h.pool.Unpin(f, false)
+		if next == page.InvalidID {
+			break
+		}
+		last = next
+	}
+	h.mu.Lock()
+	h.last = last
+	h.mu.Unlock()
+	return nil
+}
+
+// Insert appends a record and returns its RID.
+func (h *File) Insert(rec []byte) (RID, error) {
+	if len(rec) > page.MaxRecordSize {
+		return RID{}, page.ErrRecordTooBig
+	}
+	for {
+		h.mu.Lock()
+		target := h.last
+		h.mu.Unlock()
+
+		f, err := h.pool.Fetch(target)
+		if err != nil {
+			return RID{}, err
+		}
+		f.Latch.Acquire(latch.Exclusive)
+		slot, err := f.Page.Insert(rec)
+		if err == nil {
+			f.Latch.Release(latch.Exclusive)
+			h.pool.Unpin(f, true)
+			return RID{Page: target, Slot: uint16(slot)}, nil
+		}
+		if !errors.Is(err, page.ErrPageFull) {
+			f.Latch.Release(latch.Exclusive)
+			h.pool.Unpin(f, false)
+			return RID{}, err
+		}
+		// Page full: extend the chain (only one extender wins; others
+		// retry on the new tail).
+		next := f.Page.Next()
+		if next == page.InvalidID {
+			nf, err := h.pool.NewPage(page.TypeHeap)
+			if err != nil {
+				f.Latch.Release(latch.Exclusive)
+				h.pool.Unpin(f, false)
+				return RID{}, err
+			}
+			f.Page.SetNext(nf.ID())
+			h.mu.Lock()
+			h.last = nf.ID()
+			h.mu.Unlock()
+			h.pool.Unpin(nf, true)
+			f.Latch.Release(latch.Exclusive)
+			h.pool.Unpin(f, true)
+		} else {
+			// Someone already extended; chase the tail.
+			h.mu.Lock()
+			if h.last == target {
+				h.last = next
+			}
+			h.mu.Unlock()
+			f.Latch.Release(latch.Exclusive)
+			h.pool.Unpin(f, false)
+		}
+	}
+}
+
+// InsertAt places a record at a specific RID and stamps lsn as the
+// pageLSN; used by recovery redo and by undo of deletes to reproduce
+// a record physically. The page must already exist.
+func (h *File) InsertAt(rid RID, rec []byte, lsn uint64) error {
+	f, err := h.pool.Fetch(rid.Page)
+	if err != nil {
+		return err
+	}
+	defer h.pool.Unpin(f, true)
+	f.Latch.Acquire(latch.Exclusive)
+	defer f.Latch.Release(latch.Exclusive)
+	slot, err := f.Page.Insert(rec)
+	if err != nil {
+		return err
+	}
+	if uint16(slot) != rid.Slot {
+		// Physical reproduction failed; this indicates redo applied
+		// against a page state it should have been idempotent on.
+		f.Page.Delete(slot)
+		return fmt.Errorf("heap: InsertAt %v landed in slot %d", rid, slot)
+	}
+	f.Page.SetLSN(lsn)
+	return nil
+}
+
+// Read returns a copy of the record at rid.
+func (h *File) Read(rid RID) ([]byte, error) {
+	f, err := h.pool.Fetch(rid.Page)
+	if err != nil {
+		return nil, err
+	}
+	defer h.pool.Unpin(f, false)
+	f.Latch.Acquire(latch.Shared)
+	defer f.Latch.Release(latch.Shared)
+	rec, err := f.Page.Read(int(rid.Slot))
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrNotFound, rid)
+	}
+	return append([]byte(nil), rec...), nil
+}
+
+// Update replaces the record at rid in place. It fails with
+// page.ErrPageFull if the new record cannot fit on its page even
+// after compaction; callers then delete and re-insert.
+func (h *File) Update(rid RID, rec []byte) error {
+	return h.withPageX(rid, func(p *page.Page) error {
+		if err := p.Update(int(rid.Slot), rec); err != nil {
+			if errors.Is(err, page.ErrBadSlot) {
+				return fmt.Errorf("%w: %v", ErrNotFound, rid)
+			}
+			return err
+		}
+		return nil
+	})
+}
+
+// Delete removes the record at rid.
+func (h *File) Delete(rid RID) error {
+	return h.withPageX(rid, func(p *page.Page) error {
+		if err := p.Delete(int(rid.Slot)); err != nil {
+			return fmt.Errorf("%w: %v", ErrNotFound, rid)
+		}
+		return nil
+	})
+}
+
+// withPageX runs fn with rid's page fetched, pinned, and X-latched,
+// marking it dirty on success.
+func (h *File) withPageX(rid RID, fn func(*page.Page) error) error {
+	f, err := h.pool.Fetch(rid.Page)
+	if err != nil {
+		return err
+	}
+	f.Latch.Acquire(latch.Exclusive)
+	err = fn(f.Page)
+	f.Latch.Release(latch.Exclusive)
+	h.pool.Unpin(f, err == nil)
+	return err
+}
+
+// UpdateWithLSN applies an update and stamps the page LSN in one
+// latched step (called by the transactional layer after logging).
+func (h *File) UpdateWithLSN(rid RID, rec []byte, lsn uint64) error {
+	return h.withPageX(rid, func(p *page.Page) error {
+		if err := p.Update(int(rid.Slot), rec); err != nil {
+			if errors.Is(err, page.ErrBadSlot) {
+				return fmt.Errorf("%w: %v", ErrNotFound, rid)
+			}
+			return err
+		}
+		p.SetLSN(lsn)
+		return nil
+	})
+}
+
+// InsertWithLSN inserts and stamps the page LSN, returning the RID.
+func (h *File) InsertWithLSN(rec []byte, lsn uint64) (RID, error) {
+	rid, err := h.Insert(rec)
+	if err != nil {
+		return rid, err
+	}
+	err = h.withPageX(rid, func(p *page.Page) error {
+		p.SetLSN(lsn)
+		return nil
+	})
+	return rid, err
+}
+
+// DeleteWithLSN deletes and stamps the page LSN.
+func (h *File) DeleteWithLSN(rid RID, lsn uint64) error {
+	return h.withPageX(rid, func(p *page.Page) error {
+		if err := p.Delete(int(rid.Slot)); err != nil {
+			return fmt.Errorf("%w: %v", ErrNotFound, rid)
+		}
+		p.SetLSN(lsn)
+		return nil
+	})
+}
+
+// Scan calls fn for every live record in file order. The rec slice is
+// only valid during the callback. Returning false stops the scan.
+func (h *File) Scan(fn func(rid RID, rec []byte) bool) error {
+	id := h.first
+	for id != page.InvalidID {
+		f, err := h.pool.Fetch(id)
+		if err != nil {
+			return err
+		}
+		f.Latch.Acquire(latch.Shared)
+		stop := false
+		f.Page.LiveRecords(func(slot int, rec []byte) bool {
+			if !fn(RID{Page: id, Slot: uint16(slot)}, rec) {
+				stop = true
+				return false
+			}
+			return true
+		})
+		next := f.Page.Next()
+		f.Latch.Release(latch.Shared)
+		h.pool.Unpin(f, false)
+		if stop {
+			return nil
+		}
+		id = next
+	}
+	return nil
+}
+
+// Count returns the number of live records (full scan).
+func (h *File) Count() (int, error) {
+	n := 0
+	err := h.Scan(func(RID, []byte) bool { n++; return true })
+	return n, err
+}

@@ -1,0 +1,105 @@
+// Package hist provides a fixed-footprint latency histogram with
+// power-of-two buckets, used by the experiment harness to report
+// tail latencies (the paper's contention pathologies surface as tail
+// inflation long before they dent mean throughput).
+package hist
+
+import (
+	"fmt"
+	"math/bits"
+	"time"
+)
+
+// buckets: bucket i holds values in [2^i, 2^(i+1)) nanoseconds;
+// bucket 0 holds [0, 2). 64 buckets cover any int64 duration.
+const numBuckets = 64
+
+// H is a latency histogram. Not safe for concurrent use; keep one per
+// worker and Merge.
+type H struct {
+	counts [numBuckets]uint64
+	total  uint64
+	sum    uint64
+	max    uint64
+}
+
+// Observe records one duration.
+func (h *H) Observe(d time.Duration) {
+	v := uint64(d)
+	if int64(d) < 0 {
+		v = 0
+	}
+	h.counts[bucketOf(v)]++
+	h.total++
+	h.sum += v
+	if v > h.max {
+		h.max = v
+	}
+}
+
+func bucketOf(v uint64) int {
+	if v < 2 {
+		return 0
+	}
+	return 63 - bits.LeadingZeros64(v)
+}
+
+// Merge folds other into h.
+func (h *H) Merge(other *H) {
+	for i, c := range other.counts {
+		h.counts[i] += c
+	}
+	h.total += other.total
+	h.sum += other.sum
+	if other.max > h.max {
+		h.max = other.max
+	}
+}
+
+// Count returns the number of observations.
+func (h *H) Count() uint64 { return h.total }
+
+// Mean returns the average observed duration.
+func (h *H) Mean() time.Duration {
+	if h.total == 0 {
+		return 0
+	}
+	return time.Duration(h.sum / h.total)
+}
+
+// Max returns the largest observed duration.
+func (h *H) Max() time.Duration { return time.Duration(h.max) }
+
+// Quantile returns an upper bound on the q-quantile (0 < q <= 1),
+// accurate to the bucket width (a factor of two).
+func (h *H) Quantile(q float64) time.Duration {
+	if h.total == 0 {
+		return 0
+	}
+	target := uint64(q * float64(h.total))
+	if target == 0 {
+		target = 1
+	}
+	var seen uint64
+	for i, c := range h.counts {
+		seen += c
+		if seen >= target {
+			// Upper edge of the bucket.
+			if i >= 63 {
+				return time.Duration(^uint64(0) >> 1)
+			}
+			return time.Duration(uint64(1) << (i + 1))
+		}
+	}
+	return h.Max()
+}
+
+// String summarizes the distribution.
+func (h *H) String() string {
+	return fmt.Sprintf("n=%d mean=%v p50=%v p95=%v p99=%v max=%v",
+		h.total, h.Mean().Round(time.Microsecond),
+		h.Quantile(0.50).Round(time.Microsecond),
+		h.Quantile(0.95).Round(time.Microsecond),
+		h.Quantile(0.99).Round(time.Microsecond),
+		h.Max().Round(time.Microsecond))
+}

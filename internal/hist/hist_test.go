@@ -1,0 +1,109 @@
+package hist
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestEmpty(t *testing.T) {
+	var h H
+	if h.Count() != 0 || h.Mean() != 0 || h.Max() != 0 || h.Quantile(0.5) != 0 {
+		t.Fatal("empty histogram not zero")
+	}
+}
+
+func TestBasicStats(t *testing.T) {
+	var h H
+	for _, d := range []time.Duration{100, 200, 300, 400} {
+		h.Observe(d * time.Microsecond)
+	}
+	if h.Count() != 4 {
+		t.Fatalf("count = %d", h.Count())
+	}
+	if h.Mean() != 250*time.Microsecond {
+		t.Fatalf("mean = %v", h.Mean())
+	}
+	if h.Max() != 400*time.Microsecond {
+		t.Fatalf("max = %v", h.Max())
+	}
+}
+
+func TestQuantileBounds(t *testing.T) {
+	var h H
+	for i := 1; i <= 1000; i++ {
+		h.Observe(time.Duration(i) * time.Microsecond)
+	}
+	// The p50 upper bound must be >= true median and within 2x.
+	p50 := h.Quantile(0.5)
+	trueMedian := 500 * time.Microsecond
+	if p50 < trueMedian || p50 > 2*trueMedian {
+		t.Fatalf("p50 = %v, true median %v", p50, trueMedian)
+	}
+	p99 := h.Quantile(0.99)
+	if p99 < 990*time.Microsecond || p99 > 2*time.Millisecond {
+		t.Fatalf("p99 = %v", p99)
+	}
+	// Quantiles are monotone.
+	if h.Quantile(0.5) > h.Quantile(0.9) || h.Quantile(0.9) > h.Quantile(0.99) {
+		t.Fatal("quantiles not monotone")
+	}
+}
+
+func TestMerge(t *testing.T) {
+	var a, b H
+	for i := 0; i < 100; i++ {
+		a.Observe(time.Microsecond)
+		b.Observe(time.Millisecond)
+	}
+	a.Merge(&b)
+	if a.Count() != 200 {
+		t.Fatalf("merged count = %d", a.Count())
+	}
+	if a.Max() != time.Millisecond {
+		t.Fatalf("merged max = %v", a.Max())
+	}
+	if p99 := a.Quantile(0.99); p99 < time.Millisecond {
+		t.Fatalf("merged p99 = %v", p99)
+	}
+}
+
+func TestNegativeDurationClamped(t *testing.T) {
+	var h H
+	h.Observe(-5)
+	if h.Count() != 1 || h.Max() != 0 {
+		t.Fatal("negative duration not clamped")
+	}
+}
+
+func TestBucketOfProperty(t *testing.T) {
+	f := func(v uint64) bool {
+		b := bucketOf(v)
+		if b < 0 || b >= numBuckets {
+			return false
+		}
+		if v >= 2 {
+			// v must lie in [2^b, 2^(b+1)).
+			lo := uint64(1) << b
+			if v < lo {
+				return false
+			}
+			if b < 63 && v >= lo<<1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestStringContainsStats(t *testing.T) {
+	var h H
+	h.Observe(time.Millisecond)
+	s := h.String()
+	if len(s) == 0 || s[0] != 'n' {
+		t.Fatalf("String() = %q", s)
+	}
+}

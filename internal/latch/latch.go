@@ -1,0 +1,112 @@
+// Package latch provides the short-duration physical locks ("latches")
+// that protect in-memory structures such as buffer frames and B+-tree
+// nodes. Latches differ from transactional locks: they are held for
+// microseconds, carry no deadlock detection, and their acquisition
+// mechanism (spin vs block) is exactly the primitive-level tradeoff
+// the paper highlights.
+package latch
+
+import (
+	"sync"
+
+	"hydra/internal/sync2"
+)
+
+// Mode is the requested access mode.
+type Mode int
+
+const (
+	// Shared allows any number of concurrent readers.
+	Shared Mode = iota
+	// Exclusive allows a single owner.
+	Exclusive
+)
+
+func (m Mode) String() string {
+	if m == Shared {
+		return "S"
+	}
+	return "X"
+}
+
+// Latch is a reader-writer latch. Implementations must support
+// recursive-free, paired Acquire/Release usage.
+type Latch interface {
+	Acquire(m Mode)
+	Release(m Mode)
+	// TryUpgrade attempts a Shared->Exclusive conversion without
+	// releasing; it reports success. On failure the shared hold is
+	// kept.
+	TryUpgrade() bool
+}
+
+// Kind selects a latch implementation.
+type Kind int
+
+const (
+	// Blocking parks waiters on the runtime (sync.RWMutex).
+	Blocking Kind = iota
+	// Spinning busy-waits (sync2.SpinRWLock).
+	Spinning
+)
+
+func (k Kind) String() string {
+	if k == Blocking {
+		return "blocking"
+	}
+	return "spinning"
+}
+
+// New returns a fresh latch of the given kind.
+func New(k Kind) Latch {
+	if k == Spinning {
+		return &spinLatch{}
+	}
+	return &blockLatch{}
+}
+
+type blockLatch struct {
+	mu sync.RWMutex
+}
+
+func (l *blockLatch) Acquire(m Mode) {
+	if m == Shared {
+		l.mu.RLock()
+	} else {
+		l.mu.Lock()
+	}
+}
+
+func (l *blockLatch) Release(m Mode) {
+	if m == Shared {
+		l.mu.RUnlock()
+	} else {
+		l.mu.Unlock()
+	}
+}
+
+// TryUpgrade on the blocking latch always fails: sync.RWMutex has no
+// upgrade path, so callers fall back to release-and-reacquire.
+func (l *blockLatch) TryUpgrade() bool { return false }
+
+type spinLatch struct {
+	rw sync2.SpinRWLock
+}
+
+func (l *spinLatch) Acquire(m Mode) {
+	if m == Shared {
+		l.rw.RLock()
+	} else {
+		l.rw.Lock()
+	}
+}
+
+func (l *spinLatch) Release(m Mode) {
+	if m == Shared {
+		l.rw.RUnlock()
+	} else {
+		l.rw.Unlock()
+	}
+}
+
+func (l *spinLatch) TryUpgrade() bool { return l.rw.TryUpgrade() }

@@ -1,0 +1,92 @@
+package lock
+
+// Lock escalation: when a transaction accumulates many row locks on
+// one table, the manager trades them for a single table-level lock.
+// This caps lock-table memory and, more importantly for the paper's
+// argument, trades fine-grained concurrency for shorter lock-manager
+// critical sections — the same single-thread-vs-scalability knob the
+// engine configurations sweep.
+
+// escalationState tracks a transaction's per-table row-lock pressure.
+type escalationState struct {
+	rowCounts map[uint32]int  // table -> row locks held
+	escalated map[uint32]Mode // table -> escalated mode (S or X)
+}
+
+// maybeEscalate is consulted on every row-lock request. It returns
+// (handled, err): when handled, the row lock is subsumed by an
+// escalated table lock and must not be acquired individually.
+func (m *Manager) maybeEscalate(txn uint64, name Name, mode Mode) (bool, error) {
+	if m.opts.EscalationThreshold <= 0 || name.Level != LevelRow {
+		return false, nil
+	}
+	m.escMu.Lock()
+	st := m.esc[txn]
+	if st == nil {
+		st = &escalationState{rowCounts: map[uint32]int{}, escalated: map[uint32]Mode{}}
+		m.esc[txn] = st
+	}
+	if escMode, ok := st.escalated[name.Table]; ok {
+		// Already escalated. An X request under an S escalation must
+		// upgrade the table lock.
+		needed := S
+		if mode == X {
+			needed = X
+		}
+		m.escMu.Unlock()
+		if Supremum(escMode, needed) != escMode {
+			if err := m.acquireTable(txn, TableName(name.Table), needed); err != nil {
+				return true, err
+			}
+			m.escMu.Lock()
+			st.escalated[name.Table] = Supremum(escMode, needed)
+			m.escMu.Unlock()
+		}
+		m.stats.escalatedAcqs.Add(1)
+		return true, nil
+	}
+	st.rowCounts[name.Table]++
+	if st.rowCounts[name.Table] < m.opts.EscalationThreshold {
+		m.escMu.Unlock()
+		return false, nil
+	}
+	m.escMu.Unlock()
+
+	// Threshold crossed: acquire the table lock covering the strongest
+	// mode this request needs; existing row locks are retained (they
+	// are weaker than the table lock and released with ReleaseAll).
+	target := S
+	if mode == X {
+		target = X
+	}
+	if err := m.acquireTable(txn, TableName(name.Table), target); err != nil {
+		return true, err
+	}
+	m.escMu.Lock()
+	st.escalated[name.Table] = target
+	m.escMu.Unlock()
+	m.stats.escalations.Add(1)
+	return true, nil
+}
+
+// clearEscalation forgets txn's escalation state (at ReleaseAll).
+func (m *Manager) clearEscalation(txn uint64) {
+	if m.opts.EscalationThreshold <= 0 {
+		return
+	}
+	m.escMu.Lock()
+	delete(m.esc, txn)
+	m.escMu.Unlock()
+}
+
+// Escalated reports whether txn currently holds an escalated lock on
+// table (test/diagnostic hook).
+func (m *Manager) Escalated(txn uint64, table uint32) bool {
+	m.escMu.Lock()
+	defer m.escMu.Unlock()
+	if st := m.esc[txn]; st != nil {
+		_, ok := st.escalated[table]
+		return ok
+	}
+	return false
+}

@@ -1,0 +1,420 @@
+package lock
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCompatibilityMatrix(t *testing.T) {
+	// Spot-check the canonical entries.
+	cases := []struct {
+		held, req Mode
+		want      bool
+	}{
+		{IS, IS, true}, {IS, IX, true}, {IS, S, true}, {IS, SIX, true}, {IS, X, false},
+		{IX, IX, true}, {IX, S, false}, {IX, SIX, false}, {IX, X, false},
+		{S, S, true}, {S, IX, false}, {S, X, false},
+		{SIX, IS, true}, {SIX, IX, false}, {SIX, S, false},
+		{X, IS, false}, {X, X, false},
+	}
+	for _, c := range cases {
+		if got := Compatible(c.held, c.req); got != c.want {
+			t.Errorf("Compatible(%v, %v) = %v, want %v", c.held, c.req, got, c.want)
+		}
+	}
+	// Symmetry property of the matrix.
+	modes := []Mode{None, IS, IX, S, SIX, X}
+	for _, a := range modes {
+		for _, b := range modes {
+			if Compatible(a, b) != Compatible(b, a) {
+				t.Errorf("compatibility not symmetric at (%v, %v)", a, b)
+			}
+		}
+	}
+}
+
+func TestSupremumProperties(t *testing.T) {
+	modes := []Mode{None, IS, IX, S, SIX, X}
+	for _, a := range modes {
+		for _, b := range modes {
+			s := Supremum(a, b)
+			if Supremum(s, a) != s || Supremum(s, b) != s {
+				t.Errorf("Supremum(%v,%v)=%v does not cover its arguments", a, b, s)
+			}
+			if s != Supremum(b, a) {
+				t.Errorf("Supremum not commutative at (%v,%v)", a, b)
+			}
+			// Anything incompatible with a or b is incompatible with s.
+			for _, c := range modes {
+				if !Compatible(c, a) && Compatible(c, s) {
+					t.Errorf("sup(%v,%v)=%v weaker than %v vs %v", a, b, s, a, c)
+				}
+			}
+		}
+	}
+	if Supremum(S, IX) != SIX {
+		t.Error("Supremum(S, IX) should be SIX")
+	}
+}
+
+func TestBasicAcquireRelease(t *testing.T) {
+	m := NewManager(Options{})
+	r := RowName(1, 100)
+	if err := m.Acquire(1, r, X); err != nil {
+		t.Fatal(err)
+	}
+	if m.Held(1, r) != X {
+		t.Fatalf("Held = %v, want X", m.Held(1, r))
+	}
+	m.Release(1, r)
+	if m.Held(1, r) != None {
+		t.Fatal("lock still held after release")
+	}
+}
+
+func TestSharedConcurrencyExclusiveBlocks(t *testing.T) {
+	m := NewManager(Options{})
+	r := RowName(1, 1)
+	if err := m.Acquire(1, r, S); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Acquire(2, r, S); err != nil {
+		t.Fatal(err) // S+S compatible
+	}
+	acquired := make(chan error, 1)
+	go func() { acquired <- m.Acquire(3, r, X) }()
+	select {
+	case err := <-acquired:
+		t.Fatalf("X granted while S held: %v", err)
+	case <-time.After(20 * time.Millisecond):
+	}
+	m.Release(1, r)
+	m.Release(2, r)
+	select {
+	case err := <-acquired:
+		if err != nil {
+			t.Fatal(err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("X never granted")
+	}
+}
+
+func TestReentrantAcquire(t *testing.T) {
+	m := NewManager(Options{})
+	r := RowName(1, 1)
+	for i := 0; i < 3; i++ {
+		if err := m.Acquire(1, r, S); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// A single Release drops the lock entirely (counts are folded).
+	m.Release(1, r)
+	if m.Held(1, r) != None {
+		t.Fatal("re-entrant lock not fully released")
+	}
+}
+
+func TestUpgradeSToX(t *testing.T) {
+	m := NewManager(Options{})
+	r := RowName(1, 1)
+	if err := m.Acquire(1, r, S); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Acquire(1, r, X); err != nil {
+		t.Fatal(err) // sole holder upgrades immediately
+	}
+	if m.Held(1, r) != X {
+		t.Fatalf("Held = %v after upgrade, want X", m.Held(1, r))
+	}
+	// Another reader must now block.
+	got := make(chan error, 1)
+	go func() { got <- m.Acquire(2, r, S) }()
+	select {
+	case <-got:
+		t.Fatal("S granted during X")
+	case <-time.After(20 * time.Millisecond):
+	}
+	m.Release(1, r)
+	if err := <-got; err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBlockedUpgradeWaitsForReaders(t *testing.T) {
+	m := NewManager(Options{})
+	r := RowName(1, 1)
+	m.Acquire(1, r, S)
+	m.Acquire(2, r, S)
+	done := make(chan error, 1)
+	go func() { done <- m.Acquire(1, r, X) }()
+	select {
+	case <-done:
+		t.Fatal("upgrade granted with another reader present")
+	case <-time.After(20 * time.Millisecond):
+	}
+	m.Release(2, r)
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+	if m.Held(1, r) != X {
+		t.Fatalf("mode after blocked upgrade = %v", m.Held(1, r))
+	}
+	m.ReleaseAll(1)
+}
+
+func TestUpgradePriorityOverQueuedWriters(t *testing.T) {
+	m := NewManager(Options{})
+	r := RowName(1, 1)
+	m.Acquire(1, r, S)
+	m.Acquire(2, r, S)
+	// Txn 3 queues for X behind the readers.
+	got3 := make(chan error, 1)
+	go func() { got3 <- m.Acquire(3, r, X) }()
+	time.Sleep(10 * time.Millisecond)
+	// Txn 1 upgrades; it must be served before txn 3.
+	got1 := make(chan error, 1)
+	go func() { got1 <- m.Acquire(1, r, X) }()
+	time.Sleep(10 * time.Millisecond)
+	m.Release(2, r)
+	select {
+	case err := <-got1:
+		if err != nil {
+			t.Fatal(err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("upgrade starved")
+	}
+	select {
+	case <-got3:
+		t.Fatal("queued writer served before upgrade completed")
+	default:
+	}
+	m.ReleaseAll(1)
+	if err := <-got3; err != nil {
+		t.Fatal(err)
+	}
+	m.ReleaseAll(3)
+}
+
+func TestDeadlockDetection(t *testing.T) {
+	m := NewManager(Options{})
+	a, b := RowName(1, 1), RowName(1, 2)
+	m.Acquire(1, a, X)
+	m.Acquire(2, b, X)
+	errs := make(chan error, 2)
+	go func() {
+		err := m.Acquire(1, b, X) // 1 waits on 2
+		if err == nil {
+			defer m.ReleaseAll(1)
+		}
+		errs <- err
+	}()
+	time.Sleep(20 * time.Millisecond)
+	go func() {
+		err := m.Acquire(2, a, X) // closes the cycle
+		if err == nil {
+			defer m.ReleaseAll(2)
+		}
+		errs <- err
+	}()
+	var deadlocked int
+	for i := 0; i < 2; i++ {
+		select {
+		case err := <-errs:
+			if errors.Is(err, ErrDeadlock) {
+				deadlocked++
+				// Victim aborts: release everything it holds.
+				if deadlocked == 1 {
+					go func() {
+						time.Sleep(5 * time.Millisecond)
+						m.ReleaseAll(2)
+						m.ReleaseAll(1)
+					}()
+				}
+			} else if err != nil {
+				t.Fatalf("unexpected error: %v", err)
+			}
+		case <-time.After(5 * time.Second):
+			t.Fatal("deadlock never resolved")
+		}
+	}
+	if deadlocked == 0 {
+		t.Fatal("no deadlock detected in a real cycle")
+	}
+	if got := m.StatsSnapshot().Deadlocks; got == 0 {
+		t.Fatal("deadlock counter not bumped")
+	}
+}
+
+func TestWaitTimeout(t *testing.T) {
+	m := NewManager(Options{WaitTimeout: 30 * time.Millisecond})
+	r := RowName(1, 1)
+	m.Acquire(1, r, X)
+	start := time.Now()
+	err := m.Acquire(2, r, X)
+	if !errors.Is(err, ErrTimeout) {
+		t.Fatalf("err = %v, want ErrTimeout", err)
+	}
+	if time.Since(start) < 25*time.Millisecond {
+		t.Fatal("timeout fired early")
+	}
+	m.ReleaseAll(1)
+	// The lock must still be grantable after a timed-out waiter.
+	if err := m.Acquire(3, r, X); err != nil {
+		t.Fatal(err)
+	}
+	m.ReleaseAll(3)
+}
+
+func TestReleaseAllReturnsNames(t *testing.T) {
+	m := NewManager(Options{})
+	m.Acquire(7, TableName(1), IX)
+	m.Acquire(7, RowName(1, 5), X)
+	m.Acquire(7, RowName(1, 6), X)
+	names := m.ReleaseAll(7)
+	if len(names) != 3 {
+		t.Fatalf("ReleaseAll returned %d names, want 3", len(names))
+	}
+	if m.Held(7, RowName(1, 5)) != None {
+		t.Fatal("row lock survived ReleaseAll")
+	}
+	if m.ReleaseAll(7) != nil {
+		t.Fatal("second ReleaseAll returned names")
+	}
+}
+
+func TestFIFOFairnessNoWriterStarvation(t *testing.T) {
+	m := NewManager(Options{})
+	r := RowName(1, 1)
+	m.Acquire(1, r, S)
+	// Writer queues.
+	wGot := make(chan error, 1)
+	go func() { wGot <- m.Acquire(2, r, X) }()
+	time.Sleep(10 * time.Millisecond)
+	// A later reader must NOT jump the queued writer.
+	rGot := make(chan error, 1)
+	go func() { rGot <- m.Acquire(3, r, S) }()
+	select {
+	case <-rGot:
+		t.Fatal("later reader overtook queued writer")
+	case <-time.After(20 * time.Millisecond):
+	}
+	m.Release(1, r)
+	if err := <-wGot; err != nil {
+		t.Fatal(err)
+	}
+	m.ReleaseAll(2)
+	if err := <-rGot; err != nil {
+		t.Fatal(err)
+	}
+	m.ReleaseAll(3)
+}
+
+func TestHierarchicalScenario(t *testing.T) {
+	m := NewManager(Options{Partitions: 4})
+	// Txn 1: IX on table, X on row 1. Txn 2: IX on table, X on row 2.
+	// These must all proceed without blocking.
+	done := make(chan error, 2)
+	for i := uint64(1); i <= 2; i++ {
+		go func(txn uint64) {
+			if err := m.Acquire(txn, TableName(9), IX); err != nil {
+				done <- err
+				return
+			}
+			if err := m.Acquire(txn, RowName(9, txn), X); err != nil {
+				done <- err
+				return
+			}
+			done <- nil
+		}(i)
+	}
+	for i := 0; i < 2; i++ {
+		if err := <-done; err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Txn 3 wants S on the whole table: must wait for both IX holders.
+	sGot := make(chan error, 1)
+	go func() { sGot <- m.Acquire(3, TableName(9), S) }()
+	select {
+	case <-sGot:
+		t.Fatal("table S granted while IX held")
+	case <-time.After(20 * time.Millisecond):
+	}
+	m.ReleaseAll(1)
+	m.ReleaseAll(2)
+	if err := <-sGot; err != nil {
+		t.Fatal(err)
+	}
+	m.ReleaseAll(3)
+}
+
+func TestConcurrentDisjointThroughput(t *testing.T) {
+	for _, parts := range []int{1, 16} {
+		parts := parts
+		t.Run(fmt.Sprintf("partitions=%d", parts), func(t *testing.T) {
+			m := NewManager(Options{Partitions: parts})
+			var wg sync.WaitGroup
+			for w := 0; w < 8; w++ {
+				wg.Add(1)
+				go func(w int) {
+					defer wg.Done()
+					base := uint64(w * 1000)
+					for i := 0; i < 500; i++ {
+						txn := base + uint64(i)
+						key := base + uint64(i%100)
+						if err := m.Acquire(txn, RowName(1, key), X); err != nil {
+							t.Errorf("acquire: %v", err)
+							return
+						}
+						m.ReleaseAll(txn)
+					}
+				}(w)
+			}
+			wg.Wait()
+			st := m.StatsSnapshot()
+			if st.Acquires != 4000 {
+				t.Fatalf("acquires = %d, want 4000", st.Acquires)
+			}
+		})
+	}
+}
+
+func TestModeAndLevelStrings(t *testing.T) {
+	if X.String() != "X" || IS.String() != "IS" || Mode(9).String() != "mode(9)" {
+		t.Fatal("Mode.String mismatch")
+	}
+	if LevelRow.String() != "row" || Level(9).String() != "level(9)" {
+		t.Fatal("Level.String mismatch")
+	}
+	if RowName(1, 2).String() != "row(1,2)" || TableName(3).String() != "table(3)" || DatabaseName().String() != "db" {
+		t.Fatal("Name.String mismatch")
+	}
+}
+
+func BenchmarkAcquireReleaseDisjoint(b *testing.B) {
+	for _, parts := range []int{1, 16} {
+		b.Run(fmt.Sprintf("partitions=%d", parts), func(b *testing.B) {
+			m := NewManager(Options{Partitions: parts})
+			var id uint64
+			var mu sync.Mutex
+			b.RunParallel(func(pb *testing.PB) {
+				mu.Lock()
+				id++
+				me := id
+				mu.Unlock()
+				i := uint64(0)
+				for pb.Next() {
+					txn := me*1_000_000 + i
+					m.Acquire(txn, RowName(1, me*100000+i%512), X)
+					m.ReleaseAll(txn)
+					i++
+				}
+			})
+		})
+	}
+}

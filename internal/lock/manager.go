@@ -1,0 +1,475 @@
+package lock
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Errors returned by Acquire.
+var (
+	// ErrDeadlock aborts the requester chosen as deadlock victim.
+	ErrDeadlock = errors.New("lock: deadlock detected")
+	// ErrTimeout aborts a request that waited past the configured bound.
+	ErrTimeout = errors.New("lock: wait timed out")
+)
+
+// Options configures a Manager.
+type Options struct {
+	// Partitions shards the lock table; 1 reproduces the conventional
+	// centralized design. Default 1.
+	Partitions int
+	// WaitTimeout bounds any single lock wait; 0 means no timeout
+	// (deadlock detection alone breaks cycles). Default 0.
+	WaitTimeout time.Duration
+	// HotThreshold is the contention count past which SLI considers a
+	// lock hot. Default 4.
+	HotThreshold int
+	// EscalationThreshold is the number of row locks on one table
+	// past which the transaction's access escalates to a table lock.
+	// 0 disables escalation (the default).
+	EscalationThreshold int
+}
+
+func (o *Options) fill() {
+	if o.Partitions <= 0 {
+		o.Partitions = 1
+	}
+	if o.HotThreshold <= 0 {
+		o.HotThreshold = 4
+	}
+}
+
+// Stats are cumulative lock-manager counters.
+type Stats struct {
+	Acquires   uint64 // logical acquisitions requested
+	TableOps   uint64 // acquisitions that reached the lock table
+	Inherited  uint64 // acquisitions satisfied from an SLI agent cache
+	Waits      uint64 // acquisitions that blocked
+	Deadlocks  uint64
+	Timeouts   uint64
+	Upgrades   uint64
+	ReleaseAll uint64
+	// Escalations counts row->table lock escalations; EscalatedAcqs
+	// counts row requests absorbed by an escalated table lock.
+	Escalations   uint64
+	EscalatedAcqs uint64
+}
+
+type grant struct {
+	mode  Mode
+	count int // re-entrant acquisitions folded into the same grant
+}
+
+type waiter struct {
+	txn     uint64
+	mode    Mode
+	upgrade bool
+	ready   chan error
+}
+
+type lockHead struct {
+	granted map[uint64]*grant
+	queue   []*waiter
+	// contention is a decaying count of observed conflicts, used by
+	// SLI to classify locks as hot.
+	contention int
+}
+
+type partition struct {
+	mu    sync.Mutex
+	table map[Name]*lockHead
+	_     [32]byte
+}
+
+// Manager is the lock table.
+type Manager struct {
+	opts  Options
+	parts []partition
+
+	// held tracks every lock a transaction holds, for ReleaseAll.
+	heldMu sync.Mutex
+	held   map[uint64]map[Name]Mode
+
+	// waitsFor is the deadlock-detection graph: txn -> txns it waits on.
+	wfMu     sync.Mutex
+	waitsFor map[uint64]map[uint64]bool
+
+	// agents maps SLI agent pseudo-transactions to their reclaim flag.
+	agentsMu sync.Mutex
+	agents   map[uint64]*atomic.Bool
+
+	// heat persists observed conflict counts per name, surviving lock
+	// head reclamation; SLI consults it to classify hot locks.
+	heatMu sync.Mutex
+	heat   map[Name]int
+
+	// esc tracks per-transaction lock-escalation state.
+	escMu sync.Mutex
+	esc   map[uint64]*escalationState
+
+	stats struct {
+		acquires, tableOps, inherited atomic.Uint64
+		waits, deadlocks, timeouts    atomic.Uint64
+		upgrades, releaseAll          atomic.Uint64
+		escalations, escalatedAcqs    atomic.Uint64
+	}
+}
+
+// NewManager returns an empty lock table.
+func NewManager(opts Options) *Manager {
+	opts.fill()
+	m := &Manager{
+		opts:     opts,
+		parts:    make([]partition, opts.Partitions),
+		held:     make(map[uint64]map[Name]Mode),
+		waitsFor: make(map[uint64]map[uint64]bool),
+		agents:   make(map[uint64]*atomic.Bool),
+		heat:     make(map[Name]int),
+		esc:      make(map[uint64]*escalationState),
+	}
+	for i := range m.parts {
+		m.parts[i].table = make(map[Name]*lockHead)
+	}
+	return m
+}
+
+func (m *Manager) part(n Name) *partition {
+	return &m.parts[n.hash()%uint64(len(m.parts))]
+}
+
+// Acquire obtains name in mode for txn, blocking while incompatible
+// locks are held. Re-acquisition by the same transaction upgrades to
+// the supremum mode. It returns ErrDeadlock when the wait would close
+// a cycle (the requester is the victim) and ErrTimeout past the
+// configured bound.
+func (m *Manager) Acquire(txn uint64, name Name, mode Mode) error {
+	m.stats.acquires.Add(1)
+	if handled, err := m.maybeEscalate(txn, name, mode); handled {
+		return err
+	}
+	return m.acquireTable(txn, name, mode)
+}
+
+func (m *Manager) acquireTable(txn uint64, name Name, mode Mode) error {
+	m.stats.tableOps.Add(1)
+	if name.Level != LevelRow {
+		// Heat tracks how often coarse-grained names pass through the
+		// table; SLI classifies frequently re-acquired intent locks as
+		// inheritance candidates. (Intent modes are mutually
+		// compatible, so conflict counts alone would never find them.)
+		m.heatMu.Lock()
+		m.heat[name]++
+		m.heatMu.Unlock()
+	}
+	p := m.part(name)
+	p.mu.Lock()
+	h := p.table[name]
+	if h == nil {
+		h = &lockHead{granted: make(map[uint64]*grant)}
+		p.table[name] = h
+	}
+
+	if g, ok := h.granted[txn]; ok {
+		target := Supremum(g.mode, mode)
+		if target == g.mode {
+			g.count++
+			p.mu.Unlock()
+			m.noteHeld(txn, name, g.mode)
+			return nil
+		}
+		// Upgrade: must be compatible with every other holder.
+		if h.compatibleExcept(target, txn) {
+			m.stats.upgrades.Add(1)
+			g.mode = target
+			g.count++
+			p.mu.Unlock()
+			m.noteHeld(txn, name, target)
+			return nil
+		}
+		// Blocked upgrade: wait at the head of the queue.
+		return m.wait(p, h, name, txn, target, true)
+	}
+
+	if len(h.queue) == 0 && h.compatibleExcept(mode, txn) {
+		h.granted[txn] = &grant{mode: mode, count: 1}
+		p.mu.Unlock()
+		m.noteHeld(txn, name, mode)
+		return nil
+	}
+	return m.wait(p, h, name, txn, mode, false)
+}
+
+// compatibleExcept reports whether mode is compatible with every
+// grant other than txn's own.
+func (h *lockHead) compatibleExcept(mode Mode, txn uint64) bool {
+	for t, g := range h.granted {
+		if t == txn {
+			continue
+		}
+		if !Compatible(g.mode, mode) {
+			return false
+		}
+	}
+	return true
+}
+
+// wait enqueues txn and blocks until granted. Called with p.mu held;
+// returns with it released.
+func (m *Manager) wait(p *partition, h *lockHead, name Name, txn uint64, mode Mode, upgrade bool) error {
+	m.stats.waits.Add(1)
+	h.contention++
+	m.heatMu.Lock()
+	m.heat[name]++
+	m.heatMu.Unlock()
+	w := &waiter{txn: txn, mode: mode, upgrade: upgrade, ready: make(chan error, 1)}
+	if upgrade {
+		// Upgraders go first to shrink the conversion window.
+		h.queue = append([]*waiter{w}, h.queue...)
+	} else {
+		h.queue = append(h.queue, w)
+	}
+
+	// Record waits-for edges and check for a cycle before sleeping.
+	// An upgrader waits only on current holders; a plain waiter also
+	// waits on everyone queued ahead of it.
+	blockers := make([]uint64, 0, len(h.granted))
+	for t := range h.granted {
+		if t != txn {
+			blockers = append(blockers, t)
+		}
+	}
+	if !upgrade {
+		for _, qw := range h.queue {
+			if qw == w {
+				break
+			}
+			if qw.txn != txn {
+				blockers = append(blockers, qw.txn)
+			}
+		}
+	}
+	p.mu.Unlock()
+
+	// If any blocker is an SLI agent's retained lock, ask the agent
+	// to surrender it at its next transaction boundary.
+	m.flagAgentsAmong(blockers)
+
+	if m.addWaitEdges(txn, blockers) {
+		// Cycle: abort self as victim — unless the grant already
+		// arrived, in which case there is no wait and no deadlock.
+		m.clearWaitEdges(txn)
+		if m.removeWaiter(p, h, w) {
+			m.stats.deadlocks.Add(1)
+			return fmt.Errorf("%w: txn %d on %s (%s)", ErrDeadlock, txn, name, mode)
+		}
+		if err := <-w.ready; err != nil {
+			return err
+		}
+		m.noteHeld(txn, name, mode)
+		return nil
+	}
+
+	var timeout <-chan time.Time
+	if m.opts.WaitTimeout > 0 {
+		t := time.NewTimer(m.opts.WaitTimeout)
+		defer t.Stop()
+		timeout = t.C
+	}
+	select {
+	case err := <-w.ready:
+		m.clearWaitEdges(txn)
+		if err == nil {
+			m.noteHeld(txn, name, mode)
+		}
+		return err
+	case <-timeout:
+		m.clearWaitEdges(txn)
+		if m.removeWaiter(p, h, w) {
+			m.stats.timeouts.Add(1)
+			return fmt.Errorf("%w: txn %d on %s (%s)", ErrTimeout, txn, name, mode)
+		}
+		// Lost the race: the grant arrived as the timer fired.
+		if err := <-w.ready; err != nil {
+			return err
+		}
+		m.noteHeld(txn, name, mode)
+		return nil
+	}
+}
+
+// removeWaiter deletes w from the queue, reporting whether it was
+// still queued (false means it was already granted or failed).
+func (m *Manager) removeWaiter(p *partition, h *lockHead, w *waiter) bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for i, qw := range h.queue {
+		if qw == w {
+			h.queue = append(h.queue[:i], h.queue[i+1:]...)
+			return true
+		}
+	}
+	return false
+}
+
+// addWaitEdges installs txn->blockers edges and reports whether doing
+// so creates a cycle reachable back to txn.
+func (m *Manager) addWaitEdges(txn uint64, blockers []uint64) bool {
+	m.wfMu.Lock()
+	defer m.wfMu.Unlock()
+	set := m.waitsFor[txn]
+	if set == nil {
+		set = make(map[uint64]bool)
+		m.waitsFor[txn] = set
+	}
+	for _, b := range blockers {
+		set[b] = true
+	}
+	// DFS from txn looking for a path back to txn.
+	seen := map[uint64]bool{}
+	var stack []uint64
+	for b := range set {
+		stack = append(stack, b)
+	}
+	for len(stack) > 0 {
+		cur := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if cur == txn {
+			return true
+		}
+		if seen[cur] {
+			continue
+		}
+		seen[cur] = true
+		for nb := range m.waitsFor[cur] {
+			stack = append(stack, nb)
+		}
+	}
+	return false
+}
+
+func (m *Manager) clearWaitEdges(txn uint64) {
+	m.wfMu.Lock()
+	delete(m.waitsFor, txn)
+	m.wfMu.Unlock()
+}
+
+func (m *Manager) noteHeld(txn uint64, name Name, mode Mode) {
+	m.heldMu.Lock()
+	set := m.held[txn]
+	if set == nil {
+		set = make(map[Name]Mode)
+		m.held[txn] = set
+	}
+	set[name] = mode
+	m.heldMu.Unlock()
+}
+
+// Release drops txn's lock on name entirely (all re-entrant counts).
+func (m *Manager) Release(txn uint64, name Name) {
+	m.releaseOne(txn, name)
+	m.heldMu.Lock()
+	if set := m.held[txn]; set != nil {
+		delete(set, name)
+		if len(set) == 0 {
+			delete(m.held, txn)
+		}
+	}
+	m.heldMu.Unlock()
+}
+
+func (m *Manager) releaseOne(txn uint64, name Name) {
+	p := m.part(name)
+	p.mu.Lock()
+	h := p.table[name]
+	if h == nil {
+		p.mu.Unlock()
+		return
+	}
+	delete(h.granted, txn)
+	m.grantWaitersLocked(h)
+	if len(h.granted) == 0 && len(h.queue) == 0 {
+		delete(p.table, name)
+	}
+	p.mu.Unlock()
+}
+
+// grantWaitersLocked admits queued waiters from the front while they
+// are compatible. Called with the partition mutex held.
+func (m *Manager) grantWaitersLocked(h *lockHead) {
+	for len(h.queue) > 0 {
+		w := h.queue[0]
+		if g, ok := h.granted[w.txn]; ok {
+			// Upgrade waiter: check against others only.
+			target := Supremum(g.mode, w.mode)
+			if !h.compatibleExcept(target, w.txn) {
+				return
+			}
+			g.mode = target
+			g.count++
+		} else {
+			if !h.compatibleExcept(w.mode, w.txn) {
+				return
+			}
+			h.granted[w.txn] = &grant{mode: w.mode, count: 1}
+		}
+		h.queue = h.queue[1:]
+		w.ready <- nil
+	}
+}
+
+// ReleaseAll drops every lock txn holds (2PL release phase). It
+// returns the names released, which SLI agents use to decide what to
+// inherit.
+func (m *Manager) ReleaseAll(txn uint64) []Name {
+	m.stats.releaseAll.Add(1)
+	m.clearEscalation(txn)
+	m.heldMu.Lock()
+	set := m.held[txn]
+	delete(m.held, txn)
+	m.heldMu.Unlock()
+	if len(set) == 0 {
+		return nil
+	}
+	names := make([]Name, 0, len(set))
+	for name := range set {
+		m.releaseOne(txn, name)
+		names = append(names, name)
+	}
+	return names
+}
+
+// Held returns the mode txn holds on name (None if not held).
+func (m *Manager) Held(txn uint64, name Name) Mode {
+	m.heldMu.Lock()
+	defer m.heldMu.Unlock()
+	if set := m.held[txn]; set != nil {
+		return set[name]
+	}
+	return None
+}
+
+// contentionOf reports the cumulative conflict count for name.
+func (m *Manager) contentionOf(name Name) int {
+	m.heatMu.Lock()
+	defer m.heatMu.Unlock()
+	return m.heat[name]
+}
+
+// StatsSnapshot returns a copy of the cumulative counters.
+func (m *Manager) StatsSnapshot() Stats {
+	return Stats{
+		Acquires:      m.stats.acquires.Load(),
+		TableOps:      m.stats.tableOps.Load(),
+		Inherited:     m.stats.inherited.Load(),
+		Waits:         m.stats.waits.Load(),
+		Deadlocks:     m.stats.deadlocks.Load(),
+		Timeouts:      m.stats.timeouts.Load(),
+		Upgrades:      m.stats.upgrades.Load(),
+		ReleaseAll:    m.stats.releaseAll.Load(),
+		Escalations:   m.stats.escalations.Load(),
+		EscalatedAcqs: m.stats.escalatedAcqs.Load(),
+	}
+}

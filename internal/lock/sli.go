@@ -1,0 +1,173 @@
+package lock
+
+import (
+	"sync/atomic"
+)
+
+// Agent implements Speculative Lock Inheritance (SLI). In a storage
+// manager, each worker thread executes a stream of transactions; SLI
+// observes that consecutive transactions acquire the same hot,
+// compatible locks (typically intent locks on tables and the
+// database) and lets the agent thread keep those locks across
+// transaction boundaries instead of releasing and re-acquiring them
+// through the contended lock table.
+//
+// An Agent is not safe for concurrent use: it models one worker
+// thread. The underlying Manager remains fully thread-safe, and the
+// locks an agent retains are real table grants held by the agent's
+// pseudo-transaction, so conflicting requests from other threads
+// still queue correctly; the agent checks for such waiters at every
+// transaction boundary and releases contested locks (lock reclaim).
+type Agent struct {
+	m  *Manager
+	id uint64 // pseudo-transaction id owning retained grants
+
+	cache   map[Name]Mode // retained locks: name -> mode held by a.id
+	reclaim *atomic.Bool  // set by the manager when someone waits on us
+}
+
+// agentIDBase separates agent pseudo-transactions from real ones.
+const agentIDBase = uint64(1) << 62
+
+var agentSeq atomic.Uint64
+
+// NewAgent registers a new SLI agent with the manager.
+func (m *Manager) NewAgent() *Agent {
+	a := &Agent{
+		m:       m,
+		id:      agentIDBase + agentSeq.Add(1),
+		cache:   make(map[Name]Mode),
+		reclaim: new(atomic.Bool),
+	}
+	m.agentsMu.Lock()
+	m.agents[a.id] = a.reclaim
+	m.agentsMu.Unlock()
+	return a
+}
+
+// Acquire obtains name in mode for txn, satisfying the request from
+// the agent's inherited locks when possible.
+func (a *Agent) Acquire(txn uint64, name Name, mode Mode) error {
+	a.checkReclaim()
+	a.m.stats.acquires.Add(1)
+	if held, ok := a.cache[name]; ok {
+		if Supremum(held, mode) == held && (mode == IS || mode == IX) {
+			// Covered by an inherited grant: no table visit at all.
+			a.m.stats.inherited.Add(1)
+			return nil
+		}
+	}
+	return a.m.acquireTable(txn, name, mode)
+}
+
+// OnCommit performs the transaction-boundary work: it releases txn's
+// locks, inheriting the hot intent locks into the agent instead of
+// returning them to the table.
+func (a *Agent) OnCommit(txn uint64) {
+	a.checkReclaim()
+	a.m.stats.releaseAll.Add(1)
+	a.m.heldMu.Lock()
+	set := a.m.held[txn]
+	delete(a.m.held, txn)
+	a.m.heldMu.Unlock()
+	for name, mode := range set {
+		if a.shouldInherit(name, mode) {
+			if a.m.transfer(txn, a.id, name) {
+				a.cache[name] = mode
+				a.m.noteHeld(a.id, name, mode)
+				continue
+			}
+		}
+		a.m.releaseOne(txn, name)
+	}
+}
+
+// OnAbort releases everything without inheritance (an aborted
+// transaction's locks are not speculation-worthy).
+func (a *Agent) OnAbort(txn uint64) {
+	a.m.ReleaseAll(txn)
+	a.checkReclaim()
+}
+
+// shouldInherit applies the SLI policy: only intent modes above row
+// level, only on locks whose observed contention crosses the
+// threshold, and only if not already retained.
+func (a *Agent) shouldInherit(name Name, mode Mode) bool {
+	if name.Level == LevelRow {
+		return false
+	}
+	if mode != IS && mode != IX {
+		return false
+	}
+	if _, already := a.cache[name]; already {
+		return false
+	}
+	return a.m.contentionOf(name) >= a.m.opts.HotThreshold
+}
+
+// checkReclaim releases every retained lock if any other transaction
+// was observed waiting on this agent.
+func (a *Agent) checkReclaim() {
+	if !a.reclaim.Swap(false) {
+		return
+	}
+	a.ReleaseInherited()
+}
+
+// ReleaseInherited returns all retained locks to the table.
+func (a *Agent) ReleaseInherited() {
+	if len(a.cache) == 0 {
+		return
+	}
+	a.m.ReleaseAll(a.id)
+	a.cache = make(map[Name]Mode)
+}
+
+// Close releases retained locks and unregisters the agent.
+func (a *Agent) Close() {
+	a.ReleaseInherited()
+	a.m.agentsMu.Lock()
+	delete(a.m.agents, a.id)
+	a.m.agentsMu.Unlock()
+}
+
+// InheritedCount reports how many locks the agent currently retains.
+func (a *Agent) InheritedCount() int { return len(a.cache) }
+
+// transfer moves txn's grant on name to the agent pseudo-transaction
+// without releasing it. It reports success; failure (grant vanished)
+// leaves the caller to release normally.
+func (m *Manager) transfer(txn, agent uint64, name Name) bool {
+	p := m.part(name)
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	h := p.table[name]
+	if h == nil {
+		return false
+	}
+	g, ok := h.granted[txn]
+	if !ok {
+		return false
+	}
+	delete(h.granted, txn)
+	if ag, ok := h.granted[agent]; ok {
+		ag.mode = Supremum(ag.mode, g.mode)
+		ag.count++
+	} else {
+		h.granted[agent] = &grant{mode: g.mode, count: 1}
+	}
+	return true
+}
+
+// flagAgentsAmong sets the reclaim flag of every registered agent in
+// ids, so retained locks blocking real transactions are surrendered
+// at the next boundary.
+func (m *Manager) flagAgentsAmong(ids []uint64) {
+	m.agentsMu.Lock()
+	defer m.agentsMu.Unlock()
+	for _, id := range ids {
+		if f, ok := m.agents[id]; ok {
+			f.Store(true)
+		}
+	}
+}

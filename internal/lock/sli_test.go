@@ -1,0 +1,175 @@
+package lock
+
+import (
+	"testing"
+	"time"
+)
+
+// heatUp drives enough conflict on a name to cross the hot threshold.
+func heatUp(t *testing.T, m *Manager, name Name) {
+	t.Helper()
+	for i := 0; i < 10; i++ {
+		txnA, txnB := uint64(9000+i*2), uint64(9001+i*2)
+		if err := m.Acquire(txnA, name, S); err != nil {
+			t.Fatal(err)
+		}
+		done := make(chan error, 1)
+		go func() { done <- m.Acquire(txnB, name, X) }() // conflicts: contention++
+		time.Sleep(2 * time.Millisecond)
+		m.ReleaseAll(txnA)
+		if err := <-done; err != nil {
+			t.Fatal(err)
+		}
+		m.ReleaseAll(txnB)
+	}
+}
+
+func TestSLIInheritsHotIntentLocks(t *testing.T) {
+	m := NewManager(Options{HotThreshold: 2})
+	tbl := TableName(5)
+	heatUp(t, m, tbl)
+
+	a := m.NewAgent()
+	defer a.Close()
+
+	// First transaction acquires through the table and commits; the
+	// hot IX lock should be inherited by the agent.
+	if err := a.Acquire(100, tbl, IX); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Acquire(100, RowName(5, 1), X); err != nil {
+		t.Fatal(err)
+	}
+	a.OnCommit(100)
+	if a.InheritedCount() != 1 {
+		t.Fatalf("inherited %d locks, want 1 (the hot table IX)", a.InheritedCount())
+	}
+	// Row lock must have been fully released, not inherited.
+	if err := m.Acquire(200, RowName(5, 1), X); err != nil {
+		t.Fatal(err)
+	}
+	m.ReleaseAll(200)
+
+	// Subsequent transactions on the same agent skip the table.
+	before := m.StatsSnapshot()
+	for txn := uint64(101); txn <= 110; txn++ {
+		if err := a.Acquire(txn, tbl, IX); err != nil {
+			t.Fatal(err)
+		}
+		a.OnCommit(txn)
+	}
+	after := m.StatsSnapshot()
+	if hits := after.Inherited - before.Inherited; hits != 10 {
+		t.Fatalf("inherited hits = %d, want 10", hits)
+	}
+	if tableOps := after.TableOps - before.TableOps; tableOps != 0 {
+		t.Fatalf("table ops = %d during inherited acquisitions, want 0", tableOps)
+	}
+}
+
+func TestSLIIntentLocksStayCompatibleAcrossAgents(t *testing.T) {
+	m := NewManager(Options{HotThreshold: 1})
+	tbl := TableName(6)
+	heatUp(t, m, tbl)
+
+	a1, a2 := m.NewAgent(), m.NewAgent()
+	defer a1.Close()
+	defer a2.Close()
+
+	if err := a1.Acquire(300, tbl, IX); err != nil {
+		t.Fatal(err)
+	}
+	a1.OnCommit(300)
+	if err := a2.Acquire(301, tbl, IX); err != nil {
+		t.Fatal(err) // IX + IX compatible even with a1's retained lock
+	}
+	a2.OnCommit(301)
+	if a1.InheritedCount() == 0 || a2.InheritedCount() == 0 {
+		t.Fatal("both agents should retain the hot IX")
+	}
+}
+
+func TestSLIReclaimOnConflict(t *testing.T) {
+	m := NewManager(Options{HotThreshold: 1})
+	tbl := TableName(7)
+	heatUp(t, m, tbl)
+
+	a := m.NewAgent()
+	defer a.Close()
+	if err := a.Acquire(400, tbl, IX); err != nil {
+		t.Fatal(err)
+	}
+	a.OnCommit(400)
+	if a.InheritedCount() != 1 {
+		t.Fatal("setup: lock not inherited")
+	}
+
+	// Another transaction wants table X: blocked by the agent's
+	// retained IX.
+	got := make(chan error, 1)
+	go func() { got <- m.Acquire(500, tbl, X) }()
+	select {
+	case <-got:
+		t.Fatal("X granted while agent retained IX")
+	case <-time.After(20 * time.Millisecond):
+	}
+
+	// The agent's next boundary must surrender the retained lock.
+	if err := a.Acquire(401, RowName(7, 1), X); err != nil {
+		t.Fatal(err)
+	}
+	a.OnCommit(401)
+	select {
+	case err := <-got:
+		if err != nil {
+			t.Fatal(err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("agent never surrendered retained lock")
+	}
+	if a.InheritedCount() != 0 {
+		t.Fatal("cache not cleared after reclaim")
+	}
+	m.ReleaseAll(500)
+}
+
+func TestSLIDoesNotInheritRowOrExclusive(t *testing.T) {
+	m := NewManager(Options{HotThreshold: 1})
+	row := RowName(8, 1)
+	heatUp(t, m, row)
+	tbl := TableName(8)
+	heatUp(t, m, tbl)
+
+	a := m.NewAgent()
+	defer a.Close()
+	if err := a.Acquire(600, row, X); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Acquire(600, tbl, S); err != nil { // S is not an intent mode
+		t.Fatal(err)
+	}
+	a.OnCommit(600)
+	if a.InheritedCount() != 0 {
+		t.Fatalf("agent inherited %d non-intent locks", a.InheritedCount())
+	}
+}
+
+func TestSLIAbortReleasesEverything(t *testing.T) {
+	m := NewManager(Options{HotThreshold: 1})
+	tbl := TableName(10)
+	heatUp(t, m, tbl)
+	a := m.NewAgent()
+	defer a.Close()
+	if err := a.Acquire(700, tbl, IX); err != nil {
+		t.Fatal(err)
+	}
+	a.OnAbort(700)
+	if a.InheritedCount() != 0 {
+		t.Fatal("abort inherited locks")
+	}
+	// Table must be immediately lockable in X.
+	if err := m.Acquire(701, tbl, X); err != nil {
+		t.Fatal(err)
+	}
+	m.ReleaseAll(701)
+}

@@ -1,0 +1,214 @@
+// Package logsim is a deterministic discrete-event simulator of
+// concurrent log insertion on a chip multiprocessor. The measured
+// experiment (E2) exercises the real wal package, but its contention
+// phenomena — the serial buffer's collapse, consolidation's group
+// formation — only materialize when insert critical sections actually
+// overlap, i.e. on two or more hardware contexts. On single-context
+// hosts this simulator substitutes for the missing hardware: it
+// replays the three insert protocols over virtual cores with explicit
+// costs for allocation, buffer fill, and lock handoff, reproducing
+// the throughput-vs-cores shape of the Aether study.
+package logsim
+
+import "sort"
+
+// Params are the cost model, in abstract cycles.
+type Params struct {
+	// AllocCycles is the LSN/space allocation work (a few arithmetic
+	// ops and bounds checks) performed while holding the mutex.
+	AllocCycles float64
+	// CopyCyclesPerByte is the memcpy cost of the buffer fill.
+	CopyCyclesPerByte float64
+	// HandoffCycles is the cost of transferring a contended mutex
+	// between cores (cache-line transfer + wakeup).
+	HandoffCycles float64
+	// WorkCycles is the non-logging transaction work between inserts
+	// (generating the record, updating pages).
+	WorkCycles float64
+	// GroupCap bounds how many requests one consolidation group can
+	// absorb (the slot size cap).
+	GroupCap int
+}
+
+// DefaultParams returns costs roughly proportioned like a 2010-era
+// x86 (mutex handoff ~ two cache-line transfers, memcpy ~ 0.25 B/cy).
+func DefaultParams() Params {
+	return Params{
+		AllocCycles:       60,
+		CopyCyclesPerByte: 0.25,
+		HandoffCycles:     400,
+		WorkCycles:        3000,
+		GroupCap:          24,
+	}
+}
+
+// Protocol selects the insert algorithm being simulated; mirrors
+// wal.BufferKind.
+type Protocol int
+
+const (
+	// Serial holds the mutex across allocation and copy.
+	Serial Protocol = iota
+	// Decoupled holds the mutex for allocation only.
+	Decoupled
+	// Consolidated adds group formation in front of the mutex.
+	Consolidated
+)
+
+func (p Protocol) String() string {
+	switch p {
+	case Serial:
+		return "serial"
+	case Decoupled:
+		return "decoupled"
+	case Consolidated:
+		return "consolidated"
+	}
+	return "unknown"
+}
+
+// Protocols lists the simulated algorithms in sweep order.
+func Protocols() []Protocol { return []Protocol{Serial, Decoupled, Consolidated} }
+
+// Result summarizes one simulated configuration.
+type Result struct {
+	Protocol Protocol
+	Cores    int
+	// InsertsPerMCycle is aggregate records inserted per million
+	// cycles (the scale-free throughput measure).
+	InsertsPerMCycle float64
+	// MutexAcqPerInsert is mutex acquisitions per record (< 1 under
+	// consolidation).
+	MutexAcqPerInsert float64
+	// MeanGroupSize is the average consolidation group (1 elsewhere).
+	MeanGroupSize float64
+}
+
+// Simulate runs records inserts of recordSize bytes spread over cores
+// and returns aggregate statistics.
+func Simulate(p Params, proto Protocol, cores, records, recordSize int) Result {
+	copyCost := p.CopyCyclesPerByte * float64(recordSize)
+	// coreTime[i] is the virtual clock of core i.
+	coreTime := make([]float64, cores)
+	mutexFree := 0.0 // time the mutex becomes available
+	acquisitions := 0
+	groups := 0
+
+	switch proto {
+	case Serial, Decoupled:
+		for done := 0; done < records; done++ {
+			// The earliest-finishing core issues the next insert.
+			c := argmin(coreTime)
+			arrive := coreTime[c] + p.WorkCycles
+			start := arrive
+			if mutexFree > arrive {
+				start = mutexFree + p.HandoffCycles
+			}
+			acquisitions++
+			var release, finish float64
+			if proto == Serial {
+				release = start + p.AllocCycles + copyCost
+				finish = release
+			} else {
+				release = start + p.AllocCycles
+				finish = release + copyCost
+			}
+			mutexFree = release
+			coreTime[c] = finish
+		}
+	case Consolidated:
+		// Cores whose request arrives while the mutex is busy join
+		// the forming group instead of queueing, up to the cap. The
+		// group leader performs one allocation; members then copy in
+		// parallel on their own cores.
+		type req struct {
+			core   int
+			arrive float64
+		}
+		done := 0
+		for done < records {
+			// Collect the next batch: the leader is the earliest
+			// arrival; everyone arriving before the leader's mutex
+			// release joins (cap permitting).
+			reqs := make([]req, 0, p.GroupCap)
+			order := coreOrder(coreTime)
+			leader := order[0]
+			leadArrive := coreTime[leader] + p.WorkCycles
+			start := leadArrive
+			if mutexFree > leadArrive {
+				start = mutexFree + p.HandoffCycles
+			}
+			release := start + p.AllocCycles
+			reqs = append(reqs, req{leader, leadArrive})
+			for _, c := range order[1:] {
+				if len(reqs) >= p.GroupCap || done+len(reqs) >= records {
+					break
+				}
+				a := coreTime[c] + p.WorkCycles
+				if a <= release {
+					reqs = append(reqs, req{c, a})
+				}
+			}
+			acquisitions++
+			groups++
+			for _, r := range reqs {
+				begin := release
+				if r.arrive > begin {
+					begin = r.arrive
+				}
+				coreTime[r.core] = begin + copyCost
+			}
+			mutexFree = release
+			done += len(reqs)
+		}
+	}
+
+	end := 0.0
+	for _, t := range coreTime {
+		if t > end {
+			end = t
+		}
+	}
+	res := Result{
+		Protocol:          proto,
+		Cores:             cores,
+		InsertsPerMCycle:  float64(records) / end * 1e6,
+		MutexAcqPerInsert: float64(acquisitions) / float64(records),
+		MeanGroupSize:     1,
+	}
+	if groups > 0 {
+		res.MeanGroupSize = float64(records) / float64(groups)
+	}
+	return res
+}
+
+// Sweep simulates all protocols across core counts.
+func Sweep(p Params, coreCounts []int, records, recordSize int) map[Protocol][]Result {
+	out := make(map[Protocol][]Result)
+	for _, proto := range Protocols() {
+		for _, n := range coreCounts {
+			out[proto] = append(out[proto], Simulate(p, proto, n, records, recordSize))
+		}
+	}
+	return out
+}
+
+func argmin(xs []float64) int {
+	best := 0
+	for i, v := range xs {
+		if v < xs[best] {
+			best = i
+		}
+	}
+	return best
+}
+
+// coreOrder returns core indices sorted by their clocks.
+func coreOrder(coreTime []float64) []int {
+	order := make([]int, len(coreTime))
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool { return coreTime[order[a]] < coreTime[order[b]] })
+	return order
+}

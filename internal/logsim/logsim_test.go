@@ -1,0 +1,124 @@
+package logsim
+
+import "testing"
+
+const (
+	records = 20000
+	size    = 120
+)
+
+func TestSingleCoreAllProtocolsComparable(t *testing.T) {
+	p := DefaultParams()
+	var tput []float64
+	for _, proto := range Protocols() {
+		r := Simulate(p, proto, 1, records, size)
+		if r.InsertsPerMCycle <= 0 {
+			t.Fatalf("%v: non-positive throughput", proto)
+		}
+		tput = append(tput, r.InsertsPerMCycle)
+	}
+	// With no concurrency the three designs are within a few percent:
+	// the same total work runs on one core.
+	for i := 1; i < len(tput); i++ {
+		ratio := tput[i] / tput[0]
+		if ratio < 0.9 || ratio > 1.1 {
+			t.Fatalf("single-core protocols diverge: %v", tput)
+		}
+	}
+}
+
+// The Aether shape: serial saturates at the critical-section rate;
+// decoupled saturates later (copy outside); consolidated keeps
+// scaling because mutex acquisitions per insert fall with load.
+func TestScalingOrdering(t *testing.T) {
+	p := DefaultParams()
+	cores := 64
+	serial := Simulate(p, Serial, cores, records, size)
+	dec := Simulate(p, Decoupled, cores, records, size)
+	cons := Simulate(p, Consolidated, cores, records, size)
+	if !(serial.InsertsPerMCycle < dec.InsertsPerMCycle) {
+		t.Fatalf("serial (%f) not below decoupled (%f) at %d cores",
+			serial.InsertsPerMCycle, dec.InsertsPerMCycle, cores)
+	}
+	if !(dec.InsertsPerMCycle < cons.InsertsPerMCycle) {
+		t.Fatalf("decoupled (%f) not below consolidated (%f) at %d cores",
+			dec.InsertsPerMCycle, cons.InsertsPerMCycle, cores)
+	}
+}
+
+func TestSerialSaturates(t *testing.T) {
+	p := DefaultParams()
+	r16 := Simulate(p, Serial, 16, records, size)
+	r64 := Simulate(p, Serial, 64, records, size)
+	// Saturated: quadrupling cores gains under 10%.
+	if r64.InsertsPerMCycle > r16.InsertsPerMCycle*1.1 {
+		t.Fatalf("serial still scaling past 16 cores: %f -> %f",
+			r16.InsertsPerMCycle, r64.InsertsPerMCycle)
+	}
+}
+
+func TestConsolidationGroupsUnderLoad(t *testing.T) {
+	p := DefaultParams()
+	r1 := Simulate(p, Consolidated, 1, records, size)
+	if r1.MutexAcqPerInsert != 1 || r1.MeanGroupSize != 1 {
+		t.Fatalf("uncontended consolidation should not group: %+v", r1)
+	}
+	r64 := Simulate(p, Consolidated, 64, records, size)
+	if r64.MutexAcqPerInsert >= 0.5 {
+		t.Fatalf("no grouping at 64 cores: %f acq/insert", r64.MutexAcqPerInsert)
+	}
+	if r64.MeanGroupSize <= 2 {
+		t.Fatalf("mean group size %f at 64 cores", r64.MeanGroupSize)
+	}
+	if r64.MeanGroupSize > float64(p.GroupCap) {
+		t.Fatalf("group size %f exceeds cap %d", r64.MeanGroupSize, p.GroupCap)
+	}
+}
+
+func TestLargeRecordsHurtSerialMost(t *testing.T) {
+	p := DefaultParams()
+	cores := 32
+	small := Simulate(p, Serial, cores, records, 64)
+	large := Simulate(p, Serial, cores, records, 4096)
+	ratioSerial := small.InsertsPerMCycle / large.InsertsPerMCycle
+	smallD := Simulate(p, Decoupled, cores, records, 64)
+	largeD := Simulate(p, Decoupled, cores, records, 4096)
+	ratioDec := smallD.InsertsPerMCycle / largeD.InsertsPerMCycle
+	// The serial design's critical section grows with record size, so
+	// its large-record penalty must exceed the decoupled design's.
+	if ratioSerial <= ratioDec {
+		t.Fatalf("serial size penalty %.2f not worse than decoupled %.2f", ratioSerial, ratioDec)
+	}
+}
+
+func TestSweepShape(t *testing.T) {
+	out := Sweep(DefaultParams(), []int{1, 4, 16}, 5000, 120)
+	if len(out) != 3 {
+		t.Fatalf("sweep protocols = %d", len(out))
+	}
+	for proto, rs := range out {
+		if len(rs) != 3 {
+			t.Fatalf("%v: %d results", proto, len(rs))
+		}
+		// Throughput must never *fall* with cores in this cost model
+		// by more than noise (it saturates, not collapses, since the
+		// model has no cache-thrash term).
+		if rs[2].InsertsPerMCycle < rs[0].InsertsPerMCycle*0.8 {
+			t.Fatalf("%v: throughput fell with cores: %v", proto, rs)
+		}
+	}
+}
+
+func TestProtocolString(t *testing.T) {
+	if Serial.String() != "serial" || Consolidated.String() != "consolidated" || Protocol(9).String() != "unknown" {
+		t.Fatal("Protocol.String mismatch")
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	a := Simulate(DefaultParams(), Consolidated, 8, 10000, 120)
+	b := Simulate(DefaultParams(), Consolidated, 8, 10000, 120)
+	if a != b {
+		t.Fatal("simulation not deterministic")
+	}
+}

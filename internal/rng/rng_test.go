@@ -1,0 +1,252 @@
+package rng
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestDeterminism(t *testing.T) {
+	a, b := New(42), New(42)
+	for i := 0; i < 1000; i++ {
+		if av, bv := a.Uint64(), b.Uint64(); av != bv {
+			t.Fatalf("streams diverged at step %d: %d != %d", i, av, bv)
+		}
+	}
+}
+
+func TestDistinctSeedsDiverge(t *testing.T) {
+	a, b := New(1), New(2)
+	same := 0
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Fatalf("seeds 1 and 2 collided %d/1000 times", same)
+	}
+}
+
+func TestZeroSeedNotStuck(t *testing.T) {
+	s := New(0)
+	seen := map[uint64]bool{}
+	for i := 0; i < 100; i++ {
+		seen[s.Uint64()] = true
+	}
+	if len(seen) < 100 {
+		t.Fatalf("zero seed produced only %d distinct values in 100 draws", len(seen))
+	}
+}
+
+func TestSplitIndependence(t *testing.T) {
+	parent := New(7)
+	c1, c2 := parent.Split(0), parent.Split(1)
+	if c1.Uint64() == c2.Uint64() {
+		t.Fatal("sibling child streams produced identical first value")
+	}
+	// Splitting must not perturb the parent.
+	p1 := New(7)
+	p1.Split(0)
+	p2 := New(7)
+	if p1.Uint64() != p2.Uint64() {
+		t.Fatal("Split disturbed parent stream")
+	}
+}
+
+func TestIntnBounds(t *testing.T) {
+	s := New(3)
+	f := func(n uint16) bool {
+		m := int(n%1000) + 1
+		v := s.Intn(m)
+		return v >= 0 && v < m
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestIntnPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Intn(0) did not panic")
+		}
+	}()
+	New(1).Intn(0)
+}
+
+func TestIntRange(t *testing.T) {
+	s := New(4)
+	for i := 0; i < 1000; i++ {
+		v := s.IntRange(10, 20)
+		if v < 10 || v > 20 {
+			t.Fatalf("IntRange(10,20) = %d", v)
+		}
+	}
+	if got := s.IntRange(5, 5); got != 5 {
+		t.Fatalf("IntRange(5,5) = %d", got)
+	}
+}
+
+func TestFloat64Range(t *testing.T) {
+	s := New(5)
+	for i := 0; i < 10000; i++ {
+		v := s.Float64()
+		if v < 0 || v >= 1 {
+			t.Fatalf("Float64() = %v out of [0,1)", v)
+		}
+	}
+}
+
+func TestFloat64Mean(t *testing.T) {
+	s := New(6)
+	const n = 200000
+	sum := 0.0
+	for i := 0; i < n; i++ {
+		sum += s.Float64()
+	}
+	mean := sum / n
+	if math.Abs(mean-0.5) > 0.01 {
+		t.Fatalf("mean of uniform draws = %v, want ~0.5", mean)
+	}
+}
+
+func TestPerm(t *testing.T) {
+	s := New(8)
+	p := s.Perm(100)
+	seen := make([]bool, 100)
+	for _, v := range p {
+		if v < 0 || v >= 100 || seen[v] {
+			t.Fatalf("Perm produced invalid or duplicate element %d", v)
+		}
+		seen[v] = true
+	}
+}
+
+func TestShuffleIsPermutation(t *testing.T) {
+	s := New(9)
+	xs := []int{1, 2, 3, 4, 5, 6, 7, 8}
+	s.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] })
+	sum := 0
+	for _, v := range xs {
+		sum += v
+	}
+	if sum != 36 {
+		t.Fatalf("shuffle lost elements: %v", xs)
+	}
+}
+
+func TestBytesDeterministicAndFull(t *testing.T) {
+	a := make([]byte, 37)
+	b := make([]byte, 37)
+	New(11).Bytes(a)
+	New(11).Bytes(b)
+	if string(a) != string(b) {
+		t.Fatal("Bytes not deterministic")
+	}
+	zero := 0
+	for _, v := range a {
+		if v == 0 {
+			zero++
+		}
+	}
+	if zero > 10 {
+		t.Fatalf("suspiciously many zero bytes: %d/37", zero)
+	}
+}
+
+func TestBoolProbability(t *testing.T) {
+	s := New(12)
+	hits := 0
+	const n = 100000
+	for i := 0; i < n; i++ {
+		if s.Bool(0.3) {
+			hits++
+		}
+	}
+	frac := float64(hits) / n
+	if math.Abs(frac-0.3) > 0.02 {
+		t.Fatalf("Bool(0.3) hit rate = %v", frac)
+	}
+}
+
+func TestZipfBoundsProperty(t *testing.T) {
+	s := New(13)
+	z := NewZipf(s, 1000, 0.9)
+	f := func(uint8) bool {
+		v := z.Next()
+		return v < 1000
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 5000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestZipfSkew(t *testing.T) {
+	s := New(14)
+	z := NewZipf(s, 10000, 0.99)
+	const n = 200000
+	counts := map[uint64]int{}
+	for i := 0; i < n; i++ {
+		counts[z.Next()]++
+	}
+	// Item 0 must be the hottest by a wide margin, and the top item
+	// should absorb a noticeable share of all draws.
+	if counts[0] < counts[1] {
+		t.Fatalf("zipf not skewed: count[0]=%d < count[1]=%d", counts[0], counts[1])
+	}
+	if frac := float64(counts[0]) / n; frac < 0.03 {
+		t.Fatalf("hottest item only %.4f of draws; want heavy skew", frac)
+	}
+}
+
+func TestZipfUniformish(t *testing.T) {
+	// Low theta should spread mass broadly: the hottest item takes a
+	// far smaller share than under high theta.
+	s := New(15)
+	lo := NewZipf(s.Split(0), 1000, 0.1)
+	hi := NewZipf(s.Split(1), 1000, 0.99)
+	count := func(z *Zipf) int {
+		c := 0
+		for i := 0; i < 50000; i++ {
+			if z.Next() == 0 {
+				c++
+			}
+		}
+		return c
+	}
+	if clo, chi := count(lo), count(hi); clo >= chi {
+		t.Fatalf("theta=0.1 hottest share (%d) >= theta=0.99 share (%d)", clo, chi)
+	}
+}
+
+func TestZipfPanics(t *testing.T) {
+	s := New(16)
+	for _, tc := range []struct {
+		n     uint64
+		theta float64
+	}{{0, 0.5}, {10, 0}, {10, 1}, {10, -1}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("NewZipf(%d, %v) did not panic", tc.n, tc.theta)
+				}
+			}()
+			NewZipf(s, tc.n, tc.theta)
+		}()
+	}
+}
+
+func BenchmarkUint64(b *testing.B) {
+	s := New(1)
+	for i := 0; i < b.N; i++ {
+		_ = s.Uint64()
+	}
+}
+
+func BenchmarkZipfNext(b *testing.B) {
+	z := NewZipf(New(1), 1<<20, 0.99)
+	for i := 0; i < b.N; i++ {
+		_ = z.Next()
+	}
+}

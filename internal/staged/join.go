@@ -1,0 +1,91 @@
+package staged
+
+import (
+	"hydra/internal/core"
+)
+
+// JoinQuery is a hash equi-join between two tables: the build side is
+// loaded into a hash table keyed by BuildKey, then the probe side
+// streams through it. Both sides ride the scan stage, so concurrent
+// joins of the same tables share physical scans exactly like plain
+// aggregates.
+type JoinQuery struct {
+	// Build is the (smaller) side materialized into the hash table.
+	Build *core.Table
+	// Probe streams against the hash table.
+	Probe *core.Table
+	// BuildKey extracts the join key from a build-side tuple; when
+	// nil, the primary key is used.
+	BuildKey func(Tuple) uint64
+	// ProbeKey extracts the join key from a probe-side tuple; when
+	// nil, the primary key is used.
+	ProbeKey func(Tuple) uint64
+	// On, if set, filters matched pairs.
+	On func(build, probe Tuple) bool
+}
+
+// JoinResult summarizes the matched pairs.
+type JoinResult struct {
+	// Matches is the number of (build, probe) pairs that joined.
+	Matches uint64
+	// ProbeRows and BuildRows are the input cardinalities.
+	ProbeRows, BuildRows uint64
+}
+
+// ExecuteJoin runs a hash join to completion.
+func (e *Engine) ExecuteJoin(q JoinQuery) (JoinResult, error) {
+	buildKey := q.BuildKey
+	if buildKey == nil {
+		buildKey = func(t Tuple) uint64 { return t.Key }
+	}
+	probeKey := q.ProbeKey
+	if probeKey == nil {
+		probeKey = func(t Tuple) uint64 { return t.Key }
+	}
+
+	var res JoinResult
+	// Build phase: one pass over the build table through the scan
+	// stage. Values are copied: scan-stage tuples are only valid
+	// during delivery.
+	ht := make(map[uint64][]Tuple)
+	err := e.scanAll(q.Build, func(t Tuple) {
+		res.BuildRows++
+		k := buildKey(t)
+		ht[k] = append(ht[k], Tuple{Key: t.Key, Value: append([]byte(nil), t.Value...)})
+	})
+	if err != nil {
+		return res, err
+	}
+	// Probe phase.
+	err = e.scanAll(q.Probe, func(t Tuple) {
+		res.ProbeRows++
+		for _, b := range ht[probeKey(t)] {
+			if q.On == nil || q.On(b, t) {
+				res.Matches++
+			}
+		}
+	})
+	return res, err
+}
+
+// scanAll delivers every tuple of tbl through the configured scan
+// mode (shared or private).
+func (e *Engine) scanAll(tbl *core.Table, fn func(Tuple)) error {
+	e.queries.Add(1)
+	if !e.opts.SharedScans {
+		e.physicalScans.Add(1)
+		return e.core.Exec(func(tx *core.Txn) error {
+			return tx.Scan(tbl, 0, ^uint64(0), func(key uint64, value []byte) bool {
+				fn(Tuple{Key: key, Value: value})
+				return true
+			})
+		})
+	}
+	s := e.scannerFor(tbl)
+	ch := make(chan Tuple, 512)
+	s.attach <- ch
+	for t := range ch {
+		fn(t)
+	}
+	return nil
+}

@@ -1,0 +1,286 @@
+// Package staged implements a staged, service-oriented query engine
+// in the StagedDB/QPipe tradition: relational work is organized into
+// stages with work queues rather than one thread per query plan. The
+// centerpiece is the scan stage's *shared scan* (circular attach): at
+// any moment at most one physical scan per table is in flight, and
+// queries that arrive while it runs attach at the current position,
+// receive tuples until the scan wraps back to their attach point, and
+// detach — converting N concurrent table scans into one.
+//
+// The baseline mode (sharing disabled) runs one full private scan per
+// query, the conventional query-at-a-time design.
+package staged
+
+import (
+	"encoding/binary"
+	"sync"
+	"sync/atomic"
+
+	"hydra/internal/core"
+)
+
+// Tuple is one row delivered by the scan stage.
+type Tuple struct {
+	Key   uint64
+	Value []byte
+}
+
+// Query is a scan-filter-aggregate request.
+type Query struct {
+	Table *core.Table
+	// Filter, if set, keeps only matching tuples.
+	Filter func(Tuple) bool
+	// GroupBy, if set, partitions tuples into groups and the result
+	// carries one aggregate per group.
+	GroupBy func(Tuple) uint64
+}
+
+// GroupAgg is the aggregate of one group.
+type GroupAgg struct {
+	Count uint64
+	Sum   uint64
+	Min   uint64
+	Max   uint64
+}
+
+func (g *GroupAgg) add(measure uint64) {
+	if g.Count == 0 || measure < g.Min {
+		g.Min = measure
+	}
+	if g.Count == 0 || measure > g.Max {
+		g.Max = measure
+	}
+	g.Count++
+	g.Sum += measure
+}
+
+// Result aggregates the tuples a query saw.
+type Result struct {
+	Count uint64
+	// Sum adds the first 8 bytes of each value (little endian), the
+	// conventional measure column of the experiments' tables.
+	Sum uint64
+	// Groups holds per-group aggregates when Query.GroupBy is set.
+	Groups map[uint64]*GroupAgg
+}
+
+func measureOf(t Tuple) uint64 {
+	if len(t.Value) >= 8 {
+		return binary.LittleEndian.Uint64(t.Value)
+	}
+	return 0
+}
+
+func (r *Result) add(q *Query, t Tuple) {
+	m := measureOf(t)
+	r.Count++
+	r.Sum += m
+	if q.GroupBy != nil {
+		if r.Groups == nil {
+			r.Groups = make(map[uint64]*GroupAgg)
+		}
+		key := q.GroupBy(t)
+		g := r.Groups[key]
+		if g == nil {
+			g = &GroupAgg{}
+			r.Groups[key] = g
+		}
+		g.add(m)
+	}
+}
+
+// Options configures the engine.
+type Options struct {
+	// SharedScans enables circular-attach scan sharing.
+	SharedScans bool
+	// ChunkSize is the number of tuples scanned per latching window.
+	// Default 256.
+	ChunkSize int
+}
+
+func (o *Options) fill() {
+	if o.ChunkSize <= 0 {
+		o.ChunkSize = 256
+	}
+}
+
+// Engine is the staged query engine.
+type Engine struct {
+	core *core.Engine
+	opts Options
+
+	mu       sync.Mutex
+	scanners map[uint32]*scanner
+
+	physicalScans atomic.Uint64 // full table passes actually performed
+	queries       atomic.Uint64
+}
+
+// New returns a staged engine over c.
+func New(c *core.Engine, opts Options) *Engine {
+	opts.fill()
+	return &Engine{core: c, opts: opts, scanners: make(map[uint32]*scanner)}
+}
+
+// Stats reports scan-sharing effectiveness.
+type Stats struct {
+	Queries       uint64
+	PhysicalScans uint64 // with sharing, PhysicalScans << Queries
+}
+
+// StatsSnapshot returns cumulative counters.
+func (e *Engine) StatsSnapshot() Stats {
+	return Stats{Queries: e.queries.Load(), PhysicalScans: e.physicalScans.Load()}
+}
+
+// Execute runs q to completion and returns its aggregate.
+func (e *Engine) Execute(q Query) (Result, error) {
+	e.queries.Add(1)
+	if !e.opts.SharedScans {
+		return e.executePrivate(q)
+	}
+	return e.executeShared(q)
+}
+
+// executePrivate is the query-at-a-time baseline: one full physical
+// scan per query.
+func (e *Engine) executePrivate(q Query) (Result, error) {
+	var res Result
+	e.physicalScans.Add(1)
+	err := e.core.Exec(func(tx *core.Txn) error {
+		return tx.Scan(q.Table, 0, ^uint64(0), func(key uint64, value []byte) bool {
+			t := Tuple{Key: key, Value: value}
+			if q.Filter == nil || q.Filter(t) {
+				res.add(&q, t)
+			}
+			return true
+		})
+	})
+	return res, err
+}
+
+func (e *Engine) executeShared(q Query) (Result, error) {
+	s := e.scannerFor(q.Table)
+	ch := make(chan Tuple, 512)
+	s.attach <- ch
+	var res Result
+	for t := range ch {
+		if q.Filter == nil || q.Filter(t) {
+			res.add(&q, t)
+		}
+	}
+	return res, nil
+}
+
+func (e *Engine) scannerFor(tbl *core.Table) *scanner {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	s, ok := e.scanners[tbl.ID]
+	if !ok {
+		s = &scanner{
+			engine: e,
+			table:  tbl,
+			attach: make(chan chan Tuple, 64),
+		}
+		e.scanners[tbl.ID] = s
+		go s.run()
+	}
+	return s
+}
+
+// scanner is the per-table scan stage: one goroutine performing a
+// circular scan whenever consumers are attached.
+type scanner struct {
+	engine *Engine
+	table  *core.Table
+	attach chan chan Tuple
+}
+
+// consumer tracks one attached query's progress around the circle.
+type consumer struct {
+	ch        chan Tuple
+	attachKey uint64
+	wrapped   bool // scan has wrapped past the end since attach
+}
+
+func (s *scanner) run() {
+	for first := range s.attach {
+		// A scan round starts when the first consumer attaches.
+		consumers := []*consumer{{ch: first, attachKey: 0}}
+		pos := uint64(0)
+		for len(consumers) > 0 {
+			// Admit late arrivals at the current position.
+			for {
+				select {
+				case ch := <-s.attach:
+					consumers = append(consumers, &consumer{ch: ch, attachKey: pos})
+				default:
+					goto admitted
+				}
+			}
+		admitted:
+			chunk, nextPos, atEnd := s.readChunk(pos)
+			for _, t := range chunk {
+				for _, c := range consumers {
+					if c.wants(t.Key) {
+						c.ch <- t
+					}
+				}
+			}
+			if atEnd {
+				s.engine.physicalScans.Add(1)
+				live := consumers[:0]
+				for _, c := range consumers {
+					if c.wrapped || c.attachKey == 0 {
+						// Completed its full circle.
+						close(c.ch)
+					} else {
+						c.wrapped = true
+						live = append(live, c)
+					}
+				}
+				consumers = live
+				pos = 0
+				continue
+			}
+			// Consumers whose attach point the wrapped scan has now
+			// reached are done.
+			live := consumers[:0]
+			for _, c := range consumers {
+				if c.wrapped && nextPos > c.attachKey {
+					close(c.ch)
+				} else {
+					live = append(live, c)
+				}
+			}
+			consumers = live
+			pos = nextPos
+		}
+	}
+}
+
+// wants reports whether the consumer still needs the tuple at key
+// given its position on the circle.
+func (c *consumer) wants(key uint64) bool {
+	if !c.wrapped {
+		return key >= c.attachKey
+	}
+	return key < c.attachKey
+}
+
+// readChunk returns up to ChunkSize tuples with keys >= pos, the next
+// scan position, and whether the table end was reached.
+func (s *scanner) readChunk(pos uint64) ([]Tuple, uint64, bool) {
+	limit := s.engine.opts.ChunkSize
+	var chunk []Tuple
+	s.engine.core.Exec(func(tx *core.Txn) error {
+		return tx.Scan(s.table, pos, ^uint64(0), func(key uint64, value []byte) bool {
+			chunk = append(chunk, Tuple{Key: key, Value: value})
+			return len(chunk) < limit
+		})
+	})
+	if len(chunk) < limit {
+		return chunk, 0, true
+	}
+	return chunk, chunk[len(chunk)-1].Key + 1, false
+}

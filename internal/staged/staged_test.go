@@ -1,0 +1,295 @@
+package staged
+
+import (
+	"encoding/binary"
+	"sync"
+	"testing"
+
+	"hydra/internal/core"
+)
+
+func setup(t *testing.T, rows uint64, shared bool) (*Engine, *core.Table) {
+	t.Helper()
+	c, err := core.Open(core.Scalable())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { c.Close() })
+	tbl, err := c.CreateTable("facts")
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = c.Exec(func(tx *core.Txn) error {
+		for i := uint64(0); i < rows; i++ {
+			v := make([]byte, 8)
+			binary.LittleEndian.PutUint64(v, i)
+			if err := tx.Insert(tbl, i, v); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return New(c, Options{SharedScans: shared, ChunkSize: 64}), tbl
+}
+
+func wantSum(n uint64) uint64 { return n * (n - 1) / 2 }
+
+func TestSingleQueryBothModes(t *testing.T) {
+	for _, shared := range []bool{false, true} {
+		e, tbl := setup(t, 1000, shared)
+		res, err := e.Execute(Query{Table: tbl})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Count != 1000 || res.Sum != wantSum(1000) {
+			t.Fatalf("shared=%v: count=%d sum=%d", shared, res.Count, res.Sum)
+		}
+	}
+}
+
+func TestFilter(t *testing.T) {
+	e, tbl := setup(t, 1000, true)
+	res, err := e.Execute(Query{Table: tbl, Filter: func(tp Tuple) bool { return tp.Key%2 == 0 }})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Count != 500 {
+		t.Fatalf("filtered count = %d", res.Count)
+	}
+}
+
+func TestConcurrentSharedQueriesAllComplete(t *testing.T) {
+	e, tbl := setup(t, 2000, true)
+	const n = 16
+	var wg sync.WaitGroup
+	results := make([]Result, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			res, err := e.Execute(Query{Table: tbl})
+			if err != nil {
+				t.Errorf("query %d: %v", i, err)
+				return
+			}
+			results[i] = res
+		}(i)
+	}
+	wg.Wait()
+	for i, res := range results {
+		if res.Count != 2000 || res.Sum != wantSum(2000) {
+			t.Fatalf("query %d saw count=%d sum=%d; circular attach lost tuples", i, res.Count, res.Sum)
+		}
+	}
+}
+
+func TestSharingReducesPhysicalScans(t *testing.T) {
+	e, tbl := setup(t, 5000, true)
+	const n = 12
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if _, err := e.Execute(Query{Table: tbl}); err != nil {
+				t.Error(err)
+			}
+		}()
+	}
+	wg.Wait()
+	st := e.StatsSnapshot()
+	if st.Queries != n {
+		t.Fatalf("queries = %d", st.Queries)
+	}
+	if st.PhysicalScans >= n {
+		t.Fatalf("no sharing: %d physical scans for %d queries", st.PhysicalScans, n)
+	}
+}
+
+func TestPrivateModeOneScanPerQuery(t *testing.T) {
+	e, tbl := setup(t, 500, false)
+	for i := 0; i < 5; i++ {
+		if _, err := e.Execute(Query{Table: tbl}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := e.StatsSnapshot()
+	if st.PhysicalScans != 5 {
+		t.Fatalf("private scans = %d, want 5", st.PhysicalScans)
+	}
+}
+
+func TestSequentialSharedQueries(t *testing.T) {
+	// Back-to-back queries (no overlap) must each still see the full
+	// table: the scanner round terminates and restarts cleanly.
+	e, tbl := setup(t, 800, true)
+	for i := 0; i < 4; i++ {
+		res, err := e.Execute(Query{Table: tbl})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Count != 800 {
+			t.Fatalf("round %d count = %d", i, res.Count)
+		}
+	}
+}
+
+func TestGroupByAggregation(t *testing.T) {
+	for _, shared := range []bool{false, true} {
+		e, tbl := setup(t, 1000, shared)
+		res, err := e.Execute(Query{
+			Table:   tbl,
+			GroupBy: func(tp Tuple) uint64 { return tp.Key % 4 },
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(res.Groups) != 4 {
+			t.Fatalf("shared=%v: %d groups", shared, len(res.Groups))
+		}
+		var total uint64
+		for g, agg := range res.Groups {
+			if agg.Count != 250 {
+				t.Fatalf("group %d count = %d", g, agg.Count)
+			}
+			if agg.Min != g { // smallest key in group g is g itself (value = key)
+				t.Fatalf("group %d min = %d", g, agg.Min)
+			}
+			if agg.Max != 996+g {
+				t.Fatalf("group %d max = %d", g, agg.Max)
+			}
+			total += agg.Sum
+		}
+		if total != res.Sum || total != wantSum(1000) {
+			t.Fatalf("group sums %d != total %d", total, res.Sum)
+		}
+	}
+}
+
+func TestGroupByWithFilter(t *testing.T) {
+	e, tbl := setup(t, 400, true)
+	res, err := e.Execute(Query{
+		Table:   tbl,
+		Filter:  func(tp Tuple) bool { return tp.Key < 100 },
+		GroupBy: func(tp Tuple) uint64 { return tp.Key / 50 },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Groups) != 2 || res.Groups[0].Count != 50 || res.Groups[1].Count != 50 {
+		t.Fatalf("groups = %+v", res.Groups)
+	}
+}
+
+func setupJoin(t *testing.T, shared bool) (*Engine, *core.Table, *core.Table) {
+	t.Helper()
+	c, err := core.Open(core.Scalable())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { c.Close() })
+	orders, err := c.CreateTable("orders")
+	if err != nil {
+		t.Fatal(err)
+	}
+	customers, err := c.CreateTable("customers")
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = c.Exec(func(tx *core.Txn) error {
+		for cu := uint64(0); cu < 100; cu++ {
+			if err := tx.Insert(customers, cu, u64(cu)); err != nil {
+				return err
+			}
+		}
+		for o := uint64(0); o < 1000; o++ {
+			// order o belongs to customer o%100
+			if err := tx.Insert(orders, o, u64(o%100)); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return New(c, Options{SharedScans: shared, ChunkSize: 64}), customers, orders
+}
+
+func u64(v uint64) []byte {
+	b := make([]byte, 8)
+	binary.LittleEndian.PutUint64(b, v)
+	return b
+}
+
+func TestHashJoin(t *testing.T) {
+	for _, shared := range []bool{false, true} {
+		e, customers, orders := setupJoin(t, shared)
+		res, err := e.ExecuteJoin(JoinQuery{
+			Build: customers,
+			Probe: orders,
+			ProbeKey: func(tp Tuple) uint64 {
+				return binary.LittleEndian.Uint64(tp.Value) // customer id column
+			},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.BuildRows != 100 || res.ProbeRows != 1000 {
+			t.Fatalf("shared=%v: inputs %d/%d", shared, res.BuildRows, res.ProbeRows)
+		}
+		if res.Matches != 1000 { // every order matches exactly one customer
+			t.Fatalf("shared=%v: matches = %d", shared, res.Matches)
+		}
+	}
+}
+
+func TestHashJoinWithPredicate(t *testing.T) {
+	e, customers, orders := setupJoin(t, true)
+	res, err := e.ExecuteJoin(JoinQuery{
+		Build: customers,
+		Probe: orders,
+		ProbeKey: func(tp Tuple) uint64 {
+			return binary.LittleEndian.Uint64(tp.Value)
+		},
+		On: func(build, probe Tuple) bool { return build.Key < 10 }, // customers 0..9
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Matches != 100 { // 10 orders per customer x 10 customers
+		t.Fatalf("matches = %d", res.Matches)
+	}
+}
+
+func TestConcurrentJoinsShareScans(t *testing.T) {
+	e, customers, orders := setupJoin(t, true)
+	const n = 8
+	var wg sync.WaitGroup
+	before := e.StatsSnapshot()
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			res, err := e.ExecuteJoin(JoinQuery{
+				Build: customers,
+				Probe: orders,
+				ProbeKey: func(tp Tuple) uint64 {
+					return binary.LittleEndian.Uint64(tp.Value)
+				},
+			})
+			if err != nil || res.Matches != 1000 {
+				t.Errorf("join: %d, %v", res.Matches, err)
+			}
+		}()
+	}
+	wg.Wait()
+	after := e.StatsSnapshot()
+	// 8 joins = 16 logical scans; sharing must have collapsed them.
+	if scans := after.PhysicalScans - before.PhysicalScans; scans >= 16 {
+		t.Fatalf("no sharing across joins: %d physical scans", scans)
+	}
+}

@@ -1,0 +1,77 @@
+package sync2
+
+import (
+	"sync"
+	"sync/atomic"
+	"unsafe"
+)
+
+// MCSLock is the Mellor-Crummey/Scott queue lock. Each waiter enqueues
+// a node and spins on a flag in its own node, so waiting generates no
+// traffic on the lock word; release touches only the successor's node.
+// This is the canonical "scalable spinlock" the storage-manager
+// literature reaches for when a critical section must stay a spinlock
+// under high contention.
+type MCSLock struct {
+	tail       unsafe.Pointer // *mcsNode
+	holderSlot unsafe.Pointer // node of the current holder; see setHolder
+}
+
+type mcsNode struct {
+	next   unsafe.Pointer // *mcsNode
+	locked uint32
+	_      [40]byte // pad to a cache line so waiters don't false-share
+}
+
+var mcsPool = sync.Pool{New: func() any { return new(mcsNode) }}
+
+// Lock acquires the lock, spinning on a private node.
+func (l *MCSLock) Lock() {
+	n := mcsPool.Get().(*mcsNode)
+	n.next = nil
+	atomic.StoreUint32(&n.locked, 1)
+	prev := (*mcsNode)(atomic.SwapPointer(&l.tail, unsafe.Pointer(n)))
+	if prev != nil {
+		atomic.StorePointer(&prev.next, unsafe.Pointer(n))
+		for atomic.LoadUint32(&n.locked) == 1 {
+			spinYield()
+		}
+	}
+	// Stash our node so Unlock (same goroutine, by contract) can find
+	// it. A per-lock slot suffices because only the holder reads it.
+	l.setHolder(n)
+}
+
+// Unlock releases the lock to the queued successor, if any.
+func (l *MCSLock) Unlock() {
+	n := l.holder()
+	next := (*mcsNode)(atomic.LoadPointer(&n.next))
+	if next == nil {
+		// No known successor: try to swing tail back to nil.
+		if atomic.CompareAndSwapPointer(&l.tail, unsafe.Pointer(n), nil) {
+			mcsPool.Put(n)
+			return
+		}
+		// A waiter is mid-enqueue; wait for it to link itself.
+		for {
+			next = (*mcsNode)(atomic.LoadPointer(&n.next))
+			if next != nil {
+				break
+			}
+			spinYield()
+		}
+	}
+	atomic.StoreUint32(&next.locked, 0)
+	mcsPool.Put(n)
+}
+
+// holderSlot holds the current owner's queue node. Only the lock
+// holder accesses it between Lock and Unlock, but it is stored
+// atomically to keep the race detector satisfied across handoffs.
+func (l *MCSLock) setHolder(n *mcsNode) {
+	atomic.StorePointer(&l.holderSlot, unsafe.Pointer(n))
+}
+
+func (l *MCSLock) holder() *mcsNode {
+	return (*mcsNode)(atomic.LoadPointer(&l.holderSlot))
+}

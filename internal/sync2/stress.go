@@ -1,0 +1,82 @@
+package sync2
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// StressResult reports one cell of the spin-vs-block experiment (E3).
+type StressResult struct {
+	Kind       Kind
+	Goroutines int
+	// Acquisitions is the total number of lock/unlock cycles completed
+	// within the measurement window.
+	Acquisitions uint64
+	// Duration is the wall-clock measurement window.
+	Duration time.Duration
+	// CSWork and OutWork are the number of units of synthetic work
+	// performed inside and outside the critical section per cycle.
+	CSWork, OutWork int
+}
+
+// Throughput returns completed critical sections per second.
+func (r StressResult) Throughput() float64 {
+	if r.Duration <= 0 {
+		return 0
+	}
+	return float64(r.Acquisitions) / r.Duration.Seconds()
+}
+
+// Stress hammers a lock of the given kind with n goroutines for the
+// given duration. Each cycle performs csWork units of work while
+// holding the lock and outWork units outside it, modelling a storage
+// manager whose threads alternate between a short shared critical
+// section (e.g. a latch or the lock-manager table) and private work.
+func Stress(kind Kind, n int, d time.Duration, csWork, outWork int) StressResult {
+	l := New(kind)
+	var (
+		stop  uint32
+		total uint64
+		wg    sync.WaitGroup
+		start = make(chan struct{})
+	)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(seed uint64) {
+			defer wg.Done()
+			<-start
+			var local uint64
+			sink := seed
+			for atomic.LoadUint32(&stop) == 0 {
+				l.Lock()
+				for j := 0; j < csWork; j++ {
+					sink = sink*6364136223846793005 + 1442695040888963407
+				}
+				l.Unlock()
+				for j := 0; j < outWork; j++ {
+					sink = sink*6364136223846793005 + 1442695040888963407
+				}
+				local++
+			}
+			if sink == 42 { // defeat dead-code elimination
+				panic("unreachable")
+			}
+			atomic.AddUint64(&total, local)
+		}(uint64(i))
+	}
+	t0 := time.Now()
+	close(start)
+	time.Sleep(d)
+	atomic.StoreUint32(&stop, 1)
+	wg.Wait()
+	elapsed := time.Since(t0)
+	return StressResult{
+		Kind:         kind,
+		Goroutines:   n,
+		Acquisitions: total,
+		Duration:     elapsed,
+		CSWork:       csWork,
+		OutWork:      outWork,
+	}
+}

@@ -1,0 +1,188 @@
+// Package sync2 implements the critical-section primitives whose
+// behavior the paper calls "crucial" for scalable storage managers:
+// pure spinning locks (low handoff latency, wasted cycles under
+// contention), blocking locks (no wasted cycles, expensive parking),
+// and the spin-then-block hybrids that try to track the best of both.
+//
+// All locks implement Locker so experiments and the storage manager
+// can swap implementations freely. Reader-writer variants implement
+// RWLocker.
+package sync2
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Locker is the minimal mutual-exclusion interface shared by every
+// primitive in this package. sync.Mutex satisfies it too.
+type Locker interface {
+	Lock()
+	Unlock()
+}
+
+// RWLocker adds shared (reader) acquisition.
+type RWLocker interface {
+	Locker
+	RLock()
+	RUnlock()
+}
+
+// Kind names a lock implementation, used by experiments to sweep over
+// primitives.
+type Kind int
+
+const (
+	// KindTAS is a naive test-and-set spinlock: every waiter hammers
+	// the lock word with atomic swaps.
+	KindTAS Kind = iota
+	// KindTATAS is test-and-test-and-set with exponential backoff:
+	// waiters spin on a read-only load and only attempt the swap when
+	// the lock looks free.
+	KindTATAS
+	// KindTicket is a fair FIFO ticket lock.
+	KindTicket
+	// KindMCS is the MCS queue lock: each waiter spins on its own
+	// cache line, the canonical scalable spinlock.
+	KindMCS
+	// KindBlocking is the OS/runtime blocking mutex (sync.Mutex);
+	// waiters are descheduled.
+	KindBlocking
+	// KindHybrid spins briefly and then parks, the compromise the
+	// paper's reference [3] recommends for oversubscribed systems.
+	KindHybrid
+)
+
+var kindNames = map[Kind]string{
+	KindTAS:      "tas",
+	KindTATAS:    "tatas",
+	KindTicket:   "ticket",
+	KindMCS:      "mcs",
+	KindBlocking: "block",
+	KindHybrid:   "hybrid",
+}
+
+func (k Kind) String() string {
+	if s, ok := kindNames[k]; ok {
+		return s
+	}
+	return "unknown"
+}
+
+// Kinds lists every primitive, in sweep order.
+func Kinds() []Kind {
+	return []Kind{KindTAS, KindTATAS, KindTicket, KindMCS, KindBlocking, KindHybrid}
+}
+
+// New returns a fresh lock of the given kind.
+func New(k Kind) Locker {
+	switch k {
+	case KindTAS:
+		return new(TASLock)
+	case KindTATAS:
+		return new(TATASLock)
+	case KindTicket:
+		return new(TicketLock)
+	case KindMCS:
+		return new(MCSLock)
+	case KindBlocking:
+		return new(sync.Mutex)
+	case KindHybrid:
+		return NewHybrid(defaultSpinBudget)
+	default:
+		panic("sync2: unknown lock kind")
+	}
+}
+
+// TASLock is a test-and-set spinlock. Each acquisition attempt is a
+// full atomic swap, so under contention every waiter generates
+// coherence traffic on every iteration — the pathology the paper's
+// "spinning wastes cycles" refers to.
+type TASLock struct {
+	state uint32
+}
+
+// Lock spins until the lock is acquired.
+func (l *TASLock) Lock() {
+	for !atomic.CompareAndSwapUint32(&l.state, 0, 1) {
+		spinYield()
+	}
+}
+
+// Unlock releases the lock. It must only be called by the holder.
+func (l *TASLock) Unlock() {
+	atomic.StoreUint32(&l.state, 0)
+}
+
+// TryLock acquires the lock if it is free and reports success.
+func (l *TASLock) TryLock() bool {
+	return atomic.CompareAndSwapUint32(&l.state, 0, 1)
+}
+
+// TATASLock is test-and-test-and-set with exponential backoff:
+// waiters spin on a plain load (local cache hit once the line is
+// shared) and attempt the expensive swap only when the lock appears
+// free, backing off multiplicatively on failure.
+type TATASLock struct {
+	state uint32
+}
+
+// Lock spins until the lock is acquired.
+func (l *TATASLock) Lock() {
+	backoff := 1
+	for {
+		if atomic.LoadUint32(&l.state) == 0 &&
+			atomic.CompareAndSwapUint32(&l.state, 0, 1) {
+			return
+		}
+		for i := 0; i < backoff; i++ {
+			spinYield()
+		}
+		if backoff < 256 {
+			backoff <<= 1
+		}
+	}
+}
+
+// Unlock releases the lock.
+func (l *TATASLock) Unlock() {
+	atomic.StoreUint32(&l.state, 0)
+}
+
+// TryLock acquires the lock if it is free and reports success.
+func (l *TATASLock) TryLock() bool {
+	return atomic.LoadUint32(&l.state) == 0 &&
+		atomic.CompareAndSwapUint32(&l.state, 0, 1)
+}
+
+// TicketLock is a fair FIFO spinlock: arrivals take a ticket and wait
+// for the serving counter to reach it. Fairness prevents starvation
+// but couples every waiter to a single hot cache line.
+type TicketLock struct {
+	next    uint64
+	serving uint64
+}
+
+// Lock takes the next ticket and spins until served.
+func (l *TicketLock) Lock() {
+	t := atomic.AddUint64(&l.next, 1) - 1
+	for atomic.LoadUint64(&l.serving) != t {
+		spinYield()
+	}
+}
+
+// Unlock passes the lock to the next ticket holder.
+func (l *TicketLock) Unlock() {
+	atomic.AddUint64(&l.serving, 1)
+}
+
+// spinYield is one iteration of polite busy-waiting. On a machine
+// with free hardware contexts this approximates a PAUSE; when the
+// runtime is oversubscribed Gosched lets another goroutine run, which
+// keeps spin-based tests meaningful even on small CI hosts.
+func spinYield() {
+	runtime.Gosched()
+}
+
+const defaultSpinBudget = 64

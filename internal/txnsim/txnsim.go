@@ -1,0 +1,151 @@
+// Package txnsim is a deterministic discrete-event simulator of OLTP
+// execution on a chip multiprocessor, comparing the two assignment
+// disciplines of experiment E1: thread-to-transaction (any core runs
+// any transaction, isolation through a centralized lock manager whose
+// internal latches every lock and unlock must visit) and DORA's
+// thread-to-data (transactions decompose into actions shipped to the
+// executor owning the data, no shared lock state).
+//
+// Like internal/logsim, it substitutes for hardware this repository's
+// measured experiments cannot provide: the centralized lock manager's
+// latch contention — the phenomenon the DORA work measures — only
+// exists when lock-table critical sections from different cores
+// genuinely overlap. The model charges explicit cycle costs for lock
+// table visits (with cache-line transfer on contention), transaction
+// work, and DORA's action-dispatch messaging, and reports aggregate
+// throughput per configuration.
+package txnsim
+
+// Params is the cost model, in abstract cycles.
+type Params struct {
+	// WorkCycles is a transaction's data-access and logic work,
+	// excluding all synchronization.
+	WorkCycles float64
+	// LockVisits is the number of lock-manager round trips per
+	// transaction (acquisitions + the release pass).
+	LockVisits int
+	// LockCSCycles is the critical-section length of one lock-table
+	// visit (hash, queue manipulation).
+	LockCSCycles float64
+	// HandoffCycles is the extra cost when a visit finds the latch
+	// held by another core (cache-line transfer + spin).
+	HandoffCycles float64
+	// LockPartitions is the number of independently latched lock-table
+	// partitions (1 = the classic centralized manager).
+	LockPartitions int
+	// DispatchCycles is DORA's cost to ship one action to its owning
+	// executor and return the completion (two message hops).
+	DispatchCycles float64
+	// Partitions is DORA's logical-partition count (= executors).
+	Partitions int
+}
+
+// DefaultParams returns costs proportioned like the motivating
+// systems: short transactions (TATP-like), ~10 lock visits each,
+// lock-table critical sections of a few hundred cycles once queue
+// manipulation and hierarchy walks are counted.
+func DefaultParams(cores int) Params {
+	return Params{
+		WorkCycles:     30000,
+		LockVisits:     10,
+		LockCSCycles:   250,
+		HandoffCycles:  400,
+		LockPartitions: 1,
+		DispatchCycles: 3000,
+		Partitions:     cores,
+	}
+}
+
+// Result is one simulated configuration's outcome.
+type Result struct {
+	Cores int
+	// TxnsPerMCycle is aggregate committed transactions per million
+	// cycles.
+	TxnsPerMCycle float64
+	// LockWaitFrac is the fraction of total core time spent waiting
+	// for lock-table latches (0 for DORA).
+	LockWaitFrac float64
+}
+
+// Conventional simulates thread-to-transaction execution of txns
+// transactions over cores.
+func Conventional(p Params, cores, txns int) Result {
+	coreTime := make([]float64, cores)
+	partFree := make([]float64, p.LockPartitions)
+	var waited float64
+	for done := 0; done < txns; done++ {
+		c := argmin(coreTime)
+		t := coreTime[c]
+		// Interleave lock visits through the transaction's work.
+		slice := p.WorkCycles / float64(p.LockVisits)
+		for v := 0; v < p.LockVisits; v++ {
+			t += slice
+			part := (done*7 + v) % p.LockPartitions // deterministic spread
+			start := t
+			if partFree[part] > t {
+				start = partFree[part] + p.HandoffCycles
+				waited += start - t
+			}
+			end := start + p.LockCSCycles
+			partFree[part] = end
+			t = end
+		}
+		coreTime[c] = t
+	}
+	end := maxOf(coreTime)
+	total := end * float64(cores)
+	return Result{
+		Cores:         cores,
+		TxnsPerMCycle: float64(txns) / end * 1e6,
+		LockWaitFrac:  waited / total,
+	}
+}
+
+// DORA simulates thread-to-data execution: each transaction is one
+// action dispatched to the executor owning its key (uniform keys →
+// round-robin partitions); executors do the work serially, with no
+// shared synchronization at all.
+func DORA(p Params, cores, txns int) Result {
+	execTime := make([]float64, p.Partitions)
+	for done := 0; done < txns; done++ {
+		ex := done % p.Partitions
+		execTime[ex] += p.DispatchCycles + p.WorkCycles
+	}
+	end := maxOf(execTime)
+	return Result{
+		Cores:         cores,
+		TxnsPerMCycle: float64(txns) / end * 1e6,
+	}
+}
+
+// Sweep runs both disciplines across core counts. DORA's executor
+// count tracks the core count.
+func Sweep(base Params, coreCounts []int, txns int) (conv, dora []Result) {
+	for _, n := range coreCounts {
+		p := base
+		p.Partitions = n
+		conv = append(conv, Conventional(p, n, txns))
+		dora = append(dora, DORA(p, n, txns))
+	}
+	return conv, dora
+}
+
+func argmin(xs []float64) int {
+	best := 0
+	for i, v := range xs {
+		if v < xs[best] {
+			best = i
+		}
+	}
+	return best
+}
+
+func maxOf(xs []float64) float64 {
+	m := xs[0]
+	for _, v := range xs {
+		if v > m {
+			m = v
+		}
+	}
+	return m
+}

@@ -1,0 +1,98 @@
+package txnsim
+
+import "testing"
+
+const txns = 20000
+
+func TestSingleCoreDORAOverheadVisible(t *testing.T) {
+	p := DefaultParams(1)
+	conv := Conventional(p, 1, txns)
+	dora := DORA(p, 1, txns)
+	// At one core the conventional system wins slightly: it pays lock
+	// visits but no dispatch messaging; both are within a small factor.
+	if dora.TxnsPerMCycle >= conv.TxnsPerMCycle*1.05 {
+		t.Fatalf("DORA should not win at 1 core: conv=%f dora=%f",
+			conv.TxnsPerMCycle, dora.TxnsPerMCycle)
+	}
+	ratio := conv.TxnsPerMCycle / dora.TxnsPerMCycle
+	if ratio > 1.5 {
+		t.Fatalf("single-core gap implausibly large: %f", ratio)
+	}
+}
+
+// The DORA figure shape: the conventional system hits the lock-table
+// latch wall; DORA keeps scaling.
+func TestDORAWinsAtScale(t *testing.T) {
+	cores := []int{1, 2, 4, 8, 16, 32, 64}
+	conv, dora := Sweep(DefaultParams(1), cores, txns)
+	// Find the crossover.
+	crossed := false
+	for i := range cores {
+		if dora[i].TxnsPerMCycle > conv[i].TxnsPerMCycle {
+			crossed = true
+		}
+	}
+	if !crossed {
+		t.Fatal("DORA never overtook the conventional system")
+	}
+	// At 64 cores the gap must be substantial.
+	last := len(cores) - 1
+	if dora[last].TxnsPerMCycle < 2*conv[last].TxnsPerMCycle {
+		t.Fatalf("64-core gap too small: conv=%f dora=%f",
+			conv[last].TxnsPerMCycle, dora[last].TxnsPerMCycle)
+	}
+}
+
+func TestConventionalSaturates(t *testing.T) {
+	p := DefaultParams(1)
+	c16 := Conventional(p, 16, txns)
+	c64 := Conventional(p, 64, txns)
+	if c64.TxnsPerMCycle > c16.TxnsPerMCycle*1.2 {
+		t.Fatalf("conventional still scaling past 16 cores: %f -> %f",
+			c16.TxnsPerMCycle, c64.TxnsPerMCycle)
+	}
+	// And most core time is lock waiting at 64 cores.
+	if c64.LockWaitFrac < 0.5 {
+		t.Fatalf("lock wait fraction at 64 cores only %f", c64.LockWaitFrac)
+	}
+}
+
+func TestDORAScalesLinearly(t *testing.T) {
+	p := DefaultParams(1)
+	p.Partitions = 1
+	d1 := DORA(p, 1, txns)
+	p.Partitions = 32
+	d32 := DORA(p, 32, txns)
+	speedup := d32.TxnsPerMCycle / d1.TxnsPerMCycle
+	if speedup < 30 || speedup > 33 {
+		t.Fatalf("DORA 32-way speedup = %f, want ~32 (uniform keys)", speedup)
+	}
+}
+
+func TestPartitionedLockTableHelpsButBounded(t *testing.T) {
+	// Partitioning the lock table (Shore-MT's fix) lifts the ceiling
+	// but the latch cost per visit remains; DORA removes it entirely.
+	p := DefaultParams(1)
+	cores := 64
+	central := Conventional(p, cores, txns)
+	p.LockPartitions = 16
+	parted := Conventional(p, cores, txns)
+	if parted.TxnsPerMCycle <= central.TxnsPerMCycle {
+		t.Fatal("partitioned lock table did not help")
+	}
+	pd := p
+	pd.Partitions = cores
+	dora := DORA(pd, cores, txns)
+	if dora.TxnsPerMCycle <= parted.TxnsPerMCycle {
+		t.Fatalf("DORA (%f) should beat even the partitioned table (%f)",
+			dora.TxnsPerMCycle, parted.TxnsPerMCycle)
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	a := Conventional(DefaultParams(8), 8, txns)
+	b := Conventional(DefaultParams(8), 8, txns)
+	if a != b {
+		t.Fatal("simulation not deterministic")
+	}
+}

@@ -1,0 +1,147 @@
+package wal
+
+import (
+	"runtime"
+	"sync/atomic"
+	"time"
+)
+
+// consArray is the consolidation array of the Aether log protocol.
+// Concurrent inserters that would otherwise queue on the allocation
+// mutex instead combine their requests in a slot: the first arrival
+// (the group leader) acquires the mutex once and allocates space for
+// the whole group; every member then copies its record into its own
+// sub-range concurrently. Mutex acquisitions per record approach
+// 1/group-size under load.
+type consArray struct {
+	slots []caslot
+	rr    atomic.Uint64 // round-robin slot cursor
+}
+
+// caslot packs the group state into atomics:
+//
+//	word: bits 63..62 status (0 free, 1 open, 2 closed), bits 61..0
+//	      accumulated group size in bytes
+//	base: published base LSN + 1 (0 = not yet published)
+//	done: bytes copied by finished members; when done == size the
+//	      last member recycles the slot
+type caslot struct {
+	word atomic.Uint64
+	base atomic.Uint64
+	done atomic.Uint64
+	_    [40]byte // keep slots on separate cache lines
+}
+
+const (
+	caStatusShift = 62
+	caSizeMask    = (uint64(1) << caStatusShift) - 1
+	caFree        = uint64(0)
+	caOpen        = uint64(1)
+	caClosed      = uint64(2)
+)
+
+func caPack(status, size uint64) uint64 { return status<<caStatusShift | size }
+func caStatus(w uint64) uint64          { return w >> caStatusShift }
+func caSize(w uint64) uint64            { return w & caSizeMask }
+
+func newConsArray(n int) *consArray {
+	return &consArray{slots: make([]caslot, n)}
+}
+
+// join attempts to enter a consolidation group with a request of n
+// bytes. It returns (slot, offset, leader): offset is the caller's
+// displacement within the group allocation; leader reports whether
+// the caller must perform the group's allocation.
+// max bounds the group size so one group can always fit in the ring.
+func (ca *consArray) join(n, max uint64) (s *caslot, offset uint64, leader bool) {
+	i := ca.rr.Add(1)
+	for {
+		s = &ca.slots[i%uint64(len(ca.slots))]
+		w := s.word.Load()
+		switch {
+		case caStatus(w) == caFree:
+			if s.word.CompareAndSwap(w, caPack(caOpen, n)) {
+				return s, 0, true
+			}
+		case caStatus(w) == caOpen && caSize(w)+n <= max:
+			if s.word.CompareAndSwap(w, caPack(caOpen, caSize(w)+n)) {
+				return s, caSize(w), false
+			}
+		default: // closed or full: move to the next slot
+			i++
+		}
+	}
+}
+
+// close transitions the leader's slot to closed and returns the final
+// group size. Only the leader calls it, exactly once, while holding
+// the allocation mutex.
+func (ca *consArray) close(s *caslot) uint64 {
+	for {
+		w := s.word.Load()
+		if s.word.CompareAndSwap(w, caPack(caClosed, caSize(w))) {
+			return caSize(w)
+		}
+	}
+}
+
+// publish makes the group's base LSN visible to waiting members.
+func (ca *consArray) publish(s *caslot, base uint64) {
+	s.base.Store(base + 1)
+}
+
+// waitBase spins until the leader publishes the group base LSN,
+// backing off to short sleeps when yields alone make no progress
+// (relevant when goroutines far outnumber hardware contexts).
+func (ca *consArray) waitBase(s *caslot) uint64 {
+	for i := 0; ; i++ {
+		if b := s.base.Load(); b != 0 {
+			return b - 1
+		}
+		if i < 64 {
+			runtime.Gosched()
+		} else {
+			time.Sleep(time.Microsecond)
+		}
+	}
+}
+
+// finish records that a member has copied n bytes; the member that
+// completes the group recycles the slot.
+func (ca *consArray) finish(s *caslot, groupSize, n uint64) {
+	if s.done.Add(n) == groupSize {
+		s.done.Store(0)
+		s.base.Store(0)
+		s.word.Store(caPack(caFree, 0))
+	}
+}
+
+// insertConsolidated is the CD insert path: consolidation array in
+// front of a decoupled (copy-outside-mutex) buffer fill.
+func (l *Log) insertConsolidated(rec []byte) (LSN, error) {
+	n := uint64(len(rec))
+	s, offset, leader := l.ca.join(n, uint64(l.opts.BufferSize)/4)
+	var base uint64
+	var groupSize uint64
+	if leader {
+		l.mu.Lock()
+		l.stats.mutexAcquires.Add(1)
+		groupSize = l.ca.close(s) // no more joiners past this point
+		base = l.allocateLocked(groupSize)
+		l.mu.Unlock()
+		l.ca.publish(s, base)
+	} else {
+		l.stats.groupIns.Add(1)
+		base = l.ca.waitBase(s)
+		// groupSize is only needed by finish for recycling; members
+		// other than the leader learn it from the closed word.
+		groupSize = caSize(s.word.Load())
+	}
+	lsn := base + offset
+	l.ring.copyIn(lsn, rec)
+	l.fr.complete(lsn, lsn+n)
+	l.ca.finish(s, groupSize, n)
+	l.noteInsert(n)
+	l.kickFlusher()
+	return LSN(lsn), nil
+}

@@ -1,0 +1,159 @@
+package wal
+
+import (
+	"fmt"
+	"os"
+	"sync"
+)
+
+// Device is the stable storage the log is flushed to. Offsets are
+// LSNs: the log file image is the concatenation of all records.
+type Device interface {
+	// WriteAt writes b at the given log offset.
+	WriteAt(b []byte, off int64) (int, error)
+	// ReadAt reads into b from the given log offset. Short reads at
+	// end of log return io.EOF semantics via n < len(b).
+	ReadAt(b []byte, off int64) (int, error)
+	// Sync makes preceding writes durable.
+	Sync() error
+	// Size returns the current log length in bytes.
+	Size() (int64, error)
+	// Close releases the device.
+	Close() error
+}
+
+// FileDevice is a Device backed by a regular file.
+type FileDevice struct {
+	f *os.File
+}
+
+// OpenFile opens (creating if needed) a file-backed log device.
+func OpenFile(path string) (*FileDevice, error) {
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("wal: open %s: %w", path, err)
+	}
+	return &FileDevice{f: f}, nil
+}
+
+// WriteAt implements Device.
+func (d *FileDevice) WriteAt(b []byte, off int64) (int, error) { return d.f.WriteAt(b, off) }
+
+// ReadAt implements Device.
+func (d *FileDevice) ReadAt(b []byte, off int64) (int, error) { return d.f.ReadAt(b, off) }
+
+// Sync implements Device.
+func (d *FileDevice) Sync() error { return d.f.Sync() }
+
+// Size implements Device.
+func (d *FileDevice) Size() (int64, error) {
+	st, err := d.f.Stat()
+	if err != nil {
+		return 0, err
+	}
+	return st.Size(), nil
+}
+
+// Close implements Device.
+func (d *FileDevice) Close() error { return d.f.Close() }
+
+// MemDevice is an in-memory Device for tests and for CPU-bound
+// experiments that must exclude disk latency. An optional per-sync
+// artificial latency models a disk for group-commit experiments.
+type MemDevice struct {
+	mu      sync.Mutex
+	data    []byte
+	syncs   int
+	SyncFn  func() // optional hook invoked (unlocked) on every Sync
+	failAt  int64  // if >0, writes past this offset fail (fault injection)
+	failErr error
+}
+
+// NewMem returns an empty in-memory device.
+func NewMem() *MemDevice { return &MemDevice{} }
+
+// FailAfter arranges for any write that would extend the device past
+// off to fail with err, simulating a full or dying disk.
+func (d *MemDevice) FailAfter(off int64, err error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.failAt, d.failErr = off, err
+}
+
+// WriteAt implements Device.
+func (d *MemDevice) WriteAt(b []byte, off int64) (int, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	end := off + int64(len(b))
+	if d.failAt > 0 && end > d.failAt {
+		return 0, d.failErr
+	}
+	if end > int64(len(d.data)) {
+		if end > int64(cap(d.data)) {
+			// Amortized doubling: naive reallocation would make every
+			// small append O(device size).
+			newCap := 2 * cap(d.data)
+			if int64(newCap) < end {
+				newCap = int(end)
+			}
+			grown := make([]byte, end, newCap)
+			copy(grown, d.data)
+			d.data = grown
+		} else {
+			d.data = d.data[:end]
+		}
+	}
+	copy(d.data[off:], b)
+	return len(b), nil
+}
+
+// ReadAt implements Device.
+func (d *MemDevice) ReadAt(b []byte, off int64) (int, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if off >= int64(len(d.data)) {
+		return 0, nil
+	}
+	n := copy(b, d.data[off:])
+	return n, nil
+}
+
+// Sync implements Device.
+func (d *MemDevice) Sync() error {
+	d.mu.Lock()
+	d.syncs++
+	fn := d.SyncFn
+	d.mu.Unlock()
+	if fn != nil {
+		fn()
+	}
+	return nil
+}
+
+// Syncs returns the number of Sync calls, for asserting group-commit
+// batching in tests.
+func (d *MemDevice) Syncs() int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.syncs
+}
+
+// Size implements Device.
+func (d *MemDevice) Size() (int64, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return int64(len(d.data)), nil
+}
+
+// Close implements Device.
+func (d *MemDevice) Close() error { return nil }
+
+// Truncate cuts the device at off, simulating a crash that lost the
+// tail (including torn writes when off lands mid-record).
+func (d *MemDevice) Truncate(off int64) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if off < int64(len(d.data)) {
+		d.data = d.data[:off]
+	}
+}

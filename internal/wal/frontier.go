@@ -1,0 +1,46 @@
+package wal
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// frontier tracks the contiguously-filled prefix of the log buffer
+// when records are copied in out of order (decoupled buffer fill).
+// Writers complete arbitrary [start, end) intervals; Filled() is the
+// highest LSN below which every byte has been copied.
+type frontier struct {
+	mu      sync.Mutex
+	filled  atomic.Uint64
+	pending map[uint64]uint64 // start -> end of completed, detached intervals
+}
+
+func newFrontier() *frontier {
+	return &frontier{pending: make(map[uint64]uint64)}
+}
+
+// complete marks [start, end) as filled and returns true if the
+// contiguous frontier advanced.
+func (f *frontier) complete(start, end uint64) bool {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	cur := f.filled.Load()
+	if start != cur {
+		f.pending[start] = end
+		return false
+	}
+	// Advance through any now-contiguous pending intervals.
+	for {
+		if next, ok := f.pending[end]; ok {
+			delete(f.pending, end)
+			end = next
+			continue
+		}
+		break
+	}
+	f.filled.Store(end)
+	return true
+}
+
+// Filled returns the contiguously-filled LSN frontier.
+func (f *frontier) Filled() uint64 { return f.filled.Load() }

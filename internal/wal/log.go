@@ -1,0 +1,407 @@
+package wal
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// BufferKind selects the log-insert algorithm, the subject of
+// experiment E2 (claim C6: extracting parallelism from logging).
+type BufferKind int
+
+const (
+	// Serial is the conventional design: one mutex protects both LSN
+	// allocation and the copy into the log buffer, so the critical
+	// section grows with record size.
+	Serial BufferKind = iota
+	// Decoupled holds the mutex only to allocate the LSN range; the
+	// copy happens outside, with out-of-order completion tracking
+	// (Aether's "D" variant).
+	Decoupled
+	// Consolidated adds the consolidation array in front of the
+	// decoupled path: concurrent inserters combine into a single
+	// allocation, so mutex acquisitions per record approach zero
+	// under load (Aether's "CD" variant).
+	Consolidated
+)
+
+var bufferKindNames = map[BufferKind]string{
+	Serial: "serial", Decoupled: "decoupled", Consolidated: "consolidated",
+}
+
+func (k BufferKind) String() string {
+	if s, ok := bufferKindNames[k]; ok {
+		return s
+	}
+	return "unknown"
+}
+
+// BufferKinds lists the insert algorithms in sweep order.
+func BufferKinds() []BufferKind { return []BufferKind{Serial, Decoupled, Consolidated} }
+
+// Options configures a Log.
+type Options struct {
+	// Kind selects the insert algorithm. Default Serial.
+	Kind BufferKind
+	// BufferSize is the ring buffer capacity in bytes; rounded up to
+	// a power of two. Default 8 MiB.
+	BufferSize int
+	// FlushInterval is the longest a filled record may wait before a
+	// background flush. Default 1ms.
+	FlushInterval time.Duration
+	// SyncOnFlush forces Device.Sync after each flush write (needed
+	// for durability; disable only in CPU-bound experiments).
+	SyncOnFlush bool
+	// Slots is the consolidation array width. Default 8.
+	Slots int
+}
+
+func (o *Options) fill() {
+	if o.BufferSize <= 0 {
+		o.BufferSize = 8 << 20
+	}
+	// Round to power of two.
+	n := 1
+	for n < o.BufferSize {
+		n <<= 1
+	}
+	o.BufferSize = n
+	if o.FlushInterval <= 0 {
+		o.FlushInterval = time.Millisecond
+	}
+	if o.Slots <= 0 {
+		o.Slots = 8
+	}
+}
+
+// Stats are cumulative log-manager counters.
+type Stats struct {
+	Inserts       uint64 // records inserted
+	InsertedBytes uint64
+	Flushes       uint64 // flush IOs issued
+	FlushedBytes  uint64
+	MutexAcquires uint64 // allocation-mutex acquisitions (consolidation wins show here)
+	GroupInserts  uint64 // records that joined a consolidation group led by another
+}
+
+// Log is the log manager: an in-memory ring buffer filled by Insert
+// and drained to a Device by a background flusher, with group commit.
+type Log struct {
+	opts Options
+	dev  Device
+
+	mu    sync.Mutex // guards next and space accounting
+	space *sync.Cond // signaled when flushed advances
+	next  uint64     // next LSN to allocate (logical byte offset)
+
+	ring ringBuf
+	fr   *frontier
+	ca   *consArray
+
+	flushed   atomic.Uint64 // durable LSN frontier
+	flushCond *sync.Cond    // broadcast on flushed advance
+	flushMu   sync.Mutex
+
+	kick        chan struct{}
+	done        chan struct{}
+	closed      atomic.Bool
+	flushOnceMu sync.Mutex   // serializes flushOnce (flusher vs Close)
+	flusherErr  atomic.Value // error from a failed flush, poisons the log
+
+	stats struct {
+		inserts, insertedBytes  atomic.Uint64
+		flushes, flushedBytes   atomic.Uint64
+		mutexAcquires, groupIns atomic.Uint64
+	}
+}
+
+type ringBuf struct {
+	buf  []byte
+	mask uint64
+}
+
+func (r *ringBuf) copyIn(off uint64, b []byte) {
+	i := off & r.mask
+	n := copy(r.buf[i:], b)
+	if n < len(b) {
+		copy(r.buf, b[n:])
+	}
+}
+
+// slices returns the one or two contiguous ring regions covering
+// [start, end).
+func (r *ringBuf) slices(start, end uint64) ([]byte, []byte) {
+	if start == end {
+		return nil, nil
+	}
+	i, j := start&r.mask, end&r.mask
+	if i < j {
+		return r.buf[i:j], nil
+	}
+	return r.buf[i:], r.buf[:j]
+}
+
+// New creates a log manager over dev, resuming at the device's
+// current size (i.e. the next LSN continues the existing log).
+func New(dev Device, opts Options) (*Log, error) {
+	opts.fill()
+	if opts.BufferSize < EncodedSize(MaxPayload) {
+		return nil, fmt.Errorf("wal: buffer %d smaller than max record", opts.BufferSize)
+	}
+	size, err := dev.Size()
+	if err != nil {
+		return nil, fmt.Errorf("wal: device size: %w", err)
+	}
+	l := &Log{
+		opts: opts,
+		dev:  dev,
+		next: uint64(size),
+		ring: ringBuf{buf: make([]byte, opts.BufferSize), mask: uint64(opts.BufferSize) - 1},
+		fr:   newFrontier(),
+		kick: make(chan struct{}, 1),
+		done: make(chan struct{}),
+	}
+	l.space = sync.NewCond(&l.mu)
+	l.flushCond = sync.NewCond(&l.flushMu)
+	l.fr.filled.Store(l.next)
+	l.flushed.Store(l.next)
+	if opts.Kind == Consolidated {
+		l.ca = newConsArray(opts.Slots)
+	}
+	go l.flusher()
+	return l, nil
+}
+
+// ErrClosed is returned by operations on a closed log.
+var ErrClosed = errors.New("wal: log closed")
+
+// Append encodes and inserts a record, returning its LSN. It does not
+// wait for durability; use WaitFlushed for commit semantics.
+func (l *Log) Append(r *Record) (LSN, error) {
+	size := EncodedSize(len(r.Payload))
+	buf := encBufPool.Get().(*[]byte)
+	if cap(*buf) < size {
+		*buf = make([]byte, size)
+	}
+	b := (*buf)[:size]
+	if _, err := Encode(r, b); err != nil {
+		encBufPool.Put(buf)
+		return 0, err
+	}
+	lsn, err := l.Insert(b)
+	encBufPool.Put(buf)
+	return lsn, err
+}
+
+var encBufPool = sync.Pool{New: func() any {
+	b := make([]byte, 4096)
+	return &b
+}}
+
+// Insert places an already-encoded record into the log and returns
+// its LSN. The insert algorithm is chosen by Options.Kind.
+func (l *Log) Insert(rec []byte) (LSN, error) {
+	if l.closed.Load() {
+		return 0, ErrClosed
+	}
+	if len(rec) == 0 || len(rec) > l.opts.BufferSize/2 {
+		return 0, fmt.Errorf("wal: record size %d out of range", len(rec))
+	}
+	switch l.opts.Kind {
+	case Serial:
+		return l.insertSerial(rec)
+	case Decoupled:
+		return l.insertDecoupled(rec)
+	case Consolidated:
+		return l.insertConsolidated(rec)
+	default:
+		panic("wal: unknown buffer kind")
+	}
+}
+
+// allocate reserves n bytes of log space, blocking while the ring is
+// full. Caller must hold l.mu.
+func (l *Log) allocateLocked(n uint64) uint64 {
+	for l.next+n-l.flushed.Load() > uint64(l.opts.BufferSize) {
+		l.kickFlusher()
+		l.space.Wait()
+	}
+	lsn := l.next
+	l.next += n
+	return lsn
+}
+
+func (l *Log) insertSerial(rec []byte) (LSN, error) {
+	n := uint64(len(rec))
+	l.mu.Lock()
+	l.stats.mutexAcquires.Add(1)
+	lsn := l.allocateLocked(n)
+	l.ring.copyIn(lsn, rec) // copy under the mutex: the serial pathology
+	l.fr.complete(lsn, lsn+n)
+	l.mu.Unlock()
+	l.noteInsert(n)
+	l.kickFlusher()
+	return LSN(lsn), nil
+}
+
+func (l *Log) insertDecoupled(rec []byte) (LSN, error) {
+	n := uint64(len(rec))
+	l.mu.Lock()
+	l.stats.mutexAcquires.Add(1)
+	lsn := l.allocateLocked(n)
+	l.mu.Unlock()
+	l.ring.copyIn(lsn, rec) // outside the mutex
+	l.fr.complete(lsn, lsn+n)
+	l.noteInsert(n)
+	l.kickFlusher()
+	return LSN(lsn), nil
+}
+
+func (l *Log) noteInsert(n uint64) {
+	l.stats.inserts.Add(1)
+	l.stats.insertedBytes.Add(n)
+}
+
+func (l *Log) kickFlusher() {
+	select {
+	case l.kick <- struct{}{}:
+	default:
+	}
+}
+
+// FlushedLSN returns the durable frontier: every record with
+// LSN+len <= FlushedLSN survives a crash.
+func (l *Log) FlushedLSN() LSN { return LSN(l.flushed.Load()) }
+
+// FilledLSN returns the contiguously-filled buffer frontier.
+func (l *Log) FilledLSN() LSN { return LSN(l.fr.Filled()) }
+
+// NextLSN returns the next LSN to be allocated (the current end of
+// the log stream).
+func (l *Log) NextLSN() LSN {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return LSN(l.next)
+}
+
+// WaitFlushed blocks until the log is durable up to and including the
+// record that starts at lsn (group commit). It returns early with an
+// error if the log is closed or the flusher failed.
+func (l *Log) WaitFlushed(lsn LSN) error {
+	target := uint64(lsn) + 1 // any byte past the record start implies record scheduling order; callers pass end-1 semantics via RecordEnd
+	l.kickFlusher()
+	l.flushMu.Lock()
+	defer l.flushMu.Unlock()
+	for l.flushed.Load() < target {
+		if err, ok := l.flusherErr.Load().(error); ok && err != nil {
+			return err
+		}
+		if l.closed.Load() {
+			return ErrClosed
+		}
+		l.flushCond.Wait()
+	}
+	if err, ok := l.flusherErr.Load().(error); ok && err != nil {
+		return err
+	}
+	return nil
+}
+
+// Flush forces all filled records to stable storage before returning.
+func (l *Log) Flush() error {
+	l.mu.Lock()
+	target := l.next
+	l.mu.Unlock()
+	if target == 0 {
+		return nil
+	}
+	return l.WaitFlushed(LSN(target - 1))
+}
+
+// Close flushes and stops the background flusher.
+func (l *Log) Close() error {
+	if l.closed.Swap(true) {
+		return nil
+	}
+	flushErr := l.flushOnce() // final synchronous drain
+	close(l.done)
+	l.flushMu.Lock()
+	l.flushCond.Broadcast()
+	l.flushMu.Unlock()
+	if err, ok := l.flusherErr.Load().(error); ok && err != nil {
+		return err
+	}
+	return flushErr
+}
+
+// StatsSnapshot returns a copy of the cumulative counters.
+func (l *Log) StatsSnapshot() Stats {
+	return Stats{
+		Inserts:       l.stats.inserts.Load(),
+		InsertedBytes: l.stats.insertedBytes.Load(),
+		Flushes:       l.stats.flushes.Load(),
+		FlushedBytes:  l.stats.flushedBytes.Load(),
+		MutexAcquires: l.stats.mutexAcquires.Load(),
+		GroupInserts:  l.stats.groupIns.Load(),
+	}
+}
+
+func (l *Log) flusher() {
+	ticker := time.NewTicker(l.opts.FlushInterval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-l.done:
+			return
+		case <-l.kick:
+		case <-ticker.C:
+		}
+		if err := l.flushOnce(); err != nil {
+			l.flusherErr.Store(err)
+			l.flushMu.Lock()
+			l.flushCond.Broadcast()
+			l.flushMu.Unlock()
+			return
+		}
+	}
+}
+
+// flushOnce writes [flushed, filled) to the device and advances the
+// durable frontier.
+func (l *Log) flushOnce() error {
+	l.flushOnceMu.Lock()
+	defer l.flushOnceMu.Unlock()
+	start := l.flushed.Load()
+	end := l.fr.Filled()
+	if end <= start {
+		return nil
+	}
+	a, b := l.ring.slices(start, end)
+	if _, err := l.dev.WriteAt(a, int64(start)); err != nil {
+		return fmt.Errorf("wal: flush write: %w", err)
+	}
+	if len(b) > 0 {
+		if _, err := l.dev.WriteAt(b, int64(start)+int64(len(a))); err != nil {
+			return fmt.Errorf("wal: flush write (wrap): %w", err)
+		}
+	}
+	if l.opts.SyncOnFlush {
+		if err := l.dev.Sync(); err != nil {
+			return fmt.Errorf("wal: flush sync: %w", err)
+		}
+	}
+	l.flushed.Store(end)
+	l.stats.flushes.Add(1)
+	l.stats.flushedBytes.Add(end - start)
+	// Wake space waiters and commit waiters.
+	l.mu.Lock()
+	l.space.Broadcast()
+	l.mu.Unlock()
+	l.flushMu.Lock()
+	l.flushCond.Broadcast()
+	l.flushMu.Unlock()
+	return nil
+}

@@ -1,0 +1,239 @@
+package wal
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+)
+
+// SegmentedDevice is a Device backed by a directory of fixed-size
+// segment files (seg-<startLSN>.wal). Because segments are immutable
+// once the log moves past them, whole old segments can be deleted
+// after a checkpoint — the log-recycling mechanism every production
+// WAL needs and a single flat file cannot provide.
+type SegmentedDevice struct {
+	dir     string
+	segSize int64
+
+	mu    sync.Mutex
+	segs  map[int64]*os.File // start offset -> file
+	size  int64              // logical end of log
+	base  int64              // lowest retained offset (truncation point)
+	syncs int
+}
+
+// OpenSegmented opens (creating if needed) a segmented device in dir.
+// segSize is the per-segment capacity in bytes.
+func OpenSegmented(dir string, segSize int64) (*SegmentedDevice, error) {
+	if segSize <= 0 {
+		return nil, fmt.Errorf("wal: segment size must be positive")
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("wal: mkdir %s: %w", dir, err)
+	}
+	d := &SegmentedDevice{dir: dir, segSize: segSize, segs: make(map[int64]*os.File)}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var starts []int64
+	for _, ent := range entries {
+		name := ent.Name()
+		if !strings.HasPrefix(name, "seg-") || !strings.HasSuffix(name, ".wal") {
+			continue
+		}
+		start, err := strconv.ParseInt(strings.TrimSuffix(strings.TrimPrefix(name, "seg-"), ".wal"), 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("wal: bad segment name %s", name)
+		}
+		starts = append(starts, start)
+	}
+	sort.Slice(starts, func(i, j int) bool { return starts[i] < starts[j] })
+	for i, start := range starts {
+		f, err := os.OpenFile(d.segPath(start), os.O_RDWR, 0o644)
+		if err != nil {
+			return nil, err
+		}
+		d.segs[start] = f
+		st, err := f.Stat()
+		if err != nil {
+			return nil, err
+		}
+		if i == 0 {
+			d.base = start
+		}
+		d.size = start + st.Size()
+	}
+	return d, nil
+}
+
+func (d *SegmentedDevice) segPath(start int64) string {
+	return filepath.Join(d.dir, fmt.Sprintf("seg-%020d.wal", start))
+}
+
+func (d *SegmentedDevice) segStart(off int64) int64 { return off - off%d.segSize }
+
+// segFor returns (creating if needed) the segment containing off.
+// Caller holds d.mu.
+func (d *SegmentedDevice) segFor(off int64) (*os.File, error) {
+	start := d.segStart(off)
+	if f, ok := d.segs[start]; ok {
+		return f, nil
+	}
+	f, err := os.OpenFile(d.segPath(start), os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	d.segs[start] = f
+	return f, nil
+}
+
+// WriteAt implements Device, splitting writes at segment boundaries.
+func (d *SegmentedDevice) WriteAt(b []byte, off int64) (int, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	written := 0
+	for len(b) > 0 {
+		start := d.segStart(off)
+		f, err := d.segFor(off)
+		if err != nil {
+			return written, err
+		}
+		room := start + d.segSize - off
+		chunk := b
+		if int64(len(chunk)) > room {
+			chunk = b[:room]
+		}
+		if _, err := f.WriteAt(chunk, off-start); err != nil {
+			return written, fmt.Errorf("wal: segment write at %d: %w", off, err)
+		}
+		written += len(chunk)
+		off += int64(len(chunk))
+		b = b[len(chunk):]
+	}
+	if off > d.size {
+		d.size = off
+	}
+	return written, nil
+}
+
+// ReadAt implements Device, splitting reads at segment boundaries.
+// Reads below the truncation point return zero bytes read.
+func (d *SegmentedDevice) ReadAt(b []byte, off int64) (int, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	read := 0
+	for len(b) > 0 && off < d.size {
+		start := d.segStart(off)
+		room := start + d.segSize - off
+		chunk := b
+		if int64(len(chunk)) > room {
+			chunk = b[:room]
+		}
+		f, ok := d.segs[start]
+		if !ok {
+			if start < d.base {
+				return read, fmt.Errorf("wal: read at %d below truncation point %d", off, d.base)
+			}
+			// Never-written segment (sparse region): reads as zeros.
+			for i := range chunk {
+				chunk[i] = 0
+			}
+			read += len(chunk)
+			off += int64(len(chunk))
+			b = b[len(chunk):]
+			continue
+		}
+		n, err := f.ReadAt(chunk, off-start)
+		if n < len(chunk) && err != nil {
+			// Short segment (sparse tail within a live segment): the
+			// remainder reads as zeros up to the chunk length.
+			for i := n; i < len(chunk); i++ {
+				chunk[i] = 0
+			}
+			n = len(chunk)
+		}
+		read += n
+		off += int64(n)
+		b = b[n:]
+	}
+	return read, nil
+}
+
+// Sync implements Device.
+func (d *SegmentedDevice) Sync() error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.syncs++
+	for _, f := range d.segs {
+		if err := f.Sync(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Size implements Device.
+func (d *SegmentedDevice) Size() (int64, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.size, nil
+}
+
+// Close implements Device.
+func (d *SegmentedDevice) Close() error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	var first error
+	for _, f := range d.segs {
+		if err := f.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	d.segs = make(map[int64]*os.File)
+	return first
+}
+
+// TruncateBefore deletes every segment that lies entirely below lsn.
+// The caller guarantees no record at or above its recovery horizon
+// lives below lsn (see core's truncation-point computation). It
+// returns the number of segments removed.
+func (d *SegmentedDevice) TruncateBefore(lsn LSN) (int, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	removed := 0
+	for start, f := range d.segs {
+		if start+d.segSize <= int64(lsn) {
+			if err := f.Close(); err != nil {
+				return removed, err
+			}
+			if err := os.Remove(d.segPath(start)); err != nil {
+				return removed, err
+			}
+			delete(d.segs, start)
+			removed++
+		}
+	}
+	if int64(lsn) > d.base {
+		d.base = d.segStart(int64(lsn))
+	}
+	return removed, nil
+}
+
+// Base returns the lowest retained log offset.
+func (d *SegmentedDevice) Base() int64 {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.base
+}
+
+// Segments returns the number of live segment files.
+func (d *SegmentedDevice) Segments() int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return len(d.segs)
+}

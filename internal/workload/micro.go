@@ -1,0 +1,118 @@
+package workload
+
+import (
+	"errors"
+
+	"hydra/internal/core"
+	"hydra/internal/rng"
+)
+
+// Micro is a tunable key-value microbenchmark: N keys, a read/write
+// mix, and optional zipfian skew. Experiments use it when they need a
+// single knob (contention) isolated from benchmark semantics.
+type Micro struct {
+	Keys      uint64
+	WriteFrac float64 // fraction of operations that update
+	Theta     float64 // zipf exponent; 0 = uniform
+	ValueSize int
+
+	Table *core.Table
+}
+
+// SetupMicro creates and loads the microbenchmark table.
+func SetupMicro(e *core.Engine, keys uint64, writeFrac, theta float64, valueSize int) (*Micro, error) {
+	if valueSize < 8 {
+		valueSize = 8
+	}
+	w := &Micro{Keys: keys, WriteFrac: writeFrac, Theta: theta, ValueSize: valueSize}
+	var err error
+	if w.Table, err = e.CreateTable("micro_kv"); err != nil {
+		return nil, err
+	}
+	src := rng.New(91)
+	for lo := uint64(0); lo < keys; lo += 2000 {
+		hi := lo + 2000
+		if hi > keys {
+			hi = keys
+		}
+		err := e.Exec(func(tx *core.Txn) error {
+			for k := lo; k < hi; k++ {
+				v := make([]byte, valueSize)
+				src.Bytes(v)
+				copy(v, U64(0))
+				if err := tx.Insert(w.Table, k, v); err != nil {
+					return err
+				}
+			}
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
+	return w, nil
+}
+
+// Sampler draws keys for one worker; create one per goroutine.
+type Sampler struct {
+	src  *rng.Source
+	zipf *rng.Zipf
+	keys uint64
+}
+
+// NewSampler returns a key sampler seeded per worker.
+func (w *Micro) NewSampler(seed uint64) *Sampler {
+	src := rng.New(seed)
+	s := &Sampler{src: src, keys: w.Keys}
+	if w.Theta > 0 {
+		s.zipf = rng.NewZipf(src.Split(1), w.Keys, w.Theta)
+	}
+	return s
+}
+
+// Next draws a key.
+func (s *Sampler) Next() uint64 {
+	if s.zipf != nil {
+		return s.zipf.Next()
+	}
+	return uint64(s.src.Intn(int(s.keys)))
+}
+
+// Src exposes the sampler's random source for mix decisions.
+func (s *Sampler) Src() *rng.Source { return s.src }
+
+// RunOne executes one read or read-modify-write operation.
+func (w *Micro) RunOne(s *Sampler, x Executor) error {
+	k := s.Next()
+	if s.src.Float64() >= w.WriteFrac {
+		return x.Run(w.Table, k, func(tx *core.Txn) error {
+			_, err := tx.Read(w.Table, k)
+			if errors.Is(err, core.ErrNotFound) {
+				return nil
+			}
+			return err
+		})
+	}
+	return x.Run(w.Table, k, func(tx *core.Txn) error {
+		v, err := tx.ReadForUpdate(w.Table, k)
+		if err != nil {
+			return err
+		}
+		copy(v, U64(DecU64(v)+1))
+		return tx.Update(w.Table, k, v)
+	})
+}
+
+// TotalWrites sums the per-key write counters (the first 8 bytes of
+// each value), for conservation checks.
+func (w *Micro) TotalWrites(e *core.Engine) (uint64, error) {
+	var total uint64
+	err := e.Exec(func(tx *core.Txn) error {
+		total = 0
+		return tx.Scan(w.Table, 0, ^uint64(0), func(_ uint64, v []byte) bool {
+			total += DecU64(v)
+			return true
+		})
+	})
+	return total, err
+}

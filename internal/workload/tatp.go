@@ -1,0 +1,192 @@
+package workload
+
+import (
+	"errors"
+	"fmt"
+
+	"hydra/internal/core"
+	"hydra/internal/rng"
+)
+
+// TATP is the Telecom Application Transaction Processing benchmark
+// (reduced): a subscriber database with a heavily skewed, short-
+// transaction, read-mostly mix. It is the workload of experiment E1
+// (conventional vs DORA) because its transactions touch one
+// subscriber each — ideal for thread-to-data routing.
+type TATP struct {
+	Subscribers uint64
+
+	Subscriber     *core.Table // s_id -> subscriber record
+	AccessInfo     *core.Table // s_id*4 + ai_type -> access info
+	CallForwarding *core.Table // s_id*16 + sf_type*4 + start_hour -> cf record
+}
+
+// TATP transaction type shares (per the standard mix).
+const (
+	tatpGetSubscriberData = 35
+	tatpGetAccessData     = 35
+	tatpGetNewDestination = 10
+	tatpUpdateLocation    = 14
+	tatpUpdateSubData     = 2
+	tatpInsertCF          = 2
+	tatpDeleteCF          = 2
+)
+
+// SetupTATP creates and loads the TATP tables.
+func SetupTATP(e *core.Engine, subscribers uint64) (*TATP, error) {
+	w := &TATP{Subscribers: subscribers}
+	var err error
+	if w.Subscriber, err = e.CreateTable("tatp_subscriber"); err != nil {
+		return nil, err
+	}
+	if w.AccessInfo, err = e.CreateTable("tatp_access_info"); err != nil {
+		return nil, err
+	}
+	if w.CallForwarding, err = e.CreateTable("tatp_call_forwarding"); err != nil {
+		return nil, err
+	}
+	src := rng.New(7341)
+	const batch = 1000
+	for lo := uint64(0); lo < subscribers; lo += batch {
+		hi := lo + batch
+		if hi > subscribers {
+			hi = subscribers
+		}
+		err := e.Exec(func(tx *core.Txn) error {
+			for s := lo; s < hi; s++ {
+				if err := tx.Insert(w.Subscriber, s, subscriberRecord(src, s)); err != nil {
+					return err
+				}
+				// 1-4 access-info rows per subscriber.
+				for ai := uint64(0); ai < uint64(src.IntRange(1, 4)); ai++ {
+					if err := tx.Insert(w.AccessInfo, s*4+ai, U64(src.Uint64())); err != nil {
+						return err
+					}
+				}
+				// ~25% of subscribers have call forwarding rows.
+				if src.Bool(0.25) {
+					sf := uint64(src.Intn(4))
+					hr := uint64(src.Intn(3))
+					if err := tx.Insert(w.CallForwarding, cfKey(s, sf, hr), U64(src.Uint64())); err != nil {
+						return err
+					}
+				}
+			}
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
+	return w, nil
+}
+
+func subscriberRecord(src *rng.Source, s uint64) []byte {
+	rec := make([]byte, 96) // bit/hex/byte2 fields + vlr_location
+	src.Bytes(rec)
+	// Keep the location field (first 8 bytes) recognizable.
+	copy(rec, U64(s))
+	return rec
+}
+
+func cfKey(s, sfType, startHour uint64) uint64 { return s*16 + sfType*4 + startHour }
+
+// RunOne executes one transaction drawn from the standard mix.
+// Benign misses (e.g. GetNewDestination for a subscriber without
+// forwarding) are not errors.
+func (w *TATP) RunOne(src *rng.Source, x Executor) error {
+	s := uint64(src.Intn(int(w.Subscribers)))
+	roll := src.Intn(100)
+	switch {
+	case roll < tatpGetSubscriberData:
+		return x.Run(w.Subscriber, s, func(tx *core.Txn) error {
+			_, err := tx.Read(w.Subscriber, s)
+			return err
+		})
+	case roll < tatpGetSubscriberData+tatpGetAccessData:
+		ai := uint64(src.Intn(4))
+		return x.Run(w.AccessInfo, s*4+ai, func(tx *core.Txn) error {
+			_, err := tx.Read(w.AccessInfo, s*4+ai)
+			if errors.Is(err, core.ErrNotFound) {
+				return nil
+			}
+			return err
+		})
+	case roll < tatpGetSubscriberData+tatpGetAccessData+tatpGetNewDestination:
+		// GetNewDestination reads the subscriber's forwarding rows for
+		// one sf_type across the (bounded) start hours — the TATP
+		// predicate on start_time. Row-granular reads keep the lock
+		// footprint small; a table-S scan here would serialize against
+		// every forwarding insert/delete.
+		sf := uint64(src.Intn(4))
+		lo := cfKey(s, sf, 0)
+		return x.Run(w.CallForwarding, lo, func(tx *core.Txn) error {
+			for hr := uint64(0); hr < 4; hr++ {
+				if _, err := tx.Read(w.CallForwarding, cfKey(s, sf, hr)); err != nil &&
+					!errors.Is(err, core.ErrNotFound) {
+					return err
+				}
+			}
+			return nil
+		})
+	case roll < 94:
+		// UpdateLocation: write the subscriber's VLR location.
+		loc := src.Uint64()
+		return x.Run(w.Subscriber, s, func(tx *core.Txn) error {
+			rec, err := tx.Read(w.Subscriber, s)
+			if err != nil {
+				return err
+			}
+			copy(rec, U64(loc))
+			return tx.Update(w.Subscriber, s, rec)
+		})
+	case roll < 96:
+		// UpdateSubscriberData: flip bit fields.
+		return x.Run(w.Subscriber, s, func(tx *core.Txn) error {
+			rec, err := tx.Read(w.Subscriber, s)
+			if err != nil {
+				return err
+			}
+			rec[len(rec)-1] ^= 0xFF
+			return tx.Update(w.Subscriber, s, rec)
+		})
+	case roll < 98:
+		key := cfKey(s, uint64(src.Intn(4)), uint64(src.Intn(3)))
+		val := U64(src.Uint64())
+		return x.Run(w.CallForwarding, key, func(tx *core.Txn) error {
+			err := tx.Insert(w.CallForwarding, key, val)
+			if errors.Is(err, core.ErrExists) {
+				return nil // standard TATP: insert of existing row is a benign failure
+			}
+			return err
+		})
+	default:
+		key := cfKey(s, uint64(src.Intn(4)), uint64(src.Intn(3)))
+		return x.Run(w.CallForwarding, key, func(tx *core.Txn) error {
+			err := tx.Delete(w.CallForwarding, key)
+			if errors.Is(err, core.ErrNotFound) {
+				return nil
+			}
+			return err
+		})
+	}
+}
+
+// Check verifies structural invariants after a run: every subscriber
+// row exists and is readable.
+func (w *TATP) Check(e *core.Engine) error {
+	return e.Exec(func(tx *core.Txn) error {
+		count := 0
+		err := tx.Scan(w.Subscriber, 0, ^uint64(0), func(k uint64, v []byte) bool {
+			count++
+			return true
+		})
+		if err != nil {
+			return err
+		}
+		if uint64(count) != w.Subscribers {
+			return fmt.Errorf("tatp: %d subscribers, want %d", count, w.Subscribers)
+		}
+		return nil
+	})
+}

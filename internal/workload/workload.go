@@ -1,0 +1,91 @@
+// Package workload implements the OLTP benchmark kits the experiments
+// drive against the storage manager: TATP (telecom), TPC-B (banking
+// debit/credit), a reduced TPC-C (order entry), and a tunable
+// microbenchmark. Each kit provides deterministic data loading, a
+// transaction mix, and invariant checks.
+//
+// Transactions run through an Executor, which abstracts the two
+// execution models under study: conventional thread-to-transaction
+// (lock manager, optionally with SLI agents) and DORA
+// thread-to-data (partitioned executors, no lock table).
+package workload
+
+import (
+	"encoding/binary"
+	"errors"
+
+	"hydra/internal/core"
+	"hydra/internal/dora"
+	"hydra/internal/lock"
+)
+
+// Executor runs one transaction body routed by its primary key.
+type Executor interface {
+	// Run executes fn transactionally. tbl/key describe the dominant
+	// row the transaction touches, which data-oriented executors use
+	// for routing.
+	Run(tbl *core.Table, key uint64, fn func(tx *core.Txn) error) error
+}
+
+// LockExecutor is the conventional model: any worker runs any
+// transaction, isolation comes from the centralized lock manager.
+type LockExecutor struct {
+	Engine *core.Engine
+	// Agent, when set, routes lock acquisition through SLI.
+	Agent *lock.Agent
+}
+
+// Run implements Executor.
+func (x LockExecutor) Run(_ *core.Table, _ uint64, fn func(tx *core.Txn) error) error {
+	if x.Agent == nil {
+		return x.Engine.Exec(fn)
+	}
+	// Agent path: same retry loop as Engine.Exec but with agent txns.
+	for attempt := 0; ; attempt++ {
+		t := x.Engine.BeginWithAgent(x.Agent)
+		err := fn(t)
+		if err == nil {
+			if err = t.Commit(); err == nil {
+				return nil
+			}
+		}
+		if aerr := t.Abort(); aerr != nil && err == nil {
+			err = aerr
+		}
+		if attempt < 10 && retryable(err) {
+			continue
+		}
+		return err
+	}
+}
+
+func retryable(err error) bool {
+	return errors.Is(err, lock.ErrDeadlock) || errors.Is(err, lock.ErrTimeout)
+}
+
+// DoraExecutor is the thread-to-data model: the transaction body is
+// shipped to the executor owning the routing key.
+type DoraExecutor struct {
+	Engine *dora.Engine
+}
+
+// Run implements Executor.
+func (x DoraExecutor) Run(tbl *core.Table, key uint64, fn func(tx *core.Txn) error) error {
+	return x.Engine.ExecSingle(dora.Action{Table: tbl, Key: key, Fn: fn})
+}
+
+// U64 encodes v little-endian; the standard value codec of the kits.
+func U64(v uint64) []byte {
+	b := make([]byte, 8)
+	binary.LittleEndian.PutUint64(b, v)
+	return b
+}
+
+// I64 encodes a signed value.
+func I64(v int64) []byte { return U64(uint64(v)) }
+
+// DecU64 decodes U64.
+func DecU64(b []byte) uint64 { return binary.LittleEndian.Uint64(b) }
+
+// DecI64 decodes I64.
+func DecI64(b []byte) int64 { return int64(binary.LittleEndian.Uint64(b)) }

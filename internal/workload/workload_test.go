@@ -1,0 +1,281 @@
+package workload
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"hydra/internal/core"
+	"hydra/internal/dora"
+	"hydra/internal/rng"
+)
+
+func newEngine(t testing.TB) *core.Engine {
+	t.Helper()
+	e, err := core.Open(core.Scalable())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { e.Close() })
+	return e
+}
+
+func TestTATPLoadAndMix(t *testing.T) {
+	e := newEngine(t)
+	w, err := SetupTATP(e, 500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := LockExecutor{Engine: e}
+	src := rng.New(1)
+	for i := 0; i < 2000; i++ {
+		if err := w.RunOne(src, x); err != nil {
+			t.Fatalf("txn %d: %v", i, err)
+		}
+	}
+	if err := w.Check(e); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTATPWithDORA(t *testing.T) {
+	e := newEngine(t)
+	w, err := SetupTATP(e, 500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := dora.New(e, dora.Options{Executors: 4, RouteShift: 4})
+	defer d.Close()
+	x := DoraExecutor{Engine: d}
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			src := rng.New(uint64(g))
+			for i := 0; i < 500; i++ {
+				if err := w.RunOne(src, x); err != nil {
+					t.Errorf("dora txn: %v", err)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if err := w.Check(e); err != nil {
+		t.Fatal(err)
+	}
+	if d.StatsSnapshot().ActionsExecuted == 0 {
+		t.Fatal("no actions routed through DORA")
+	}
+}
+
+func TestTATPWithSLIAgent(t *testing.T) {
+	e := newEngine(t)
+	w, err := SetupTATP(e, 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	agent := e.Locks().NewAgent()
+	x := LockExecutor{Engine: e, Agent: agent}
+	src := rng.New(3)
+	for i := 0; i < 1000; i++ {
+		if err := w.RunOne(src, x); err != nil {
+			t.Fatalf("txn %d: %v", i, err)
+		}
+	}
+	// Retire the agent before the table-scanning invariant check: a
+	// parked agent holds its inherited intent locks until its next
+	// transaction boundary, and there will not be one.
+	agent.Close()
+	if err := w.Check(e); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTPCBConservation(t *testing.T) {
+	e := newEngine(t)
+	w, err := SetupTPCB(e, 2, 4, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := LockExecutor{Engine: e}
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			src := rng.New(uint64(100 + g))
+			for i := 0; i < 200; i++ {
+				if err := w.RunOne(src, x); err != nil {
+					t.Errorf("tpcb txn: %v", err)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if err := w.Check(e); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTPCBDetectsCorruption(t *testing.T) {
+	e := newEngine(t)
+	w, err := SetupTPCB(e, 1, 2, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Tamper with one account outside the workload's bookkeeping.
+	e.Exec(func(tx *core.Txn) error { return tx.Update(w.Account, 0, I64(12345)) })
+	if err := w.Check(e); err == nil {
+		t.Fatal("Check failed to detect imbalance")
+	}
+}
+
+func TestTPCCInvariants(t *testing.T) {
+	e := newEngine(t)
+	w, err := SetupTPCC(e, 1, 2, 30, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := LockExecutor{Engine: e}
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			src := rng.New(uint64(200 + g))
+			for i := 0; i < 100; i++ {
+				if err := w.RunOne(src, x); err != nil {
+					t.Errorf("tpcc txn: %v", err)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if err := w.Check(e); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMicroWriteConservation(t *testing.T) {
+	e := newEngine(t)
+	w, err := SetupMicro(e, 1000, 0.5, 0.9, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := LockExecutor{Engine: e}
+	const workers, per = 4, 250
+	var wg sync.WaitGroup
+	var writes [workers]uint64
+	for g := 0; g < workers; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			s := w.NewSampler(uint64(g))
+			for i := 0; i < per; i++ {
+				k := s.Next()
+				if s.Src().Float64() < 0.5 {
+					// Count a write we perform explicitly.
+					err := x.Run(w.Table, k, func(tx *core.Txn) error {
+						v, err := tx.Read(w.Table, k)
+						if err != nil {
+							return err
+						}
+						copy(v, U64(DecU64(v)+1))
+						return tx.Update(w.Table, k, v)
+					})
+					if err != nil {
+						t.Errorf("micro write: %v", err)
+						return
+					}
+					writes[g]++
+				} else {
+					if err := x.Run(w.Table, k, func(tx *core.Txn) error {
+						_, err := tx.Read(w.Table, k)
+						return err
+					}); err != nil {
+						t.Errorf("micro read: %v", err)
+						return
+					}
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	var expected uint64
+	for _, c := range writes {
+		expected += c
+	}
+	total, err := w.TotalWrites(e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if total != expected {
+		t.Fatalf("writes lost: counters sum to %d, performed %d", total, expected)
+	}
+}
+
+func TestMicroZipfSkewsTraffic(t *testing.T) {
+	e := newEngine(t)
+	w, err := SetupMicro(e, 10000, 1.0, 0.99, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := w.NewSampler(5)
+	counts := map[uint64]int{}
+	for i := 0; i < 20000; i++ {
+		counts[s.Next()]++
+	}
+	if counts[0] < 500 {
+		t.Fatalf("hottest key drew only %d/20000", counts[0])
+	}
+}
+
+func TestCodecs(t *testing.T) {
+	if DecU64(U64(42)) != 42 {
+		t.Fatal("U64 round trip")
+	}
+	if DecI64(I64(-42)) != -42 {
+		t.Fatal("I64 round trip")
+	}
+}
+
+// TPC-B decomposed into DORA multi-action transactions: partition-
+// local locks must preserve the money-conservation invariant under
+// concurrency, with no centralized lock manager involved.
+func TestTPCBViaDORAMultiAction(t *testing.T) {
+	e := newEngine(t)
+	w, err := SetupTPCB(e, 2, 4, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := dora.New(e, dora.Options{Executors: 4, LockTimeout: 200 * time.Millisecond})
+	defer d.Close()
+	before := e.StatsSnapshot().Lock.TableOps
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			src := rng.New(uint64(300 + g))
+			for i := 0; i < 150; i++ {
+				if err := w.RunOneDora(src, d); err != nil {
+					t.Errorf("dora tpcb: %v", err)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if err := w.Check(e); err != nil {
+		t.Fatal(err)
+	}
+	// The run itself must not have touched the central lock table
+	// (Check does, afterwards).
+	if got := e.StatsSnapshot().Lock.TableOps - before; got > 50 {
+		t.Fatalf("DORA run visited the central lock table %d times", got)
+	}
+}
