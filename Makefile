@@ -1,0 +1,18 @@
+GO ?= go
+
+.PHONY: build test race vet bench
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./internal/lock/... ./internal/core/... ./internal/buffer/... ./internal/wal/...
+
+vet:
+	$(GO) vet ./...
+
+bench:
+	$(GO) test -run '^$$' -bench 'BenchmarkLockAcquireRelease|BenchmarkCommitPipeline|BenchmarkPoolFetchParallel' -benchmem ./internal/lock/ ./internal/core/ ./internal/buffer/

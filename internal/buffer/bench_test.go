@@ -1,0 +1,50 @@
+package buffer
+
+import (
+	"sync/atomic"
+	"testing"
+
+	"hydra/internal/page"
+)
+
+// BenchmarkPoolFetchParallel measures concurrent Fetch/Unpin over a
+// working set twice the pool size, so roughly half the fetches miss
+// and go through victim selection plus a store read. Allocations per
+// op expose any per-fetch bookkeeping garbage.
+func BenchmarkPoolFetchParallel(b *testing.B) {
+	const (
+		frames = 256
+		pages  = 512
+		shards = 16
+	)
+	store := NewMemStore()
+	for i := 0; i < pages; i++ {
+		id, err := store.Allocate()
+		if err != nil {
+			b.Fatal(err)
+		}
+		var p page.Page
+		p.Format(id, page.TypeHeap)
+		if err := store.WritePage(&p); err != nil {
+			b.Fatal(err)
+		}
+	}
+	pool := NewPool(store, Options{Frames: frames, Shards: shards})
+	var seq atomic.Uint64
+	b.ReportAllocs()
+	b.RunParallel(func(pb *testing.PB) {
+		// Per-goroutine xorshift stream over the page set.
+		state := seq.Add(1)*0x9e3779b97f4a7c15 + 1
+		for pb.Next() {
+			state ^= state << 13
+			state ^= state >> 7
+			state ^= state << 17
+			f, err := pool.Fetch(page.ID(state % pages))
+			if err != nil {
+				b.Error(err)
+				return
+			}
+			pool.Unpin(f, false)
+		}
+	})
+}

@@ -21,6 +21,10 @@ type Frame struct {
 	pins  int32
 	ref   bool // clock reference bit
 	dirty bool
+	// loading, when non-nil, marks an in-flight store read filling the
+	// frame: concurrent fetchers of the same page wait on it instead of
+	// blocking the whole shard. Guarded by the shard mutex.
+	loading *loadState
 	// recLSN is the LSN of the first update that dirtied the page
 	// since it was last flushed; feeds the dirty-page table at
 	// checkpoints.
@@ -29,6 +33,12 @@ type Frame struct {
 
 // ID returns the id of the page currently in the frame.
 func (f *Frame) ID() page.ID { return f.id }
+
+// loadState tracks one in-flight ReadPage. done is closed when the
+// read finishes (successfully or not).
+type loadState struct {
+	done chan struct{}
+}
 
 // Options configures a Pool.
 type Options struct {
@@ -107,36 +117,66 @@ func (p *Pool) shardFor(id page.ID) *shard {
 // Fetch pins the page with the given id, reading it from the store on
 // a miss, and returns its frame. The caller must Unpin exactly once.
 // Content access requires acquiring the frame latch.
+//
+// The store read happens outside the shard mutex: the frame is
+// reserved (pinned, tabled, marked loading) under the lock, then
+// filled without it, so one slow read stalls only fetchers of that
+// page, not the whole shard.
 func (p *Pool) Fetch(id page.ID) (*Frame, error) {
 	s := p.shardFor(id)
-	s.mu.Lock()
-	if f, ok := s.table[id]; ok {
-		f.pins++
+	for {
+		s.mu.Lock()
+		if f, ok := s.table[id]; ok {
+			if ld := f.loading; ld != nil {
+				// Another fetcher is reading this page. Wait for its
+				// read to settle, then re-examine the table: on success
+				// the next pass hits; on failure the entry is gone and
+				// this fetcher retries the read itself.
+				s.mu.Unlock()
+				<-ld.done
+				continue
+			}
+			f.pins++
+			f.ref = true
+			s.mu.Unlock()
+			p.hits.Add(1)
+			return f, nil
+		}
+		p.misses.Add(1)
+		f, err := p.victimLocked(s)
+		if err != nil {
+			s.mu.Unlock()
+			return nil, err
+		}
+		ld := &loadState{done: make(chan struct{})}
+		f.id = id
+		f.pins = 1 // reservation: excludes the frame from victim scans
 		f.ref = true
+		f.dirty = false
+		f.recLSN = 0
+		f.loading = ld
+		s.table[id] = f
 		s.mu.Unlock()
-		p.hits.Add(1)
+
+		err = p.store.ReadPage(id, f.Page)
+		s.mu.Lock()
+		f.loading = nil
+		if err != nil {
+			// Return the frame to circulation explicitly: drop the
+			// table entry and clear occupancy so the next victim scan
+			// can reuse it immediately.
+			delete(s.table, id)
+			f.id = page.InvalidID
+			f.pins = 0
+			f.ref = false
+		}
+		s.mu.Unlock()
+		close(ld.done)
+		if err != nil {
+			return nil, err
+		}
 		return f, nil
 	}
-	p.misses.Add(1)
-	f, err := p.victimLocked(s)
-	if err != nil {
-		s.mu.Unlock()
-		return nil, err
-	}
-	if err := p.store.ReadPage(id, f.Page); err != nil {
-		// Put the frame back into circulation empty.
-		f.id = page.InvalidID
-		s.mu.Unlock()
-		return nil, err
-	}
-	f.id = id
-	f.pins = 1
-	f.ref = true
-	f.dirty = false
-	f.recLSN = 0
-	s.table[id] = f
-	s.mu.Unlock()
-	return f, nil
 }
 
 // NewPage allocates a fresh page in the store, formats it with the

@@ -169,6 +169,12 @@ type Engine struct {
 	activeMu sync.Mutex
 	active   map[uint64]*Txn
 
+	// txnPool recycles finished Txn handles (with their undo slices,
+	// encode buffers and lock holders) across Begin/finish cycles. It
+	// is per-engine so a pooled handle's Holder stays bound to this
+	// engine's lock manager.
+	txnPool sync.Pool
+
 	// master is the begin-checkpoint LSN the meta page points at.
 	master wal.LSN
 	ckptMu sync.Mutex // serializes checkpoints

@@ -207,6 +207,7 @@ func (e *Engine) recover() error {
 	}
 
 	// --- Undo: roll back losers, newest action first. ---
+	var uc undoCtx
 	for txnID, ti := range att {
 		if ti.ended {
 			continue
@@ -232,7 +233,7 @@ func (e *Engine) recover() error {
 					continue
 				}
 				inv := op.inverse()
-				clr, err := e.undoOp(txnID, &inv, lastLSN, r.PrevLSN, false)
+				clr, err := e.undoOp(txnID, &inv, lastLSN, r.PrevLSN, false, &uc)
 				if err != nil {
 					return fmt.Errorf("undo %v of txn %d: %w", inv.Op, txnID, err)
 				}

@@ -30,35 +30,66 @@ const (
 // goroutine; transactions started with BeginNoLock may have their
 // operations executed by multiple DORA executors, so the log chain
 // and undo list are mutex-protected.
+//
+// Handles are recycled through a per-engine pool: Begin draws a
+// retired Txn (with its lock holder, undo slice, and encode scratch
+// already allocated) and finish returns it. A handle must therefore
+// never be used after Commit or Abort returns — it may already be
+// another transaction.
 type Txn struct {
 	e      *Engine
 	id     uint64
 	state  txnState
-	agent  *lock.Agent // non-nil when SLI is active for this worker
-	noLock bool        // DORA: partition ownership replaces locking
+	agent  *lock.Agent  // non-nil when SLI is active for this worker
+	noLock bool         // DORA: partition ownership replaces locking
+	locks  *lock.Holder // caller-owned lock set (see lock.Holder)
 
-	mu       sync.Mutex // guards lastLSN, undo, logged
+	mu       sync.Mutex // guards lastLSN, undo, logged, enc
 	lastLSN  wal.LSN
 	firstLSN wal.LSN // begin record (log-truncation horizon)
 	undo     []undoEntry
-	logged   bool // wrote at least one record (begin is lazy)
+	logged   bool   // wrote at least one record (begin is lazy)
+	enc      []byte // scratch buffer for op payload encoding
 }
 
 // Begin starts a transaction.
 func (e *Engine) Begin() *Txn {
-	t := &Txn{e: e, id: e.txnSeq.Add(1), lastLSN: wal.NilLSN, firstLSN: wal.NilLSN}
+	id := e.txnSeq.Add(1)
+	var t *Txn
+	if v := e.txnPool.Get(); v != nil {
+		t = v.(*Txn)
+		t.locks.Reset(id)
+	} else {
+		t = &Txn{e: e, locks: e.locks.NewHolder(id)}
+	}
+	t.id = id
+	t.state = txnActive
+	t.agent = nil
+	t.noLock = false
+	t.lastLSN = wal.NilLSN
+	t.firstLSN = wal.NilLSN
+	t.logged = false
 	e.activeMu.Lock()
-	e.active[t.id] = t
+	e.active[id] = t
 	e.activeMu.Unlock()
 	return t
 }
 
-// finish retires the transaction from the active registry.
+// finish retires the transaction from the active registry and
+// recycles the handle.
 func (t *Txn) finish(state txnState) {
 	t.state = state
-	t.e.activeMu.Lock()
-	delete(t.e.active, t.id)
-	t.e.activeMu.Unlock()
+	e := t.e
+	e.activeMu.Lock()
+	delete(e.active, t.id)
+	e.activeMu.Unlock()
+	// Drop row-image references so the pool doesn't pin them, but
+	// keep the slice's capacity for the next transaction.
+	for i := range t.undo {
+		t.undo[i] = undoEntry{}
+	}
+	t.undo = t.undo[:0]
+	e.txnPool.Put(t)
 }
 
 // BeginWithAgent starts a transaction whose lock acquisitions go
@@ -86,9 +117,9 @@ func (t *Txn) acquire(name lock.Name, mode lock.Mode) error {
 		return nil
 	}
 	if t.agent != nil {
-		return t.agent.Acquire(t.id, name, mode)
+		return t.agent.AcquireFor(t.locks, name, mode)
 	}
-	return t.e.locks.Acquire(t.id, name, mode)
+	return t.locks.Acquire(name, mode)
 }
 
 // ensureBegin lazily logs the begin record (read-only transactions
@@ -99,9 +130,7 @@ func (t *Txn) ensureBegin() error {
 	if t.logged {
 		return nil
 	}
-	lsn, err := t.e.log.Append(&wal.Record{
-		Type: wal.RecBegin, TxnID: t.id, PrevLSN: wal.NilLSN,
-	})
+	lsn, err := t.e.log.AppendFields(wal.RecBegin, t.id, wal.NilLSN, 0, 0, nil)
 	if err != nil {
 		return err
 	}
@@ -128,13 +157,10 @@ func (t *Txn) logOp(op *OpRecord) (wal.LSN, error) {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	prev := t.lastLSN
-	lsn, err := t.e.log.Append(&wal.Record{
-		Type:    wal.RecUpdate,
-		TxnID:   t.id,
-		PrevLSN: prev,
-		PageID:  uint64(op.RID.Page),
-		Payload: encodeOp(op),
-	})
+	// The payload is copied into the log ring before AppendFields
+	// returns, so the scratch buffer is safely reused per op.
+	t.enc = encodeOpTo(t.enc, op)
+	lsn, err := t.e.log.AppendFields(wal.RecUpdate, t.id, prev, uint64(op.RID.Page), 0, t.enc)
 	if err != nil {
 		return 0, err
 	}
@@ -348,13 +374,13 @@ func (t *Txn) Commit() error {
 		e.commits.Add(1)
 		return nil
 	}
-	commitLSN, err := e.log.Append(&wal.Record{
-		Type: wal.RecCommit, TxnID: t.id, PrevLSN: t.lastLSN,
-	})
+	commitLSN, err := e.log.AppendFields(wal.RecCommit, t.id, t.lastLSN, 0, 0, nil)
 	if err != nil {
 		return err
 	}
-	t.lastLSN = commitLSN
+	t.mu.Lock()
+	t.lastLSN = commitLSN // under mu: checkpoint ATT snapshots read it
+	t.mu.Unlock()
 	if e.cfg.ELR {
 		t.releaseLocks(false)
 	}
@@ -367,9 +393,7 @@ func (t *Txn) Commit() error {
 		t.releaseLocks(false)
 	}
 	// The end record needs no flush wait.
-	if _, err := e.log.Append(&wal.Record{
-		Type: wal.RecEnd, TxnID: t.id, PrevLSN: commitLSN,
-	}); err != nil {
+	if _, err := e.log.AppendFields(wal.RecEnd, t.id, commitLSN, 0, 0, nil); err != nil {
 		return err
 	}
 	t.finish(txnCommitted)
@@ -385,27 +409,24 @@ func (t *Txn) Abort() error {
 	}
 	e := t.e
 	if t.logged {
-		lsn, err := e.log.Append(&wal.Record{
-			Type: wal.RecAbort, TxnID: t.id, PrevLSN: t.lastLSN,
-		})
+		lsn, err := e.log.AppendFields(wal.RecAbort, t.id, t.lastLSN, 0, 0, nil)
 		if err != nil {
 			return err
 		}
-		t.lastLSN = lsn
+		t.setLastLSN(lsn)
+		var uc undoCtx
 		for i := len(t.undo) - 1; i >= 0; i-- {
 			entry := &t.undo[i]
 			inv := entry.op.inverse()
 			// UndoNext names the next record restart undo would
 			// process: the one logged before the record being undone.
-			clr, err := e.undoOp(t.id, &inv, t.lastLSN, entry.prev, true)
+			clr, err := e.undoOp(t.id, &inv, t.lastLSN, entry.prev, true, &uc)
 			if err != nil {
 				return fmt.Errorf("core: abort undo: %w", err)
 			}
-			t.lastLSN = clr
+			t.setLastLSN(clr)
 		}
-		if _, err := e.log.Append(&wal.Record{
-			Type: wal.RecEnd, TxnID: t.id, PrevLSN: t.lastLSN,
-		}); err != nil {
+		if _, err := e.log.AppendFields(wal.RecEnd, t.id, t.lastLSN, 0, 0, nil); err != nil {
 			return err
 		}
 	}
@@ -415,16 +436,24 @@ func (t *Txn) Abort() error {
 	return nil
 }
 
+// setLastLSN advances the log-chain tail under mu so concurrent
+// checkpoint ATT snapshots read a consistent value.
+func (t *Txn) setLastLSN(lsn wal.LSN) {
+	t.mu.Lock()
+	t.lastLSN = lsn
+	t.mu.Unlock()
+}
+
 func (t *Txn) releaseLocks(aborting bool) {
 	if t.agent != nil {
 		if aborting {
-			t.agent.OnAbort(t.id)
+			t.agent.OnAbortFor(t.locks)
 		} else {
-			t.agent.OnCommit(t.id)
+			t.agent.OnCommitFor(t.locks)
 		}
 		return
 	}
-	t.e.locks.ReleaseAll(t.id)
+	t.locks.ReleaseAll()
 }
 
 // applyOp applies a (forward or compensation) operation to the heap,

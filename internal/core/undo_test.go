@@ -1,0 +1,185 @@
+package core
+
+import (
+	"errors"
+	"testing"
+
+	"hydra/internal/buffer"
+	"hydra/internal/wal"
+)
+
+// TestAbortAfterKeyRelocation is the regression test for stale-RID
+// undo. A transaction deletes a key, a concurrent transaction's
+// insert reuses the tombstoned slot (page.Insert reuses tombstones
+// first-fit), and the abort's un-delete must therefore re-insert the
+// row elsewhere — after which every earlier undo step on that key
+// has to follow the relocation instead of trusting its forward-time
+// RID, or it corrupts the slot thief's row.
+func TestAbortAfterKeyRelocation(t *testing.T) {
+	for name, cfg := range configs() {
+		cfg := cfg
+		t.Run(name, func(t *testing.T) {
+			e := memEngine(t, cfg)
+
+			// Part 1: update+delete, slot stolen, abort. The undo of
+			// the update must chase the relocated row.
+			t1, err := e.CreateTable("reloc1")
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := e.Exec(func(tx *Txn) error {
+				return tx.Insert(t1, 1, []byte("original"))
+			}); err != nil {
+				t.Fatal(err)
+			}
+			tx := e.Begin()
+			if err := tx.Update(t1, 1, []byte("changed!")); err != nil {
+				t.Fatal(err)
+			}
+			if err := tx.Delete(t1, 1); err != nil {
+				t.Fatal(err)
+			}
+			// Concurrent transaction grabs the freed slot.
+			if err := e.Exec(func(tx2 *Txn) error {
+				return tx2.Insert(t1, 99, []byte("thief"))
+			}); err != nil {
+				t.Fatal(err)
+			}
+			if err := tx.Abort(); err != nil {
+				t.Fatalf("abort: %v", err)
+			}
+			if err := e.Exec(func(tx *Txn) error {
+				v, err := tx.Read(t1, 1)
+				if err != nil {
+					return err
+				}
+				if string(v) != "original" {
+					t.Errorf("key 1 = %q after abort, want %q", v, "original")
+				}
+				v, err = tx.Read(t1, 99)
+				if err != nil {
+					return err
+				}
+				if string(v) != "thief" {
+					t.Errorf("key 99 = %q after abort, want %q (undo clobbered it)", v, "thief")
+				}
+				return nil
+			}); err != nil {
+				t.Fatalf("post-abort read: %v", err)
+			}
+
+			// Part 2: insert+delete of a fresh key, slot stolen, abort.
+			// The undo of the insert must delete the relocated row, not
+			// the thief occupying the original slot.
+			t2, err := e.CreateTable("reloc2")
+			if err != nil {
+				t.Fatal(err)
+			}
+			tx = e.Begin()
+			if err := tx.Insert(t2, 2, []byte("mine")); err != nil {
+				t.Fatal(err)
+			}
+			if err := tx.Delete(t2, 2); err != nil {
+				t.Fatal(err)
+			}
+			if err := e.Exec(func(tx2 *Txn) error {
+				return tx2.Insert(t2, 98, []byte("thief"))
+			}); err != nil {
+				t.Fatal(err)
+			}
+			if err := tx.Abort(); err != nil {
+				t.Fatalf("abort: %v", err)
+			}
+			if err := e.Exec(func(tx *Txn) error {
+				if _, err := tx.Read(t2, 2); !errors.Is(err, ErrNotFound) {
+					t.Errorf("key 2 after abort: %v, want ErrNotFound", err)
+				}
+				v, err := tx.Read(t2, 98)
+				if err != nil {
+					return err
+				}
+				if string(v) != "thief" {
+					t.Errorf("key 98 = %q after abort, want %q", v, "thief")
+				}
+				return nil
+			}); err != nil {
+				t.Fatalf("post-abort read: %v", err)
+			}
+		})
+	}
+}
+
+// TestRecoveryAfterKeyRelocation drives the same stale-RID pattern
+// through restart undo: the loser is cut off by a crash instead of
+// aborting, and a committed winner holds the loser's old slot, so
+// recovery's undo pass must track the relocation itself.
+func TestRecoveryAfterKeyRelocation(t *testing.T) {
+	store := buffer.NewMemStore()
+	dev := wal.NewMem()
+	cfg := Conventional()
+	e, err := OpenWith(cfg, store, dev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tbl, err := e.CreateTable("reloc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Exec(func(tx *Txn) error {
+		return tx.Insert(tbl, 1, []byte("original"))
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	// Loser: update then delete key 1; a committed winner reuses the
+	// tombstoned slot; then crash with everything durable in the log.
+	tx := e.Begin()
+	if err := tx.Update(tbl, 1, []byte("changed!")); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.Delete(tbl, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Exec(func(tx2 *Txn) error {
+		return tx2.Insert(tbl, 99, []byte("thief"))
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Log().Flush(); err != nil {
+		t.Fatal(err)
+	}
+	e.Log().Close()
+	e.closed.Store(true)
+
+	e2, err := OpenWith(cfg, store, dev)
+	if err != nil {
+		t.Fatalf("recovery: %v", err)
+	}
+	defer e2.Close()
+	if e2.RecoveryReport.LosersUndone == 0 {
+		t.Fatalf("expected a loser to be undone, report %+v", e2.RecoveryReport)
+	}
+	tbl2, err := e2.Table("reloc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e2.Exec(func(tx *Txn) error {
+		v, err := tx.Read(tbl2, 1)
+		if err != nil {
+			return err
+		}
+		if string(v) != "original" {
+			t.Errorf("key 1 = %q after recovery, want %q", v, "original")
+		}
+		v, err = tx.Read(tbl2, 99)
+		if err != nil {
+			return err
+		}
+		if string(v) != "thief" {
+			t.Errorf("key 99 = %q after recovery, want %q (undo clobbered it)", v, "thief")
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+}

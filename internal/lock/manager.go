@@ -81,34 +81,61 @@ type lockHead struct {
 type partition struct {
 	mu    sync.Mutex
 	table map[Name]*lockHead
-	_     [32]byte
+	// heat persists observed conflict counts per name, surviving lock
+	// head reclamation; SLI consults it to classify hot locks. Striped
+	// with the partition so it rides the same mutex instead of a
+	// global one.
+	heat map[Name]int
+	_    [32]byte
 }
 
-// Manager is the lock table.
+// wfStripes shards the waits-for graph so deadlock bookkeeping from
+// unrelated transactions never touches the same mutex.
+const wfStripes = 64
+
+type wfStripe struct {
+	mu sync.Mutex
+	// edges maps txn -> txns it waits on, for transactions hashed to
+	// this stripe.
+	edges map[uint64]map[uint64]bool
+	_     [40]byte
+}
+
+func wfIdx(txn uint64) int {
+	return int((txn * 0x9e3779b97f4a7c15) >> 58)
+}
+
+// regStripes shards the compatibility-API holder registry.
+const regStripes = 64
+
+type regStripe struct {
+	mu sync.Mutex
+	m  map[uint64]*Holder
+	_  [40]byte
+}
+
+func regIdx(txn uint64) int {
+	return int((txn*0x9e3779b97f4a7c15)>>32) & (regStripes - 1)
+}
+
+// Manager is the lock table. Aside from the partitioned table itself,
+// all bookkeeping is striped (waits-for graph, holder registry, heat)
+// or carried by the caller (held sets, escalation state — see
+// Holder), so Acquire/ReleaseAll never take a manager-global mutex.
 type Manager struct {
 	opts  Options
 	parts []partition
 
-	// held tracks every lock a transaction holds, for ReleaseAll.
-	heldMu sync.Mutex
-	held   map[uint64]map[Name]Mode
+	// wf is the sharded deadlock-detection graph.
+	wf [wfStripes]wfStripe
 
-	// waitsFor is the deadlock-detection graph: txn -> txns it waits on.
-	wfMu     sync.Mutex
-	waitsFor map[uint64]map[uint64]bool
+	// reg backs the id-based compatibility API with per-txn holders.
+	reg [regStripes]regStripe
 
-	// agents maps SLI agent pseudo-transactions to their reclaim flag.
-	agentsMu sync.Mutex
-	agents   map[uint64]*atomic.Bool
-
-	// heat persists observed conflict counts per name, surviving lock
-	// head reclamation; SLI consults it to classify hot locks.
-	heatMu sync.Mutex
-	heat   map[Name]int
-
-	// esc tracks per-transaction lock-escalation state.
-	escMu sync.Mutex
-	esc   map[uint64]*escalationState
+	// agents maps SLI agent pseudo-transactions to their reclaim
+	// flag; registration is rare, lookups on the wait path are
+	// lock-free.
+	agents sync.Map // uint64 -> *atomic.Bool
 
 	stats struct {
 		acquires, tableOps, inherited atomic.Uint64
@@ -122,16 +149,18 @@ type Manager struct {
 func NewManager(opts Options) *Manager {
 	opts.fill()
 	m := &Manager{
-		opts:     opts,
-		parts:    make([]partition, opts.Partitions),
-		held:     make(map[uint64]map[Name]Mode),
-		waitsFor: make(map[uint64]map[uint64]bool),
-		agents:   make(map[uint64]*atomic.Bool),
-		heat:     make(map[Name]int),
-		esc:      make(map[uint64]*escalationState),
+		opts:  opts,
+		parts: make([]partition, opts.Partitions),
 	}
 	for i := range m.parts {
 		m.parts[i].table = make(map[Name]*lockHead)
+		m.parts[i].heat = make(map[Name]int)
+	}
+	for i := range m.wf {
+		m.wf[i].edges = make(map[uint64]map[uint64]bool)
+	}
+	for i := range m.reg {
+		m.reg[i].m = make(map[uint64]*Holder)
 	}
 	return m
 }
@@ -145,61 +174,60 @@ func (m *Manager) part(n Name) *partition {
 // the supremum mode. It returns ErrDeadlock when the wait would close
 // a cycle (the requester is the victim) and ErrTimeout past the
 // configured bound.
+//
+// This id-based form resolves txn's lock context through a striped
+// registry; hot paths should carry a *Holder instead (NewHolder) and
+// call its methods directly.
 func (m *Manager) Acquire(txn uint64, name Name, mode Mode) error {
-	m.stats.acquires.Add(1)
-	if handled, err := m.maybeEscalate(txn, name, mode); handled {
-		return err
-	}
-	return m.acquireTable(txn, name, mode)
+	return m.holderOf(txn).Acquire(name, mode)
 }
 
-func (m *Manager) acquireTable(txn uint64, name Name, mode Mode) error {
+func (m *Manager) acquireTable(h *Holder, name Name, mode Mode) error {
 	m.stats.tableOps.Add(1)
+	txn := h.id
+	p := m.part(name)
+	p.mu.Lock()
 	if name.Level != LevelRow {
 		// Heat tracks how often coarse-grained names pass through the
 		// table; SLI classifies frequently re-acquired intent locks as
 		// inheritance candidates. (Intent modes are mutually
 		// compatible, so conflict counts alone would never find them.)
-		m.heatMu.Lock()
-		m.heat[name]++
-		m.heatMu.Unlock()
+		p.heat[name]++
 	}
-	p := m.part(name)
-	p.mu.Lock()
-	h := p.table[name]
-	if h == nil {
-		h = &lockHead{granted: make(map[uint64]*grant)}
-		p.table[name] = h
+	lh := p.table[name]
+	if lh == nil {
+		lh = &lockHead{granted: make(map[uint64]*grant)}
+		p.table[name] = lh
 	}
 
-	if g, ok := h.granted[txn]; ok {
+	if g, ok := lh.granted[txn]; ok {
 		target := Supremum(g.mode, mode)
 		if target == g.mode {
 			g.count++
 			p.mu.Unlock()
-			m.noteHeld(txn, name, g.mode)
+			h.note(name, g.mode)
 			return nil
 		}
 		// Upgrade: must be compatible with every other holder.
-		if h.compatibleExcept(target, txn) {
+		if lh.compatibleExcept(target, txn) {
 			m.stats.upgrades.Add(1)
 			g.mode = target
 			g.count++
 			p.mu.Unlock()
-			m.noteHeld(txn, name, target)
+			h.note(name, target)
 			return nil
 		}
 		// Blocked upgrade: wait at the head of the queue.
-		return m.wait(p, h, name, txn, target, true)
+		return m.wait(p, lh, name, h, target, true)
 	}
 
-	if len(h.queue) == 0 && h.compatibleExcept(mode, txn) {
-		h.granted[txn] = &grant{mode: mode, count: 1}
+	if len(lh.queue) == 0 && lh.compatibleExcept(mode, txn) {
+		lh.granted[txn] = &grant{mode: mode, count: 1}
 		p.mu.Unlock()
-		m.noteHeld(txn, name, mode)
+		h.note(name, mode)
 		return nil
 	}
-	return m.wait(p, h, name, txn, mode, false)
+	return m.wait(p, lh, name, h, mode, false)
 }
 
 // compatibleExcept reports whether mode is compatible with every
@@ -216,33 +244,32 @@ func (h *lockHead) compatibleExcept(mode Mode, txn uint64) bool {
 	return true
 }
 
-// wait enqueues txn and blocks until granted. Called with p.mu held;
-// returns with it released.
-func (m *Manager) wait(p *partition, h *lockHead, name Name, txn uint64, mode Mode, upgrade bool) error {
+// wait enqueues h's transaction and blocks until granted. Called with
+// p.mu held; returns with it released.
+func (m *Manager) wait(p *partition, lh *lockHead, name Name, h *Holder, mode Mode, upgrade bool) error {
 	m.stats.waits.Add(1)
-	h.contention++
-	m.heatMu.Lock()
-	m.heat[name]++
-	m.heatMu.Unlock()
+	txn := h.id
+	lh.contention++
+	p.heat[name]++
 	w := &waiter{txn: txn, mode: mode, upgrade: upgrade, ready: make(chan error, 1)}
 	if upgrade {
 		// Upgraders go first to shrink the conversion window.
-		h.queue = append([]*waiter{w}, h.queue...)
+		lh.queue = append([]*waiter{w}, lh.queue...)
 	} else {
-		h.queue = append(h.queue, w)
+		lh.queue = append(lh.queue, w)
 	}
 
 	// Record waits-for edges and check for a cycle before sleeping.
 	// An upgrader waits only on current holders; a plain waiter also
 	// waits on everyone queued ahead of it.
-	blockers := make([]uint64, 0, len(h.granted))
-	for t := range h.granted {
+	blockers := make([]uint64, 0, len(lh.granted))
+	for t := range lh.granted {
 		if t != txn {
 			blockers = append(blockers, t)
 		}
 	}
 	if !upgrade {
-		for _, qw := range h.queue {
+		for _, qw := range lh.queue {
 			if qw == w {
 				break
 			}
@@ -261,14 +288,14 @@ func (m *Manager) wait(p *partition, h *lockHead, name Name, txn uint64, mode Mo
 		// Cycle: abort self as victim — unless the grant already
 		// arrived, in which case there is no wait and no deadlock.
 		m.clearWaitEdges(txn)
-		if m.removeWaiter(p, h, w) {
+		if m.removeWaiter(p, lh, w) {
 			m.stats.deadlocks.Add(1)
 			return fmt.Errorf("%w: txn %d on %s (%s)", ErrDeadlock, txn, name, mode)
 		}
 		if err := <-w.ready; err != nil {
 			return err
 		}
-		m.noteHeld(txn, name, mode)
+		h.note(name, mode)
 		return nil
 	}
 
@@ -282,12 +309,12 @@ func (m *Manager) wait(p *partition, h *lockHead, name Name, txn uint64, mode Mo
 	case err := <-w.ready:
 		m.clearWaitEdges(txn)
 		if err == nil {
-			m.noteHeld(txn, name, mode)
+			h.note(name, mode)
 		}
 		return err
 	case <-timeout:
 		m.clearWaitEdges(txn)
-		if m.removeWaiter(p, h, w) {
+		if m.removeWaiter(p, lh, w) {
 			m.stats.timeouts.Add(1)
 			return fmt.Errorf("%w: txn %d on %s (%s)", ErrTimeout, txn, name, mode)
 		}
@@ -295,19 +322,19 @@ func (m *Manager) wait(p *partition, h *lockHead, name Name, txn uint64, mode Mo
 		if err := <-w.ready; err != nil {
 			return err
 		}
-		m.noteHeld(txn, name, mode)
+		h.note(name, mode)
 		return nil
 	}
 }
 
 // removeWaiter deletes w from the queue, reporting whether it was
 // still queued (false means it was already granted or failed).
-func (m *Manager) removeWaiter(p *partition, h *lockHead, w *waiter) bool {
+func (m *Manager) removeWaiter(p *partition, lh *lockHead, w *waiter) bool {
 	p.mu.Lock()
 	defer p.mu.Unlock()
-	for i, qw := range h.queue {
+	for i, qw := range lh.queue {
 		if qw == w {
-			h.queue = append(h.queue[:i], h.queue[i+1:]...)
+			lh.queue = append(lh.queue[:i], lh.queue[i+1:]...)
 			return true
 		}
 	}
@@ -315,24 +342,33 @@ func (m *Manager) removeWaiter(p *partition, h *lockHead, w *waiter) bool {
 }
 
 // addWaitEdges installs txn->blockers edges and reports whether doing
-// so creates a cycle reachable back to txn.
+// so creates a cycle reachable back to txn. The graph is sharded: an
+// edge lives in its source transaction's stripe, and the cycle DFS
+// locks one stripe at a time, so detection never serializes unrelated
+// waiters behind a global graph mutex. If a cycle exists, the
+// transaction that installs its last edge sees every edge of the
+// cycle (each was installed before that DFS began), so the cycle is
+// still always detected by at least one participant.
 func (m *Manager) addWaitEdges(txn uint64, blockers []uint64) bool {
-	m.wfMu.Lock()
-	defer m.wfMu.Unlock()
-	set := m.waitsFor[txn]
+	st := &m.wf[wfIdx(txn)]
+	st.mu.Lock()
+	set := st.edges[txn]
 	if set == nil {
 		set = make(map[uint64]bool)
-		m.waitsFor[txn] = set
+		st.edges[txn] = set
 	}
 	for _, b := range blockers {
 		set[b] = true
 	}
-	// DFS from txn looking for a path back to txn.
-	seen := map[uint64]bool{}
-	var stack []uint64
+	// Seed the DFS with a snapshot of txn's full out-edge set.
+	stack := make([]uint64, 0, len(set))
 	for b := range set {
 		stack = append(stack, b)
 	}
+	st.mu.Unlock()
+
+	// DFS from txn looking for a path back to txn.
+	seen := map[uint64]bool{}
 	for len(stack) > 0 {
 		cur := stack[len(stack)-1]
 		stack = stack[:len(stack)-1]
@@ -343,54 +379,43 @@ func (m *Manager) addWaitEdges(txn uint64, blockers []uint64) bool {
 			continue
 		}
 		seen[cur] = true
-		for nb := range m.waitsFor[cur] {
+		cs := &m.wf[wfIdx(cur)]
+		cs.mu.Lock()
+		for nb := range cs.edges[cur] {
 			stack = append(stack, nb)
 		}
+		cs.mu.Unlock()
 	}
 	return false
 }
 
 func (m *Manager) clearWaitEdges(txn uint64) {
-	m.wfMu.Lock()
-	delete(m.waitsFor, txn)
-	m.wfMu.Unlock()
-}
-
-func (m *Manager) noteHeld(txn uint64, name Name, mode Mode) {
-	m.heldMu.Lock()
-	set := m.held[txn]
-	if set == nil {
-		set = make(map[Name]Mode)
-		m.held[txn] = set
-	}
-	set[name] = mode
-	m.heldMu.Unlock()
+	st := &m.wf[wfIdx(txn)]
+	st.mu.Lock()
+	delete(st.edges, txn)
+	st.mu.Unlock()
 }
 
 // Release drops txn's lock on name entirely (all re-entrant counts).
 func (m *Manager) Release(txn uint64, name Name) {
-	m.releaseOne(txn, name)
-	m.heldMu.Lock()
-	if set := m.held[txn]; set != nil {
-		delete(set, name)
-		if len(set) == 0 {
-			delete(m.held, txn)
-		}
+	if h := m.lookupHolder(txn); h != nil {
+		h.Release(name)
+		return
 	}
-	m.heldMu.Unlock()
+	m.releaseOne(txn, name)
 }
 
 func (m *Manager) releaseOne(txn uint64, name Name) {
 	p := m.part(name)
 	p.mu.Lock()
-	h := p.table[name]
-	if h == nil {
+	lh := p.table[name]
+	if lh == nil {
 		p.mu.Unlock()
 		return
 	}
-	delete(h.granted, txn)
-	m.grantWaitersLocked(h)
-	if len(h.granted) == 0 && len(h.queue) == 0 {
+	delete(lh.granted, txn)
+	m.grantWaitersLocked(lh)
+	if len(lh.granted) == 0 && len(lh.queue) == 0 {
 		delete(p.table, name)
 	}
 	p.mu.Unlock()
@@ -398,64 +423,69 @@ func (m *Manager) releaseOne(txn uint64, name Name) {
 
 // grantWaitersLocked admits queued waiters from the front while they
 // are compatible. Called with the partition mutex held.
-func (m *Manager) grantWaitersLocked(h *lockHead) {
-	for len(h.queue) > 0 {
-		w := h.queue[0]
-		if g, ok := h.granted[w.txn]; ok {
+func (m *Manager) grantWaitersLocked(lh *lockHead) {
+	for len(lh.queue) > 0 {
+		w := lh.queue[0]
+		if g, ok := lh.granted[w.txn]; ok {
 			// Upgrade waiter: check against others only.
 			target := Supremum(g.mode, w.mode)
-			if !h.compatibleExcept(target, w.txn) {
+			if !lh.compatibleExcept(target, w.txn) {
 				return
 			}
 			g.mode = target
 			g.count++
 		} else {
-			if !h.compatibleExcept(w.mode, w.txn) {
+			if !lh.compatibleExcept(w.mode, w.txn) {
 				return
 			}
-			h.granted[w.txn] = &grant{mode: w.mode, count: 1}
+			lh.granted[w.txn] = &grant{mode: w.mode, count: 1}
 		}
-		h.queue = h.queue[1:]
+		lh.queue = lh.queue[1:]
 		w.ready <- nil
 	}
 }
 
 // ReleaseAll drops every lock txn holds (2PL release phase). It
 // returns the names released, which SLI agents use to decide what to
-// inherit.
+// inherit. Id-based form of Holder.ReleaseAll; it also retires the
+// registry entry Acquire created.
 func (m *Manager) ReleaseAll(txn uint64) []Name {
+	if h := m.takeHolder(txn); h != nil {
+		return h.ReleaseAll()
+	}
 	m.stats.releaseAll.Add(1)
-	m.clearEscalation(txn)
-	m.heldMu.Lock()
-	set := m.held[txn]
-	delete(m.held, txn)
-	m.heldMu.Unlock()
-	if len(set) == 0 {
-		return nil
-	}
-	names := make([]Name, 0, len(set))
-	for name := range set {
-		m.releaseOne(txn, name)
-		names = append(names, name)
-	}
-	return names
+	return nil
 }
 
 // Held returns the mode txn holds on name (None if not held).
 func (m *Manager) Held(txn uint64, name Name) Mode {
-	m.heldMu.Lock()
-	defer m.heldMu.Unlock()
-	if set := m.held[txn]; set != nil {
-		return set[name]
+	if h := m.lookupHolder(txn); h != nil {
+		return h.Held(name)
 	}
 	return None
 }
 
 // contentionOf reports the cumulative conflict count for name.
 func (m *Manager) contentionOf(name Name) int {
-	m.heatMu.Lock()
-	defer m.heatMu.Unlock()
-	return m.heat[name]
+	p := m.part(name)
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.heat[name]
+}
+
+// flagAgentsAmong sets the reclaim flag of every registered agent in
+// ids, so retained locks blocking real transactions are surrendered
+// at the next boundary. Agent ids live in their own range, so the
+// common all-real-transactions case never touches the agent map.
+func (m *Manager) flagAgentsAmong(ids []uint64) {
+	for _, id := range ids {
+		if id < agentIDBase {
+			continue
+		}
+		if f, ok := m.agents.Load(id); ok {
+			f.(*atomic.Bool).Store(true)
+		}
+	}
 }
 
 // StatsSnapshot returns a copy of the cumulative counters.

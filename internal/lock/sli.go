@@ -22,6 +22,7 @@ type Agent struct {
 	m  *Manager
 	id uint64 // pseudo-transaction id owning retained grants
 
+	h       *Holder       // lock context of the pseudo-transaction
 	cache   map[Name]Mode // retained locks: name -> mode held by a.id
 	reclaim *atomic.Bool  // set by the manager when someone waits on us
 }
@@ -39,15 +40,15 @@ func (m *Manager) NewAgent() *Agent {
 		cache:   make(map[Name]Mode),
 		reclaim: new(atomic.Bool),
 	}
-	m.agentsMu.Lock()
-	m.agents[a.id] = a.reclaim
-	m.agentsMu.Unlock()
+	a.h = m.NewHolder(a.id)
+	m.agents.Store(a.id, a.reclaim)
 	return a
 }
 
-// Acquire obtains name in mode for txn, satisfying the request from
-// the agent's inherited locks when possible.
-func (a *Agent) Acquire(txn uint64, name Name, mode Mode) error {
+// AcquireFor obtains name in mode for the transaction owning h,
+// satisfying the request from the agent's inherited locks when
+// possible.
+func (a *Agent) AcquireFor(h *Holder, name Name, mode Mode) error {
 	a.checkReclaim()
 	a.m.stats.acquires.Add(1)
 	if held, ok := a.cache[name]; ok {
@@ -57,33 +58,50 @@ func (a *Agent) Acquire(txn uint64, name Name, mode Mode) error {
 			return nil
 		}
 	}
-	return a.m.acquireTable(txn, name, mode)
+	return a.m.acquireTable(h, name, mode)
 }
 
-// OnCommit performs the transaction-boundary work: it releases txn's
-// locks, inheriting the hot intent locks into the agent instead of
-// returning them to the table.
-func (a *Agent) OnCommit(txn uint64) {
+// Acquire is the id-based form of AcquireFor.
+func (a *Agent) Acquire(txn uint64, name Name, mode Mode) error {
+	return a.AcquireFor(a.m.holderOf(txn), name, mode)
+}
+
+// OnCommitFor performs the transaction-boundary work: it releases the
+// locks of the transaction owning h, inheriting the hot intent locks
+// into the agent instead of returning them to the table.
+func (a *Agent) OnCommitFor(h *Holder) {
 	a.checkReclaim()
 	a.m.stats.releaseAll.Add(1)
-	a.m.heldMu.Lock()
-	set := a.m.held[txn]
-	delete(a.m.held, txn)
-	a.m.heldMu.Unlock()
-	for name, mode := range set {
-		if a.shouldInherit(name, mode) {
-			if a.m.transfer(txn, a.id, name) {
-				a.cache[name] = mode
-				a.m.noteHeld(a.id, name, mode)
-				continue
-			}
+	names, modes := h.take()
+	for i, name := range names {
+		mode := modes[i]
+		if a.shouldInherit(name, mode) && a.m.transfer(h.id, a.id, name) {
+			a.cache[name] = mode
+			a.h.note(name, mode)
+			continue
 		}
-		a.m.releaseOne(txn, name)
+		a.m.releaseOne(h.id, name)
 	}
 }
 
-// OnAbort releases everything without inheritance (an aborted
+// OnCommit is the id-based form of OnCommitFor.
+func (a *Agent) OnCommit(txn uint64) {
+	if h := a.m.takeHolder(txn); h != nil {
+		a.OnCommitFor(h)
+		return
+	}
+	a.checkReclaim()
+	a.m.stats.releaseAll.Add(1)
+}
+
+// OnAbortFor releases everything without inheritance (an aborted
 // transaction's locks are not speculation-worthy).
+func (a *Agent) OnAbortFor(h *Holder) {
+	h.ReleaseAll()
+	a.checkReclaim()
+}
+
+// OnAbort is the id-based form of OnAbortFor.
 func (a *Agent) OnAbort(txn uint64) {
 	a.m.ReleaseAll(txn)
 	a.checkReclaim()
@@ -119,16 +137,14 @@ func (a *Agent) ReleaseInherited() {
 	if len(a.cache) == 0 {
 		return
 	}
-	a.m.ReleaseAll(a.id)
-	a.cache = make(map[Name]Mode)
+	a.h.ReleaseAll()
+	clear(a.cache)
 }
 
 // Close releases retained locks and unregisters the agent.
 func (a *Agent) Close() {
 	a.ReleaseInherited()
-	a.m.agentsMu.Lock()
-	delete(a.m.agents, a.id)
-	a.m.agentsMu.Unlock()
+	a.m.agents.Delete(a.id)
 }
 
 // InheritedCount reports how many locks the agent currently retains.
@@ -141,33 +157,20 @@ func (m *Manager) transfer(txn, agent uint64, name Name) bool {
 	p := m.part(name)
 	p.mu.Lock()
 	defer p.mu.Unlock()
-	h := p.table[name]
-	if h == nil {
+	lh := p.table[name]
+	if lh == nil {
 		return false
 	}
-	g, ok := h.granted[txn]
+	g, ok := lh.granted[txn]
 	if !ok {
 		return false
 	}
-	delete(h.granted, txn)
-	if ag, ok := h.granted[agent]; ok {
+	delete(lh.granted, txn)
+	if ag, ok := lh.granted[agent]; ok {
 		ag.mode = Supremum(ag.mode, g.mode)
 		ag.count++
 	} else {
-		h.granted[agent] = &grant{mode: g.mode, count: 1}
+		lh.granted[agent] = &grant{mode: g.mode, count: 1}
 	}
 	return true
-}
-
-// flagAgentsAmong sets the reclaim flag of every registered agent in
-// ids, so retained locks blocking real transactions are surrendered
-// at the next boundary.
-func (m *Manager) flagAgentsAmong(ids []uint64) {
-	m.agentsMu.Lock()
-	defer m.agentsMu.Unlock()
-	for _, id := range ids {
-		if f, ok := m.agents[id]; ok {
-			f.Store(true)
-		}
-	}
 }

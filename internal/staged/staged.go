@@ -15,6 +15,7 @@ import (
 	"encoding/binary"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"hydra/internal/core"
 )
@@ -96,11 +97,22 @@ type Options struct {
 	// ChunkSize is the number of tuples scanned per latching window.
 	// Default 256.
 	ChunkSize int
+	// AttachWindow is how long a scan round's first consumer waits
+	// for contemporaries to attach before the physical scan starts —
+	// the scan stage's analogue of a group-commit window. Queries
+	// issued together should share a round, but a round over a cached
+	// table can finish before a contemporaneous query's goroutine is
+	// even scheduled; the window absorbs that scheduling skew.
+	// Default 1ms; negative disables.
+	AttachWindow time.Duration
 }
 
 func (o *Options) fill() {
 	if o.ChunkSize <= 0 {
 		o.ChunkSize = 256
+	}
+	if o.AttachWindow == 0 {
+		o.AttachWindow = time.Millisecond
 	}
 }
 
@@ -205,8 +217,24 @@ type consumer struct {
 
 func (s *scanner) run() {
 	for first := range s.attach {
-		// A scan round starts when the first consumer attaches.
+		// A scan round starts when the first consumer attaches —
+		// after a short admission window, so queries issued together
+		// share the round even when it would complete faster than the
+		// goroutine-scheduling skew between them.
 		consumers := []*consumer{{ch: first, attachKey: 0}}
+		if w := s.engine.opts.AttachWindow; w > 0 {
+			timer := time.NewTimer(w)
+		gather:
+			for {
+				select {
+				case ch := <-s.attach:
+					consumers = append(consumers, &consumer{ch: ch, attachKey: 0})
+				case <-timer.C:
+					break gather
+				}
+			}
+			timer.Stop()
+		}
 		pos := uint64(0)
 		for len(consumers) > 0 {
 			// Admit late arrivals at the current position.

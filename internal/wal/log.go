@@ -101,9 +101,14 @@ type Log struct {
 	fr   *frontier
 	ca   *consArray
 
-	flushed   atomic.Uint64 // durable LSN frontier
-	flushCond *sync.Cond    // broadcast on flushed advance
-	flushMu   sync.Mutex
+	flushed atomic.Uint64 // durable LSN frontier
+
+	// Group-commit waiters, ordered by target LSN. Each committer is
+	// woken exactly once — when the durable frontier passes its own
+	// record — instead of every waiter waking (and mostly going back
+	// to sleep) on every flush advance of a shared condvar.
+	waitMu  sync.Mutex
+	waiters waiterHeap
 
 	kick        chan struct{}
 	done        chan struct{}
@@ -165,7 +170,6 @@ func New(dev Device, opts Options) (*Log, error) {
 		done: make(chan struct{}),
 	}
 	l.space = sync.NewCond(&l.mu)
-	l.flushCond = sync.NewCond(&l.flushMu)
 	l.fr.filled.Store(l.next)
 	l.flushed.Store(l.next)
 	if opts.Kind == Consolidated {
@@ -181,13 +185,19 @@ var ErrClosed = errors.New("wal: log closed")
 // Append encodes and inserts a record, returning its LSN. It does not
 // wait for durability; use WaitFlushed for commit semantics.
 func (l *Log) Append(r *Record) (LSN, error) {
-	size := EncodedSize(len(r.Payload))
+	return l.AppendFields(r.Type, r.TxnID, r.PrevLSN, r.PageID, r.UndoNext, r.Payload)
+}
+
+// AppendFields encodes and inserts a record given directly by its
+// fields, sparing hot paths the per-record *Record allocation.
+func (l *Log) AppendFields(typ RecType, txnID uint64, prev LSN, pageID uint64, undoNext LSN, payload []byte) (LSN, error) {
+	size := EncodedSize(len(payload))
 	buf := encBufPool.Get().(*[]byte)
 	if cap(*buf) < size {
 		*buf = make([]byte, size)
 	}
 	b := (*buf)[:size]
-	if _, err := Encode(r, b); err != nil {
+	if _, err := encodeFields(b, typ, txnID, prev, pageID, undoNext, payload); err != nil {
 		encBufPool.Put(buf)
 		return 0, err
 	}
@@ -287,27 +297,113 @@ func (l *Log) NextLSN() LSN {
 	return LSN(l.next)
 }
 
+// commitWaiter is one blocked committer: ch receives exactly one
+// value when the durable frontier reaches target (nil) or the log
+// dies first (the error).
+type commitWaiter struct {
+	target uint64
+	ch     chan error
+}
+
+// waiterHeap is a min-heap of commit waiters keyed by target LSN, so
+// each flush advance pops only the waiters it actually satisfies.
+type waiterHeap []commitWaiter
+
+func (h *waiterHeap) push(w commitWaiter) {
+	*h = append(*h, w)
+	s := *h
+	i := len(s) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if s[parent].target <= s[i].target {
+			break
+		}
+		s[parent], s[i] = s[i], s[parent]
+		i = parent
+	}
+}
+
+func (h *waiterHeap) pop() commitWaiter {
+	s := *h
+	w := s[0]
+	n := len(s) - 1
+	s[0] = s[n]
+	s[n] = commitWaiter{} // drop the channel reference
+	s = s[:n]
+	*h = s
+	i := 0
+	for {
+		least, left, right := i, 2*i+1, 2*i+2
+		if left < n && s[left].target < s[least].target {
+			least = left
+		}
+		if right < n && s[right].target < s[least].target {
+			least = right
+		}
+		if least == i {
+			break
+		}
+		s[i], s[least] = s[least], s[i]
+		i = least
+	}
+	return w
+}
+
+// waiterChPool recycles the one-shot channels committers block on.
+var waiterChPool = sync.Pool{New: func() any { return make(chan error, 1) }}
+
 // WaitFlushed blocks until the log is durable up to and including the
 // record that starts at lsn (group commit). It returns early with an
 // error if the log is closed or the flusher failed.
 func (l *Log) WaitFlushed(lsn LSN) error {
 	target := uint64(lsn) + 1 // any byte past the record start implies record scheduling order; callers pass end-1 semantics via RecordEnd
-	l.kickFlusher()
-	l.flushMu.Lock()
-	defer l.flushMu.Unlock()
-	for l.flushed.Load() < target {
+	if l.flushed.Load() >= target {
+		// Already durable: no registration, no mutex beyond this load.
 		if err, ok := l.flusherErr.Load().(error); ok && err != nil {
 			return err
 		}
-		if l.closed.Load() {
-			return ErrClosed
-		}
-		l.flushCond.Wait()
+		return nil
 	}
+	l.kickFlusher()
+	l.waitMu.Lock()
 	if err, ok := l.flusherErr.Load().(error); ok && err != nil {
+		l.waitMu.Unlock()
 		return err
 	}
-	return nil
+	if l.closed.Load() {
+		l.waitMu.Unlock()
+		return ErrClosed
+	}
+	if l.flushed.Load() >= target {
+		l.waitMu.Unlock()
+		return nil
+	}
+	ch := waiterChPool.Get().(chan error)
+	l.waiters.push(commitWaiter{target: target, ch: ch})
+	l.waitMu.Unlock()
+	err := <-ch
+	waiterChPool.Put(ch)
+	return err
+}
+
+// wakeFlushed wakes exactly the waiters whose target the durable
+// frontier has reached.
+func (l *Log) wakeFlushed(upTo uint64) {
+	l.waitMu.Lock()
+	for len(l.waiters) > 0 && l.waiters[0].target <= upTo {
+		l.waiters.pop().ch <- nil
+	}
+	l.waitMu.Unlock()
+}
+
+// failWaiters wakes every registered waiter with err (flusher death
+// or close).
+func (l *Log) failWaiters(err error) {
+	l.waitMu.Lock()
+	for len(l.waiters) > 0 {
+		l.waiters.pop().ch <- err
+	}
+	l.waitMu.Unlock()
 }
 
 // Flush forces all filled records to stable storage before returning.
@@ -328,9 +424,16 @@ func (l *Log) Close() error {
 	}
 	flushErr := l.flushOnce() // final synchronous drain
 	close(l.done)
-	l.flushMu.Lock()
-	l.flushCond.Broadcast()
-	l.flushMu.Unlock()
+	// Any waiter the final drain did not satisfy can never be: fail
+	// it with the flusher's error, or ErrClosed.
+	werr := flushErr
+	if err, ok := l.flusherErr.Load().(error); ok && err != nil {
+		werr = err
+	}
+	if werr == nil {
+		werr = ErrClosed
+	}
+	l.failWaiters(werr)
 	if err, ok := l.flusherErr.Load().(error); ok && err != nil {
 		return err
 	}
@@ -361,9 +464,7 @@ func (l *Log) flusher() {
 		}
 		if err := l.flushOnce(); err != nil {
 			l.flusherErr.Store(err)
-			l.flushMu.Lock()
-			l.flushCond.Broadcast()
-			l.flushMu.Unlock()
+			l.failWaiters(err)
 			return
 		}
 	}
@@ -396,12 +497,11 @@ func (l *Log) flushOnce() error {
 	l.flushed.Store(end)
 	l.stats.flushes.Add(1)
 	l.stats.flushedBytes.Add(end - start)
-	// Wake space waiters and commit waiters.
+	// Wake space waiters, and exactly the commit waiters this flush
+	// satisfied.
 	l.mu.Lock()
 	l.space.Broadcast()
 	l.mu.Unlock()
-	l.flushMu.Lock()
-	l.flushCond.Broadcast()
-	l.flushMu.Unlock()
+	l.wakeFlushed(end)
 	return nil
 }

@@ -95,20 +95,26 @@ func EncodedSize(payloadLen int) int { return headerSize + payloadLen }
 // into buf, which must be at least EncodedSize(len(r.Payload)) bytes.
 // It returns the number of bytes written.
 func Encode(r *Record, buf []byte) (int, error) {
-	if len(r.Payload) > MaxPayload {
+	return encodeFields(buf, r.Type, r.TxnID, r.PrevLSN, r.PageID, r.UndoNext, r.Payload)
+}
+
+// encodeFields is Encode without the Record indirection, so hot paths
+// can serialize straight from scalar fields.
+func encodeFields(buf []byte, typ RecType, txnID uint64, prev LSN, pageID uint64, undoNext LSN, payload []byte) (int, error) {
+	if len(payload) > MaxPayload {
 		return 0, ErrPayloadTooBig
 	}
-	total := headerSize + len(r.Payload)
+	total := headerSize + len(payload)
 	if len(buf) < total {
 		return 0, fmt.Errorf("wal: encode buffer too small: %d < %d", len(buf), total)
 	}
 	binary.LittleEndian.PutUint32(buf[0:4], uint32(total))
-	buf[8] = byte(r.Type)
-	binary.LittleEndian.PutUint64(buf[9:17], r.TxnID)
-	binary.LittleEndian.PutUint64(buf[17:25], uint64(r.PrevLSN))
-	binary.LittleEndian.PutUint64(buf[25:33], r.PageID)
-	binary.LittleEndian.PutUint64(buf[33:41], uint64(r.UndoNext))
-	copy(buf[41:], r.Payload)
+	buf[8] = byte(typ)
+	binary.LittleEndian.PutUint64(buf[9:17], txnID)
+	binary.LittleEndian.PutUint64(buf[17:25], uint64(prev))
+	binary.LittleEndian.PutUint64(buf[25:33], pageID)
+	binary.LittleEndian.PutUint64(buf[33:41], uint64(undoNext))
+	copy(buf[41:], payload)
 	crc := crc32.Checksum(buf[8:total], castagnoli)
 	binary.LittleEndian.PutUint32(buf[4:8], crc)
 	return total, nil
