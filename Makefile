@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet bench
+.PHONY: build test race vet lint stress bench
 
 build:
 	$(GO) build ./...
@@ -13,6 +13,17 @@ race:
 
 vet:
 	$(GO) vet ./...
+
+# lint runs hydra-vet (internal/analysis) over the whole module,
+# including test files, via the go vet -vettool protocol.
+lint:
+	$(GO) build -o bin/hydra-vet ./cmd/hydra-vet
+	$(GO) vet -vettool=$(abspath bin/hydra-vet) ./...
+
+# stress exercises the hydradebug runtime assertions (latch-order and
+# pool-ownership checks compiled in via the build tag).
+stress:
+	$(GO) test -tags hydradebug -count=1 ./internal/invariant/... ./internal/latch/... ./internal/buffer/... ./internal/wal/... ./internal/core/... ./internal/sync2/...
 
 bench:
 	$(GO) test -run '^$$' -bench 'BenchmarkLockAcquireRelease|BenchmarkCommitPipeline|BenchmarkPoolFetchParallel' -benchmem ./internal/lock/ ./internal/core/ ./internal/buffer/

@@ -1,0 +1,157 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/build"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"hydra/internal/analysis"
+)
+
+// unitcheckerMain implements the `go vet -vettool` driver protocol and
+// reports whether it handled the invocation. The go command probes the
+// tool three ways:
+//
+//   - `tool -V=full`: print "name version <fingerprint>"; the output
+//     keys vet's result cache.
+//   - `tool -flags`: print the tool's flag schema as JSON (none here).
+//   - `tool <dir>/vet.cfg`: analyze one package unit described by the
+//     JSON config, with dependencies supplied as gc export data.
+func unitcheckerMain(analyzers []*analysis.Analyzer) bool {
+	args := os.Args[1:]
+	if len(args) != 1 {
+		return false
+	}
+	switch {
+	case args[0] == "-V=full":
+		// First field must match the executable's base name.
+		fmt.Printf("%s version hydra-offline-1\n", filepath.Base(os.Args[0]))
+		return true
+	case args[0] == "-flags":
+		fmt.Println("[]")
+		return true
+	case strings.HasSuffix(args[0], ".cfg"):
+		os.Exit(runUnit(args[0], analyzers))
+		return true
+	}
+	return false
+}
+
+// vetConfig mirrors the fields of the go command's vet.cfg that this
+// driver needs; unknown fields are ignored.
+type vetConfig struct {
+	ID                        string
+	Compiler                  string
+	Dir                       string
+	ImportPath                string
+	GoFiles                   []string
+	ImportMap                 map[string]string
+	PackageFile               map[string]string
+	VetxOnly                  bool
+	VetxOutput                string
+	SucceedOnTypecheckFailure bool
+}
+
+// runUnit analyzes one vet unit. Exit codes follow unitchecker
+// convention: 0 clean, 1 driver failure, 2 diagnostics reported.
+func runUnit(cfgPath string, analyzers []*analysis.Analyzer) int {
+	data, err := os.ReadFile(cfgPath)
+	if err != nil {
+		return unitErr(err)
+	}
+	var cfg vetConfig
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		return unitErr(fmt.Errorf("parsing %s: %w", cfgPath, err))
+	}
+
+	// hydra-vet computes no facts, but downstream units expect the
+	// vetx file to exist.
+	if cfg.VetxOutput != "" {
+		if err := os.WriteFile(cfg.VetxOutput, nil, 0o666); err != nil {
+			return unitErr(err)
+		}
+	}
+	if cfg.VetxOnly {
+		return 0
+	}
+
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, name := range cfg.GoFiles {
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return unitErr(err)
+		}
+		files = append(files, f)
+	}
+
+	// Dependencies come as compiler export data: resolve the import
+	// path through ImportMap, then read the listed package file.
+	lookup := func(path string) (io.ReadCloser, error) {
+		if mapped, ok := cfg.ImportMap[path]; ok {
+			path = mapped
+		}
+		file, ok := cfg.PackageFile[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(file)
+	}
+	compiler := cfg.Compiler
+	if compiler == "" {
+		compiler = "gc"
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Implicits:  make(map[ast.Node]types.Object),
+	}
+	conf := types.Config{
+		Importer: importer.ForCompiler(fset, compiler, lookup),
+		Sizes:    types.SizesFor(compiler, build.Default.GOARCH),
+	}
+	tpkg, err := conf.Check(cfg.ImportPath, fset, files, info)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			return 0
+		}
+		return unitErr(fmt.Errorf("type-checking %s: %w", cfg.ImportPath, err))
+	}
+
+	pkg := &analysis.Package{
+		Path:  cfg.ImportPath,
+		Dir:   cfg.Dir,
+		Fset:  fset,
+		Files: files,
+		Types: tpkg,
+		Info:  info,
+	}
+	diags, err := analysis.Run([]*analysis.Package{pkg}, analyzers)
+	if err != nil {
+		return unitErr(err)
+	}
+	for _, d := range diags {
+		pos := fset.Position(d.Pos)
+		fmt.Fprintf(os.Stderr, "%s: %s: %s\n", pos, d.Analyzer, d.Message)
+	}
+	if len(diags) > 0 {
+		return 2
+	}
+	return 0
+}
+
+func unitErr(err error) int {
+	fmt.Fprintln(os.Stderr, "hydra-vet:", err)
+	return 1
+}

@@ -1,0 +1,73 @@
+package analysis
+
+import (
+	"go/token"
+	"path/filepath"
+	"runtime"
+	"testing"
+)
+
+// repoRoot walks up from this file to the module root.
+func repoRoot(t *testing.T) string {
+	t.Helper()
+	_, file, _, ok := runtime.Caller(0)
+	if !ok {
+		t.Fatal("no caller info")
+	}
+	return filepath.Dir(filepath.Dir(filepath.Dir(file)))
+}
+
+func TestLoaderTypeChecksModulePackages(t *testing.T) {
+	ld, err := NewLoader(repoRoot(t), "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ld.Module != "hydra" {
+		t.Fatalf("module = %q, want hydra", ld.Module)
+	}
+	pkgs, err := ld.Load("internal/buffer", "internal/sync2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkgs) != 2 {
+		t.Fatalf("loaded %d packages, want 2", len(pkgs))
+	}
+	for _, p := range pkgs {
+		if p.Types == nil || len(p.Files) == 0 {
+			t.Fatalf("package %s incompletely loaded", p.Path)
+		}
+	}
+}
+
+func TestSuppressionDirectives(t *testing.T) {
+	ld, err := NewLoader(repoRoot(t), "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkgs, err := ld.Load("internal/page")
+	if err != nil {
+		t.Fatal(err)
+	}
+	probe := &Analyzer{
+		Name: "probe",
+		Doc:  "reports every file's package clause",
+		Run: func(pass *Pass) error {
+			for _, f := range pass.Files {
+				pass.Reportf(f.Package, "probe finding")
+			}
+			return nil
+		},
+	}
+	diags, err := Run(pkgs, []*Analyzer{probe})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(diags) == 0 {
+		t.Fatal("probe reported nothing")
+	}
+	for _, d := range diags {
+		if d.Pos == token.NoPos {
+			t.Fatalf("diagnostic without position: %+v", d)
+		}
+	}
+}

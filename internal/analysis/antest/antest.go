@@ -1,0 +1,119 @@
+// Package antest is hydra-vet's fixture test harness — a minimal
+// analysistest. A fixture is a module-less source tree under
+// testdata/src/<pkg>; Run loads the named packages with the offline
+// loader, applies one analyzer, and checks every reported diagnostic
+// against `// want "regexp"` comments placed on the offending lines:
+//
+//	s.mu.Lock()
+//	ch <- 1 // want "channel send while holding s\\.mu"
+//
+// A line may carry several quoted patterns for several diagnostics.
+// The test fails on any diagnostic with no matching want on its line,
+// and on any want no diagnostic matched — fixtures therefore pin both
+// the true positives AND the true negatives (a clean good.go asserts
+// the analyzer stays quiet).
+package antest
+
+import (
+	"fmt"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+
+	"hydra/internal/analysis"
+)
+
+// wantRe extracts the quoted patterns of a want comment.
+var wantRe = regexp.MustCompile(`"((?:[^"\\]|\\.)*)"`)
+
+type want struct {
+	file    string
+	line    int
+	pattern *regexp.Regexp
+	matched bool
+}
+
+// Run applies a to the fixture packages under dir/src and verifies
+// diagnostics against want comments.
+func Run(t *testing.T, dir string, a *analysis.Analyzer, pkgs ...string) {
+	t.Helper()
+	ld, err := analysis.NewLoader(filepath.Join(dir, "src"), "")
+	if err != nil {
+		t.Fatalf("antest: loader: %v", err)
+	}
+	loaded, err := ld.Load(pkgs...)
+	if err != nil {
+		t.Fatalf("antest: load %v: %v", pkgs, err)
+	}
+	if len(loaded) != len(pkgs) {
+		t.Fatalf("antest: loaded %d of %d fixture packages", len(loaded), len(pkgs))
+	}
+
+	var wants []*want
+	for _, pkg := range loaded {
+		for _, f := range pkg.Files {
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					rest, ok := strings.CutPrefix(strings.TrimSpace(strings.TrimPrefix(c.Text, "//")), "want ")
+					if !ok {
+						continue
+					}
+					pos := pkg.Fset.Position(c.Pos())
+					ms := wantRe.FindAllStringSubmatch(rest, -1)
+					if len(ms) == 0 {
+						t.Errorf("%s: malformed want comment (no quoted pattern)", pos)
+						continue
+					}
+					for _, m := range ms {
+						// The quoted form is a Go string literal; unquote
+						// so \\. in fixtures means a literal dot.
+						pat, err := strconv.Unquote(`"` + m[1] + `"`)
+						if err != nil {
+							t.Errorf("%s: bad want pattern %q: %v", pos, m[1], err)
+							continue
+						}
+						re, err := regexp.Compile(pat)
+						if err != nil {
+							t.Errorf("%s: bad want regexp %q: %v", pos, pat, err)
+							continue
+						}
+						wants = append(wants, &want{file: pos.Filename, line: pos.Line, pattern: re})
+					}
+				}
+			}
+		}
+	}
+
+	diags, err := analysis.Run(loaded, []*analysis.Analyzer{a})
+	if err != nil {
+		t.Fatalf("antest: run %s: %v", a.Name, err)
+	}
+	for _, d := range diags {
+		pos := loaded[0].Fset.Position(d.Pos)
+		if w := match(wants, pos.Filename, pos.Line, d.Message); w == nil {
+			t.Errorf("%s: unexpected %s diagnostic: %s", fmt.Sprintf("%s:%d", pos.Filename, pos.Line), d.Analyzer, d.Message)
+		}
+	}
+	for _, w := range wants {
+		if !w.matched {
+			t.Errorf("%s:%d: want %q: no matching diagnostic reported", w.file, w.line, w.pattern)
+		}
+	}
+}
+
+// match consumes the first unmatched want on (file, line) whose
+// pattern matches message.
+func match(wants []*want, file string, line int, message string) *want {
+	for _, w := range wants {
+		if w.matched || w.file != file || w.line != line {
+			continue
+		}
+		if w.pattern.MatchString(message) {
+			w.matched = true
+			return w
+		}
+	}
+	return nil
+}

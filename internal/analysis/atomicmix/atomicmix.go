@@ -1,0 +1,151 @@
+// Package atomicmix implements the hydra-vet analyzer catching mixed
+// atomic and plain access to the same memory.
+//
+// A word accessed with sync/atomic anywhere must be accessed with
+// sync/atomic everywhere: one plain load next to an atomic store is a
+// data race under the Go memory model even when the interleaving
+// "cannot happen", and it is exactly the kind of race the detector
+// misses until the improbable schedule fires. internal/sync2's
+// hand-rolled primitives (TAS/TTAS/MCS spinlocks, the hybrid RW lock)
+// are wall-to-wall sync/atomic and the motivating target: a single
+// plain `n.next = nil` on a node whose next field is elsewhere
+// StorePointer'd is a latent reordering bug.
+//
+// The analyzer runs per package in two passes: first it collects
+// every variable or struct field whose address is passed to a
+// sync/atomic function (atomic.AddUint64(&x, ...) and friends), then
+// it reports every plain read or write of those same objects. Typed
+// atomics (atomic.Uint64, atomic.Pointer[T]) need no analyzer — the
+// type system already forbids plain access — and are the preferred
+// fix where layout permits; the other fix is making the stray access
+// atomic.
+package atomicmix
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"path"
+
+	"hydra/internal/analysis"
+)
+
+// Analyzer is the atomicmix analyzer.
+var Analyzer = &analysis.Analyzer{
+	Name: "atomicmix",
+	Doc:  "a variable accessed via sync/atomic must never also be accessed with plain loads/stores",
+	Run:  run,
+}
+
+// atomicFuncs is sync/atomic's pointer-taking API surface (the
+// typed-struct methods are type-safe and need no tracking).
+var atomicFuncs = map[string]bool{
+	"AddInt32": true, "AddInt64": true, "AddUint32": true, "AddUint64": true, "AddUintptr": true,
+	"LoadInt32": true, "LoadInt64": true, "LoadUint32": true, "LoadUint64": true, "LoadUintptr": true, "LoadPointer": true,
+	"StoreInt32": true, "StoreInt64": true, "StoreUint32": true, "StoreUint64": true, "StoreUintptr": true, "StorePointer": true,
+	"SwapInt32": true, "SwapInt64": true, "SwapUint32": true, "SwapUint64": true, "SwapUintptr": true, "SwapPointer": true,
+	"CompareAndSwapInt32": true, "CompareAndSwapInt64": true, "CompareAndSwapUint32": true,
+	"CompareAndSwapUint64": true, "CompareAndSwapUintptr": true, "CompareAndSwapPointer": true,
+	"AndInt32": true, "AndInt64": true, "AndUint32": true, "AndUint64": true, "AndUintptr": true,
+	"OrInt32": true, "OrInt64": true, "OrUint32": true, "OrUint64": true, "OrUintptr": true,
+}
+
+func run(pass *analysis.Pass) error {
+	info := pass.TypesInfo
+
+	// Pass 1: objects whose address reaches a sync/atomic call, with
+	// one example site for the diagnostic, plus every ident position
+	// that appears inside such a call (those are the sanctioned
+	// accesses).
+	atomicObjs := make(map[types.Object]token.Pos)
+	sanctioned := make(map[token.Pos]bool)
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			c, ok := n.(*ast.CallExpr)
+			if !ok || !isAtomicCall(info, c) {
+				return true
+			}
+			for i, a := range c.Args {
+				// Only the address arguments identify the word; value
+				// arguments (the delta, old, new) are ordinary reads.
+				u, ok := a.(*ast.UnaryExpr)
+				if !ok || u.Op != token.AND {
+					continue
+				}
+				if obj := addressedObj(info, u.X); obj != nil {
+					if _, seen := atomicObjs[obj]; !seen {
+						atomicObjs[obj] = c.Pos()
+					}
+				}
+				// Everything inside the &-operand is part of the
+				// atomic access itself.
+				ast.Inspect(c.Args[i], func(m ast.Node) bool {
+					if id, ok := m.(*ast.Ident); ok {
+						sanctioned[id.Pos()] = true
+					}
+					return true
+				})
+			}
+			return true
+		})
+	}
+	if len(atomicObjs) == 0 {
+		return nil
+	}
+
+	// Pass 2: any other load or store of those objects.
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			id, ok := n.(*ast.Ident)
+			if !ok || sanctioned[id.Pos()] {
+				return true
+			}
+			obj := info.Uses[id]
+			if obj == nil {
+				return true
+			}
+			first, isAtomic := atomicObjs[obj]
+			if !isAtomic {
+				return true
+			}
+			pass.Reportf(id.Pos(), "plain access to %s, which is accessed atomically (e.g. %s): mixed atomic/non-atomic access is a data race",
+				obj.Name(), pass.Fset.Position(first))
+			return true
+		})
+	}
+	return nil
+}
+
+// isAtomicCall matches calls to sync/atomic's package-level functions
+// (by package base name, so fixtures can model the package locally).
+func isAtomicCall(info *types.Info, c *ast.CallExpr) bool {
+	sel, ok := c.Fun.(*ast.SelectorExpr)
+	if !ok || !atomicFuncs[sel.Sel.Name] {
+		return false
+	}
+	x, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	pn, ok := info.Uses[x].(*types.PkgName)
+	return ok && path.Base(pn.Imported().Path()) == "atomic"
+}
+
+// addressedObj resolves &expr's operand to the variable or field
+// object whose address is taken.
+func addressedObj(info *types.Info, e ast.Expr) types.Object {
+	switch e := e.(type) {
+	case *ast.Ident:
+		return info.Uses[e]
+	case *ast.SelectorExpr:
+		if s := info.Selections[e]; s != nil && s.Kind() == types.FieldVal {
+			return s.Obj()
+		}
+		return info.Uses[e.Sel]
+	case *ast.ParenExpr:
+		return addressedObj(info, e.X)
+	}
+	// Index expressions (&a[i]) identify an element, not a stable
+	// object; skip rather than over-report.
+	return nil
+}

@@ -1,0 +1,12 @@
+package atomicmix_test
+
+import (
+	"testing"
+
+	"hydra/internal/analysis/antest"
+	"hydra/internal/analysis/atomicmix"
+)
+
+func TestAtomicmixFixtures(t *testing.T) {
+	antest.Run(t, "testdata", atomicmix.Analyzer, "m")
+}

@@ -1,0 +1,15 @@
+// Package atomic models sync/atomic's pointer-taking functions for
+// atomicmix fixtures (matched by package base name).
+package atomic
+
+func AddUint64(p *uint64, d uint64) uint64 { *p += d; return *p }
+func LoadUint64(p *uint64) uint64          { return *p }
+func StoreUint32(p *uint32, v uint32)      { *p = v }
+func LoadUint32(p *uint32) uint32          { return *p }
+func CompareAndSwapUint32(p *uint32, old, new uint32) bool {
+	if *p == old {
+		*p = new
+		return true
+	}
+	return false
+}

@@ -1,0 +1,30 @@
+// Package m is atomicmix's known-bad fixture.
+package m
+
+import "atomic"
+
+type gate struct {
+	state uint32
+	hits  uint64
+}
+
+func enter(g *gate) bool {
+	return atomic.CompareAndSwapUint32(&g.state, 0, 1)
+}
+
+func leave(g *gate) {
+	atomic.StoreUint32(&g.state, 0)
+	atomic.AddUint64(&g.hits, 1)
+}
+
+// peek reads state with a plain load next to the CAS/Store traffic —
+// a data race under the memory model however rare the schedule.
+func peek(g *gate) bool {
+	return g.state == 1 // want "plain access to state"
+}
+
+// reset writes both words plainly.
+func reset(g *gate) {
+	g.state = 0 // want "plain access to state"
+	g.hits = 0  // want "plain access to hits"
+}

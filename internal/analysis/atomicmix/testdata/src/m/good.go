@@ -1,0 +1,18 @@
+// Known-good shapes: atomicmix must stay silent on this file.
+package m
+
+import "atomic"
+
+type counters struct {
+	ops   uint64
+	plain int // never touched atomically; plain access is fine
+}
+
+func bump(c *counters) {
+	atomic.AddUint64(&c.ops, 1)
+	c.plain++
+}
+
+func read(c *counters) uint64 {
+	return atomic.LoadUint64(&c.ops)
+}

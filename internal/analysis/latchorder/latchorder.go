@@ -1,0 +1,166 @@
+// Package latchorder implements the hydra-vet analyzer enforcing
+// Hydra's declared lock hierarchy.
+//
+// Deadlock freedom in Hydra rests on a total order over lock tiers:
+// coarse engine-level locks are acquired before per-structure locks,
+// which are acquired before page latches, which are acquired before
+// the short shard/stripe mutexes that protect pool and WAL
+// bookkeeping. The analyzer walks every function with the lockflow
+// engine and reports any acquisition whose declared rank is LOWER
+// than a rank already held — the inversion that, paired with the
+// opposite nesting elsewhere, deadlocks.
+//
+// Locks are identified by declaration site ("pkg.Type.field", as
+// rendered by lockflow.LockSite); the Hierarchy table assigns each
+// known site a rank. Unranked sites are ignored — the analyzer only
+// constrains locks that opt into the hierarchy — and equal ranks are
+// allowed, because same-tier acquisition (latch crabbing down a
+// B+-tree, lock stripes keyed by hash) is ordered by a protocol the
+// type system cannot see.
+//
+// The analysis is intra-procedural: it sees nesting within one
+// function body. Holding a lock across a call into another package is
+// lockscope's territory when the callee blocks; silent cross-function
+// rank inversions are out of scope for v1.
+package latchorder
+
+import (
+	"go/ast"
+	"sort"
+	"strconv"
+	"strings"
+
+	"hydra/internal/analysis"
+	"hydra/internal/analysis/lockflow"
+	"hydra/internal/invariant"
+)
+
+// Analyzer is the latchorder analyzer.
+var Analyzer = &analysis.Analyzer{
+	Name: "latchorder",
+	Doc:  "lock/latch acquisition order must follow the declared hierarchy (engine locks < structure locks < page latches < shard/stripe mutexes)",
+	Run:  run,
+}
+
+// Hierarchy maps lock declaration sites to ranks. A lock may only be
+// acquired while every ranked lock already held has rank <= its own.
+// Lower rank = outer tier = acquired first. Gaps leave room for new
+// tiers.
+//
+// The ranks come from internal/invariant's tier constants, which the
+// hydradebug runtime assertions enforce on live executions — one
+// source of truth for both layers. DESIGN.md renders the table; keep
+// the prose in sync.
+var Hierarchy = map[string]int{
+	// Tier 0: whole-engine serialization.
+	"core.Engine.ckptMu": invariant.TierEngineCkpt,
+	"core.Engine.mu":     invariant.TierEngineMu,
+
+	// Tier 1: per-transaction and per-structure locks.
+	"core.Txn.mu":       invariant.TierTxnMu,
+	"btree.Tree.coarse": invariant.TierTreeCoarse,
+	"btree.Tree.rootMu": invariant.TierTreeRoot,
+
+	// Tier 2: lock-manager partitions (2PL state).
+	"lock.partition.mu": invariant.TierLockPart,
+
+	// Tier 3: page latches (crabbing orders same-rank acquisitions).
+	"buffer.Frame.Latch": invariant.TierFrameLatch,
+
+	// Tier 4: short bookkeeping mutexes — leaves of the hierarchy;
+	// nothing may be acquired under them (and lockscope separately
+	// forbids blocking there).
+	"buffer.shard.mu":        invariant.TierPoolShard,
+	"buffer.FileStore.mu":    invariant.TierFileStore,
+	"wal.Log.mu":             invariant.TierWALLog,
+	"wal.Log.waitMu":         invariant.TierWALWait,
+	"wal.SegmentedDevice.mu": invariant.TierWALDevice,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkFunc(pass, fd)
+		}
+	}
+	return nil
+}
+
+func checkFunc(pass *analysis.Pass, fd *ast.FuncDecl) {
+	// siteOf remembers the declaration site behind each held key so
+	// Visit can rank what Classify tracked.
+	siteOf := make(map[string]string)
+	lockflow.WalkFunc(fd.Body, lockflow.Hooks{
+		Classify: func(c *ast.CallExpr, deferred bool) (lockflow.Action, string) {
+			act, key, class := lockflow.ClassifyLockCall(pass.TypesInfo, c)
+			if class == lockflow.ClassNone {
+				return lockflow.None, ""
+			}
+			if deferred && act == lockflow.Release {
+				return lockflow.None, "" // held to function end
+			}
+			if act == lockflow.Acquire {
+				siteOf[key] = lockflow.LockSite(pass.TypesInfo, c)
+			}
+			return act, key
+		},
+		// Visit runs before an Acquire takes effect, so held is exactly
+		// the set outstanding at the moment of acquisition.
+		Visit: func(n ast.Node, held map[string]lockflow.Hold) {
+			c, ok := n.(*ast.CallExpr)
+			if !ok || len(held) == 0 {
+				return
+			}
+			act, key, class := lockflow.ClassifyLockCall(pass.TypesInfo, c)
+			if act != lockflow.Acquire || class == lockflow.ClassNone {
+				return
+			}
+			site := lockflow.LockSite(pass.TypesInfo, c)
+			rank, ranked := Hierarchy[site]
+			if !ranked {
+				return
+			}
+			if inv := inversions(held, siteOf, rank, key); inv != "" {
+				pass.Reportf(c.Pos(), "acquires %s (rank %d) while holding %s: violates the declared latch hierarchy",
+					site, rank, inv)
+			}
+		},
+	})
+}
+
+// inversions renders the held locks whose rank strictly exceeds rank,
+// in acquisition order; empty when the acquisition is legal.
+func inversions(held map[string]lockflow.Hold, siteOf map[string]string, rank int, self string) string {
+	type kv struct {
+		desc  string
+		order int
+	}
+	var bad []kv
+	for k, h := range held {
+		if k == self {
+			continue // re-acquisition is a self-deadlock, not an ordering bug
+		}
+		site, ok := siteOf[k]
+		if !ok {
+			continue
+		}
+		r, ranked := Hierarchy[site]
+		if !ranked || r <= rank {
+			continue
+		}
+		bad = append(bad, kv{desc: site + " (rank " + strconv.Itoa(r) + ")", order: h.Order})
+	}
+	if len(bad) == 0 {
+		return ""
+	}
+	sort.Slice(bad, func(i, j int) bool { return bad[i].order < bad[j].order })
+	var names []string
+	for _, e := range bad {
+		names = append(names, e.desc)
+	}
+	return strings.Join(names, ", ")
+}

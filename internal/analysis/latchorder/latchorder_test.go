@@ -1,0 +1,12 @@
+package latchorder_test
+
+import (
+	"testing"
+
+	"hydra/internal/analysis/antest"
+	"hydra/internal/analysis/latchorder"
+)
+
+func TestLatchorderFixtures(t *testing.T) {
+	antest.Run(t, "testdata", latchorder.Analyzer, "wal", "buffer")
+}

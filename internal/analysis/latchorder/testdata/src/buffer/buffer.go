@@ -1,0 +1,50 @@
+// Package buffer reproduces hydra's frame-latch / shard-mutex tier
+// pair: buffer.Frame.Latch is rank 60, buffer.shard.mu rank 70.
+package buffer
+
+import (
+	"latch"
+	"sync"
+)
+
+type Frame struct{ Latch latch.Latch }
+
+type shard struct{ mu sync.Mutex }
+
+// latchUnderShardMu inverts tier 3 under tier 4: the shard mutex is a
+// leaf, nothing may be acquired beneath it.
+func latchUnderShardMu(s *shard, f *Frame) {
+	s.mu.Lock()
+	f.Latch.Acquire(latch.Shared) // want "acquires buffer.Frame.Latch \\(rank 60\\) while holding buffer.shard.mu \\(rank 70\\)"
+	f.Latch.Release(latch.Shared)
+	s.mu.Unlock()
+}
+
+// shardMuUnderLatch is hydra's FlushAll shape: latch first, then the
+// bookkeeping mutex. Legal.
+func shardMuUnderLatch(s *shard, f *Frame) {
+	f.Latch.Acquire(latch.Shared)
+	s.mu.Lock()
+	s.mu.Unlock()
+	f.Latch.Release(latch.Shared)
+}
+
+// crabbing: same-rank latch-latch nesting is ordered by the B+-tree
+// descent protocol, not the hierarchy; equal ranks are allowed.
+func crabbing(parent, child *Frame) {
+	parent.Latch.Acquire(latch.Shared)
+	child.Latch.Acquire(latch.Shared)
+	parent.Latch.Release(latch.Shared)
+	child.Latch.Release(latch.Shared)
+}
+
+// scratch's lock is unranked: locks outside the table are
+// unconstrained in both directions.
+type scratch struct{ mu sync.Mutex }
+
+func unranked(s *scratch, f *Frame) {
+	s.mu.Lock()
+	f.Latch.Acquire(latch.Exclusive)
+	f.Latch.Release(latch.Exclusive)
+	s.mu.Unlock()
+}

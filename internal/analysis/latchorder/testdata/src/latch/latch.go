@@ -1,0 +1,16 @@
+// Package latch models hydra's page-latch API for latchorder
+// fixtures; the analyzer classifies Acquire/Release by this package
+// base name.
+package latch
+
+type Mode int
+
+const (
+	Shared Mode = iota
+	Exclusive
+)
+
+type Latch struct{ state int }
+
+func (l *Latch) Acquire(m Mode) { l.state++ }
+func (l *Latch) Release(m Mode) { l.state-- }

@@ -1,0 +1,15 @@
+// Package sync models the standard library lock types for hydra-vet
+// fixtures (see the lockscope fixture of the same name).
+package sync
+
+type Mutex struct{ held bool }
+
+func (m *Mutex) Lock()   { m.held = true }
+func (m *Mutex) Unlock() { m.held = false }
+
+type RWMutex struct{ held int }
+
+func (m *RWMutex) Lock()    { m.held = -1 }
+func (m *RWMutex) Unlock()  { m.held = 0 }
+func (m *RWMutex) RLock()   { m.held++ }
+func (m *RWMutex) RUnlock() { m.held-- }

@@ -1,0 +1,51 @@
+// Package wal reproduces the declaration sites of hydra's WAL locks
+// so the hierarchy table ranks them: wal.Log.mu is rank 80,
+// wal.Log.waitMu rank 82.
+package wal
+
+import "sync"
+
+type Log struct {
+	mu     sync.Mutex
+	waitMu sync.Mutex
+}
+
+// badOrder acquires the tiers backwards: waitMu (rank 82) is held
+// when mu (rank 80) is taken — the inversion that deadlocks against
+// goodOrder's nesting.
+func (l *Log) badOrder() {
+	l.waitMu.Lock()
+	l.mu.Lock() // want "acquires wal.Log.mu \\(rank 80\\) while holding wal.Log.waitMu \\(rank 82\\)"
+	l.mu.Unlock()
+	l.waitMu.Unlock()
+}
+
+// goodOrder nests inner tiers under outer ones.
+func (l *Log) goodOrder() {
+	l.mu.Lock()
+	l.waitMu.Lock()
+	l.waitMu.Unlock()
+	l.mu.Unlock()
+}
+
+// sequential acquisition (no nesting) is always legal, whatever the
+// order.
+func (l *Log) sequential() {
+	l.waitMu.Lock()
+	l.waitMu.Unlock()
+	l.mu.Lock()
+	l.mu.Unlock()
+}
+
+// releasedBeforeInversion: the high-rank lock is gone by the time the
+// low-rank one is taken on every path.
+func (l *Log) releasedBeforeInversion(deep bool) {
+	l.waitMu.Lock()
+	if deep {
+		l.waitMu.Unlock()
+	} else {
+		l.waitMu.Unlock()
+	}
+	l.mu.Lock()
+	l.mu.Unlock()
+}

@@ -1,0 +1,235 @@
+package lockflow
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"strings"
+	"testing"
+)
+
+// walkSrc parses src as a function body wrapped in a file, walking the
+// first function. Calls named lock()/unlock() classify as
+// Acquire/Release of key "L"; the probe() call records the held set.
+func walkSrc(t *testing.T, src string) (probes []string, exits []string) {
+	t.Helper()
+	fset := token.NewFileSet()
+	file, err := parser.ParseFile(fset, "t.go", "package t\n"+src, parser.SkipObjectResolution)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var fn *ast.FuncDecl
+	for _, d := range file.Decls {
+		if fd, ok := d.(*ast.FuncDecl); ok {
+			fn = fd
+			break
+		}
+	}
+	render := func(held map[string]Hold) string {
+		var keys []string
+		for k := range held {
+			keys = append(keys, k)
+		}
+		if len(keys) == 0 {
+			return "-"
+		}
+		if len(keys) > 1 {
+			// deterministic: small sets only in these tests
+			for i := 0; i < len(keys); i++ {
+				for j := i + 1; j < len(keys); j++ {
+					if keys[j] < keys[i] {
+						keys[i], keys[j] = keys[j], keys[i]
+					}
+				}
+			}
+		}
+		return strings.Join(keys, ",")
+	}
+	WalkFunc(fn.Body, Hooks{
+		Classify: func(c *ast.CallExpr, deferred bool) (Action, string) {
+			id, ok := c.Fun.(*ast.Ident)
+			if !ok {
+				return None, ""
+			}
+			switch id.Name {
+			case "lock":
+				return Acquire, key(c)
+			case "unlock":
+				if deferred {
+					return None, "" // deferred unlock holds to function end
+				}
+				return Release, key(c)
+			}
+			return None, ""
+		},
+		Visit: func(n ast.Node, held map[string]Hold) {
+			if c, ok := n.(*ast.CallExpr); ok {
+				if id, ok := c.Fun.(*ast.Ident); ok && id.Name == "probe" {
+					probes = append(probes, render(held))
+				}
+			}
+		},
+		FuncEnd: func(ret *ast.ReturnStmt, held map[string]Hold) {
+			exits = append(exits, render(held))
+		},
+	})
+	return probes, exits
+}
+
+// key lets tests track distinct locks via lock("A") string args;
+// bare lock() is key "L".
+func key(c *ast.CallExpr) string {
+	if len(c.Args) == 1 {
+		if bl, ok := c.Args[0].(*ast.BasicLit); ok {
+			return strings.Trim(bl.Value, `"`)
+		}
+	}
+	return "L"
+}
+
+func TestLinearLockUnlock(t *testing.T) {
+	probes, _ := walkSrc(t, `
+func f() {
+	probe()
+	lock()
+	probe()
+	unlock()
+	probe()
+}`)
+	want := []string{"-", "L", "-"}
+	assertEq(t, probes, want)
+}
+
+func TestTerminatedBranchExcludedFromMerge(t *testing.T) {
+	// The shape of the pre-fix buffer.Fetch: the hit path unlocks and
+	// returns; the fall-through path still holds the lock.
+	probes, _ := walkSrc(t, `
+func f() {
+	lock()
+	if hit {
+		unlock()
+		probe()
+		return
+	}
+	probe()
+	unlock()
+}`)
+	assertEq(t, probes, []string{"-", "L"})
+}
+
+func TestBothArmsReleaseMergesToEmpty(t *testing.T) {
+	probes, _ := walkSrc(t, `
+func f() {
+	lock()
+	if a {
+		unlock()
+	} else {
+		unlock()
+	}
+	probe()
+}`)
+	assertEq(t, probes, []string{"-"})
+}
+
+func TestOneArmReleasesIntersection(t *testing.T) {
+	probes, _ := walkSrc(t, `
+func f() {
+	lock()
+	if a {
+		unlock()
+	}
+	probe()
+}`)
+	// Held only on one path: intersection drops it (no false positive).
+	assertEq(t, probes, []string{"-"})
+}
+
+func TestDeferredUnlockHoldsToEnd(t *testing.T) {
+	probes, exits := walkSrc(t, `
+func f() {
+	lock()
+	defer unlock()
+	probe()
+}`)
+	assertEq(t, probes, []string{"L"})
+	assertEq(t, exits, []string{"L"})
+}
+
+func TestFuncLitWalkedWithEmptyHeld(t *testing.T) {
+	probes, _ := walkSrc(t, `
+func f() {
+	lock()
+	go func() {
+		probe()
+	}()
+	probe()
+	unlock()
+}`)
+	// Outer probe sees L; the goroutine body does not inherit it.
+	assertEq(t, probes, []string{"L", "-"})
+}
+
+func TestLoopBodyEffectsDiscarded(t *testing.T) {
+	probes, _ := walkSrc(t, `
+func f() {
+	lock()
+	for i := 0; i < n; i++ {
+		probe()
+		unlock()
+	}
+	probe()
+}`)
+	// Inside the body the entry set holds; after the loop the entry
+	// set is restored (body may not have run).
+	assertEq(t, probes, []string{"L", "L"})
+}
+
+func TestTwoLocksNested(t *testing.T) {
+	probes, _ := walkSrc(t, `
+func f() {
+	lock("A")
+	lock("B")
+	probe()
+	unlock("B")
+	probe()
+	unlock("A")
+}`)
+	assertEq(t, probes, []string{"A,B", "A"})
+}
+
+func TestSwitchWithoutDefaultKeepsEntry(t *testing.T) {
+	probes, _ := walkSrc(t, `
+func f() {
+	lock()
+	switch x {
+	case 1:
+		unlock()
+	}
+	probe()
+}`)
+	assertEq(t, probes, []string{"-"}) // intersection with bypass path... entry held, case released: merge drops
+}
+
+func TestReturnExitSeesHeld(t *testing.T) {
+	_, exits := walkSrc(t, `
+func f() {
+	lock()
+	if a {
+		return
+	}
+	unlock()
+}`)
+	assertEq(t, exits, []string{"L", "-"})
+}
+
+func assertEq(t *testing.T, got, want []string) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("got %v, want %v", got, want)
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("got %v, want %v", got, want)
+		}
+	}
+}

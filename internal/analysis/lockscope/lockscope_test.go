@@ -1,0 +1,12 @@
+package lockscope_test
+
+import (
+	"testing"
+
+	"hydra/internal/analysis/antest"
+	"hydra/internal/analysis/lockscope"
+)
+
+func TestLockscopeFixtures(t *testing.T) {
+	antest.Run(t, "testdata", lockscope.Analyzer, "a")
+}

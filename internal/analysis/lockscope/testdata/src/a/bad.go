@@ -1,0 +1,92 @@
+// Package a is lockscope's known-bad fixture: every want line is a
+// blocking operation inside a critical section.
+package a
+
+import "sync"
+
+// PageStore mirrors the shape of hydra's buffer.PageStore; lockscope
+// matches the interface name so fixtures need no hydra imports.
+type PageStore interface {
+	ReadPage(id uint64) error
+	WritePage(id uint64) error
+}
+
+type shard struct {
+	mu    sync.Mutex
+	table map[uint64]int
+}
+
+type pool struct {
+	mu    sync.Mutex
+	store PageStore
+	dirty bool
+}
+
+// sendUnderLock blocks on a channel inside the critical section.
+func sendUnderLock(s *shard, ch chan int) {
+	s.mu.Lock()
+	ch <- 1 // want "channel send while holding s.mu"
+	s.mu.Unlock()
+}
+
+// recvUnderDefer: a deferred unlock holds the lock to function end,
+// so the receive is still inside the critical section.
+func recvUnderDefer(s *shard, ch chan int) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return <-ch // want "channel receive while holding s.mu"
+}
+
+// ioUnderLock is the direct form of the dirty-victim write-back bug.
+func (p *pool) ioUnderLock(id uint64) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.store.WritePage(id) // want "\\(PageStore\\).WritePage while holding p.mu"
+}
+
+// fetch reproduces the pre-fix shape of buffer.Pool.Fetch: the hit
+// path unlocks and returns early, and the miss path calls a victim
+// scan that reaches store IO two frames down — only the
+// terminated-branch-aware interprocedural analysis sees it.
+func (p *pool) fetch(id uint64) error {
+	p.mu.Lock()
+	if p.dirty {
+		p.mu.Unlock()
+		return nil
+	}
+	err := p.victim(id) // want "call to victim may block .writeBack → \\(PageStore\\).WritePage. while holding p.mu"
+	p.mu.Unlock()
+	return err
+}
+
+func (p *pool) victim(id uint64) error { return p.writeBack(id) }
+
+func (p *pool) writeBack(id uint64) error { return p.store.WritePage(id) }
+
+// waitUnderLock: WaitGroup.Wait blocks until someone else calls Done.
+func waitUnderLock(s *shard, wg *sync.WaitGroup) {
+	s.mu.Lock()
+	wg.Wait() // want "\\(sync.WaitGroup\\).Wait while holding s.mu"
+	s.mu.Unlock()
+}
+
+// condWaitTwoLocks: Cond.Wait releases its own mutex, but the second
+// held lock stays held across the sleep.
+func condWaitTwoLocks(a, b *shard, c *sync.Cond) {
+	a.mu.Lock()
+	b.mu.Lock()
+	c.Wait() // want "\\(sync.Cond\\).Wait while holding"
+	b.mu.Unlock()
+	a.mu.Unlock()
+}
+
+// blockingSelect has no default, so it parks.
+func blockingSelect(s *shard, ch chan int) {
+	s.mu.Lock()
+	select { // want "blocking select while holding s.mu"
+	case v := <-ch:
+		s.table[0] = v
+	case ch <- 2:
+	}
+	s.mu.Unlock()
+}

@@ -1,0 +1,92 @@
+// Known-good shapes: lockscope must stay silent on this entire file.
+package a
+
+import "sync"
+
+// lockFree blocks with nothing held.
+func lockFree(ch chan int) { ch <- 1 }
+
+// afterUnlock blocks only once the lock is released.
+func afterUnlock(s *shard, ch chan int) {
+	s.mu.Lock()
+	s.table[1] = 1
+	s.mu.Unlock()
+	ch <- 1
+}
+
+// branchReleases unlocks on both paths before any IO.
+func branchReleases(p *pool, id uint64, fast bool) error {
+	p.mu.Lock()
+	if fast {
+		p.mu.Unlock()
+		return nil
+	}
+	p.mu.Unlock()
+	return p.writeBack(id)
+}
+
+// nonBlockingSelect cannot park: it has a default.
+func nonBlockingSelect(s *shard, ch chan int) {
+	s.mu.Lock()
+	select {
+	case ch <- 1:
+	default:
+	}
+	s.mu.Unlock()
+}
+
+// condWaitOwnMutex: Cond.Wait releases the (only) held mutex while
+// parked, the standard condition-variable protocol.
+func condWaitOwnMutex(s *shard, c *sync.Cond) {
+	s.mu.Lock()
+	for s.table == nil {
+		c.Wait()
+	}
+	s.mu.Unlock()
+}
+
+// checkpointer's lock is declared coarse: serializing a whole IO
+// operation is its purpose, so it is not a guard for lockscope.
+type checkpointer struct {
+	//hydra:vet:coarse -- serializes whole checkpoints; a checkpoint is IO end to end
+	mu    sync.Mutex
+	store PageStore
+}
+
+func (c *checkpointer) checkpoint(id uint64) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.store.WritePage(id)
+}
+
+// handoff releases the caller's lock before blocking, like
+// lock.Manager.wait; the marker keeps it out of may-block summaries.
+//
+//hydra:vet:nonpropagating -- releases s.mu before blocking on ch
+func handoff(s *shard, ch chan int) {
+	s.mu.Unlock()
+	<-ch
+}
+
+func caller(s *shard, ch chan int) {
+	s.mu.Lock()
+	handoff(s, ch)
+}
+
+// suppressed demonstrates a justified line-level baseline.
+func suppressed(s *shard, ch chan int) {
+	s.mu.Lock()
+	//hydra:vet:ignore lockscope -- capacity-1 channel, receiver guaranteed by protocol
+	ch <- 1
+	s.mu.Unlock()
+}
+
+// goroutineBodyIsNotUnderLock: the spawned literal runs with its own
+// (empty) lock context.
+func goroutineBodyIsNotUnderLock(s *shard, ch chan int) {
+	s.mu.Lock()
+	go func() {
+		ch <- 1
+	}()
+	s.mu.Unlock()
+}

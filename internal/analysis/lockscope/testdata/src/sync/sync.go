@@ -1,0 +1,28 @@
+// Package sync models the standard library lock types for hydra-vet
+// fixtures. Analyzers classify locks by the defining package's base
+// name, so this local model exercises the same code paths without
+// source-type-checking the real standard library on every test run.
+package sync
+
+type Mutex struct{ held bool }
+
+func (m *Mutex) Lock()   { m.held = true }
+func (m *Mutex) Unlock() { m.held = false }
+
+type RWMutex struct{ held int }
+
+func (m *RWMutex) Lock()    { m.held = -1 }
+func (m *RWMutex) Unlock()  { m.held = 0 }
+func (m *RWMutex) RLock()   { m.held++ }
+func (m *RWMutex) RUnlock() { m.held-- }
+
+type WaitGroup struct{ n int }
+
+func (w *WaitGroup) Add(d int) { w.n += d }
+func (w *WaitGroup) Done()     { w.n-- }
+func (w *WaitGroup) Wait()     {}
+
+type Cond struct{ L *Mutex }
+
+func (c *Cond) Wait()      {}
+func (c *Cond) Broadcast() {}

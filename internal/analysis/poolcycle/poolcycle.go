@@ -1,0 +1,319 @@
+// Package poolcycle implements the hydra-vet analyzer for sync.Pool
+// object lifecycles.
+//
+// Hydra leans on sync.Pool for its hottest allocations — WAL encode
+// buffers, transaction handles, commit-waiter channels — and pooled
+// objects have a strict ownership discipline: an object drawn with
+// Get is owned by the drawing function until it is either Put back or
+// handed off (returned, stored into a structure, passed to another
+// function). Two bugs follow from breaking it, and both are invisible
+// to the race detector until the pool actually recycles the object
+// under load:
+//
+//   - use-after-Put: touching the object after returning it to the
+//     pool races with the next Get'er;
+//   - a leaked draw: an object that is neither Put back nor handed
+//     off silently degrades the pool to plain allocation.
+//
+// The analyzer tracks ownership intra-procedurally with the lockflow
+// engine: Get is an Acquire of the assigned variable, Put a Release,
+// and any hand-off (return, assignment to another place, call
+// argument, channel send, address-taken, captured by a closure) ends
+// tracking. A deferred Put satisfies the obligation while keeping the
+// object usable for the rest of the function. Reports are
+// branch-aware: an object Put on one arm of an if and used on the
+// other is fine; used after the arms rejoin is not.
+package poolcycle
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"path"
+	"strconv"
+
+	"hydra/internal/analysis"
+	"hydra/internal/analysis/lockflow"
+)
+
+// Analyzer is the poolcycle analyzer.
+var Analyzer = &analysis.Analyzer{
+	Name: "poolcycle",
+	Doc:  "sync.Pool objects must be Put back or handed off exactly once, and never used after Put",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkFunc(pass, fd)
+		}
+	}
+	return nil
+}
+
+// poolCallKind classifies a call against sync.Pool's method set.
+func poolCallKind(info *types.Info, c *ast.CallExpr) (kind string) {
+	sel, ok := c.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return ""
+	}
+	selection := info.Selections[sel]
+	if selection == nil {
+		return ""
+	}
+	fn, ok := selection.Obj().(*types.Func)
+	if !ok || fn.Pkg() == nil {
+		return ""
+	}
+	// Matching by defining-package base name ("sync") lets fixtures
+	// model the pool with a small local package of the same name.
+	if path.Base(fn.Pkg().Path()) != "sync" || recvTypeName(selection.Recv()) != "Pool" {
+		return ""
+	}
+	switch fn.Name() {
+	case "Get", "Put":
+		return fn.Name()
+	}
+	return ""
+}
+
+func recvTypeName(t types.Type) string {
+	for {
+		switch tt := t.(type) {
+		case *types.Pointer:
+			t = tt.Elem()
+		case *types.Named:
+			return tt.Obj().Name()
+		default:
+			return ""
+		}
+	}
+}
+
+func checkFunc(pass *analysis.Pass, fd *ast.FuncDecl) {
+	info := pass.TypesInfo
+
+	// Pre-pass 1: map each Get call to the simple variable its result
+	// lands in (x := p.Get(), x := p.Get().(*T), var x = p.Get()).
+	// A Get whose result is used any other way is a hand-off at birth
+	// (or, for a bare statement, an immediate leak).
+	assignedName := make(map[*ast.CallExpr]string)
+	tracked := make(map[string]bool)
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		var lhs []ast.Expr
+		var rhs []ast.Expr
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			lhs, rhs = n.Lhs, n.Rhs
+		case *ast.ValueSpec:
+			for _, name := range n.Names {
+				lhs = append(lhs, name)
+			}
+			rhs = n.Values
+		default:
+			return true
+		}
+		if len(lhs) != 1 || len(rhs) != 1 {
+			return true
+		}
+		id, ok := lhs[0].(*ast.Ident)
+		if !ok || id.Name == "_" {
+			return true
+		}
+		if get := getCallIn(info, rhs[0]); get != nil {
+			assignedName[get] = id.Name
+			tracked[id.Name] = true
+		}
+		return true
+	})
+
+	// Pre-pass 2: positions where a tracked name is handed off —
+	// returned, assigned elsewhere, passed to a call that is not the
+	// pool's Put, sent on a channel, address-taken, or captured by a
+	// function literal. From that point the function no longer owns
+	// the object and tracking stops.
+	handoff := make(map[token.Pos]bool)
+	// mark records hand-off positions of the OBJECT itself. It stays
+	// shallow on purpose: `return b` hands b off, but `return b.n`
+	// only copies a field out, and nested calls/selectors are visited
+	// by the enclosing Inspect anyway.
+	var mark func(e ast.Expr)
+	mark = func(e ast.Expr) {
+		switch e := e.(type) {
+		case *ast.Ident:
+			if tracked[e.Name] {
+				handoff[e.Pos()] = true
+			}
+		case *ast.ParenExpr:
+			mark(e.X)
+		case *ast.UnaryExpr:
+			mark(e.X) // &b escapes b
+		case *ast.StarExpr:
+			mark(e.X)
+		case *ast.TypeAssertExpr:
+			mark(e.X)
+		case *ast.KeyValueExpr:
+			mark(e.Value)
+		case *ast.CompositeLit:
+			for _, el := range e.Elts {
+				mark(el)
+			}
+		case *ast.BinaryExpr:
+			mark(e.X)
+			mark(e.Y)
+		case *ast.SliceExpr:
+			mark(e.X)
+		case *ast.SelectorExpr, *ast.IndexExpr, *ast.CallExpr:
+			// b.f / b[i] extract a value without moving ownership;
+			// calls are marked via their own Inspect visit.
+		}
+	}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.ReturnStmt:
+			for _, r := range n.Results {
+				mark(r)
+			}
+		case *ast.AssignStmt:
+			for _, r := range n.Rhs {
+				if getCallIn(info, r) == nil {
+					mark(r)
+				}
+			}
+		case *ast.CallExpr:
+			if poolCallKind(info, n) != "Put" {
+				for _, a := range n.Args {
+					mark(a)
+				}
+			}
+		case *ast.SendStmt:
+			mark(n.Value)
+		case *ast.UnaryExpr:
+			if n.Op == token.AND {
+				mark(n.X)
+			}
+		case *ast.CompositeLit:
+			for _, e := range n.Elts {
+				mark(e)
+			}
+		case *ast.FuncLit:
+			// A closure capturing the object may use it arbitrarily
+			// later; treat every tracked name inside as handed off.
+			ast.Inspect(n.Body, func(m ast.Node) bool {
+				if id, ok := m.(*ast.Ident); ok && tracked[id.Name] {
+					handoff[id.Pos()] = true
+				}
+				return true
+			})
+			return false
+		}
+		return true
+	})
+
+	// The walk. Held keys are variable names owning a live pool draw;
+	// handedOff marks names whose ownership left the function,
+	// deferSafe names whose Put obligation a defer satisfies (still
+	// usable until return). reported dedups multi-exit reports.
+	handedOff := make(map[string]bool)
+	deferSafe := make(map[string]bool)
+	everOwned := make(map[string]token.Pos)
+	reported := make(map[string]bool)
+
+	lockflow.WalkFunc(fd.Body, lockflow.Hooks{
+		Classify: func(c *ast.CallExpr, deferred bool) (lockflow.Action, string) {
+			switch poolCallKind(pass.TypesInfo, c) {
+			case "Get":
+				name, ok := assignedName[c]
+				if !ok {
+					// Result discarded: the object can never be Put.
+					pass.Reportf(c.Pos(), "result of Pool.Get is discarded: the object can never be returned to the pool")
+					return lockflow.None, ""
+				}
+				handedOff[name] = false // a fresh draw restarts tracking
+				deferSafe[name] = false
+				everOwned[name] = c.Pos()
+				return lockflow.Acquire, name
+			case "Put":
+				if len(c.Args) != 1 {
+					return lockflow.None, ""
+				}
+				id, ok := c.Args[0].(*ast.Ident)
+				if !ok || !tracked[id.Name] {
+					return lockflow.None, ""
+				}
+				if deferred {
+					// Obligation met at function end; the object stays
+					// usable until then.
+					deferSafe[id.Name] = true
+				}
+				return lockflow.Release, id.Name
+			}
+			return lockflow.None, ""
+		},
+		Visit: func(n ast.Node, held map[string]lockflow.Hold) {
+			id, ok := n.(*ast.Ident)
+			if !ok || !tracked[id.Name] {
+				return
+			}
+			if handoff[id.Pos()] {
+				// Ownership leaves this function here; stop tracking
+				// on this and every later path.
+				delete(held, id.Name)
+				handedOff[id.Name] = true
+				return
+			}
+			if _, owned := held[id.Name]; owned {
+				return
+			}
+			if _, was := everOwned[id.Name]; !was || handedOff[id.Name] || deferSafe[id.Name] {
+				return
+			}
+			key := "use:" + id.Name + ":" + posKey(id.Pos())
+			if reported[key] {
+				return
+			}
+			reported[key] = true
+			pass.Reportf(id.Pos(), "use of %s after it was returned to the pool (use-after-Put races with the next Get)", id.Name)
+		},
+		FuncEnd: func(_ *ast.ReturnStmt, held map[string]lockflow.Hold) {
+			for name, h := range held {
+				if handedOff[name] || deferSafe[name] {
+					continue
+				}
+				key := "leak:" + name + ":" + posKey(h.Pos)
+				if reported[key] {
+					continue
+				}
+				reported[key] = true
+				pass.Reportf(h.Pos, "pool object %s is neither Put back nor handed off on some path (leaked draw)", name)
+			}
+		},
+	})
+}
+
+// getCallIn unwraps e (through type assertions and parens) to a
+// sync.Pool Get call, or nil.
+func getCallIn(info *types.Info, e ast.Expr) *ast.CallExpr {
+	for {
+		switch t := e.(type) {
+		case *ast.ParenExpr:
+			e = t.X
+		case *ast.TypeAssertExpr:
+			e = t.X
+		case *ast.CallExpr:
+			if poolCallKind(info, t) == "Get" {
+				return t
+			}
+			return nil
+		default:
+			return nil
+		}
+	}
+}
+
+func posKey(p token.Pos) string { return strconv.Itoa(int(p)) }

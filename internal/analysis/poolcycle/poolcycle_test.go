@@ -1,0 +1,12 @@
+package poolcycle_test
+
+import (
+	"testing"
+
+	"hydra/internal/analysis/antest"
+	"hydra/internal/analysis/poolcycle"
+)
+
+func TestPoolcycleFixtures(t *testing.T) {
+	antest.Run(t, "testdata", poolcycle.Analyzer, "p")
+}

@@ -1,0 +1,33 @@
+// Package p is poolcycle's known-bad fixture.
+package p
+
+import "sync"
+
+type buf struct{ n int }
+
+var pool = sync.Pool{New: func() any { return new(buf) }}
+
+// useAfterPut touches the object after returning it to the pool: the
+// read races with the next Get'er once the pool recycles it.
+func useAfterPut() int {
+	b := pool.Get().(*buf)
+	b.n = 1
+	pool.Put(b)
+	return b.n // want "use of b after it was returned to the pool"
+}
+
+// leakOnEarlyReturn forgets the Put on the error path, silently
+// degrading the pool to plain allocation.
+func leakOnEarlyReturn(fail bool) {
+	b := pool.Get().(*buf) // want "neither Put back nor handed off"
+	if fail {
+		return
+	}
+	b.n = 2
+	pool.Put(b)
+}
+
+// discarded draws an object nothing can ever Put back.
+func discarded() {
+	pool.Get() // want "result of Pool.Get is discarded"
+}

@@ -1,0 +1,49 @@
+// Known-good lifecycles: poolcycle must stay silent on this file.
+package p
+
+import "sync"
+
+type job struct{ buf []byte }
+
+var jobs = sync.Pool{New: func() any { return new(job) }}
+
+// roundTrip is the canonical draw-use-return cycle.
+func roundTrip() {
+	j := jobs.Get().(*job)
+	j.buf = j.buf[:0]
+	jobs.Put(j)
+}
+
+// deferredPut satisfies the obligation up front and keeps using the
+// object until return — the defer runs last.
+func deferredPut() int {
+	j := jobs.Get().(*job)
+	defer jobs.Put(j)
+	j.buf = append(j.buf, 1)
+	return len(j.buf)
+}
+
+// handoffReturn transfers ownership to the caller.
+func handoffReturn() *job {
+	j := jobs.Get().(*job)
+	return j
+}
+
+// handoffStore parks the object in a structure that now owns it.
+type queue struct{ items []*job }
+
+func (q *queue) handoffStore() {
+	j := jobs.Get().(*job)
+	q.items = append(q.items, j)
+}
+
+// putOnEveryPath returns the object on both arms of the branch.
+func putOnEveryPath(fail bool) {
+	j := jobs.Get().(*job)
+	if fail {
+		jobs.Put(j)
+		return
+	}
+	j.buf = nil
+	jobs.Put(j)
+}

@@ -1,0 +1,15 @@
+// Package sync models sync.Pool for poolcycle fixtures; the analyzer
+// matches Get/Put by the defining package's base name and the Pool
+// receiver type.
+package sync
+
+type Pool struct{ New func() any }
+
+func (p *Pool) Get() any {
+	if p.New != nil {
+		return p.New()
+	}
+	return nil
+}
+
+func (p *Pool) Put(x any) {}

@@ -40,10 +40,12 @@ type Tree struct {
 	mode Mode
 
 	// coarse is the tree-wide lock used in Coarse mode.
+	//hydra:vet:coarse -- Coarse mode holds the tree lock across page IO by definition; it is the paper's conventional baseline
 	coarse sync.RWMutex
 	// rootMu guards the root pointer; in Crabbing mode it is held
 	// shared for the duration of each operation so the exclusive
 	// fallback (root split) can exclude all traffic.
+	//hydra:vet:coarse -- held for a whole tree operation (including page fetches) so root splits can exclude traffic
 	rootMu sync.RWMutex
 	root   page.ID
 }

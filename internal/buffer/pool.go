@@ -6,6 +6,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"hydra/internal/invariant"
 	"hydra/internal/latch"
 	"hydra/internal/page"
 )
@@ -21,10 +22,13 @@ type Frame struct {
 	pins  int32
 	ref   bool // clock reference bit
 	dirty bool
-	// loading, when non-nil, marks an in-flight store read filling the
-	// frame: concurrent fetchers of the same page wait on it instead of
-	// blocking the whole shard. Guarded by the shard mutex.
-	loading *loadState
+	// loading marks in-flight store IO on the frame: a read filling it
+	// on a miss, or the write-back evicting its dirty occupant.
+	// Concurrent fetchers of the page wait on the shard condition
+	// variable instead of blocking the whole shard; victim scans skip
+	// the frame (it is also pinned for the duration). Guarded by the
+	// shard mutex. No allocation per miss: waiters park on shard.cond.
+	loading bool
 	// recLSN is the LSN of the first update that dirtied the page
 	// since it was last flushed; feeds the dirty-page table at
 	// checkpoints.
@@ -33,12 +37,6 @@ type Frame struct {
 
 // ID returns the id of the page currently in the frame.
 func (f *Frame) ID() page.ID { return f.id }
-
-// loadState tracks one in-flight ReadPage. done is closed when the
-// read finishes (successfully or not).
-type loadState struct {
-	done chan struct{}
-}
 
 // Options configures a Pool.
 type Options struct {
@@ -86,10 +84,18 @@ type Pool struct {
 }
 
 type shard struct {
-	mu     sync.Mutex
+	mu sync.Mutex
+	// cond (Wait releases mu) is broadcast whenever in-flight frame IO
+	// settles: fetchers of a loading page and victim scans starved by
+	// transient IO pins park here.
+	cond   sync.Cond
 	table  map[page.ID]*Frame
 	frames []*Frame
 	hand   int
+	// ioBusy counts frames with loading set. A victim scan that comes
+	// up empty while ioBusy > 0 waits and rescans instead of reporting
+	// a spurious ErrNoFrames.
+	ioBusy int
 	_      [32]byte // avoid false sharing between shard headers
 }
 
@@ -99,6 +105,7 @@ func NewPool(store PageStore, opts Options) *Pool {
 	p := &Pool{opts: opts, store: store, shards: make([]shard, opts.Shards)}
 	for i := range p.shards {
 		p.shards[i].table = make(map[page.ID]*Frame)
+		p.shards[i].cond.L = &p.shards[i].mu
 	}
 	for i := 0; i < opts.Frames; i++ {
 		f := &Frame{Page: &page.Page{}, Latch: latch.New(opts.LatchKind), id: page.InvalidID}
@@ -118,49 +125,80 @@ func (p *Pool) shardFor(id page.ID) *shard {
 // a miss, and returns its frame. The caller must Unpin exactly once.
 // Content access requires acquiring the frame latch.
 //
-// The store read happens outside the shard mutex: the frame is
+// All store IO happens outside the shard mutex. On a miss the frame is
 // reserved (pinned, tabled, marked loading) under the lock, then
 // filled without it, so one slow read stalls only fetchers of that
-// page, not the whole shard.
+// page, not the whole shard. Evicting a dirty victim follows the same
+// shape: the victim is reserved under the lock and written back
+// outside it (see victimLocked).
 func (p *Pool) Fetch(id page.ID) (*Frame, error) {
 	s := p.shardFor(id)
+	s.mu.Lock()
+	invariant.Acquired(invariant.TierPoolShard, "buffer.shard.mu")
 	for {
-		s.mu.Lock()
 		if f, ok := s.table[id]; ok {
-			if ld := f.loading; ld != nil {
-				// Another fetcher is reading this page. Wait for its
-				// read to settle, then re-examine the table: on success
-				// the next pass hits; on failure the entry is gone and
-				// this fetcher retries the read itself.
-				s.mu.Unlock()
-				<-ld.done
+			if f.loading {
+				// In-flight IO on this entry: another fetcher's read
+				// fill, or the write-back evicting the page. Wait for
+				// it to settle and re-examine: a completed fill is a
+				// hit; a completed eviction or failed fill leaves no
+				// entry and this fetcher (re)reads the page itself.
+				s.cond.Wait()
 				continue
 			}
 			f.pins++
 			f.ref = true
+			invariant.Released(invariant.TierPoolShard, "buffer.shard.mu")
 			s.mu.Unlock()
 			p.hits.Add(1)
 			return f, nil
 		}
 		p.misses.Add(1)
-		f, err := p.victimLocked(s)
+		f, needsWB, err := p.victimLocked(s)
 		if err != nil {
+			invariant.Released(invariant.TierPoolShard, "buffer.shard.mu")
 			s.mu.Unlock()
 			return nil, err
 		}
-		ld := &loadState{done: make(chan struct{})}
+		if needsWB {
+			invariant.Released(invariant.TierPoolShard, "buffer.shard.mu")
+			s.mu.Unlock()
+			werr := p.flushFrame(f)
+			s.mu.Lock()
+			invariant.Acquired(invariant.TierPoolShard, "buffer.shard.mu")
+			p.evictReserved(s, f, werr)
+			if werr != nil {
+				invariant.Released(invariant.TierPoolShard, "buffer.shard.mu")
+				s.mu.Unlock()
+				return nil, werr
+			}
+			if _, ok := s.table[id]; ok {
+				// Another fetcher tabled the target while the victim
+				// write-back was in flight. Hand the frame back to
+				// circulation and take the hit path.
+				f.pins = 0
+				f.ref = false
+				s.cond.Broadcast()
+				continue
+			}
+		}
 		f.id = id
 		f.pins = 1 // reservation: excludes the frame from victim scans
 		f.ref = true
 		f.dirty = false
 		f.recLSN = 0
-		f.loading = ld
+		f.loading = true
+		s.ioBusy++
 		s.table[id] = f
+		invariant.Released(invariant.TierPoolShard, "buffer.shard.mu")
 		s.mu.Unlock()
 
 		err = p.store.ReadPage(id, f.Page)
+
 		s.mu.Lock()
-		f.loading = nil
+		invariant.Acquired(invariant.TierPoolShard, "buffer.shard.mu")
+		f.loading = false
+		s.ioBusy--
 		if err != nil {
 			// Return the frame to circulation explicitly: drop the
 			// table entry and clear occupancy so the next victim scan
@@ -170,8 +208,9 @@ func (p *Pool) Fetch(id page.ID) (*Frame, error) {
 			f.pins = 0
 			f.ref = false
 		}
+		s.cond.Broadcast()
+		invariant.Released(invariant.TierPoolShard, "buffer.shard.mu")
 		s.mu.Unlock()
-		close(ld.done)
 		if err != nil {
 			return nil, err
 		}
@@ -188,10 +227,27 @@ func (p *Pool) NewPage(t page.Type) (*Frame, error) {
 	}
 	s := p.shardFor(id)
 	s.mu.Lock()
-	defer s.mu.Unlock()
-	f, err := p.victimLocked(s)
+	invariant.Acquired(invariant.TierPoolShard, "buffer.shard.mu")
+	f, needsWB, err := p.victimLocked(s)
 	if err != nil {
+		invariant.Released(invariant.TierPoolShard, "buffer.shard.mu")
+		s.mu.Unlock()
 		return nil, err
+	}
+	if needsWB {
+		invariant.Released(invariant.TierPoolShard, "buffer.shard.mu")
+		s.mu.Unlock()
+		werr := p.flushFrame(f)
+		s.mu.Lock()
+		invariant.Acquired(invariant.TierPoolShard, "buffer.shard.mu")
+		p.evictReserved(s, f, werr)
+		if werr != nil {
+			invariant.Released(invariant.TierPoolShard, "buffer.shard.mu")
+			s.mu.Unlock()
+			return nil, werr
+		}
+		// No table recheck needed: id was freshly allocated, so no
+		// concurrent fetcher can have tabled it meanwhile.
 	}
 	f.Page.Format(id, t)
 	f.id = id
@@ -200,51 +256,97 @@ func (p *Pool) NewPage(t page.Type) (*Frame, error) {
 	f.dirty = true // a formatted page must reach disk eventually
 	f.recLSN = 0
 	s.table[id] = f
+	invariant.Released(invariant.TierPoolShard, "buffer.shard.mu")
+	s.mu.Unlock()
 	return f, nil
 }
 
-// victimLocked returns an unoccupied or evictable frame in s,
-// evicting (and writing back if dirty) as needed. Caller holds s.mu.
-func (p *Pool) victimLocked(s *shard) (*Frame, error) {
-	// Clock sweep: up to two full passes (first pass clears ref bits).
-	for pass := 0; pass < 2*len(s.frames); pass++ {
-		f := s.frames[s.hand]
-		s.hand = (s.hand + 1) % len(s.frames)
-		if f.pins > 0 {
-			continue
-		}
-		if f.ref {
-			f.ref = false
-			continue
-		}
-		if f.id != page.InvalidID {
+// victimLocked returns an evictable frame in s. A clean (or empty)
+// victim comes back detached — table entry and occupancy already
+// cleared — with needsWriteBack false. A dirty victim cannot be
+// written back here, because store IO must not happen under the shard
+// mutex; it is instead reserved in place: pinned and marked loading
+// under its old id, so fetchers of that page wait and victim scans
+// skip it. The caller must then drop s.mu, write the page out
+// (flushFrame), retake s.mu, and complete or abort the eviction with
+// evictReserved. Caller holds s.mu.
+func (p *Pool) victimLocked(s *shard) (f *Frame, needsWriteBack bool, err error) {
+	for {
+		// Clock sweep: up to two full passes (first pass clears ref
+		// bits).
+		for pass := 0; pass < 2*len(s.frames); pass++ {
+			f := s.frames[s.hand]
+			s.hand = (s.hand + 1) % len(s.frames)
+			if f.pins > 0 {
+				continue
+			}
+			if f.ref {
+				f.ref = false
+				continue
+			}
+			if f.id == page.InvalidID {
+				return f, false, nil
+			}
 			if f.dirty {
-				if err := p.writeBack(f); err != nil {
-					return nil, err
-				}
+				f.pins = 1
+				f.loading = true
+				s.ioBusy++
+				return f, true, nil
 			}
 			delete(s.table, f.id)
 			f.id = page.InvalidID
 			p.evictions.Add(1)
+			return f, false, nil
 		}
-		return f, nil
+		if s.ioBusy == 0 {
+			return nil, false, ErrNoFrames
+		}
+		// Every unpinned frame is tied up in transient IO (a fill or a
+		// write-back that may fail and return its frame). Wait for one
+		// to settle and rescan rather than reporting a spurious
+		// ErrNoFrames.
+		s.cond.Wait()
 	}
-	return nil, ErrNoFrames
 }
 
-func (p *Pool) writeBack(f *Frame) error {
+// evictReserved completes (or, on write-back failure, aborts) the
+// eviction of a dirty victim reserved by victimLocked. werr is the
+// flushFrame result obtained outside the lock. On success the frame
+// is detached like a clean victim but keeps its reservation pin; on
+// failure it returns to circulation still dirty and tabled. Caller
+// holds s.mu.
+func (p *Pool) evictReserved(s *shard, f *Frame, werr error) {
+	invariant.Assert(f.loading, "buffer: evictReserved on a frame that is not reserved")
+	invariant.Assert(f.pins == 1, "buffer: reserved victim's pin count drifted during write-back")
+	f.loading = false
+	s.ioBusy--
+	if werr != nil {
+		f.pins = 0
+		f.ref = false
+		s.cond.Broadcast()
+		return
+	}
+	f.dirty = false
+	f.recLSN = 0
+	p.writebacks.Add(1)
+	delete(s.table, f.id)
+	f.id = page.InvalidID
+	p.evictions.Add(1)
+	s.cond.Broadcast()
+}
+
+// flushFrame makes f's content durable: the WAL-first flush, then the
+// page write. It touches no pool bookkeeping — callers clear
+// dirty/recLSN under the shard mutex according to their protocol —
+// and must be called with the frame's content stable (latched shared,
+// or reserved and unpinned) and the shard mutex NOT held.
+func (p *Pool) flushFrame(f *Frame) error {
 	if p.opts.FlushLog != nil {
 		if err := p.opts.FlushLog(f.Page.LSN()); err != nil {
 			return fmt.Errorf("buffer: WAL flush before writeback: %w", err)
 		}
 	}
-	if err := p.store.WritePage(f.Page); err != nil {
-		return err
-	}
-	f.dirty = false
-	f.recLSN = 0
-	p.writebacks.Add(1)
-	return nil
+	return p.store.WritePage(f.Page)
 }
 
 // Unpin releases one pin. If dirty is true the page is marked for
@@ -254,6 +356,8 @@ func (p *Pool) Unpin(f *Frame, dirty bool) {
 	s := p.shardFor(f.id)
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	invariant.Acquired(invariant.TierPoolShard, "buffer.shard.mu")
+	defer invariant.Released(invariant.TierPoolShard, "buffer.shard.mu")
 	if f.pins <= 0 {
 		panic(fmt.Sprintf("buffer: unpin of unpinned page %d", f.id))
 	}
@@ -278,6 +382,7 @@ func (p *Pool) FlushAll() error {
 	for i := range p.shards {
 		s := &p.shards[i]
 		s.mu.Lock()
+		invariant.Acquired(invariant.TierPoolShard, "buffer.shard.mu")
 		var dirty []*Frame
 		for _, f := range s.frames {
 			if f.id != page.InvalidID && f.dirty {
@@ -285,14 +390,26 @@ func (p *Pool) FlushAll() error {
 				dirty = append(dirty, f)
 			}
 		}
+		invariant.Released(invariant.TierPoolShard, "buffer.shard.mu")
 		s.mu.Unlock()
 		for _, f := range dirty {
 			f.Latch.Acquire(latch.Shared)
-			err := p.writeBack(f)
-			f.Latch.Release(latch.Shared)
+			err := p.flushFrame(f)
+			// Clear the dirty flag under the shard mutex but before
+			// the latch drops: the moment the latch is released a
+			// writer can re-dirty the frame, and that later update
+			// must not be masked by this flush's bookkeeping.
 			s.mu.Lock()
+			invariant.Acquired(invariant.TierPoolShard, "buffer.shard.mu")
+			if err == nil {
+				f.dirty = false
+				f.recLSN = 0
+				p.writebacks.Add(1)
+			}
 			f.pins--
+			invariant.Released(invariant.TierPoolShard, "buffer.shard.mu")
 			s.mu.Unlock()
+			f.Latch.Release(latch.Shared)
 			if err != nil {
 				return err
 			}
@@ -307,10 +424,18 @@ func (p *Pool) FlushAll() error {
 func (p *Pool) FlushPage(f *Frame) error {
 	f.Latch.Acquire(latch.Shared)
 	defer f.Latch.Release(latch.Shared)
-	s := p.shardFor(f.id)
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return p.writeBack(f)
+	err := p.flushFrame(f)
+	if err == nil {
+		s := p.shardFor(f.id) // id is stable: the caller holds a pin
+		s.mu.Lock()
+		invariant.Acquired(invariant.TierPoolShard, "buffer.shard.mu")
+		f.dirty = false
+		f.recLSN = 0
+		p.writebacks.Add(1)
+		invariant.Released(invariant.TierPoolShard, "buffer.shard.mu")
+		s.mu.Unlock()
+	}
+	return err
 }
 
 // DirtyPageTable returns (pageID -> recLSN) for every dirty resident
@@ -320,11 +445,13 @@ func (p *Pool) DirtyPageTable() map[uint64]uint64 {
 	for i := range p.shards {
 		s := &p.shards[i]
 		s.mu.Lock()
+		invariant.Acquired(invariant.TierPoolShard, "buffer.shard.mu")
 		for _, f := range s.frames {
 			if f.id != page.InvalidID && f.dirty {
 				dpt[uint64(f.id)] = f.recLSN
 			}
 		}
+		invariant.Released(invariant.TierPoolShard, "buffer.shard.mu")
 		s.mu.Unlock()
 	}
 	return dpt

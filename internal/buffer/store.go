@@ -36,7 +36,10 @@ var ErrBadPage = errors.New("buffer: page failed checksum verification")
 // FileStore is a PageStore over a single file of page.Size pages.
 // Page ids are file offsets divided by the page size.
 type FileStore struct {
-	mu sync.Mutex // guards npages during Allocate
+	// mu guards npages during Allocate, which extends the file while
+	// holding it — allocation order and file length must agree.
+	//hydra:vet:coarse -- Allocate must extend the file under the lock so page ids and file length stay consistent
+	mu sync.Mutex
 	f  *os.File
 	n  uint64
 }

@@ -4,6 +4,7 @@ import (
 	"encoding/binary"
 	"fmt"
 
+	"hydra/internal/invariant"
 	"hydra/internal/wal"
 )
 
@@ -102,6 +103,8 @@ func (e *Engine) Checkpoint() error {
 	}
 	e.ckptMu.Lock()
 	defer e.ckptMu.Unlock()
+	invariant.Acquired(invariant.TierEngineCkpt, "core.Engine.ckptMu")
+	defer invariant.Released(invariant.TierEngineCkpt, "core.Engine.ckptMu")
 
 	// When the log device supports segment recycling, a checkpoint
 	// doubles as the page cleaner: flushing dirty pages first empties

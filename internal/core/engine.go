@@ -154,7 +154,10 @@ type Engine struct {
 	log    *wal.Log
 	locks  *lock.Manager
 
-	mu          sync.RWMutex // guards catalog maps
+	// mu guards the catalog maps. DDL persists its pages synchronously
+	// under it; it is a rare-operation lock, not a hot-path guard.
+	//hydra:vet:coarse -- catalog/DDL lock: table creation flushes pages under it by design; DDL is rare
+	mu          sync.RWMutex
 	tables      map[string]*Table
 	tablesByID  map[uint32]*Table
 	nextTableID uint32
@@ -177,7 +180,10 @@ type Engine struct {
 
 	// master is the begin-checkpoint LSN the meta page points at.
 	master wal.LSN
-	ckptMu sync.Mutex // serializes checkpoints
+	// ckptMu serializes whole checkpoints and backups; a checkpoint is
+	// IO from end to end.
+	//hydra:vet:coarse -- checkpoint/backup serialization lock: the protected operation is IO by nature
+	ckptMu sync.Mutex
 
 	// RecoveryReport describes what the last Open had to repair.
 	RecoveryReport Recovery

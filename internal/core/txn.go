@@ -6,6 +6,7 @@ import (
 	"sync"
 
 	"hydra/internal/heap"
+	"hydra/internal/invariant"
 	"hydra/internal/lock"
 	"hydra/internal/page"
 	"hydra/internal/wal"
@@ -44,7 +45,12 @@ type Txn struct {
 	noLock bool         // DORA: partition ownership replaces locking
 	locks  *lock.Holder // caller-owned lock set (see lock.Holder)
 
-	mu       sync.Mutex // guards lastLSN, undo, logged, enc
+	// mu guards lastLSN, undo, logged, enc. It is intentionally held
+	// across WAL appends: DORA executors sharing a no-lock transaction
+	// must serialize the prev-LSN chain, and an append is a buffer copy
+	// (group commit makes the IO asynchronous).
+	//hydra:vet:coarse -- per-txn chain lock: held across WAL appends so DORA executors serialize the LSN chain
+	mu       sync.Mutex
 	lastLSN  wal.LSN
 	firstLSN wal.LSN // begin record (log-truncation horizon)
 	undo     []undoEntry
@@ -62,6 +68,7 @@ func (e *Engine) Begin() *Txn {
 	} else {
 		t = &Txn{e: e, locks: e.locks.NewHolder(id)}
 	}
+	invariant.PoolGot("core.Begin", t)
 	t.id = id
 	t.state = txnActive
 	t.agent = nil
@@ -89,6 +96,7 @@ func (t *Txn) finish(state txnState) {
 		t.undo[i] = undoEntry{}
 	}
 	t.undo = t.undo[:0]
+	invariant.PoolPut("core.finish", t)
 	e.txnPool.Put(t)
 }
 

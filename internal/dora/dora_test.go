@@ -272,9 +272,10 @@ func TestMultiPhaseLocalLockSerialization(t *testing.T) {
 		if err != nil {
 			return err
 		}
-		if dec(v1) != uint64(committed) || dec(v2) != uint64(committed) {
+		n := atomic.LoadInt64(&committed) // wg.Wait orders this, but stay atomic-everywhere
+		if dec(v1) != uint64(n) || dec(v2) != uint64(n) {
 			t.Fatalf("lost updates under local locking: k1=%d k2=%d committed=%d",
-				dec(v1), dec(v2), committed)
+				dec(v1), dec(v2), n)
 		}
 		return nil
 	})

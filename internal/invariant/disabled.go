@@ -1,0 +1,15 @@
+//go:build !hydradebug
+
+package invariant
+
+// Enabled reports whether the assertions are compiled in.
+const Enabled = false
+
+// The release-build stubs are empty so instrumented call sites inline
+// to nothing.
+
+func Acquired(tier int, site string) {}
+func Released(tier int, site string) {}
+func PoolGot(site string, obj any)   {}
+func PoolPut(site string, obj any)   {}
+func Assert(cond bool, msg string)   {}

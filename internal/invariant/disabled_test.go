@@ -1,0 +1,21 @@
+//go:build !hydradebug
+
+package invariant
+
+import "testing"
+
+// The release-build stubs must be callable in any pattern without
+// side effects — including ones that would panic under hydradebug.
+func TestStubsAreInert(t *testing.T) {
+	if Enabled {
+		t.Fatal("Enabled must be false without the hydradebug tag")
+	}
+	Acquired(TierPoolShard, "shard")
+	Acquired(TierTxnMu, "txn") // inversion: ignored without the tag
+	Released(TierFrameLatch, "never held")
+	obj := new(int)
+	PoolPut("never got", obj)
+	PoolGot("a", obj)
+	PoolGot("b", obj)
+	Assert(false, "ignored")
+}

@@ -1,0 +1,57 @@
+//go:build hydradebug
+
+package invariant
+
+import "testing"
+
+func mustPanic(t *testing.T, name string, fn func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("%s: expected panic", name)
+		}
+	}()
+	fn()
+}
+
+func TestTierOrderEnforced(t *testing.T) {
+	Acquired(TierFrameLatch, "latch")
+	Acquired(TierPoolShard, "shard") // ascending: fine
+	Acquired(TierPoolShard, "shard") // equal: crabbing, fine
+	Released(TierPoolShard, "shard")
+	mustPanic(t, "descending acquire", func() {
+		Acquired(TierTxnMu, "txn") // 30 under held 70: inversion
+	})
+	Released(TierPoolShard, "shard")
+	Released(TierFrameLatch, "latch")
+	mustPanic(t, "release of unheld", func() {
+		Released(TierFrameLatch, "latch")
+	})
+}
+
+func TestTierStacksArePerGoroutine(t *testing.T) {
+	Acquired(TierWALLog, "wal")
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		// The other goroutine holds tier 80; this one holds nothing,
+		// so a low-tier acquire here must be fine.
+		Acquired(TierEngineCkpt, "ckpt")
+		Released(TierEngineCkpt, "ckpt")
+	}()
+	<-done
+	Released(TierWALLog, "wal")
+}
+
+func TestPoolOwnership(t *testing.T) {
+	obj := new(int)
+	PoolGot("test.get", obj)
+	mustPanic(t, "double get", func() { PoolGot("test.get2", obj) })
+	PoolPut("test.put", obj)
+	mustPanic(t, "double put", func() { PoolPut("test.put2", obj) })
+}
+
+func TestAssert(t *testing.T) {
+	Assert(true, "unreachable")
+	mustPanic(t, "failed assert", func() { Assert(false, "boom") })
+}

@@ -9,6 +9,7 @@ package latch
 import (
 	"sync"
 
+	"hydra/internal/invariant"
 	"hydra/internal/sync2"
 )
 
@@ -70,6 +71,7 @@ type blockLatch struct {
 }
 
 func (l *blockLatch) Acquire(m Mode) {
+	invariant.Acquired(invariant.TierFrameLatch, "latch")
 	if m == Shared {
 		l.mu.RLock()
 	} else {
@@ -83,6 +85,7 @@ func (l *blockLatch) Release(m Mode) {
 	} else {
 		l.mu.Unlock()
 	}
+	invariant.Released(invariant.TierFrameLatch, "latch")
 }
 
 // TryUpgrade on the blocking latch always fails: sync.RWMutex has no
@@ -94,6 +97,7 @@ type spinLatch struct {
 }
 
 func (l *spinLatch) Acquire(m Mode) {
+	invariant.Acquired(invariant.TierFrameLatch, "latch")
 	if m == Shared {
 		l.rw.RLock()
 	} else {
@@ -107,6 +111,7 @@ func (l *spinLatch) Release(m Mode) {
 	} else {
 		l.rw.Unlock()
 	}
+	invariant.Released(invariant.TierFrameLatch, "latch")
 }
 
 func (l *spinLatch) TryUpgrade() bool { return l.rw.TryUpgrade() }

@@ -246,6 +246,8 @@ func (h *lockHead) compatibleExcept(mode Mode, txn uint64) bool {
 
 // wait enqueues h's transaction and blocks until granted. Called with
 // p.mu held; returns with it released.
+//
+//hydra:vet:nonpropagating -- releases the caller's p.mu before blocking on the ready channel
 func (m *Manager) wait(p *partition, lh *lockHead, name Name, h *Holder, mode Mode, upgrade bool) error {
 	m.stats.waits.Add(1)
 	txn := h.id
@@ -422,7 +424,11 @@ func (m *Manager) releaseOne(txn uint64, name Name) {
 }
 
 // grantWaitersLocked admits queued waiters from the front while they
-// are compatible. Called with the partition mutex held.
+// are compatible. Called with the partition mutex held. The wakeup
+// sends cannot block: ready has capacity 1 and each waiter is popped
+// exactly once.
+//
+//hydra:vet:nonpropagating -- ready channels have capacity 1 and each waiter is granted at most once
 func (m *Manager) grantWaitersLocked(lh *lockHead) {
 	for len(lh.queue) > 0 {
 		w := lh.queue[0]

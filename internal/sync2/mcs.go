@@ -4,6 +4,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"unsafe"
+
+	"hydra/internal/invariant"
 )
 
 // MCSLock is the Mellor-Crummey/Scott queue lock. Each waiter enqueues
@@ -28,7 +30,13 @@ var mcsPool = sync.Pool{New: func() any { return new(mcsNode) }}
 // Lock acquires the lock, spinning on a private node.
 func (l *MCSLock) Lock() {
 	n := mcsPool.Get().(*mcsNode)
-	n.next = nil
+	invariant.PoolGot("sync2.MCSLock.Lock", n)
+	// next must be cleared atomically: the previous cycle's enqueuer
+	// published into this word with StorePointer, and mixing a plain
+	// store with those atomics is a race under the memory model even
+	// though the pool hand-off orders them in practice (hydra-vet
+	// atomicmix catch).
+	atomic.StorePointer(&n.next, nil)
 	atomic.StoreUint32(&n.locked, 1)
 	prev := (*mcsNode)(atomic.SwapPointer(&l.tail, unsafe.Pointer(n)))
 	if prev != nil {
@@ -49,6 +57,7 @@ func (l *MCSLock) Unlock() {
 	if next == nil {
 		// No known successor: try to swing tail back to nil.
 		if atomic.CompareAndSwapPointer(&l.tail, unsafe.Pointer(n), nil) {
+			invariant.PoolPut("sync2.MCSLock.Unlock(no successor)", n)
 			mcsPool.Put(n)
 			return
 		}
@@ -62,6 +71,7 @@ func (l *MCSLock) Unlock() {
 		}
 	}
 	atomic.StoreUint32(&next.locked, 0)
+	invariant.PoolPut("sync2.MCSLock.Unlock", n)
 	mcsPool.Put(n)
 }
 

@@ -74,7 +74,7 @@ func Stress(kind Kind, n int, d time.Duration, csWork, outWork int) StressResult
 	return StressResult{
 		Kind:         kind,
 		Goroutines:   n,
-		Acquisitions: total,
+		Acquisitions: atomic.LoadUint64(&total), // wg.Wait orders this, but stay atomic-everywhere
 		Duration:     elapsed,
 		CSWork:       csWork,
 		OutWork:      outWork,

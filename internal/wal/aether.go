@@ -4,6 +4,8 @@ import (
 	"runtime"
 	"sync/atomic"
 	"time"
+
+	"hydra/internal/invariant"
 )
 
 // consArray is the consolidation array of the Aether log protocol.
@@ -125,9 +127,11 @@ func (l *Log) insertConsolidated(rec []byte) (LSN, error) {
 	var groupSize uint64
 	if leader {
 		l.mu.Lock()
+		invariant.Acquired(invariant.TierWALLog, "wal.Log.mu")
 		l.stats.mutexAcquires.Add(1)
 		groupSize = l.ca.close(s) // no more joiners past this point
 		base = l.allocateLocked(groupSize)
+		invariant.Released(invariant.TierWALLog, "wal.Log.mu")
 		l.mu.Unlock()
 		l.ca.publish(s, base)
 	} else {

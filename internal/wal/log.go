@@ -6,6 +6,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"hydra/internal/invariant"
 )
 
 // BufferKind selects the log-insert algorithm, the subject of
@@ -193,15 +195,18 @@ func (l *Log) Append(r *Record) (LSN, error) {
 func (l *Log) AppendFields(typ RecType, txnID uint64, prev LSN, pageID uint64, undoNext LSN, payload []byte) (LSN, error) {
 	size := EncodedSize(len(payload))
 	buf := encBufPool.Get().(*[]byte)
+	invariant.PoolGot("wal.encBufPool", buf)
 	if cap(*buf) < size {
 		*buf = make([]byte, size)
 	}
 	b := (*buf)[:size]
 	if _, err := encodeFields(b, typ, txnID, prev, pageID, undoNext, payload); err != nil {
+		invariant.PoolPut("wal.AppendFields(encode error)", buf)
 		encBufPool.Put(buf)
 		return 0, err
 	}
 	lsn, err := l.Insert(b)
+	invariant.PoolPut("wal.AppendFields", buf)
 	encBufPool.Put(buf)
 	return lsn, err
 }
@@ -247,10 +252,12 @@ func (l *Log) allocateLocked(n uint64) uint64 {
 func (l *Log) insertSerial(rec []byte) (LSN, error) {
 	n := uint64(len(rec))
 	l.mu.Lock()
+	invariant.Acquired(invariant.TierWALLog, "wal.Log.mu")
 	l.stats.mutexAcquires.Add(1)
 	lsn := l.allocateLocked(n)
 	l.ring.copyIn(lsn, rec) // copy under the mutex: the serial pathology
 	l.fr.complete(lsn, lsn+n)
+	invariant.Released(invariant.TierWALLog, "wal.Log.mu")
 	l.mu.Unlock()
 	l.noteInsert(n)
 	l.kickFlusher()
@@ -260,8 +267,10 @@ func (l *Log) insertSerial(rec []byte) (LSN, error) {
 func (l *Log) insertDecoupled(rec []byte) (LSN, error) {
 	n := uint64(len(rec))
 	l.mu.Lock()
+	invariant.Acquired(invariant.TierWALLog, "wal.Log.mu")
 	l.stats.mutexAcquires.Add(1)
 	lsn := l.allocateLocked(n)
+	invariant.Released(invariant.TierWALLog, "wal.Log.mu")
 	l.mu.Unlock()
 	l.ring.copyIn(lsn, rec) // outside the mutex
 	l.fr.complete(lsn, lsn+n)
@@ -294,6 +303,8 @@ func (l *Log) FilledLSN() LSN { return LSN(l.fr.Filled()) }
 func (l *Log) NextLSN() LSN {
 	l.mu.Lock()
 	defer l.mu.Unlock()
+	invariant.Acquired(invariant.TierWALLog, "wal.Log.mu")
+	defer invariant.Released(invariant.TierWALLog, "wal.Log.mu")
 	return LSN(l.next)
 }
 
@@ -366,50 +377,70 @@ func (l *Log) WaitFlushed(lsn LSN) error {
 	}
 	l.kickFlusher()
 	l.waitMu.Lock()
+	invariant.Acquired(invariant.TierWALWait, "wal.Log.waitMu")
 	if err, ok := l.flusherErr.Load().(error); ok && err != nil {
+		invariant.Released(invariant.TierWALWait, "wal.Log.waitMu")
 		l.waitMu.Unlock()
 		return err
 	}
 	if l.closed.Load() {
+		invariant.Released(invariant.TierWALWait, "wal.Log.waitMu")
 		l.waitMu.Unlock()
 		return ErrClosed
 	}
 	if l.flushed.Load() >= target {
+		invariant.Released(invariant.TierWALWait, "wal.Log.waitMu")
 		l.waitMu.Unlock()
 		return nil
 	}
 	ch := waiterChPool.Get().(chan error)
+	invariant.PoolGot("wal.waiterChPool", ch)
 	l.waiters.push(commitWaiter{target: target, ch: ch})
+	invariant.Released(invariant.TierWALWait, "wal.Log.waitMu")
 	l.waitMu.Unlock()
 	err := <-ch
+	invariant.PoolPut("wal.WaitFlushed", ch)
 	waiterChPool.Put(ch)
 	return err
 }
 
 // wakeFlushed wakes exactly the waiters whose target the durable
-// frontier has reached.
+// frontier has reached. The sends cannot block: each waiter channel
+// has capacity 1 and is popped from the heap exactly once.
+//
+//hydra:vet:nonpropagating -- wakeup sends go to capacity-1 channels, one send per popped waiter
 func (l *Log) wakeFlushed(upTo uint64) {
 	l.waitMu.Lock()
+	invariant.Acquired(invariant.TierWALWait, "wal.Log.waitMu")
 	for len(l.waiters) > 0 && l.waiters[0].target <= upTo {
+		//hydra:vet:ignore lockscope -- capacity-1 waiter channel, popped once; send cannot block
 		l.waiters.pop().ch <- nil
 	}
+	invariant.Released(invariant.TierWALWait, "wal.Log.waitMu")
 	l.waitMu.Unlock()
 }
 
 // failWaiters wakes every registered waiter with err (flusher death
-// or close).
+// or close). As in wakeFlushed, the sends cannot block.
+//
+//hydra:vet:nonpropagating -- wakeup sends go to capacity-1 channels, one send per popped waiter
 func (l *Log) failWaiters(err error) {
 	l.waitMu.Lock()
+	invariant.Acquired(invariant.TierWALWait, "wal.Log.waitMu")
 	for len(l.waiters) > 0 {
+		//hydra:vet:ignore lockscope -- capacity-1 waiter channel, popped once; send cannot block
 		l.waiters.pop().ch <- err
 	}
+	invariant.Released(invariant.TierWALWait, "wal.Log.waitMu")
 	l.waitMu.Unlock()
 }
 
 // Flush forces all filled records to stable storage before returning.
 func (l *Log) Flush() error {
 	l.mu.Lock()
+	invariant.Acquired(invariant.TierWALLog, "wal.Log.mu")
 	target := l.next
+	invariant.Released(invariant.TierWALLog, "wal.Log.mu")
 	l.mu.Unlock()
 	if target == 0 {
 		return nil
@@ -500,7 +531,9 @@ func (l *Log) flushOnce() error {
 	// Wake space waiters, and exactly the commit waiters this flush
 	// satisfied.
 	l.mu.Lock()
+	invariant.Acquired(invariant.TierWALLog, "wal.Log.mu")
 	l.space.Broadcast()
+	invariant.Released(invariant.TierWALLog, "wal.Log.mu")
 	l.mu.Unlock()
 	l.wakeFlushed(end)
 	return nil

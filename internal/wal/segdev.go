@@ -19,6 +19,9 @@ type SegmentedDevice struct {
 	dir     string
 	segSize int64
 
+	// mu makes segment-map updates atomic with the file operations
+	// that realize them (create/delete of segment files).
+	//hydra:vet:coarse -- device-level lock: segment rotation must mutate the map and the file set atomically
 	mu    sync.Mutex
 	segs  map[int64]*os.File // start offset -> file
 	size  int64              // logical end of log
