@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet lint stress bench
+.PHONY: build test race vet lint stress bench bench-smoke
 
 build:
 	$(GO) build ./...
@@ -9,7 +9,7 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race ./internal/lock/... ./internal/core/... ./internal/buffer/... ./internal/wal/...
+	$(GO) test -race ./internal/lock/... ./internal/core/... ./internal/buffer/... ./internal/wal/... ./internal/obs/... ./internal/server/...
 
 vet:
 	$(GO) vet ./...
@@ -27,3 +27,9 @@ stress:
 
 bench:
 	$(GO) test -run '^$$' -bench 'BenchmarkLockAcquireRelease|BenchmarkCommitPipeline|BenchmarkPoolFetchParallel' -benchmem ./internal/lock/ ./internal/core/ ./internal/buffer/
+
+# bench-smoke compiles and runs every benchmark for a single
+# iteration: it catches benchmarks that crash or no longer build
+# without paying for a timed run (CI's guard against bench rot).
+bench-smoke:
+	$(GO) test -run '^$$' -bench . -benchtime 1x ./...

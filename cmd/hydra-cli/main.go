@@ -31,7 +31,9 @@ const replHelp = `commands:
   SCAN <table> <lo> <hi> <max>  range scan
   BEGIN | COMMIT | ABORT        explicit transaction on this connection
   CHECKPOINT                    take a fuzzy checkpoint
-  STATS                         engine counters
+  STATS                         engine counters (one line)
+  STATS FULL | stats            full snapshot: counters, latch tiers,
+                                lock-wait tail, tracer state
   help | quit`
 
 func main() {
@@ -171,6 +173,14 @@ func runOne(c *server.Client, line string) error {
 		}
 		fmt.Println("OK")
 	case "STATS":
+		if len(fields) == 2 && strings.ToUpper(fields[1]) == "FULL" {
+			st, err := c.StatsFull()
+			if err != nil {
+				return err
+			}
+			printStats(st)
+			return nil
+		}
 		s, err := c.Stats()
 		if err != nil {
 			return err
@@ -185,4 +195,37 @@ func runOne(c *server.Client, line string) error {
 		fmt.Println(reply)
 	}
 	return nil
+}
+
+// printStats renders the full snapshot the way the harness tables do:
+// counters grouped by subsystem, distributions as p50/p90/p99/max.
+func printStats(st server.StatsJSON) {
+	fmt.Printf("uptime      %s\n", (time.Duration(st.UptimeSec * float64(time.Second))).Round(time.Second))
+	fmt.Printf("txns        commits=%d aborts=%d\n", st.Commits, st.Aborts)
+	fmt.Printf("lock        acquires=%d table_ops=%d inherited=%d waits=%d\n",
+		st.Lock.Acquires, st.Lock.TableOps, st.Lock.Inherited, st.Lock.Waits)
+	fmt.Printf("            deadlocks=%d timeouts=%d upgrades=%d escalations=%d\n",
+		st.Lock.Deadlocks, st.Lock.Timeouts, st.Lock.Upgrades, st.Lock.Escalations)
+	if st.LockWait.Count > 0 {
+		fmt.Printf("lock wait   %s\n", st.LockWait.Summary)
+	}
+	fmt.Printf("log         inserts=%d bytes=%d flushes=%d mutex_acquires=%d group_inserts=%d\n",
+		st.Log.Inserts, st.Log.InsertedBytes, st.Log.Flushes, st.Log.MutexAcquires, st.Log.GroupInserts)
+	if st.Log.Flushes > 0 {
+		fmt.Printf("            group-commit batch=%.1f records/flush\n",
+			float64(st.Log.Inserts)/float64(st.Log.Flushes))
+	}
+	hitPct := 0.0
+	if tot := st.Buffer.Hits + st.Buffer.Misses; tot > 0 {
+		hitPct = 100 * float64(st.Buffer.Hits) / float64(tot)
+	}
+	fmt.Printf("buffer      hits=%d misses=%d (%.2f%% hit) evictions=%d writebacks=%d\n",
+		st.Buffer.Hits, st.Buffer.Misses, hitPct, st.Buffer.Evictions, st.Buffer.Writebacks)
+	if len(st.Latches) > 0 {
+		fmt.Println("latch tiers (sampled time-to-acquire)")
+		for _, t := range st.Latches {
+			fmt.Printf("  %-12s ops=%-10d %s\n", t.Tier, t.Ops, t.Acquire.Summary)
+		}
+	}
+	fmt.Printf("tracer      enabled=%v events=%d\n", st.TraceEnabled, st.TraceEvents)
 }

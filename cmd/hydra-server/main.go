@@ -4,9 +4,13 @@
 // Usage:
 //
 //	hydra-server [-addr :7654] [-dir /path/to/data] [-config scalable]
+//	             [-http :7655] [-trace]
 //
 // With -dir, the database is durable and ARIES recovery runs on
-// restart; without it, the server is in-memory.
+// restart; without it, the server is in-memory. -http starts the
+// observability listener (/metrics for Prometheus, /stats for
+// hydra-top, /trace for the event tracer); empty disables it. -trace
+// enables transaction event recording from startup.
 package main
 
 import (
@@ -17,6 +21,7 @@ import (
 	"syscall"
 
 	"hydra/internal/core"
+	"hydra/internal/obs"
 	"hydra/internal/server"
 )
 
@@ -24,6 +29,8 @@ func main() {
 	addr := flag.String("addr", ":7654", "listen address")
 	dir := flag.String("dir", "", "data directory (empty = in-memory)")
 	config := flag.String("config", "scalable", "engine configuration: conventional or scalable")
+	httpAddr := flag.String("http", ":7655", "observability listen address (/metrics, /stats, /trace); empty disables")
+	trace := flag.Bool("trace", false, "enable transaction event tracing at startup")
 	flag.Parse()
 
 	var cfg core.Config
@@ -46,6 +53,16 @@ func main() {
 	if rep := engine.RecoveryReport; rep.Scanned > 0 {
 		fmt.Printf("recovery: scanned=%d redone=%d losers=%d index-entries=%d\n",
 			rep.Scanned, rep.Redone, rep.LosersUndone, rep.IndexEntries)
+	}
+
+	obs.Trace.SetEnabled(*trace)
+	if *httpAddr != "" {
+		go func() {
+			if err := server.ServeMetrics(*httpAddr, engine); err != nil {
+				fmt.Fprintf(os.Stderr, "hydra-server: metrics listener: %v\n", err)
+			}
+		}()
+		fmt.Printf("hydra-server: metrics on http://%s/metrics\n", *httpAddr)
 	}
 
 	srv := server.New(engine)

@@ -1,0 +1,152 @@
+// Command hydra-top is a live contention monitor for a running
+// hydra-server: it polls the /stats endpoint and redraws a compact
+// per-subsystem view — throughput, buffer hit ratio, group-commit
+// batch size, and the per-latch-tier time-to-acquire tails that are
+// the paper's leading indicator of a scalability pathology.
+//
+// Usage:
+//
+//	hydra-top [-addr localhost:7655] [-interval 1s] [-once]
+//
+// Rates (commits/s, etc.) are derived from successive cumulative
+// snapshots; the first frame therefore shows totals only.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"strings"
+	"time"
+
+	"hydra/internal/server"
+)
+
+func main() {
+	addr := flag.String("addr", "localhost:7655", "observability address of hydra-server (-http)")
+	interval := flag.Duration("interval", time.Second, "poll interval")
+	once := flag.Bool("once", false, "print a single frame and exit (no ANSI redraw)")
+	flag.Parse()
+
+	url := "http://" + *addr + "/stats"
+	client := &http.Client{Timeout: 5 * time.Second}
+
+	var prev *server.StatsJSON
+	var prevAt time.Time
+	for {
+		st, err := fetch(client, url)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "hydra-top: %v\n", err)
+			os.Exit(1)
+		}
+		now := time.Now()
+		if !*once {
+			// Clear screen and home the cursor: a full redraw per
+			// frame keeps the renderer stateless.
+			fmt.Print("\x1b[2J\x1b[H")
+		}
+		render(os.Stdout, st, prev, now.Sub(prevAt))
+		if *once {
+			return
+		}
+		prev = st
+		prevAt = now
+		time.Sleep(*interval)
+	}
+}
+
+func fetch(c *http.Client, url string) (*server.StatsJSON, error) {
+	resp, err := c.Get(url)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("GET %s: %s", url, resp.Status)
+	}
+	var st server.StatsJSON
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		return nil, err
+	}
+	return &st, nil
+}
+
+// rate formats the delta of a cumulative counter as an events/second
+// figure, or "-" on the first frame.
+func rate(cur, prev uint64, dt time.Duration) string {
+	if dt <= 0 || cur < prev {
+		return "-"
+	}
+	return fmt.Sprintf("%.0f/s", float64(cur-prev)/dt.Seconds())
+}
+
+func render(w *os.File, st, prev *server.StatsJSON, dt time.Duration) {
+	var p server.StatsJSON
+	haveRates := prev != nil
+	if haveRates {
+		p = *prev
+	}
+	r := func(cur, prv uint64) string {
+		if !haveRates {
+			return "-"
+		}
+		return rate(cur, prv, dt)
+	}
+
+	fmt.Fprintf(w, "hydra-top  up %s  trace=%v(%d events)\n\n",
+		(time.Duration(st.UptimeSec * float64(time.Second))).Round(time.Second),
+		st.TraceEnabled, st.TraceEvents)
+
+	fmt.Fprintf(w, "txn     commits=%-10d %-9s aborts=%-8d %-9s\n",
+		st.Commits, r(st.Commits, p.Commits), st.Aborts, r(st.Aborts, p.Aborts))
+
+	hitPct := 0.0
+	if tot := st.Buffer.Hits + st.Buffer.Misses; tot > 0 {
+		hitPct = 100 * float64(st.Buffer.Hits) / float64(tot)
+	}
+	fmt.Fprintf(w, "buffer  hit=%6.2f%%  fetch=%-9s evict=%-8s writeback=%s\n",
+		hitPct, r(st.Buffer.Hits+st.Buffer.Misses, p.Buffer.Hits+p.Buffer.Misses),
+		r(st.Buffer.Evictions, p.Buffer.Evictions),
+		r(st.Buffer.Writebacks, p.Buffer.Writebacks))
+
+	batch := 0.0
+	if st.Log.Flushes > 0 {
+		batch = float64(st.Log.Inserts) / float64(st.Log.Flushes)
+	}
+	fmt.Fprintf(w, "log     insert=%-9s flush=%-9s batch=%.1f rec/flush  group=%d\n",
+		r(st.Log.Inserts, p.Log.Inserts), r(st.Log.Flushes, p.Log.Flushes),
+		batch, st.Log.GroupInserts)
+
+	fmt.Fprintf(w, "lock    acquire=%-9s wait=%-9s deadlock=%-6d timeout=%-6d escal=%d\n",
+		r(st.Lock.Acquires, p.Lock.Acquires), r(st.Lock.Waits, p.Lock.Waits),
+		st.Lock.Deadlocks, st.Lock.Timeouts, st.Lock.Escalations)
+	if st.LockWait.Count > 0 {
+		fmt.Fprintf(w, "        wait dist: %s\n", st.LockWait.Summary)
+	}
+
+	fmt.Fprintf(w, "\n%-12s %10s  %9s %9s %9s %9s\n",
+		"latch tier", "acquires", "p50", "p90", "p99", "max")
+	fmt.Fprintln(w, strings.Repeat("-", 64))
+	for _, t := range st.Latches {
+		fmt.Fprintf(w, "%-12s %10d  %9s %9s %9s %9s\n",
+			t.Tier, t.Ops,
+			ns(t.Acquire.P50Ns), ns(t.Acquire.P90Ns), ns(t.Acquire.P99Ns), ns(t.Acquire.MaxNs))
+	}
+}
+
+// ns renders a nanosecond figure compactly (the bucket resolution is
+// a factor of two, so sub-microsecond precision would be noise).
+func ns(v int64) string {
+	d := time.Duration(v)
+	switch {
+	case d >= time.Second:
+		return fmt.Sprintf("%.1fs", d.Seconds())
+	case d >= time.Millisecond:
+		return fmt.Sprintf("%.1fms", float64(d)/float64(time.Millisecond))
+	case d >= time.Microsecond:
+		return fmt.Sprintf("%.1fµs", float64(d)/float64(time.Microsecond))
+	}
+	return fmt.Sprintf("%dns", v)
+}

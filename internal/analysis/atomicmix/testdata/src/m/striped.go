@@ -1,0 +1,37 @@
+// Striped-counter shapes (the internal/obs pattern): per-stripe words
+// written with atomic adds and summed on snapshot. The sum must use
+// atomic loads — a plain read of a stripe races with concurrent adds
+// exactly like any other mixed access.
+package m
+
+import "atomic"
+
+type stripe struct {
+	v uint64
+}
+
+type striped struct {
+	s [4]stripe
+}
+
+func (c *striped) inc(i int) {
+	atomic.AddUint64(&c.s[i].v, 1)
+}
+
+// badSum reads the stripes plainly while inc adds atomically.
+func (c *striped) badSum() uint64 {
+	var n uint64
+	for i := range c.s {
+		n += c.s[i].v // want "plain access to v"
+	}
+	return n
+}
+
+// goodSum is the correct snapshot: atomic loads throughout.
+func (c *striped) goodSum() uint64 {
+	var n uint64
+	for i := range c.s {
+		n += atomic.LoadUint64(&c.s[i].v)
+	}
+	return n
+}

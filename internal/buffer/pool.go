@@ -4,10 +4,10 @@ import (
 	"errors"
 	"fmt"
 	"sync"
-	"sync/atomic"
 
 	"hydra/internal/invariant"
 	"hydra/internal/latch"
+	"hydra/internal/obs"
 	"hydra/internal/page"
 )
 
@@ -80,7 +80,10 @@ type Pool struct {
 	store  PageStore
 	shards []shard
 
-	hits, misses, evictions, writebacks atomic.Uint64
+	// Striped counters: hits in particular are bumped by every reader
+	// on the Fetch fast path, so a single shared word would serialize
+	// the very path the sharded table decentralizes.
+	hits, misses, evictions, writebacks obs.Counter
 }
 
 type shard struct {
@@ -133,7 +136,9 @@ func (p *Pool) shardFor(id page.ID) *shard {
 // outside it (see victimLocked).
 func (p *Pool) Fetch(id page.ID) (*Frame, error) {
 	s := p.shardFor(id)
+	ps := obs.LatchStart(obs.TierPoolShard)
 	s.mu.Lock()
+	obs.LatchDone(obs.TierPoolShard, ps)
 	invariant.Acquired(invariant.TierPoolShard, "buffer.shard.mu")
 	for {
 		if f, ok := s.table[id]; ok {
@@ -354,7 +359,9 @@ func (p *Pool) flushFrame(f *Frame) error {
 // dirty-page table.
 func (p *Pool) Unpin(f *Frame, dirty bool) {
 	s := p.shardFor(f.id)
+	ps := obs.LatchStart(obs.TierPoolShard)
 	s.mu.Lock()
+	obs.LatchDone(obs.TierPoolShard, ps)
 	defer s.mu.Unlock()
 	invariant.Acquired(invariant.TierPoolShard, "buffer.shard.mu")
 	defer invariant.Released(invariant.TierPoolShard, "buffer.shard.mu")

@@ -27,6 +27,7 @@ import (
 	"hydra/internal/heap"
 	"hydra/internal/latch"
 	"hydra/internal/lock"
+	"hydra/internal/obs"
 	"hydra/internal/page"
 	"hydra/internal/wal"
 )
@@ -162,9 +163,12 @@ type Engine struct {
 	tablesByID  map[uint32]*Table
 	nextTableID uint32
 
-	txnSeq  atomic.Uint64
-	commits atomic.Uint64
-	aborts  atomic.Uint64
+	txnSeq atomic.Uint64
+	// commits/aborts are striped (obs.Counter): every worker bumps one
+	// of them per transaction, so a shared word would be the kind of
+	// hidden global serialization point this engine exists to remove.
+	commits obs.Counter
+	aborts  obs.Counter
 	closed  atomic.Bool
 
 	// active is the live-transaction registry feeding checkpoint ATT

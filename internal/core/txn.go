@@ -8,6 +8,7 @@ import (
 	"hydra/internal/heap"
 	"hydra/internal/invariant"
 	"hydra/internal/lock"
+	"hydra/internal/obs"
 	"hydra/internal/page"
 	"hydra/internal/wal"
 )
@@ -79,6 +80,7 @@ func (e *Engine) Begin() *Txn {
 	e.activeMu.Lock()
 	e.active[id] = t
 	e.activeMu.Unlock()
+	obs.TraceEvent(obs.EvBegin, id, 0, 0)
 	return t
 }
 
@@ -378,8 +380,9 @@ func (t *Txn) Commit() error {
 	if !t.logged {
 		// Read-only: nothing to log or flush.
 		t.releaseLocks(false)
+		obs.TraceEvent(obs.EvCommit, t.id, 0, 0)
 		t.finish(txnCommitted)
-		e.commits.Add(1)
+		e.commits.Inc()
 		return nil
 	}
 	commitLSN, err := e.log.AppendFields(wal.RecCommit, t.id, t.lastLSN, 0, 0, nil)
@@ -404,8 +407,9 @@ func (t *Txn) Commit() error {
 	if _, err := e.log.AppendFields(wal.RecEnd, t.id, commitLSN, 0, 0, nil); err != nil {
 		return err
 	}
+	obs.TraceEvent(obs.EvCommit, t.id, uint64(commitLSN), 0)
 	t.finish(txnCommitted)
-	e.commits.Add(1)
+	e.commits.Inc()
 	return nil
 }
 
@@ -439,8 +443,9 @@ func (t *Txn) Abort() error {
 		}
 	}
 	t.releaseLocks(true)
+	obs.TraceEvent(obs.EvAbort, t.id, 0, 0)
 	t.finish(txnAborted)
-	e.aborts.Add(1)
+	e.aborts.Inc()
 	return nil
 }
 

@@ -10,9 +10,12 @@ import (
 	"time"
 )
 
-// buckets: bucket i holds values in [2^i, 2^(i+1)) nanoseconds;
-// bucket 0 holds [0, 2). 64 buckets cover any int64 duration.
-const numBuckets = 64
+// NumBuckets is the fixed bucket count: bucket i holds values in
+// [2^i, 2^(i+1)) nanoseconds; bucket 0 holds [0, 2). 64 buckets cover
+// any int64 duration.
+const NumBuckets = 64
+
+const numBuckets = NumBuckets
 
 // H is a latency histogram. Not safe for concurrent use; keep one per
 // worker and Merge.
@@ -43,6 +46,35 @@ func bucketOf(v uint64) int {
 	}
 	return 63 - bits.LeadingZeros64(v)
 }
+
+// FromRaw reconstructs a histogram from externally-maintained bucket
+// counts plus the value sum and max (in nanoseconds). The concurrent
+// histogram in internal/obs keeps its buckets in per-stripe atomics
+// and merges them into an H through this constructor, so both sides
+// share one quantile and formatting path.
+func FromRaw(counts *[NumBuckets]uint64, sum, max uint64) H {
+	h := H{sum: sum, max: max}
+	for i, c := range counts {
+		h.counts[i] = c
+		h.total += c
+	}
+	return h
+}
+
+// Bucket returns the count in bucket i (observations in
+// [2^i, 2^(i+1)) ns; bucket 0 also holds 0 and 1 ns).
+func (h *H) Bucket(i int) uint64 { return h.counts[i] }
+
+// BucketUpper returns the exclusive upper edge of bucket i.
+func BucketUpper(i int) time.Duration {
+	if i >= 63 {
+		return time.Duration(^uint64(0) >> 1)
+	}
+	return time.Duration(uint64(1) << (i + 1))
+}
+
+// Sum returns the sum of all observed durations.
+func (h *H) Sum() time.Duration { return time.Duration(h.sum) }
 
 // Merge folds other into h.
 func (h *H) Merge(other *H) {
@@ -84,22 +116,26 @@ func (h *H) Quantile(q float64) time.Duration {
 	for i, c := range h.counts {
 		seen += c
 		if seen >= target {
-			// Upper edge of the bucket.
-			if i >= 63 {
-				return time.Duration(^uint64(0) >> 1)
+			// Upper edge of the bucket, clamped to the exact max so
+			// p99 never prints above it (both are upper bounds on the
+			// true quantile; the tighter one wins).
+			ub := BucketUpper(i)
+			if ub > h.Max() {
+				return h.Max()
 			}
-			return time.Duration(uint64(1) << (i + 1))
+			return ub
 		}
 	}
 	return h.Max()
 }
 
-// String summarizes the distribution.
+// String summarizes the distribution as the p50/p90/p99/max line the
+// harness tables and hydra-top both print.
 func (h *H) String() string {
-	return fmt.Sprintf("n=%d mean=%v p50=%v p95=%v p99=%v max=%v",
+	return fmt.Sprintf("n=%d mean=%v p50=%v p90=%v p99=%v max=%v",
 		h.total, h.Mean().Round(time.Microsecond),
 		h.Quantile(0.50).Round(time.Microsecond),
-		h.Quantile(0.95).Round(time.Microsecond),
+		h.Quantile(0.90).Round(time.Microsecond),
 		h.Quantile(0.99).Round(time.Microsecond),
 		h.Max().Round(time.Microsecond))
 }

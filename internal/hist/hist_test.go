@@ -1,6 +1,7 @@
 package hist
 
 import (
+	"strings"
 	"testing"
 	"testing/quick"
 	"time"
@@ -106,4 +107,57 @@ func TestStringContainsStats(t *testing.T) {
 	if len(s) == 0 || s[0] != 'n' {
 		t.Fatalf("String() = %q", s)
 	}
+	// hydra-top and the harness share this one formatting path; the
+	// quantile labels are part of the contract.
+	for _, want := range []string{"n=1", "p50=", "p90=", "p99=", "max="} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("String() = %q, missing %q", s, want)
+		}
+	}
+}
+
+func TestFromRawRoundTrip(t *testing.T) {
+	var h H
+	for i := 1; i <= 1000; i++ {
+		h.Observe(time.Duration(i) * time.Microsecond)
+	}
+	var counts [NumBuckets]uint64
+	for i := 0; i < NumBuckets; i++ {
+		counts[i] = h.Bucket(i)
+	}
+	got := FromRaw(&counts, uint64(h.Sum()), uint64(h.Max()))
+	if got.Count() != h.Count() || got.Sum() != h.Sum() || got.Max() != h.Max() {
+		t.Fatalf("FromRaw lost totals: got n=%d sum=%v max=%v", got.Count(), got.Sum(), got.Max())
+	}
+	for _, q := range []float64{0.5, 0.9, 0.99} {
+		if got.Quantile(q) != h.Quantile(q) {
+			t.Fatalf("Quantile(%v): got %v want %v", q, got.Quantile(q), h.Quantile(q))
+		}
+	}
+}
+
+func TestBucketUpperEdges(t *testing.T) {
+	if BucketUpper(0) != 2 {
+		t.Fatalf("BucketUpper(0) = %v", BucketUpper(0))
+	}
+	if BucketUpper(10) != 2048 {
+		t.Fatalf("BucketUpper(10) = %v", BucketUpper(10))
+	}
+	if BucketUpper(63) != time.Duration(^uint64(0)>>1) {
+		t.Fatalf("BucketUpper(63) = %v", BucketUpper(63))
+	}
+	// An observed value always falls strictly below its bucket's
+	// upper edge.
+	var h H
+	v := 1500 * time.Nanosecond
+	h.Observe(v)
+	for i := 0; i < NumBuckets; i++ {
+		if h.Bucket(i) == 1 {
+			if BucketUpper(i) <= v {
+				t.Fatalf("value %v not below BucketUpper(%d)=%v", v, i, BucketUpper(i))
+			}
+			return
+		}
+	}
+	t.Fatal("observation not found in any bucket")
 }

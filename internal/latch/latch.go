@@ -10,6 +10,7 @@ import (
 	"sync"
 
 	"hydra/internal/invariant"
+	"hydra/internal/obs"
 	"hydra/internal/sync2"
 )
 
@@ -72,11 +73,13 @@ type blockLatch struct {
 
 func (l *blockLatch) Acquire(m Mode) {
 	invariant.Acquired(invariant.TierFrameLatch, "latch")
+	s := obs.LatchStart(obs.TierFrameLatch)
 	if m == Shared {
 		l.mu.RLock()
 	} else {
 		l.mu.Lock()
 	}
+	obs.LatchDone(obs.TierFrameLatch, s)
 }
 
 func (l *blockLatch) Release(m Mode) {
@@ -98,11 +101,13 @@ type spinLatch struct {
 
 func (l *spinLatch) Acquire(m Mode) {
 	invariant.Acquired(invariant.TierFrameLatch, "latch")
+	s := obs.LatchStart(obs.TierFrameLatch)
 	if m == Shared {
 		l.rw.RLock()
 	} else {
 		l.rw.Lock()
 	}
+	obs.LatchDone(obs.TierFrameLatch, s)
 }
 
 func (l *spinLatch) Release(m Mode) {

@@ -6,6 +6,9 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"hydra/internal/hist"
+	"hydra/internal/obs"
 )
 
 // Errors returned by Acquire.
@@ -137,12 +140,21 @@ type Manager struct {
 	// lock-free.
 	agents sync.Map // uint64 -> *atomic.Bool
 
+	// stats are striped cumulative counters (obs.Counter), so the
+	// bookkeeping of a decentralized lock table is not itself a
+	// centralized cache line. StatsSnapshot sums the stripes with
+	// atomic loads.
 	stats struct {
-		acquires, tableOps, inherited atomic.Uint64
-		waits, deadlocks, timeouts    atomic.Uint64
-		upgrades, releaseAll          atomic.Uint64
-		escalations, escalatedAcqs    atomic.Uint64
+		acquires, tableOps, inherited obs.Counter
+		waits, deadlocks, timeouts    obs.Counter
+		upgrades, releaseAll          obs.Counter
+		escalations, escalatedAcqs    obs.Counter
 	}
+
+	// waitProf is the time-to-acquire distribution of transactional
+	// lock waits (conflicts only — the un-contended grant path never
+	// observes). Fed on the already-blocking path, so always-on.
+	waitProf obs.Hist
 }
 
 // NewManager returns an empty lock table.
@@ -183,10 +195,12 @@ func (m *Manager) Acquire(txn uint64, name Name, mode Mode) error {
 }
 
 func (m *Manager) acquireTable(h *Holder, name Name, mode Mode) error {
-	m.stats.tableOps.Add(1)
+	m.stats.tableOps.Inc()
 	txn := h.id
 	p := m.part(name)
+	ls := obs.LatchStart(obs.TierLockPart)
 	p.mu.Lock()
+	obs.LatchDone(obs.TierLockPart, ls)
 	if name.Level != LevelRow {
 		// Heat tracks how often coarse-grained names pass through the
 		// table; SLI classifies frequently re-acquired intent locks as
@@ -244,12 +258,27 @@ func (h *lockHead) compatibleExcept(mode Mode, txn uint64) bool {
 	return true
 }
 
-// wait enqueues h's transaction and blocks until granted. Called with
-// p.mu held; returns with it released.
+// wait times the blocking path: the enqueue-and-sleep itself is
+// waitInner; the wrapper feeds the observed wait into the manager's
+// time-to-acquire histogram and the transaction event tracer. Called
+// with p.mu held; returns with it released.
+//
+//hydra:vet:nonpropagating -- waitInner releases the caller's p.mu before blocking
+func (m *Manager) wait(p *partition, lh *lockHead, name Name, h *Holder, mode Mode, upgrade bool) error {
+	start := obs.Now()
+	err := m.waitInner(p, lh, name, h, mode, upgrade)
+	waited := obs.Now() - start
+	m.waitProf.ObserveNanos(waited)
+	obs.TraceEvent(obs.EvLockWait, h.id, name.hash(), uint64(waited))
+	return err
+}
+
+// waitInner enqueues h's transaction and blocks until granted. Called
+// with p.mu held; returns with it released.
 //
 //hydra:vet:nonpropagating -- releases the caller's p.mu before blocking on the ready channel
-func (m *Manager) wait(p *partition, lh *lockHead, name Name, h *Holder, mode Mode, upgrade bool) error {
-	m.stats.waits.Add(1)
+func (m *Manager) waitInner(p *partition, lh *lockHead, name Name, h *Holder, mode Mode, upgrade bool) error {
+	m.stats.waits.Inc()
 	txn := h.id
 	lh.contention++
 	p.heat[name]++
@@ -409,7 +438,9 @@ func (m *Manager) Release(txn uint64, name Name) {
 
 func (m *Manager) releaseOne(txn uint64, name Name) {
 	p := m.part(name)
+	ls := obs.LatchStart(obs.TierLockPart)
 	p.mu.Lock()
+	obs.LatchDone(obs.TierLockPart, ls)
 	lh := p.table[name]
 	if lh == nil {
 		p.mu.Unlock()
@@ -494,7 +525,12 @@ func (m *Manager) flagAgentsAmong(ids []uint64) {
 	}
 }
 
-// StatsSnapshot returns a copy of the cumulative counters.
+// WaitHist returns a snapshot of the transactional lock-wait
+// distribution (time from conflict to grant, victims included).
+func (m *Manager) WaitHist() hist.H { return m.waitProf.Snapshot() }
+
+// StatsSnapshot returns a copy of the cumulative counters. Each
+// counter is striped; Load sums the stripes with atomic loads.
 func (m *Manager) StatsSnapshot() Stats {
 	return Stats{
 		Acquires:      m.stats.acquires.Load(),

@@ -1,0 +1,86 @@
+package obs
+
+import (
+	"math/bits"
+	"sync/atomic"
+	"time"
+
+	"hydra/internal/hist"
+)
+
+// nHistStripes is Hist's stripe count. Histograms are fed either from
+// sampled paths (latch profiling) or from already-slow paths (lock
+// waits), so they see far less traffic than counters; 4 stripes keep
+// the footprint at ~2 KiB per histogram while still splitting writer
+// traffic across cache-line groups.
+const nHistStripes = 4
+
+// hstripe is one histogram stripe: power-of-two buckets plus the
+// running sum and max, all atomics. The bucket array spans several
+// cache lines on its own, so only the trailing scalar words need
+// padding from the next stripe's buckets.
+type hstripe struct {
+	counts [hist.NumBuckets]atomic.Uint64
+	sum    atomic.Uint64
+	max    atomic.Uint64
+	_      [48]byte
+}
+
+// Hist is a lock-free concurrent latency histogram: the striped
+// counterpart of hist.H. Observe is wait-free (one atomic add per
+// touched word; the max update is a bounded CAS retry) and allocates
+// nothing. Snapshot merges the stripes into a plain hist.H so
+// quantile math and string formatting live in one place.
+//
+// The zero value is ready to use.
+type Hist struct {
+	s [nHistStripes]hstripe
+}
+
+func bucketOf(v uint64) int {
+	if v < 2 {
+		return 0
+	}
+	return 63 - bits.LeadingZeros64(v)
+}
+
+// Observe records one duration.
+func (h *Hist) Observe(d time.Duration) {
+	v := uint64(d)
+	if int64(d) < 0 {
+		v = 0
+	}
+	s := &h.s[stripeIdx()&(nHistStripes-1)]
+	s.counts[bucketOf(v)].Add(1)
+	s.sum.Add(v)
+	for {
+		cur := s.max.Load()
+		if v <= cur || s.max.CompareAndSwap(cur, v) {
+			return
+		}
+	}
+}
+
+// ObserveNanos records one duration given in nanoseconds.
+func (h *Hist) ObserveNanos(ns int64) { h.Observe(time.Duration(ns)) }
+
+// Snapshot merges the stripes into a hist.H with atomic loads. Like
+// Counter.Load, the result is not a cross-stripe instant but is
+// bounded by the true states at the start and end of the call; counts
+// and sums are monotone, so quantiles from a snapshot are always
+// quantiles of some recent past.
+func (h *Hist) Snapshot() hist.H {
+	var counts [hist.NumBuckets]uint64
+	var sum, max uint64
+	for i := range h.s {
+		s := &h.s[i]
+		for b := range s.counts {
+			counts[b] += s.counts[b].Load()
+		}
+		sum += s.sum.Load()
+		if m := s.max.Load(); m > max {
+			max = m
+		}
+	}
+	return hist.FromRaw(&counts, sum, max)
+}

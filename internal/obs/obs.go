@@ -1,0 +1,71 @@
+// Package obs is hydra's low-overhead observability substrate: the
+// measurement layer the keynote's argument needs. Centralized
+// constructs serialize a CMP silently — the pathology surfaces as
+// time-to-acquire tail inflation long before throughput drops — so
+// the engine must measure its own synchronization without the
+// measurement itself becoming a centralized construct.
+//
+// Three building blocks, all concurrency-safe and allocation-free on
+// their hot paths:
+//
+//   - Counter: a cache-line-padded striped counter. Add touches one
+//     stripe chosen by a per-goroutine hint, so concurrent increments
+//     from different cores do not ping-pong a shared cache line the
+//     way a single atomic word does. Load sums the stripes with
+//     atomic loads (never plain reads — see the atomicmix analyzer).
+//   - Hist: a striped concurrent variant of hist.H, power-of-two
+//     buckets in per-stripe atomics, merged into a plain hist.H on
+//     Snapshot so quantiles and formatting share one code path.
+//   - Tracer: a per-goroutine transaction event tracer writing into
+//     fixed-size striped ring buffers, dumped on demand.
+//
+// On top of them sits latch profiling (latchprof.go): per-tier
+// acquire counters and sampled time-to-acquire histograms keyed by
+// the latch hierarchy of internal/invariant. The latch tiers and the
+// tracer are process-global — like a Prometheus default registry —
+// because latches are constructed deep inside subsystems where
+// plumbing a per-engine handle through every call site would cost
+// more than it buys; per-engine counters (lock, wal, buffer, core,
+// staged Stats) stay per-instance fields on their subsystems.
+package obs
+
+import (
+	"time"
+	"unsafe"
+)
+
+// nStripes is the stripe count of Counter and Hist; a power of two.
+// 16 stripes cover typical core counts without making every counter
+// enormous (16 x 64 B = 1 KiB per Counter).
+const nStripes = 16
+
+// stripeIdx returns a per-goroutine stripe hint in [0, nStripes).
+// It hashes the address of a stack variable: goroutine stacks live in
+// distinct allocations, so the address distinguishes goroutines, and
+// taking it costs two instructions — no TLS, no runtime hooks, no
+// allocation. The pointer never escapes (it is converted to an
+// integer immediately), so the variable stays on the stack.
+//
+// The hint is stable only until the runtime moves the goroutine's
+// stack (growth/shrink), which is fine: stripe choice affects
+// contention, not correctness.
+func stripeIdx() uint64 {
+	var marker byte
+	p := uintptr(unsafe.Pointer(&marker))
+	// Drop alignment zeros, then Fibonacci-spread the stack bits.
+	return (uint64(p>>4) * 0x9e3779b97f4a7c15) >> (64 - 4) // log2(nStripes) = 4
+}
+
+// timeBase anchors monotonic timestamps: Now returns nanoseconds
+// since process start, read from the monotonic clock (time.Since on a
+// time.Time with a monotonic reading never touches the wall clock).
+var timeBase = time.Now()
+
+// Now returns monotonic nanoseconds since process start. It is the
+// timestamp used by the tracer and the acquire profiles; subtracting
+// two values gives an elapsed duration in nanoseconds.
+func Now() int64 { return int64(time.Since(timeBase)) }
+
+// TimeBase returns the wall-clock instant Now counts from, so dumps
+// can convert monotonic offsets back to absolute times.
+func TimeBase() time.Time { return timeBase }

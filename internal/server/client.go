@@ -2,6 +2,7 @@ package server
 
 import (
 	"bufio"
+	"encoding/json"
 	"fmt"
 	"net"
 	"strconv"
@@ -181,4 +182,18 @@ func (c *Client) Stats() (string, error) {
 		return "", err
 	}
 	return strings.TrimPrefix(reply, "+VALUE "), nil
+}
+
+// StatsFull fetches and decodes the full observability snapshot.
+func (c *Client) StatsFull() (StatsJSON, error) {
+	var st StatsJSON
+	reply, err := c.roundTrip("STATS FULL")
+	if err != nil {
+		return st, err
+	}
+	if err := expectOK(reply); err != nil {
+		return st, err
+	}
+	err = json.Unmarshal([]byte(strings.TrimPrefix(reply, "+VALUE ")), &st)
+	return st, err
 }

@@ -1,0 +1,284 @@
+// HTTP observability surface: a stdlib-only listener exposing the
+// engine's counters and contention profiles while a workload runs.
+//
+//	GET /metrics  Prometheus text exposition (counters + histograms)
+//	GET /stats    the same snapshot as JSON (hydra-top's feed)
+//	GET /trace    retained transaction events as JSON;
+//	              ?enable=on|off toggles recording
+//
+// The handlers live in this package (not internal/obs) deliberately:
+// obs must stay import-free of the engine so every subsystem can
+// depend on it, while the snapshot here needs *core.Engine to reach
+// the per-engine counters. Scraping is read-only and touches only
+// atomic loads, so it can run at any frequency against a loaded
+// server.
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	"hydra/internal/core"
+	"hydra/internal/hist"
+	"hydra/internal/obs"
+)
+
+// HistJSON is the wire form of one latency distribution.
+type HistJSON struct {
+	Count   uint64 `json:"count"`
+	MeanNs  int64  `json:"mean_ns"`
+	P50Ns   int64  `json:"p50_ns"`
+	P90Ns   int64  `json:"p90_ns"`
+	P99Ns   int64  `json:"p99_ns"`
+	MaxNs   int64  `json:"max_ns"`
+	Summary string `json:"summary"`
+}
+
+func histJSON(h hist.H) HistJSON {
+	return HistJSON{
+		Count:   h.Count(),
+		MeanNs:  int64(h.Mean()),
+		P50Ns:   int64(h.Quantile(0.50)),
+		P90Ns:   int64(h.Quantile(0.90)),
+		P99Ns:   int64(h.Quantile(0.99)),
+		MaxNs:   int64(h.Max()),
+		Summary: h.String(),
+	}
+}
+
+// TierJSON is one latch tier's acquisition profile.
+type TierJSON struct {
+	Tier    string   `json:"tier"`
+	Ops     uint64   `json:"ops"`
+	Acquire HistJSON `json:"acquire"`
+}
+
+// StatsJSON is the full snapshot served at /stats and by STATS FULL.
+type StatsJSON struct {
+	UptimeSec    float64       `json:"uptime_sec"`
+	Commits      uint64        `json:"commits"`
+	Aborts       uint64        `json:"aborts"`
+	Lock         lockStatsJSON `json:"lock"`
+	LockWait     HistJSON      `json:"lock_wait"`
+	Log          logStatsJSON  `json:"log"`
+	Buffer       bufStatsJSON  `json:"buffer"`
+	Latches      []TierJSON    `json:"latches"`
+	TraceEnabled bool          `json:"trace_enabled"`
+	TraceEvents  int           `json:"trace_events"`
+}
+
+// The subsystem Stats structs carry doc comments, not JSON tags;
+// mirror them here so the wire names are stable snake_case regardless
+// of how the internal structs evolve.
+type lockStatsJSON struct {
+	Acquires      uint64 `json:"acquires"`
+	TableOps      uint64 `json:"table_ops"`
+	Inherited     uint64 `json:"inherited"`
+	Waits         uint64 `json:"waits"`
+	Deadlocks     uint64 `json:"deadlocks"`
+	Timeouts      uint64 `json:"timeouts"`
+	Upgrades      uint64 `json:"upgrades"`
+	ReleaseAll    uint64 `json:"release_all"`
+	Escalations   uint64 `json:"escalations"`
+	EscalatedAcqs uint64 `json:"escalated_acquires"`
+}
+
+type logStatsJSON struct {
+	Inserts       uint64 `json:"inserts"`
+	InsertedBytes uint64 `json:"inserted_bytes"`
+	Flushes       uint64 `json:"flushes"`
+	FlushedBytes  uint64 `json:"flushed_bytes"`
+	MutexAcquires uint64 `json:"mutex_acquires"`
+	GroupInserts  uint64 `json:"group_inserts"`
+}
+
+type bufStatsJSON struct {
+	Hits       uint64 `json:"hits"`
+	Misses     uint64 `json:"misses"`
+	Evictions  uint64 `json:"evictions"`
+	Writebacks uint64 `json:"writebacks"`
+}
+
+// Snapshot collects one consistent-enough view of the engine's
+// observability state. Counters are striped atomics, so the view is
+// racy across counters but each value is a real point-in-time sum.
+func Snapshot(e *core.Engine) StatsJSON {
+	st := e.StatsSnapshot()
+	tiers := obs.LatchSnapshot()
+	out := StatsJSON{
+		UptimeSec: time.Duration(obs.Now()).Seconds(),
+		Commits:   st.Commits,
+		Aborts:    st.Aborts,
+		Lock: lockStatsJSON{
+			Acquires: st.Lock.Acquires, TableOps: st.Lock.TableOps,
+			Inherited: st.Lock.Inherited, Waits: st.Lock.Waits,
+			Deadlocks: st.Lock.Deadlocks, Timeouts: st.Lock.Timeouts,
+			Upgrades: st.Lock.Upgrades, ReleaseAll: st.Lock.ReleaseAll,
+			Escalations: st.Lock.Escalations, EscalatedAcqs: st.Lock.EscalatedAcqs,
+		},
+		LockWait: histJSON(e.Locks().WaitHist()),
+		Log: logStatsJSON{
+			Inserts: st.Log.Inserts, InsertedBytes: st.Log.InsertedBytes,
+			Flushes: st.Log.Flushes, FlushedBytes: st.Log.FlushedBytes,
+			MutexAcquires: st.Log.MutexAcquires, GroupInserts: st.Log.GroupInserts,
+		},
+		Buffer: bufStatsJSON{
+			Hits: st.Buffer.Hits, Misses: st.Buffer.Misses,
+			Evictions: st.Buffer.Evictions, Writebacks: st.Buffer.Writebacks,
+		},
+		Latches:      make([]TierJSON, 0, len(tiers)),
+		TraceEnabled: obs.Trace.Enabled(),
+		TraceEvents:  obs.Trace.Len(),
+	}
+	for _, t := range tiers {
+		out.Latches = append(out.Latches, TierJSON{
+			Tier: t.Tier, Ops: t.Ops, Acquire: histJSON(t.Acquire),
+		})
+	}
+	return out
+}
+
+// writePromCounter emits one counter in Prometheus text form.
+func writePromCounter(w io.Writer, name string, v uint64) {
+	fmt.Fprintf(w, "# TYPE %s counter\n%s %d\n", name, name, v)
+}
+
+// writePromHist emits one histogram in Prometheus text form. Bucket
+// edges are the power-of-two nanosecond upper bounds converted to
+// seconds; empty buckets are elided (cumulative counts stay monotone)
+// and +Inf closes the series per the exposition format.
+func writePromHist(w io.Writer, name, labels string, h *hist.H) {
+	sep := ""
+	if labels != "" {
+		sep = ","
+	}
+	fmt.Fprintf(w, "# TYPE %s histogram\n", name)
+	var cum uint64
+	for i := 0; i < hist.NumBuckets-1; i++ {
+		c := h.Bucket(i)
+		if c == 0 {
+			continue
+		}
+		cum += c
+		le := strconv.FormatFloat(hist.BucketUpper(i).Seconds(), 'g', -1, 64)
+		fmt.Fprintf(w, "%s_bucket{%s%sle=\"%s\"} %d\n", name, labels, sep, le, cum)
+	}
+	fmt.Fprintf(w, "%s_bucket{%s%sle=\"+Inf\"} %d\n", name, labels, sep, h.Count())
+	if labels == "" {
+		fmt.Fprintf(w, "%s_sum %g\n%s_count %d\n", name, h.Sum().Seconds(), name, h.Count())
+	} else {
+		fmt.Fprintf(w, "%s_sum{%s} %g\n%s_count{%s} %d\n",
+			name, labels, h.Sum().Seconds(), name, labels, h.Count())
+	}
+}
+
+// writeMetrics renders the whole exposition. Factored out of the
+// handler so tests can render to a buffer.
+func writeMetrics(w io.Writer, e *core.Engine) {
+	st := e.StatsSnapshot()
+	writePromCounter(w, "hydra_commits_total", st.Commits)
+	writePromCounter(w, "hydra_aborts_total", st.Aborts)
+
+	writePromCounter(w, "hydra_lock_acquires_total", st.Lock.Acquires)
+	writePromCounter(w, "hydra_lock_table_ops_total", st.Lock.TableOps)
+	writePromCounter(w, "hydra_lock_inherited_total", st.Lock.Inherited)
+	writePromCounter(w, "hydra_lock_waits_total", st.Lock.Waits)
+	writePromCounter(w, "hydra_lock_deadlocks_total", st.Lock.Deadlocks)
+	writePromCounter(w, "hydra_lock_timeouts_total", st.Lock.Timeouts)
+	writePromCounter(w, "hydra_lock_upgrades_total", st.Lock.Upgrades)
+	writePromCounter(w, "hydra_lock_escalations_total", st.Lock.Escalations)
+
+	writePromCounter(w, "hydra_log_inserts_total", st.Log.Inserts)
+	writePromCounter(w, "hydra_log_inserted_bytes_total", st.Log.InsertedBytes)
+	writePromCounter(w, "hydra_log_flushes_total", st.Log.Flushes)
+	writePromCounter(w, "hydra_log_flushed_bytes_total", st.Log.FlushedBytes)
+	writePromCounter(w, "hydra_log_mutex_acquires_total", st.Log.MutexAcquires)
+	writePromCounter(w, "hydra_log_group_inserts_total", st.Log.GroupInserts)
+
+	writePromCounter(w, "hydra_buffer_hits_total", st.Buffer.Hits)
+	writePromCounter(w, "hydra_buffer_misses_total", st.Buffer.Misses)
+	writePromCounter(w, "hydra_buffer_evictions_total", st.Buffer.Evictions)
+	writePromCounter(w, "hydra_buffer_writebacks_total", st.Buffer.Writebacks)
+
+	lw := e.Locks().WaitHist()
+	writePromHist(w, "hydra_lock_wait_seconds", "", &lw)
+
+	tiers := obs.LatchSnapshot()
+	// One TYPE line then every tier's series, as the format requires
+	// grouped families.
+	fmt.Fprintf(w, "# TYPE hydra_latch_acquires_total counter\n")
+	for _, t := range tiers {
+		fmt.Fprintf(w, "hydra_latch_acquires_total{tier=%q} %d\n", t.Tier, t.Ops)
+	}
+	for i, t := range tiers {
+		name := "hydra_latch_acquire_seconds"
+		if i > 0 {
+			// writePromHist emits a TYPE line; only the first may.
+			var b strings.Builder
+			writePromHist(&b, name, fmt.Sprintf("tier=%q", t.Tier), &tiers[i].Acquire)
+			io.WriteString(w, strings.TrimPrefix(b.String(), "# TYPE "+name+" histogram\n"))
+			continue
+		}
+		writePromHist(w, name, fmt.Sprintf("tier=%q", t.Tier), &tiers[i].Acquire)
+	}
+
+	fmt.Fprintf(w, "# TYPE hydra_trace_events gauge\nhydra_trace_events %d\n", obs.Trace.Len())
+}
+
+// NewMetricsMux returns the observability mux: /metrics, /stats,
+// /trace. Mount it on any listener; it holds only a reference to e.
+func NewMetricsMux(e *core.Engine) *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		writeMetrics(w, e)
+	})
+	mux.HandleFunc("/stats", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		enc.Encode(Snapshot(e))
+	})
+	mux.HandleFunc("/trace", func(w http.ResponseWriter, r *http.Request) {
+		if v := r.URL.Query().Get("enable"); v != "" {
+			on := v == "on" || v == "true" || v == "1"
+			obs.Trace.SetEnabled(on)
+		}
+		events := obs.Trace.Dump()
+		type evJSON struct {
+			TSNs int64  `json:"ts_ns"`
+			Txn  uint64 `json:"txn"`
+			Kind string `json:"kind"`
+			Arg  uint64 `json:"arg"`
+			Arg2 uint64 `json:"arg2"`
+		}
+		out := struct {
+			Enabled bool     `json:"enabled"`
+			Events  []evJSON `json:"events"`
+		}{Enabled: obs.Trace.Enabled(), Events: make([]evJSON, 0, len(events))}
+		for _, ev := range events {
+			out.Events = append(out.Events, evJSON{
+				TSNs: ev.TS, Txn: ev.Txn, Kind: ev.Kind.String(),
+				Arg: ev.Arg, Arg2: ev.Arg2,
+			})
+		}
+		sort.SliceStable(out.Events, func(a, b int) bool { return out.Events[a].TSNs < out.Events[b].TSNs })
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(out)
+	})
+	return mux
+}
+
+// ServeMetrics listens on addr and serves the observability mux until
+// the listener fails. It is a convenience for cmd/hydra-server; tests
+// use httptest.Server around NewMetricsMux.
+func ServeMetrics(addr string, e *core.Engine) error {
+	srv := &http.Server{Addr: addr, Handler: NewMetricsMux(e), ReadHeaderTimeout: 5 * time.Second}
+	return srv.ListenAndServe()
+}

@@ -1,0 +1,306 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+
+	"hydra/internal/core"
+	"hydra/internal/obs"
+)
+
+func startMetrics(t *testing.T) (*core.Engine, *httptest.Server) {
+	t.Helper()
+	e, err := core.Open(core.Scalable())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(NewMetricsMux(e))
+	t.Cleanup(func() {
+		ts.Close()
+		e.Close()
+	})
+	return e, ts
+}
+
+func get(t *testing.T, url string) string {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET %s: %s", url, resp.Status)
+	}
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(b)
+}
+
+// checkExposition validates the Prometheus text format line by line:
+// every non-comment line must be `name[{labels}] value` with a
+// parseable value, histogram buckets must be cumulative, and every
+// family must carry a TYPE line.
+func checkExposition(t *testing.T, body string) {
+	t.Helper()
+	typed := map[string]bool{}
+	lastBucket := map[string]uint64{}
+	for _, line := range strings.Split(strings.TrimSpace(body), "\n") {
+		if strings.HasPrefix(line, "# TYPE ") {
+			parts := strings.Fields(line)
+			if len(parts) != 4 {
+				t.Fatalf("malformed TYPE line %q", line)
+			}
+			typed[parts[2]] = true
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			continue
+		}
+		sp := strings.LastIndexByte(line, ' ')
+		if sp < 0 {
+			t.Fatalf("malformed sample line %q", line)
+		}
+		name, val := line[:sp], line[sp+1:]
+		if _, err := strconv.ParseFloat(val, 64); err != nil {
+			t.Fatalf("unparseable value in %q: %v", line, err)
+		}
+		base := name
+		if i := strings.IndexByte(name, '{'); i >= 0 {
+			base = name[:i]
+			if !strings.HasSuffix(name, "}") {
+				t.Fatalf("unterminated labels in %q", line)
+			}
+		}
+		family := base
+		for _, suf := range []string{"_bucket", "_sum", "_count"} {
+			if strings.HasSuffix(base, suf) && typed[strings.TrimSuffix(base, suf)] {
+				family = strings.TrimSuffix(base, suf)
+			}
+		}
+		if !typed[family] {
+			t.Fatalf("sample %q has no TYPE line (family %q)", line, family)
+		}
+		if strings.HasSuffix(base, "_bucket") {
+			// Cumulative within one labeled series: key by full name
+			// minus the le label.
+			series := name[:strings.Index(name, "le=")]
+			v, _ := strconv.ParseUint(val, 10, 64)
+			if v < lastBucket[series] {
+				t.Fatalf("non-cumulative bucket in %q", line)
+			}
+			lastBucket[series] = v
+		}
+	}
+}
+
+func TestMetricsExposition(t *testing.T) {
+	e, ts := startMetrics(t)
+
+	// Generate traffic so counters and per-tier histograms are live.
+	tbl, err := e.CreateTable("m")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := uint64(0); i < 200; i++ {
+		if err := e.Exec(func(tx *core.Txn) error {
+			return tx.Insert(tbl, i, []byte("v"))
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	body := get(t, ts.URL+"/metrics")
+	checkExposition(t, body)
+	for _, want := range []string{
+		"hydra_commits_total",
+		"hydra_log_inserts_total",
+		"hydra_buffer_hits_total",
+		"hydra_latch_acquires_total{tier=",
+		"hydra_latch_acquire_seconds_bucket{tier=",
+		`le="+Inf"`,
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("/metrics missing %q", want)
+		}
+	}
+}
+
+func TestStatsJSONEndpoint(t *testing.T) {
+	e, ts := startMetrics(t)
+	tbl, err := e.CreateTable("s")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Exec(func(tx *core.Txn) error { return tx.Insert(tbl, 1, []byte("v")) }); err != nil {
+		t.Fatal(err)
+	}
+
+	var st StatsJSON
+	if err := json.Unmarshal([]byte(get(t, ts.URL+"/stats")), &st); err != nil {
+		t.Fatal(err)
+	}
+	if st.Commits == 0 {
+		t.Error("commits not reported")
+	}
+	if st.Log.Inserts == 0 {
+		t.Error("log inserts not reported")
+	}
+	if len(st.Latches) == 0 {
+		t.Error("no latch tiers reported")
+	}
+	for _, tier := range st.Latches {
+		if tier.Ops == 0 {
+			t.Errorf("tier %q reported with zero ops", tier.Tier)
+		}
+	}
+}
+
+func TestTraceEndpointToggle(t *testing.T) {
+	e, ts := startMetrics(t)
+	defer obs.Trace.SetEnabled(false)
+
+	get(t, ts.URL+"/trace?enable=on")
+	if !obs.Trace.Enabled() {
+		t.Fatal("enable=on did not enable the tracer")
+	}
+	tbl, err := e.CreateTable("tr")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Exec(func(tx *core.Txn) error { return tx.Insert(tbl, 1, []byte("v")) }); err != nil {
+		t.Fatal(err)
+	}
+	var out struct {
+		Enabled bool `json:"enabled"`
+		Events  []struct {
+			Kind string `json:"kind"`
+			Txn  uint64 `json:"txn"`
+		} `json:"events"`
+	}
+	if err := json.Unmarshal([]byte(get(t, ts.URL+"/trace?enable=off")), &out); err != nil {
+		t.Fatal(err)
+	}
+	if out.Enabled {
+		t.Fatal("enable=off did not disable the tracer")
+	}
+	kinds := map[string]bool{}
+	for _, ev := range out.Events {
+		kinds[ev.Kind] = true
+	}
+	for _, want := range []string{"begin", "log-append", "commit"} {
+		if !kinds[want] {
+			t.Errorf("trace missing %q events (got %v)", want, kinds)
+		}
+	}
+}
+
+// TestScrapeUnderLoad hammers /metrics and /stats while a write/abort
+// workload runs — the concurrency contract of the whole surface. Run
+// with -race this is the PR's required scrape-safety proof.
+func TestScrapeUnderLoad(t *testing.T) {
+	e, ts := startMetrics(t)
+	obs.Trace.SetEnabled(true)
+	defer obs.Trace.SetEnabled(false)
+
+	tbl, err := e.CreateTable("load")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const (
+		writers  = 4
+		scrapers = 4
+		txns     = 150
+		scrapes  = 25
+	)
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(id uint64) {
+			defer wg.Done()
+			for i := 0; i < txns; i++ {
+				key := id*txns + uint64(i)
+				if i%5 == 4 {
+					tx := e.Begin()
+					_ = tx.Insert(tbl, key, []byte("doomed"))
+					if err := tx.Abort(); err != nil {
+						t.Error(err)
+						return
+					}
+					continue
+				}
+				if err := e.Exec(func(tx *core.Txn) error {
+					return tx.Insert(tbl, key, []byte(fmt.Sprintf("v%d", key)))
+				}); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(uint64(w))
+	}
+	for s := 0; s < scrapers; s++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			for i := 0; i < scrapes; i++ {
+				switch (id + i) % 3 {
+				case 0:
+					checkExposition(t, get(t, ts.URL+"/metrics"))
+				case 1:
+					var st StatsJSON
+					if err := json.Unmarshal([]byte(get(t, ts.URL+"/stats")), &st); err != nil {
+						t.Error(err)
+						return
+					}
+				case 2:
+					get(t, ts.URL+"/trace")
+				}
+			}
+		}(s)
+	}
+	wg.Wait()
+
+	// After the dust settles the counters must reconcile exactly.
+	var st StatsJSON
+	if err := json.Unmarshal([]byte(get(t, ts.URL+"/stats")), &st); err != nil {
+		t.Fatal(err)
+	}
+	wantAborts := uint64(writers * txns / 5)
+	if st.Aborts < wantAborts {
+		t.Errorf("aborts = %d, want >= %d", st.Aborts, wantAborts)
+	}
+	if st.Commits < uint64(writers*txns)-wantAborts {
+		t.Errorf("commits = %d, want >= %d", st.Commits, uint64(writers*txns)-wantAborts)
+	}
+}
+
+func TestStatsFullProtocolCommand(t *testing.T) {
+	_, addr := startServer(t)
+	c := dial(t, addr)
+	if err := c.CreateTable("f"); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Set("f", 1, "x"); err != nil {
+		t.Fatal(err)
+	}
+	st, err := c.StatsFull()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Commits == 0 {
+		t.Error("STATS FULL reported zero commits")
+	}
+	if len(st.Latches) == 0 {
+		t.Error("STATS FULL reported no latch tiers")
+	}
+}

@@ -15,11 +15,13 @@
 //	CHECKPOINT                   -> +OK          (fuzzy checkpoint)
 //	BACKUP <path>                -> +OK          (online backup to a server-side file)
 //	STATS                        -> +VALUE <counters>
+//	STATS FULL                   -> +VALUE <one-line JSON snapshot>
 //	QUIT                         -> +BYE, closes the connection
 package server
 
 import (
 	"bufio"
+	"encoding/json"
 	"errors"
 	"fmt"
 	"net"
@@ -219,6 +221,14 @@ func (s *Server) dispatch(line string, txn **core.Txn) (string, bool) {
 		}
 		return "+OK", false
 	case "STATS":
+		if len(fields) == 2 && strings.ToUpper(fields[1]) == "FULL" {
+			// One-line JSON so the line protocol stays line-oriented.
+			b, err := json.Marshal(Snapshot(s.engine))
+			if err != nil {
+				return errReply(err), false
+			}
+			return "+VALUE " + string(b), false
+		}
 		st := s.engine.StatsSnapshot()
 		return fmt.Sprintf("+VALUE commits=%d aborts=%d lock_acquires=%d log_inserts=%d buf_hits=%d buf_misses=%d",
 			st.Commits, st.Aborts, st.Lock.Acquires, st.Log.Inserts, st.Buffer.Hits, st.Buffer.Misses), false

@@ -14,10 +14,10 @@ package staged
 import (
 	"encoding/binary"
 	"sync"
-	"sync/atomic"
 	"time"
 
 	"hydra/internal/core"
+	"hydra/internal/obs"
 )
 
 // Tuple is one row delivered by the scan stage.
@@ -124,8 +124,8 @@ type Engine struct {
 	mu       sync.Mutex
 	scanners map[uint32]*scanner
 
-	physicalScans atomic.Uint64 // full table passes actually performed
-	queries       atomic.Uint64
+	physicalScans obs.Counter // full table passes actually performed
+	queries       obs.Counter
 }
 
 // New returns a staged engine over c.

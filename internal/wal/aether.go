@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"hydra/internal/invariant"
+	"hydra/internal/obs"
 )
 
 // consArray is the consolidation array of the Aether log protocol.
@@ -126,9 +127,11 @@ func (l *Log) insertConsolidated(rec []byte) (LSN, error) {
 	var base uint64
 	var groupSize uint64
 	if leader {
+		ls := obs.LatchStart(obs.TierWALLog)
 		l.mu.Lock()
+		obs.LatchDone(obs.TierWALLog, ls)
 		invariant.Acquired(invariant.TierWALLog, "wal.Log.mu")
-		l.stats.mutexAcquires.Add(1)
+		l.stats.mutexAcquires.Inc()
 		groupSize = l.ca.close(s) // no more joiners past this point
 		base = l.allocateLocked(groupSize)
 		invariant.Released(invariant.TierWALLog, "wal.Log.mu")

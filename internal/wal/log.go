@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"hydra/internal/invariant"
+	"hydra/internal/obs"
 )
 
 // BufferKind selects the log-insert algorithm, the subject of
@@ -118,10 +119,13 @@ type Log struct {
 	flushOnceMu sync.Mutex   // serializes flushOnce (flusher vs Close)
 	flusherErr  atomic.Value // error from a failed flush, poisons the log
 
+	// stats are striped cumulative counters (obs.Counter): the log is
+	// the construct the consolidation array decentralizes, so its own
+	// bookkeeping must not reintroduce a shared hot word.
 	stats struct {
-		inserts, insertedBytes  atomic.Uint64
-		flushes, flushedBytes   atomic.Uint64
-		mutexAcquires, groupIns atomic.Uint64
+		inserts, insertedBytes  obs.Counter
+		flushes, flushedBytes   obs.Counter
+		mutexAcquires, groupIns obs.Counter
 	}
 }
 
@@ -208,6 +212,7 @@ func (l *Log) AppendFields(typ RecType, txnID uint64, prev LSN, pageID uint64, u
 	lsn, err := l.Insert(b)
 	invariant.PoolPut("wal.AppendFields", buf)
 	encBufPool.Put(buf)
+	obs.TraceEvent(obs.EvLogAppend, txnID, uint64(typ), uint64(size))
 	return lsn, err
 }
 
@@ -251,9 +256,11 @@ func (l *Log) allocateLocked(n uint64) uint64 {
 
 func (l *Log) insertSerial(rec []byte) (LSN, error) {
 	n := uint64(len(rec))
+	ls := obs.LatchStart(obs.TierWALLog)
 	l.mu.Lock()
+	obs.LatchDone(obs.TierWALLog, ls)
 	invariant.Acquired(invariant.TierWALLog, "wal.Log.mu")
-	l.stats.mutexAcquires.Add(1)
+	l.stats.mutexAcquires.Inc()
 	lsn := l.allocateLocked(n)
 	l.ring.copyIn(lsn, rec) // copy under the mutex: the serial pathology
 	l.fr.complete(lsn, lsn+n)
@@ -266,9 +273,11 @@ func (l *Log) insertSerial(rec []byte) (LSN, error) {
 
 func (l *Log) insertDecoupled(rec []byte) (LSN, error) {
 	n := uint64(len(rec))
+	ls := obs.LatchStart(obs.TierWALLog)
 	l.mu.Lock()
+	obs.LatchDone(obs.TierWALLog, ls)
 	invariant.Acquired(invariant.TierWALLog, "wal.Log.mu")
-	l.stats.mutexAcquires.Add(1)
+	l.stats.mutexAcquires.Inc()
 	lsn := l.allocateLocked(n)
 	invariant.Released(invariant.TierWALLog, "wal.Log.mu")
 	l.mu.Unlock()
@@ -376,7 +385,9 @@ func (l *Log) WaitFlushed(lsn LSN) error {
 		return nil
 	}
 	l.kickFlusher()
+	ws := obs.LatchStart(obs.TierWALWait)
 	l.waitMu.Lock()
+	obs.LatchDone(obs.TierWALWait, ws)
 	invariant.Acquired(invariant.TierWALWait, "wal.Log.waitMu")
 	if err, ok := l.flusherErr.Load().(error); ok && err != nil {
 		invariant.Released(invariant.TierWALWait, "wal.Log.waitMu")
