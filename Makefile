@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet lint stress bench bench-smoke
+.PHONY: build test race vet lint stress bench bench-wal bench-smoke
 
 build:
 	$(GO) build ./...
@@ -28,8 +28,18 @@ stress:
 bench:
 	$(GO) test -run '^$$' -bench 'BenchmarkLockAcquireRelease|BenchmarkCommitPipeline|BenchmarkPoolFetchParallel' -benchmem ./internal/lock/ ./internal/core/ ./internal/buffer/
 
+# bench-wal runs the WAL flush-path benchmarks with enough iterations
+# for the per-flush metrics (writes/flush, segsyncs/sync) to settle:
+# the numbers cited in EXPERIMENTS.md E11 come from this target.
+bench-wal:
+	$(GO) test -run '^$$' -bench 'BenchmarkFlushWrap|BenchmarkSegmentedSync|BenchmarkSegmentedWriteVec|BenchmarkLogAppendSegmented' -benchtime 200x -benchmem ./internal/wal/
+
 # bench-smoke compiles and runs every benchmark for a single
 # iteration: it catches benchmarks that crash or no longer build
 # without paying for a timed run (CI's guard against bench rot).
+# ./... picks up the WAL flush benchmarks (bench_test.go) too; the
+# explicit wal run below it asserts the vectored path's counters are
+# live, not just that the benchmarks compile.
 bench-smoke:
 	$(GO) test -run '^$$' -bench . -benchtime 1x ./...
+	$(GO) test -run '^$$' -bench 'BenchmarkFlushWrap|BenchmarkSegmentedSync' -benchtime 20x ./internal/wal/

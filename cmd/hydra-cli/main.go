@@ -214,6 +214,14 @@ func printStats(st server.StatsJSON) {
 	if st.Log.Flushes > 0 {
 		fmt.Printf("            group-commit batch=%.1f records/flush\n",
 			float64(st.Log.Inserts)/float64(st.Log.Flushes))
+		fmt.Printf("            flush IO: writes=%d syncs=%d (%.2f writes/flush)\n",
+			st.Log.FlushWrites, st.Log.FlushSyncs,
+			float64(st.Log.FlushWrites)/float64(st.Log.Flushes))
+	}
+	if st.Log.DevWrites > 0 || st.Log.DevSyncs > 0 {
+		fmt.Printf("log device  writes=%d vec_writes=%d syncs=%d seg_syncs=%d seg_sync_skips=%d\n",
+			st.Log.DevWrites, st.Log.DevVecWrites, st.Log.DevSyncs,
+			st.Log.DevSegSyncs, st.Log.DevSegSyncSkips)
 	}
 	hitPct := 0.0
 	if tot := st.Buffer.Hits + st.Buffer.Misses; tot > 0 {

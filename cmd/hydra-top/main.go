@@ -119,6 +119,18 @@ func render(w *os.File, st, prev *server.StatsJSON, dt time.Duration) {
 		r(st.Log.Inserts, p.Log.Inserts), r(st.Log.Flushes, p.Log.Flushes),
 		batch, st.Log.GroupInserts)
 
+	// Per-flush syscall budget of the batched flush path: write
+	// submissions and fsyncs per flush (vectored target: 1 write per
+	// touched segment, fsyncs only for dirty segments).
+	wpf, spf := 0.0, 0.0
+	if st.Log.Flushes > 0 {
+		wpf = float64(st.Log.FlushWrites) / float64(st.Log.Flushes)
+		spf = float64(st.Log.DevSegSyncs) / float64(st.Log.Flushes)
+	}
+	fmt.Fprintf(w, "flushio write=%-9s sync=%-9s %.2f writes/flush  %.2f segsync/flush  skipped=%d\n",
+		r(st.Log.DevWrites, p.Log.DevWrites), r(st.Log.DevSegSyncs, p.Log.DevSegSyncs),
+		wpf, spf, st.Log.DevSegSyncSkips)
+
 	fmt.Fprintf(w, "lock    acquire=%-9s wait=%-9s deadlock=%-6d timeout=%-6d escal=%d\n",
 		r(st.Lock.Acquires, p.Lock.Acquires), r(st.Lock.Waits, p.Lock.Waits),
 		st.Lock.Deadlocks, st.Lock.Timeouts, st.Lock.Escalations)

@@ -9,6 +9,7 @@ import "sync"
 type PageStore interface {
 	ReadPage(id uint64) error
 	WritePage(id uint64) error
+	Sync() error
 }
 
 type shard struct {
@@ -78,6 +79,28 @@ func condWaitTwoLocks(a, b *shard, c *sync.Cond) {
 	c.Wait() // want "\\(sync.Cond\\).Wait while holding"
 	b.mu.Unlock()
 	a.mu.Unlock()
+}
+
+// devUncoarse is the WAL dirty-segment-sync shape with a plain guard
+// mutex: fsyncing the dirty set while holding it is exactly the stall
+// the coarse marker exists to force a decision about (compare segdev
+// in good.go, whose device mutex is declared coarse).
+type devUncoarse struct {
+	mu    sync.Mutex
+	dirty map[uint64]bool
+	store PageStore
+}
+
+func (d *devUncoarse) syncDirty() error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	for id := range d.dirty {
+		if err := d.store.Sync(); err != nil { // want "\\(PageStore\\).Sync while holding d.mu"
+			return err
+		}
+		delete(d.dirty, id)
+	}
+	return nil
 }
 
 // blockingSelect has no default, so it parks.

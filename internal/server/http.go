@@ -96,6 +96,16 @@ type logStatsJSON struct {
 	FlushedBytes  uint64 `json:"flushed_bytes"`
 	MutexAcquires uint64 `json:"mutex_acquires"`
 	GroupInserts  uint64 `json:"group_inserts"`
+	FlushWrites   uint64 `json:"flush_writes"`
+	FlushSyncs    uint64 `json:"flush_syncs"`
+	// Device-side submission counters (zero when the device does not
+	// report stats): the per-flush syscall budget the batched flush
+	// path is judged on.
+	DevWrites       uint64 `json:"dev_writes"`
+	DevVecWrites    uint64 `json:"dev_vec_writes"`
+	DevSyncs        uint64 `json:"dev_syncs"`
+	DevSegSyncs     uint64 `json:"dev_seg_syncs"`
+	DevSegSyncSkips uint64 `json:"dev_seg_sync_skips"`
 }
 
 type bufStatsJSON struct {
@@ -127,6 +137,10 @@ func Snapshot(e *core.Engine) StatsJSON {
 			Inserts: st.Log.Inserts, InsertedBytes: st.Log.InsertedBytes,
 			Flushes: st.Log.Flushes, FlushedBytes: st.Log.FlushedBytes,
 			MutexAcquires: st.Log.MutexAcquires, GroupInserts: st.Log.GroupInserts,
+			FlushWrites: st.Log.FlushWrites, FlushSyncs: st.Log.FlushSyncs,
+			DevWrites: st.Log.Dev.Writes, DevVecWrites: st.Log.Dev.VecWrites,
+			DevSyncs: st.Log.Dev.Syncs, DevSegSyncs: st.Log.Dev.SegSyncs,
+			DevSegSyncSkips: st.Log.Dev.SegSyncSkips,
 		},
 		Buffer: bufStatsJSON{
 			Hits: st.Buffer.Hits, Misses: st.Buffer.Misses,
@@ -200,6 +214,13 @@ func writeMetrics(w io.Writer, e *core.Engine) {
 	writePromCounter(w, "hydra_log_flushed_bytes_total", st.Log.FlushedBytes)
 	writePromCounter(w, "hydra_log_mutex_acquires_total", st.Log.MutexAcquires)
 	writePromCounter(w, "hydra_log_group_inserts_total", st.Log.GroupInserts)
+	writePromCounter(w, "hydra_log_flush_writes_total", st.Log.FlushWrites)
+	writePromCounter(w, "hydra_log_flush_syncs_total", st.Log.FlushSyncs)
+	writePromCounter(w, "hydra_wal_dev_writes_total", st.Log.Dev.Writes)
+	writePromCounter(w, "hydra_wal_dev_vec_writes_total", st.Log.Dev.VecWrites)
+	writePromCounter(w, "hydra_wal_dev_syncs_total", st.Log.Dev.Syncs)
+	writePromCounter(w, "hydra_wal_dev_seg_syncs_total", st.Log.Dev.SegSyncs)
+	writePromCounter(w, "hydra_wal_dev_seg_sync_skips_total", st.Log.Dev.SegSyncSkips)
 
 	writePromCounter(w, "hydra_buffer_hits_total", st.Buffer.Hits)
 	writePromCounter(w, "hydra_buffer_misses_total", st.Buffer.Misses)

@@ -93,13 +93,28 @@ func (ca *consArray) publish(s *caslot, base uint64) {
 	s.base.Store(base + 1)
 }
 
+// caPoisonBase is the published base marking a failed allocation: the
+// leader could not reserve ring space (flusher death or close), so
+// the group has no LSNs. Members must not copy, and every member
+// still calls finish so the slot recycles.
+const caPoisonBase = ^uint64(0)
+
+// publishPoison releases waiting members with the poison marker.
+func (ca *consArray) publishPoison(s *caslot) {
+	s.base.Store(caPoisonBase)
+}
+
 // waitBase spins until the leader publishes the group base LSN,
 // backing off to short sleeps when yields alone make no progress
-// (relevant when goroutines far outnumber hardware contexts).
-func (ca *consArray) waitBase(s *caslot) uint64 {
+// (relevant when goroutines far outnumber hardware contexts). ok is
+// false when the leader published poison instead of a base.
+func (ca *consArray) waitBase(s *caslot) (base uint64, ok bool) {
 	for i := 0; ; i++ {
 		if b := s.base.Load(); b != 0 {
-			return b - 1
+			if b == caPoisonBase {
+				return 0, false
+			}
+			return b - 1, true
 		}
 		if i < 64 {
 			runtime.Gosched()
@@ -133,16 +148,34 @@ func (l *Log) insertConsolidated(rec []byte) (LSN, error) {
 		invariant.Acquired(invariant.TierWALLog, "wal.Log.mu")
 		l.stats.mutexAcquires.Inc()
 		groupSize = l.ca.close(s) // no more joiners past this point
-		base = l.allocateLocked(groupSize)
+		var err error
+		base, err = l.allocateLocked(groupSize)
 		invariant.Released(invariant.TierWALLog, "wal.Log.mu")
 		l.mu.Unlock()
+		if err != nil {
+			// The group got no ring space. Members are spinning in
+			// waitBase: a plain return would leave them spinning
+			// forever, so publish the poison marker, account for our
+			// own share so the slot recycles, and surface the error.
+			l.ca.publishPoison(s)
+			l.ca.finish(s, groupSize, n)
+			return 0, err
+		}
 		l.ca.publish(s, base)
 	} else {
 		l.stats.groupIns.Add(1)
-		base = l.ca.waitBase(s)
+		var ok bool
+		base, ok = l.ca.waitBase(s)
 		// groupSize is only needed by finish for recycling; members
 		// other than the leader learn it from the closed word.
 		groupSize = caSize(s.word.Load())
+		if !ok {
+			l.ca.finish(s, groupSize, n)
+			if err := l.poisoned(); err != nil {
+				return 0, err
+			}
+			return 0, ErrClosed
+		}
 	}
 	lsn := base + offset
 	l.ring.copyIn(lsn, rec)

@@ -1,0 +1,206 @@
+package wal
+
+import (
+	"bytes"
+	"os"
+	"testing"
+)
+
+// benchWrapFlush measures one wrap-around flush (the worst case for
+// submission count: two ring regions) through either the vectored or
+// the sequential device path, and reports the measured per-flush
+// write-submission count as writes/flush.
+func benchWrapFlush(b *testing.B, vectored bool) {
+	mem := NewMem()
+	var dev Device = mem
+	if !vectored {
+		dev = &plainDev{d: mem}
+	}
+	l := newStoppedLog(b, dev, Options{Kind: Serial, SyncOnFlush: true})
+
+	ringSize := uint64(l.opts.BufferSize)
+	startAt := ringSize - 64 // every iteration's region wraps here
+	payload := bytes.Repeat([]byte("b"), 4096)
+	rec := make([]byte, EncodedSize(len(payload)))
+	if _, err := Encode(&Record{Type: RecUpdate, TxnID: 1, Payload: payload}, rec); err != nil {
+		b.Fatal(err)
+	}
+	if _, err := mem.WriteAt(make([]byte, startAt), 0); err != nil {
+		b.Fatal(err)
+	}
+
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		// Rewind the log to the same wrapped region each iteration so
+		// the flush shape is identical and the device never grows.
+		l.next = startAt
+		l.fr.filled.Store(startAt)
+		l.flushed.Store(startAt)
+		if _, err := l.insertSerial(rec); err != nil {
+			b.Fatal(err)
+		}
+		select {
+		case <-l.kick:
+		default:
+		}
+		if err := l.flushOnce(); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	st := l.StatsSnapshot()
+	b.ReportMetric(float64(mem.Writes())/float64(b.N), "writes/flush")
+	b.ReportMetric(float64(st.FlushSyncs)/float64(b.N), "syncs/flush")
+}
+
+// BenchmarkFlushWrapVectored: the batched path — one WriteVec
+// submission carries both ring regions of a wrapped flush.
+func BenchmarkFlushWrapVectored(b *testing.B) { benchWrapFlush(b, true) }
+
+// BenchmarkFlushWrapSequential: the before shape — one WriteAt per
+// ring region (2 writes per wrapped flush).
+func BenchmarkFlushWrapSequential(b *testing.B) { benchWrapFlush(b, false) }
+
+// benchSegSync measures Sync over a segmented device with liveSegs
+// segments of which exactly one is dirtied per iteration, reporting
+// how many files were actually fsynced per Sync. The dirty-only path
+// fsyncs 1; the pre-change behavior fsynced all liveSegs.
+func benchSegSync(b *testing.B, liveSegs int, dirtyAll bool) {
+	dir, err := os.MkdirTemp("", "hydra-bench-seg")
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+	const segSize = 1 << 16
+	d, err := OpenSegmented(dir, segSize)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer d.Close()
+	if _, err := d.WriteAt(make([]byte, segSize*int64(liveSegs)), 0); err != nil {
+		b.Fatal(err)
+	}
+	if err := d.Sync(); err != nil {
+		b.Fatal(err)
+	}
+	pre := d.DeviceStats()
+
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if dirtyAll {
+			// Simulate the pre-change all-segments sync cost: touch
+			// every live segment so Sync must fsync each one.
+			for s := 0; s < liveSegs; s++ {
+				if _, err := d.WriteAt([]byte{1}, int64(s)*segSize); err != nil {
+					b.Fatal(err)
+				}
+			}
+		} else if _, err := d.WriteAt([]byte{1}, 0); err != nil {
+			b.Fatal(err)
+		}
+		if err := d.Sync(); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	st := d.DeviceStats()
+	b.ReportMetric(float64(st.SegSyncs-pre.SegSyncs)/float64(b.N), "segsyncs/sync")
+	b.ReportMetric(float64(st.SegSyncSkips-pre.SegSyncSkips)/float64(b.N), "skipped/sync")
+}
+
+// BenchmarkSegmentedSyncDirtyOnly: 64 live segments, one dirtied per
+// round — Sync fsyncs exactly the dirty one.
+func BenchmarkSegmentedSyncDirtyOnly(b *testing.B) { benchSegSync(b, 64, false) }
+
+// BenchmarkSegmentedSyncAllDirty: all 64 segments dirtied per round —
+// the O(live segments) fsync cost the dirty set avoids.
+func BenchmarkSegmentedSyncAllDirty(b *testing.B) { benchSegSync(b, 64, true) }
+
+// BenchmarkSegmentedWriteVec measures a flush-shaped vectored write
+// (two buffers, crossing one segment boundary) against issuing the
+// same bytes as two WriteAt calls.
+func BenchmarkSegmentedWriteVec(b *testing.B) {
+	for _, vectored := range []bool{true, false} {
+		name := "vec"
+		if !vectored {
+			name = "seq"
+		}
+		b.Run(name, func(b *testing.B) {
+			dir, err := os.MkdirTemp("", "hydra-bench-vec")
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer os.RemoveAll(dir)
+			d, err := OpenSegmented(dir, 1<<20)
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer d.Close()
+			b1 := bytes.Repeat([]byte("x"), 8192)
+			b2 := bytes.Repeat([]byte("y"), 8192)
+			off := int64(1<<20) - 4096 // straddles the boundary
+			offs := []int64{off, off + int64(len(b1))}
+			b.SetBytes(int64(len(b1) + len(b2)))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if vectored {
+					if _, err := d.WriteVec(offs, [][]byte{b1, b2}); err != nil {
+						b.Fatal(err)
+					}
+				} else {
+					if _, err := d.WriteAt(b1, offs[0]); err != nil {
+						b.Fatal(err)
+					}
+					if _, err := d.WriteAt(b2, offs[1]); err != nil {
+						b.Fatal(err)
+					}
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkLogAppendSegmented drives the full insert→flush→sync
+// pipeline over a SegmentedDevice for each buffer kind, the
+// end-to-end number behind the EXPERIMENTS entry.
+func BenchmarkLogAppendSegmented(b *testing.B) {
+	for _, kind := range BufferKinds() {
+		b.Run(kind.String(), func(b *testing.B) {
+			dir, err := os.MkdirTemp("", "hydra-bench-log")
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer os.RemoveAll(dir)
+			d, err := OpenSegmented(dir, 1<<22)
+			if err != nil {
+				b.Fatal(err)
+			}
+			l, err := New(d, Options{Kind: kind, BufferSize: 1 << 22, SyncOnFlush: true})
+			if err != nil {
+				b.Fatal(err)
+			}
+			payload := bytes.Repeat([]byte("p"), 128)
+			b.SetBytes(int64(EncodedSize(len(payload))))
+			b.ResetTimer()
+			b.RunParallel(func(pb *testing.PB) {
+				for pb.Next() {
+					if _, err := l.AppendFields(RecUpdate, 1, NilLSN, 0, NilLSN, payload); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+			b.StopTimer()
+			if err := l.Close(); err != nil {
+				b.Fatal(err)
+			}
+			st := l.StatsSnapshot()
+			if st.Flushes > 0 {
+				b.ReportMetric(float64(st.FlushWrites)/float64(st.Flushes), "writes/flush")
+				b.ReportMetric(float64(st.Dev.SegSyncs)/float64(st.Flushes), "segsyncs/flush")
+			}
+			d.Close()
+		})
+	}
+}

@@ -88,6 +88,13 @@ type Stats struct {
 	FlushedBytes  uint64
 	MutexAcquires uint64 // allocation-mutex acquisitions (consolidation wins show here)
 	GroupInserts  uint64 // records that joined a consolidation group led by another
+	FlushWrites   uint64 // write submissions issued by the flusher (a vectored submission counts once)
+	FlushSyncs    uint64 // Device.Sync calls issued by the flusher
+
+	// Dev carries the device-side submission counters when the device
+	// reports them (FileDevice, MemDevice, SegmentedDevice): the
+	// syscall-shaped ground truth behind FlushWrites/FlushSyncs.
+	Dev DeviceStats
 }
 
 // Log is the log manager: an in-memory ring buffer filled by Insert
@@ -95,6 +102,8 @@ type Stats struct {
 type Log struct {
 	opts Options
 	dev  Device
+	vw   VectorWriter  // l.dev's batched path, nil when unsupported
+	dsr  StatsReporter // l.dev's counter surface, nil when unsupported
 
 	mu    sync.Mutex // guards next and space accounting
 	space *sync.Cond // signaled when flushed advances
@@ -119,6 +128,11 @@ type Log struct {
 	flushOnceMu sync.Mutex   // serializes flushOnce (flusher vs Close)
 	flusherErr  atomic.Value // error from a failed flush, poisons the log
 
+	// Vectored-submission scratch, reused across flushes (guarded by
+	// flushOnceMu).
+	vecOffs []int64
+	vecBufs [][]byte
+
 	// stats are striped cumulative counters (obs.Counter): the log is
 	// the construct the consolidation array decentralizes, so its own
 	// bookkeeping must not reintroduce a shared hot word.
@@ -126,6 +140,7 @@ type Log struct {
 		inserts, insertedBytes  obs.Counter
 		flushes, flushedBytes   obs.Counter
 		mutexAcquires, groupIns obs.Counter
+		flushWrites, flushSyncs obs.Counter
 	}
 }
 
@@ -175,6 +190,8 @@ func New(dev Device, opts Options) (*Log, error) {
 		kick: make(chan struct{}, 1),
 		done: make(chan struct{}),
 	}
+	l.vw, _ = dev.(VectorWriter)
+	l.dsr, _ = dev.(StatsReporter)
 	l.space = sync.NewCond(&l.mu)
 	l.fr.filled.Store(l.next)
 	l.flushed.Store(l.next)
@@ -227,6 +244,11 @@ func (l *Log) Insert(rec []byte) (LSN, error) {
 	if l.closed.Load() {
 		return 0, ErrClosed
 	}
+	if err := l.poisoned(); err != nil {
+		// A dead flusher can never drain the ring: refusing new
+		// records here keeps inserters from filling it and hanging.
+		return 0, err
+	}
 	if len(rec) == 0 || len(rec) > l.opts.BufferSize/2 {
 		return 0, fmt.Errorf("wal: record size %d out of range", len(rec))
 	}
@@ -242,16 +264,40 @@ func (l *Log) Insert(rec []byte) (LSN, error) {
 	}
 }
 
+// poisoned returns the flusher's fatal error, if it died.
+func (l *Log) poisoned() error {
+	if err, ok := l.flusherErr.Load().(error); ok && err != nil {
+		return err
+	}
+	return nil
+}
+
+// poison records the log's fatal error. Only the first poisoner's
+// error sticks (CompareAndSwap from nil), which also keeps the
+// atomic.Value single-typed however many paths race to report death.
+func (l *Log) poison(err error) {
+	l.flusherErr.CompareAndSwap(nil, err)
+}
+
 // allocate reserves n bytes of log space, blocking while the ring is
-// full. Caller must hold l.mu.
-func (l *Log) allocateLocked(n uint64) uint64 {
+// full. Caller must hold l.mu. It fails instead of waiting when the
+// flusher has died or the log is closing: the durable frontier the
+// wait depends on will never advance again (the flusher broadcasts
+// l.space on its way out so blocked allocators observe the death).
+func (l *Log) allocateLocked(n uint64) (uint64, error) {
 	for l.next+n-l.flushed.Load() > uint64(l.opts.BufferSize) {
+		if err := l.poisoned(); err != nil {
+			return 0, err
+		}
+		if l.closed.Load() {
+			return 0, ErrClosed
+		}
 		l.kickFlusher()
 		l.space.Wait()
 	}
 	lsn := l.next
 	l.next += n
-	return lsn
+	return lsn, nil
 }
 
 func (l *Log) insertSerial(rec []byte) (LSN, error) {
@@ -261,7 +307,12 @@ func (l *Log) insertSerial(rec []byte) (LSN, error) {
 	obs.LatchDone(obs.TierWALLog, ls)
 	invariant.Acquired(invariant.TierWALLog, "wal.Log.mu")
 	l.stats.mutexAcquires.Inc()
-	lsn := l.allocateLocked(n)
+	lsn, err := l.allocateLocked(n)
+	if err != nil {
+		invariant.Released(invariant.TierWALLog, "wal.Log.mu")
+		l.mu.Unlock()
+		return 0, err
+	}
 	l.ring.copyIn(lsn, rec) // copy under the mutex: the serial pathology
 	l.fr.complete(lsn, lsn+n)
 	invariant.Released(invariant.TierWALLog, "wal.Log.mu")
@@ -278,9 +329,12 @@ func (l *Log) insertDecoupled(rec []byte) (LSN, error) {
 	obs.LatchDone(obs.TierWALLog, ls)
 	invariant.Acquired(invariant.TierWALLog, "wal.Log.mu")
 	l.stats.mutexAcquires.Inc()
-	lsn := l.allocateLocked(n)
+	lsn, err := l.allocateLocked(n)
 	invariant.Released(invariant.TierWALLog, "wal.Log.mu")
 	l.mu.Unlock()
+	if err != nil {
+		return 0, err
+	}
 	l.ring.copyIn(lsn, rec) // outside the mutex
 	l.fr.complete(lsn, lsn+n)
 	l.noteInsert(n)
@@ -465,6 +519,19 @@ func (l *Log) Close() error {
 		return nil
 	}
 	flushErr := l.flushOnce() // final synchronous drain
+	if flushErr != nil {
+		// The drain failed: records still in the ring will never become
+		// durable. Poison and wake any ring-full inserter that raced
+		// past the closed check, exactly as flusher death does.
+		l.poison(flushErr)
+	}
+	// Wake allocators parked on ring space: either the drain freed the
+	// ring or the poisoning above tells them it never will.
+	l.mu.Lock()
+	invariant.Acquired(invariant.TierWALLog, "wal.Log.mu")
+	l.space.Broadcast()
+	invariant.Released(invariant.TierWALLog, "wal.Log.mu")
+	l.mu.Unlock()
 	close(l.done)
 	// Any waiter the final drain did not satisfy can never be: fail
 	// it with the flusher's error, or ErrClosed.
@@ -484,14 +551,20 @@ func (l *Log) Close() error {
 
 // StatsSnapshot returns a copy of the cumulative counters.
 func (l *Log) StatsSnapshot() Stats {
-	return Stats{
+	s := Stats{
 		Inserts:       l.stats.inserts.Load(),
 		InsertedBytes: l.stats.insertedBytes.Load(),
 		Flushes:       l.stats.flushes.Load(),
 		FlushedBytes:  l.stats.flushedBytes.Load(),
 		MutexAcquires: l.stats.mutexAcquires.Load(),
 		GroupInserts:  l.stats.groupIns.Load(),
+		FlushWrites:   l.stats.flushWrites.Load(),
+		FlushSyncs:    l.stats.flushSyncs.Load(),
 	}
+	if l.dsr != nil {
+		s.Dev = l.dsr.DeviceStats()
+	}
+	return s
 }
 
 func (l *Log) flusher() {
@@ -504,16 +577,43 @@ func (l *Log) flusher() {
 		case <-l.kick:
 		case <-ticker.C:
 		}
+		// Coalesce every wakeup signal that is already pending: the
+		// flush about to run covers whatever those kicks announced, so
+		// consuming them now spares redundant no-op flush cycles.
+		l.drainWakeups(ticker)
 		if err := l.flushOnce(); err != nil {
-			l.flusherErr.Store(err)
+			l.poison(err)
+			// Ring-full inserters parked in allocateLocked wait on a
+			// frontier that will never advance again; wake them so
+			// they observe the poisoning instead of hanging forever.
+			l.mu.Lock()
+			invariant.Acquired(invariant.TierWALLog, "wal.Log.mu")
+			l.space.Broadcast()
+			invariant.Released(invariant.TierWALLog, "wal.Log.mu")
+			l.mu.Unlock()
 			l.failWaiters(err)
 			return
 		}
 	}
 }
 
+// drainWakeups consumes pending kick and tick signals without
+// blocking.
+func (l *Log) drainWakeups(ticker *time.Ticker) {
+	for {
+		select {
+		case <-l.kick:
+		case <-ticker.C:
+		default:
+			return
+		}
+	}
+}
+
 // flushOnce writes [flushed, filled) to the device and advances the
-// durable frontier.
+// durable frontier. With a VectorWriter device, both wrap-around ring
+// slices go down as one vectored submission; otherwise they are two
+// sequential writes.
 func (l *Log) flushOnce() error {
 	l.flushOnceMu.Lock()
 	defer l.flushOnceMu.Unlock()
@@ -523,15 +623,31 @@ func (l *Log) flushOnce() error {
 		return nil
 	}
 	a, b := l.ring.slices(start, end)
-	if _, err := l.dev.WriteAt(a, int64(start)); err != nil {
-		return fmt.Errorf("wal: flush write: %w", err)
-	}
-	if len(b) > 0 {
-		if _, err := l.dev.WriteAt(b, int64(start)+int64(len(a))); err != nil {
-			return fmt.Errorf("wal: flush write (wrap): %w", err)
+	if l.vw != nil {
+		l.vecOffs = append(l.vecOffs[:0], int64(start))
+		l.vecBufs = append(l.vecBufs[:0], a)
+		if len(b) > 0 {
+			l.vecOffs = append(l.vecOffs, int64(start)+int64(len(a)))
+			l.vecBufs = append(l.vecBufs, b)
+		}
+		l.stats.flushWrites.Inc()
+		if _, err := l.vw.WriteVec(l.vecOffs, l.vecBufs); err != nil {
+			return fmt.Errorf("wal: flush write: %w", err)
+		}
+	} else {
+		l.stats.flushWrites.Inc()
+		if _, err := l.dev.WriteAt(a, int64(start)); err != nil {
+			return fmt.Errorf("wal: flush write: %w", err)
+		}
+		if len(b) > 0 {
+			l.stats.flushWrites.Inc()
+			if _, err := l.dev.WriteAt(b, int64(start)+int64(len(a))); err != nil {
+				return fmt.Errorf("wal: flush write (wrap): %w", err)
+			}
 		}
 	}
 	if l.opts.SyncOnFlush {
+		l.stats.flushSyncs.Inc()
 		if err := l.dev.Sync(); err != nil {
 			return fmt.Errorf("wal: flush sync: %w", err)
 		}

@@ -489,8 +489,8 @@ func TestConsArrayGroupMechanics(t *testing.T) {
 		t.Fatalf("slot status = %d, want closed", st)
 	}
 	ca.publish(s, 4096)
-	if got := ca.waitBase(s); got != 4096 {
-		t.Fatalf("published base = %d, want 4096", got)
+	if got, ok := ca.waitBase(s); !ok || got != 4096 {
+		t.Fatalf("published base = %d (ok=%v), want 4096", got, ok)
 	}
 	ca.finish(s, 175, 100)
 	ca.finish(s, 175, 50)
