@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet lint stress bench bench-wal bench-smoke
+.PHONY: build test race vet lint stress bench bench-wal bench-lock bench-smoke
 
 build:
 	$(GO) build ./...
@@ -21,9 +21,11 @@ lint:
 	$(GO) vet -vettool=$(abspath bin/hydra-vet) ./...
 
 # stress exercises the hydradebug runtime assertions (latch-order and
-# pool-ownership checks compiled in via the build tag).
+# pool-ownership checks compiled in via the build tag). The lock
+# package is included for the freelist pool-ownership assertions on
+# the lock-head retire/recycle protocol.
 stress:
-	$(GO) test -tags hydradebug -count=1 ./internal/invariant/... ./internal/latch/... ./internal/buffer/... ./internal/wal/... ./internal/core/... ./internal/sync2/...
+	$(GO) test -tags hydradebug -count=1 ./internal/invariant/... ./internal/latch/... ./internal/buffer/... ./internal/wal/... ./internal/core/... ./internal/sync2/... ./internal/lock/...
 
 bench:
 	$(GO) test -run '^$$' -bench 'BenchmarkLockAcquireRelease|BenchmarkCommitPipeline|BenchmarkPoolFetchParallel' -benchmem ./internal/lock/ ./internal/core/ ./internal/buffer/
@@ -34,6 +36,13 @@ bench:
 bench-wal:
 	$(GO) test -run '^$$' -bench 'BenchmarkFlushWrap|BenchmarkSegmentedSync|BenchmarkSegmentedWriteVec|BenchmarkLogAppendSegmented' -benchtime 200x -benchmem ./internal/wal/
 
+# bench-lock runs the lock-manager benchmarks, including the
+# distinct-name churn shape that exercises the lock-head freelist: the
+# allocs/op and recycle-ratio figures in EXPERIMENTS.md E12 come from
+# this target.
+bench-lock:
+	$(GO) test -run '^$$' -bench 'BenchmarkLockAcquireRelease|BenchmarkAcquireReleaseChurn' -benchtime 2s -benchmem ./internal/lock/
+
 # bench-smoke compiles and runs every benchmark for a single
 # iteration: it catches benchmarks that crash or no longer build
 # without paying for a timed run (CI's guard against bench rot).
@@ -43,3 +52,4 @@ bench-wal:
 bench-smoke:
 	$(GO) test -run '^$$' -bench . -benchtime 1x ./...
 	$(GO) test -run '^$$' -bench 'BenchmarkFlushWrap|BenchmarkSegmentedSync' -benchtime 20x ./internal/wal/
+	$(GO) test -run '^$$' -bench 'BenchmarkAcquireReleaseChurn' -benchtime 20x ./internal/lock/

@@ -206,6 +206,8 @@ func printStats(st server.StatsJSON) {
 		st.Lock.Acquires, st.Lock.TableOps, st.Lock.Inherited, st.Lock.Waits)
 	fmt.Printf("            deadlocks=%d timeouts=%d upgrades=%d escalations=%d\n",
 		st.Lock.Deadlocks, st.Lock.Timeouts, st.Lock.Upgrades, st.Lock.Escalations)
+	fmt.Printf("lock heads  allocs=%d recycles=%d retires=%d heat_evictions=%d\n",
+		st.Lock.HeadAllocs, st.Lock.HeadRecycles, st.Lock.HeadRetires, st.Lock.HeatEvictions)
 	if st.LockWait.Count > 0 {
 		fmt.Printf("lock wait   %s\n", st.LockWait.Summary)
 	}

@@ -134,6 +134,18 @@ func render(w *os.File, st, prev *server.StatsJSON, dt time.Duration) {
 	fmt.Fprintf(w, "lock    acquire=%-9s wait=%-9s deadlock=%-6d timeout=%-6d escal=%d\n",
 		r(st.Lock.Acquires, p.Lock.Acquires), r(st.Lock.Waits, p.Lock.Waits),
 		st.Lock.Deadlocks, st.Lock.Timeouts, st.Lock.Escalations)
+
+	// Lock-head lifecycle: a healthy freelist keeps the recycle rate
+	// tracking the alloc-path miss rate (allocs stay flat once warm);
+	// heat evictions mean distinct-name conflict churn is hitting the
+	// bounded heat table's cap.
+	recyclePct := 0.0
+	if tot := st.Lock.HeadAllocs + st.Lock.HeadRecycles; tot > 0 {
+		recyclePct = 100 * float64(st.Lock.HeadRecycles) / float64(tot)
+	}
+	fmt.Fprintf(w, "lockhead alloc=%-8s recycle=%-8s retire=%-8s %5.1f%% recycled  heatevict=%d\n",
+		r(st.Lock.HeadAllocs, p.Lock.HeadAllocs), r(st.Lock.HeadRecycles, p.Lock.HeadRecycles),
+		r(st.Lock.HeadRetires, p.Lock.HeadRetires), recyclePct, st.Lock.HeatEvictions)
 	if st.LockWait.Count > 0 {
 		fmt.Fprintf(w, "        wait dist: %s\n", st.LockWait.Summary)
 	}

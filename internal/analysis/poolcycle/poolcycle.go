@@ -260,14 +260,20 @@ func checkFunc(pass *analysis.Pass, fd *ast.FuncDecl) {
 			if !ok || !tracked[id.Name] {
 				return
 			}
-			if handoff[id.Pos()] {
+			_, owned := held[id.Name]
+			if handoff[id.Pos()] && (owned || handedOff[id.Name] || deferSafe[id.Name]) {
 				// Ownership leaves this function here; stop tracking
 				// on this and every later path.
 				delete(held, id.Name)
 				handedOff[id.Name] = true
 				return
 			}
-			if _, owned := held[id.Name]; owned {
+			// A hand-off of an object already returned to the pool is
+			// NOT a transfer of ownership — it publishes a pointer the
+			// next Get'er will mutate (e.g. retiring a lock head to a
+			// freelist while the partition table still references it),
+			// so it falls through to the use-after-Put report.
+			if owned {
 				return
 			}
 			if _, was := everOwned[id.Name]; !was || handedOff[id.Name] || deferSafe[id.Name] {

@@ -1,0 +1,53 @@
+// Lock-head lifecycle shapes: the freelist retire protocol from
+// internal/lock modeled for poolcycle. A head drawn from the pool may
+// be retired only after nothing else — in particular the partition
+// table — still references it.
+package p
+
+import "sync"
+
+type lockHead struct {
+	granted    map[uint64]int
+	contention int
+}
+
+var heads = sync.Pool{New: func() any { return new(lockHead) }}
+
+type tablePart struct{ table map[string]*lockHead }
+
+// retireWhileReachable returns the head to the pool and then installs
+// it in the table anyway: the table and the pool's next Get'er now
+// share mutable state.
+func (p *tablePart) retireWhileReachable(name string) {
+	h := heads.Get().(*lockHead)
+	h.contention = 0
+	heads.Put(h)
+	p.table[name] = h // want "use of h after it was returned to the pool"
+}
+
+// retireThenTouch finishes its bookkeeping on a head that already went
+// back to the freelist.
+func (p *tablePart) retireThenTouch(name string) {
+	h := heads.Get().(*lockHead)
+	delete(p.table, name)
+	heads.Put(h)
+	h.contention++ // want "use of h after it was returned to the pool"
+}
+
+// missInstall is the correct miss path: draw, reset, publish. The
+// table owns the head from the moment it is installed.
+func (p *tablePart) missInstall(name string) {
+	h := heads.Get().(*lockHead)
+	h.contention = 0
+	p.table[name] = h
+}
+
+// unlinkThenRetire is the correct retire order: the head leaves the
+// table first, and only the (now sole) owner pushes it to the pool.
+func (p *tablePart) unlinkThenRetire(name string) {
+	h := heads.Get().(*lockHead)
+	p.table[name] = h
+	// ... request served, head observed empty ...
+	delete(p.table, name)
+	heads.Put(h)
+}

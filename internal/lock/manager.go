@@ -6,8 +6,10 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+	"unsafe"
 
 	"hydra/internal/hist"
+	"hydra/internal/invariant"
 	"hydra/internal/obs"
 )
 
@@ -59,6 +61,15 @@ type Stats struct {
 	// counts row requests absorbed by an escalated table lock.
 	Escalations   uint64
 	EscalatedAcqs uint64
+	// Lock-head lifecycle: HeadAllocs counts fresh lockHead
+	// allocations on table misses, HeadRecycles misses served from the
+	// partition freelist instead, HeadRetires empty heads returned to
+	// it. HeatEvictions counts heat-table entries dropped to keep the
+	// per-partition conflict history under its cap.
+	HeadAllocs    uint64
+	HeadRecycles  uint64
+	HeadRetires   uint64
+	HeatEvictions uint64
 }
 
 type grant struct {
@@ -79,6 +90,11 @@ type lockHead struct {
 	// contention is a decaying count of observed conflicts, used by
 	// SLI to classify locks as hot.
 	contention int
+	// free links retired heads into the partition's Treiber-stack
+	// freelist. Accessed only with atomics: the pusher publishes
+	// through it after p.mu is released, and the popper (under p.mu)
+	// reads it concurrently with pushes.
+	free unsafe.Pointer // *lockHead
 }
 
 type partition struct {
@@ -87,9 +103,134 @@ type partition struct {
 	// heat persists observed conflict counts per name, surviving lock
 	// head reclamation; SLI consults it to classify hot locks. Striped
 	// with the partition so it rides the same mutex instead of a
-	// global one.
+	// global one. Bounded: admission past heatCap evicts a cold entry,
+	// and every heatDecayEvery bumps the whole table halves (see
+	// bumpHeat), so churning row conflicts cannot grow it forever.
 	heat map[Name]int
-	_    [32]byte
+	// heatTicks counts bumps since the last decay sweep (under mu).
+	heatTicks int
+	// free is the top of the partition's lock-free freelist of retired
+	// lockHeads. Pushes (retire) are lock-free CAS prepends from any
+	// goroutine after it has unlinked the head from table and released
+	// mu; pops happen only while holding mu, so there is exactly one
+	// popper at a time and the classic Treiber ABA interleaving (top
+	// popped and re-pushed between a popper's read and its CAS) cannot
+	// occur — concurrent pushes only ever prepend in front of the
+	// observed top.
+	free unsafe.Pointer // *lockHead
+	_    [24]byte       // pad to a cache line so adjacent partitions don't false-share
+}
+
+// Heat-table bounds. heatCap is the per-partition entry cap;
+// heatDecayEvery is the bump count between halving sweeps (the decay
+// that lets a once-hot name cool off and leave the table); heatProbe
+// is how many randomly-iterated entries an over-cap admission
+// examines to pick an eviction victim.
+const (
+	heatCap        = 512
+	heatDecayEvery = 8192
+	heatProbe      = 8
+)
+
+// bumpHeat increments name's observed-conflict count in the bounded
+// heat table. Called with p.mu held. Every heatDecayEvery bumps the
+// whole table halves and zeroed entries drop out, so heat is a
+// decaying count, not an append-only one; when an admission would
+// push the table past heatCap, the coldest of heatProbe sampled
+// entries (map iteration order is randomized) is evicted instead of
+// growing. Genuinely hot names are bumped far more often than they
+// are halved or sampled, so SLI's hot-lock classification survives
+// the bound.
+func (m *Manager) bumpHeat(p *partition, name Name) {
+	p.heatTicks++
+	if p.heatTicks >= heatDecayEvery {
+		p.heatTicks = 0
+		for n, v := range p.heat {
+			if v >>= 1; v == 0 {
+				delete(p.heat, n)
+			} else {
+				p.heat[n] = v
+			}
+		}
+	}
+	if _, ok := p.heat[name]; !ok && len(p.heat) >= heatCap {
+		var victim Name
+		coldest := int(^uint(0) >> 1)
+		probed := 0
+		for n, v := range p.heat {
+			if v < coldest {
+				victim, coldest = n, v
+			}
+			if probed++; probed >= heatProbe {
+				break
+			}
+		}
+		delete(p.heat, victim)
+		m.stats.heatEvictions.Inc()
+	}
+	p.heat[name]++
+}
+
+// takeHeadLocked returns an empty lockHead for a table miss: a
+// recycled head popped from the partition freelist when one is
+// available, a fresh allocation otherwise. Called with p.mu held —
+// the mutex is what serializes poppers (see partition.free); the pop
+// itself is a short CAS loop racing only with lock-free pushers.
+func (m *Manager) takeHeadLocked(p *partition) *lockHead {
+	for {
+		top := atomic.LoadPointer(&p.free)
+		if top == nil {
+			break
+		}
+		lh := (*lockHead)(top)
+		next := atomic.LoadPointer(&lh.free)
+		if atomic.CompareAndSwapPointer(&p.free, top, next) {
+			atomic.StorePointer(&lh.free, nil)
+			m.stats.headRecycles.Inc()
+			invariant.PoolGot("lock.takeHeadLocked(recycle)", lh)
+			invariant.Assert(len(lh.granted) == 0 && len(lh.queue) == 0 && lh.contention == 0,
+				"recycled lock head carries stale state")
+			return lh
+		}
+	}
+	m.stats.headAllocs.Inc()
+	lh := &lockHead{granted: make(map[uint64]*grant)}
+	invariant.PoolGot("lock.takeHeadLocked(alloc)", lh)
+	return lh
+}
+
+// retireHead pushes an empty head onto the partition freelist. The
+// caller must already have unlinked it from p.table and released
+// p.mu: once unlinked the head is unreachable, so the push — and the
+// state scrub before it — happen outside the partition critical
+// section (the retire-outside-mutex protocol the poolcycle fixtures
+// pin). After the push the head belongs to the freelist; only
+// takeHeadLocked may touch it again.
+func (m *Manager) retireHead(p *partition, lh *lockHead) {
+	invariant.Assert(len(lh.granted) == 0 && len(lh.queue) == 0,
+		"retiring a non-empty lock head")
+	lh.queue = nil // drop the backing array: it may pin waiter objects
+	lh.contention = 0
+	m.stats.headRetires.Inc()
+	invariant.PoolPut("lock.retireHead", lh)
+	for {
+		top := atomic.LoadPointer(&p.free)
+		atomic.StorePointer(&lh.free, top)
+		if atomic.CompareAndSwapPointer(&p.free, top, unsafe.Pointer(lh)) {
+			return
+		}
+	}
+}
+
+// reclaimHeadLocked unlinks lh from the table if it is empty,
+// returning it for the caller to retireHead after p.mu is released
+// (nil when the head is still live). Called with p.mu held.
+func reclaimHeadLocked(p *partition, name Name, lh *lockHead) *lockHead {
+	if len(lh.granted) != 0 || len(lh.queue) != 0 || p.table[name] != lh {
+		return nil
+	}
+	delete(p.table, name)
+	return lh
 }
 
 // wfStripes shards the waits-for graph so deadlock bookkeeping from
@@ -149,6 +290,8 @@ type Manager struct {
 		waits, deadlocks, timeouts    obs.Counter
 		upgrades, releaseAll          obs.Counter
 		escalations, escalatedAcqs    obs.Counter
+		headAllocs, headRecycles      obs.Counter
+		headRetires, heatEvictions    obs.Counter
 	}
 
 	// waitProf is the time-to-acquire distribution of transactional
@@ -206,11 +349,11 @@ func (m *Manager) acquireTable(h *Holder, name Name, mode Mode) error {
 		// table; SLI classifies frequently re-acquired intent locks as
 		// inheritance candidates. (Intent modes are mutually
 		// compatible, so conflict counts alone would never find them.)
-		p.heat[name]++
+		m.bumpHeat(p, name)
 	}
 	lh := p.table[name]
 	if lh == nil {
-		lh = &lockHead{granted: make(map[uint64]*grant)}
+		lh = m.takeHeadLocked(p)
 		p.table[name] = lh
 	}
 
@@ -281,7 +424,7 @@ func (m *Manager) waitInner(p *partition, lh *lockHead, name Name, h *Holder, mo
 	m.stats.waits.Inc()
 	txn := h.id
 	lh.contention++
-	p.heat[name]++
+	m.bumpHeat(p, name)
 	w := &waiter{txn: txn, mode: mode, upgrade: upgrade, ready: make(chan error, 1)}
 	if upgrade {
 		// Upgraders go first to shrink the conversion window.
@@ -319,7 +462,7 @@ func (m *Manager) waitInner(p *partition, lh *lockHead, name Name, h *Holder, mo
 		// Cycle: abort self as victim — unless the grant already
 		// arrived, in which case there is no wait and no deadlock.
 		m.clearWaitEdges(txn)
-		if m.removeWaiter(p, lh, w) {
+		if m.removeWaiter(p, name, lh, w) {
 			m.stats.deadlocks.Add(1)
 			return fmt.Errorf("%w: txn %d on %s (%s)", ErrDeadlock, txn, name, mode)
 		}
@@ -345,7 +488,7 @@ func (m *Manager) waitInner(p *partition, lh *lockHead, name Name, h *Holder, mo
 		return err
 	case <-timeout:
 		m.clearWaitEdges(txn)
-		if m.removeWaiter(p, lh, w) {
+		if m.removeWaiter(p, name, lh, w) {
 			m.stats.timeouts.Add(1)
 			return fmt.Errorf("%w: txn %d on %s (%s)", ErrTimeout, txn, name, mode)
 		}
@@ -359,17 +502,32 @@ func (m *Manager) waitInner(p *partition, lh *lockHead, name Name, h *Holder, mo
 }
 
 // removeWaiter deletes w from the queue, reporting whether it was
-// still queued (false means it was already granted or failed).
-func (m *Manager) removeWaiter(p *partition, lh *lockHead, w *waiter) bool {
+// still queued (false means it was already granted or failed). A
+// timed-out or deadlock-victim waiter may have been the only thing
+// blocking compatible waiters queued behind it (admission is FIFO
+// from the front), so removal re-runs grantWaitersLocked; and if the
+// departure leaves the head with no grants and no queue, the head is
+// reclaimed like releaseOne would have.
+func (m *Manager) removeWaiter(p *partition, name Name, lh *lockHead, w *waiter) bool {
 	p.mu.Lock()
-	defer p.mu.Unlock()
+	removed := false
 	for i, qw := range lh.queue {
 		if qw == w {
 			lh.queue = append(lh.queue[:i], lh.queue[i+1:]...)
-			return true
+			removed = true
+			break
 		}
 	}
-	return false
+	var retired *lockHead
+	if removed {
+		m.grantWaitersLocked(lh)
+		retired = reclaimHeadLocked(p, name, lh)
+	}
+	p.mu.Unlock()
+	if retired != nil {
+		m.retireHead(p, retired)
+	}
+	return removed
 }
 
 // addWaitEdges installs txn->blockers edges and reports whether doing
@@ -448,10 +606,11 @@ func (m *Manager) releaseOne(txn uint64, name Name) {
 	}
 	delete(lh.granted, txn)
 	m.grantWaitersLocked(lh)
-	if len(lh.granted) == 0 && len(lh.queue) == 0 {
-		delete(p.table, name)
-	}
+	retired := reclaimHeadLocked(p, name, lh)
 	p.mu.Unlock()
+	if retired != nil {
+		m.retireHead(p, retired)
+	}
 }
 
 // grantWaitersLocked admits queued waiters from the front while they
@@ -543,5 +702,9 @@ func (m *Manager) StatsSnapshot() Stats {
 		ReleaseAll:    m.stats.releaseAll.Load(),
 		Escalations:   m.stats.escalations.Load(),
 		EscalatedAcqs: m.stats.escalatedAcqs.Load(),
+		HeadAllocs:    m.stats.headAllocs.Load(),
+		HeadRecycles:  m.stats.headRecycles.Load(),
+		HeadRetires:   m.stats.headRetires.Load(),
+		HeatEvictions: m.stats.heatEvictions.Load(),
 	}
 }

@@ -47,7 +47,14 @@ func (m *Manager) NewAgent() *Agent {
 
 // AcquireFor obtains name in mode for the transaction owning h,
 // satisfying the request from the agent's inherited locks when
-// possible.
+// possible. A cache-satisfied acquire is still noted in h's held set
+// — the transaction logically holds the lock even though the table
+// grant belongs to the agent's pseudo-transaction — so Holder.Held
+// and the engine agree on what the transaction may touch. At the
+// transaction boundary OnCommitFor sees the name, finds it already
+// retained (shouldInherit declines re-inheritance) and releases it
+// for h.id, which is a no-op at the table: the agent's grant is
+// untouched.
 func (a *Agent) AcquireFor(h *Holder, name Name, mode Mode) error {
 	a.checkReclaim()
 	a.m.stats.acquires.Add(1)
@@ -55,6 +62,7 @@ func (a *Agent) AcquireFor(h *Holder, name Name, mode Mode) error {
 		if Supremum(held, mode) == held && (mode == IS || mode == IX) {
 			// Covered by an inherited grant: no table visit at all.
 			a.m.stats.inherited.Add(1)
+			h.note(name, mode)
 			return nil
 		}
 	}
@@ -152,17 +160,24 @@ func (a *Agent) InheritedCount() int { return len(a.cache) }
 
 // transfer moves txn's grant on name to the agent pseudo-transaction
 // without releasing it. It reports success; failure (grant vanished)
-// leaves the caller to release normally.
+// leaves the caller to release normally. A failure that finds the
+// head already empty reclaims it like releaseOne would, so a stale
+// head cannot linger in the table.
 func (m *Manager) transfer(txn, agent uint64, name Name) bool {
 	p := m.part(name)
 	p.mu.Lock()
-	defer p.mu.Unlock()
 	lh := p.table[name]
 	if lh == nil {
+		p.mu.Unlock()
 		return false
 	}
 	g, ok := lh.granted[txn]
 	if !ok {
+		retired := reclaimHeadLocked(p, name, lh)
+		p.mu.Unlock()
+		if retired != nil {
+			m.retireHead(p, retired)
+		}
 		return false
 	}
 	delete(lh.granted, txn)
@@ -172,5 +187,6 @@ func (m *Manager) transfer(txn, agent uint64, name Name) bool {
 	} else {
 		lh.granted[agent] = &grant{mode: g.mode, count: 1}
 	}
+	p.mu.Unlock()
 	return true
 }

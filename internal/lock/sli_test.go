@@ -173,3 +173,67 @@ func TestSLIAbortReleasesEverything(t *testing.T) {
 	}
 	m.ReleaseAll(701)
 }
+
+// TestSLIInheritedHitNotesHolder pins the bookkeeping contract of a
+// cache-satisfied AcquireFor: the transaction logically holds the
+// lock (Holder.Held reports it) even though the table grant belongs
+// to the agent, and the commit boundary neither drops the agent's
+// retained grant nor leaves the name in the holder's set.
+func TestSLIInheritedHitNotesHolder(t *testing.T) {
+	m := NewManager(Options{HotThreshold: 2})
+	tbl := TableName(11)
+	heatUp(t, m, tbl)
+
+	a := m.NewAgent()
+	defer a.Close()
+
+	h := m.NewHolder(900)
+	if err := a.AcquireFor(h, tbl, IX); err != nil {
+		t.Fatal(err)
+	}
+	a.OnCommitFor(h)
+	if a.InheritedCount() != 1 {
+		t.Fatal("setup: hot IX not inherited")
+	}
+
+	// Second transaction on the same holder: the acquire is satisfied
+	// from the agent cache, never visiting the table.
+	h.Reset(901)
+	before := m.StatsSnapshot()
+	if err := a.AcquireFor(h, tbl, IX); err != nil {
+		t.Fatal(err)
+	}
+	after := m.StatsSnapshot()
+	if after.Inherited != before.Inherited+1 {
+		t.Fatalf("acquire was not cache-satisfied (inherited %d -> %d)",
+			before.Inherited, after.Inherited)
+	}
+	if got := h.Held(tbl); got != IX {
+		t.Fatalf("Holder.Held after inherited hit = %v, want IX", got)
+	}
+
+	// The boundary releases h's logical hold; the agent's real table
+	// grant and cache entry must survive it.
+	a.OnCommitFor(h)
+	if a.InheritedCount() != 1 {
+		t.Fatal("commit of an inherited hit dropped the agent's retained lock")
+	}
+	if got := h.Held(tbl); got != None {
+		t.Fatalf("Holder.Held after commit = %v, want None", got)
+	}
+
+	// The retained grant is real: it still blocks a table X until the
+	// agent lets go.
+	got := make(chan error, 1)
+	go func() { got <- m.Acquire(950, tbl, X) }()
+	select {
+	case <-got:
+		t.Fatal("X granted past the agent's retained IX")
+	case <-time.After(20 * time.Millisecond):
+	}
+	a.ReleaseInherited()
+	if err := <-got; err != nil {
+		t.Fatal(err)
+	}
+	m.ReleaseAll(950)
+}

@@ -116,3 +116,83 @@ func TestManagerConcurrentStress(t *testing.T) {
 	}
 	m.ReleaseAll(1)
 }
+
+// TestLockHeadRecyclingStress churns the full head lifecycle under
+// -race: tiny wait timeouts fire removeWaiter constantly, a small hot
+// key set keeps heads flipping between live and retired, and every
+// path that retires a head (releaseOne, removeWaiter, transfer's
+// missing-grant branch) races against the freelist pops of concurrent
+// misses. The retire hand-off publishes heads through a CAS on the
+// partition freelist, so any touch of recycled state outside the
+// protocol shows up as a race or a hydradebug pool assertion.
+func TestLockHeadRecyclingStress(t *testing.T) {
+	if testing.Short() {
+		t.Skip("stress test")
+	}
+	m := NewManager(Options{
+		Partitions:  4,
+		WaitTimeout: 2 * time.Millisecond,
+	})
+	const (
+		workers = 8
+		iters   = 400
+		keys    = 8
+	)
+	expected := func(err error) bool {
+		return errors.Is(err, ErrDeadlock) || errors.Is(err, ErrTimeout)
+	}
+
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			r := rng.New(uint64(w)*7919 + 3)
+			h := m.NewHolder(uint64(w+1) << 32)
+			for i := 0; i < iters; i++ {
+				h.Reset(uint64(w+1)<<32 | uint64(i+1))
+				n := 1 + r.Intn(4)
+				for j := 0; j < n; j++ {
+					mode := S
+					if r.Bool(0.5) {
+						mode = X
+					}
+					if err := h.Acquire(RowName(1, uint64(r.Intn(keys))), mode); err != nil {
+						if !expected(err) {
+							t.Errorf("worker %d iter %d: %v", w, i, err)
+						}
+						break
+					}
+				}
+				h.ReleaseAll()
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	// Full churn must leave nothing behind: every head either granted
+	// away and released, or timed out of the queue — so every
+	// partition table must be empty, with the freelist having cycled.
+	for i := range m.parts {
+		p := &m.parts[i]
+		p.mu.Lock()
+		n := len(p.table)
+		p.mu.Unlock()
+		if n != 0 {
+			t.Errorf("partition %d retains %d heads after stress", i, n)
+		}
+	}
+	st := m.StatsSnapshot()
+	if st.HeadRetires == 0 || st.HeadRecycles == 0 {
+		t.Fatalf("freelist never cycled: allocs=%d recycles=%d retires=%d",
+			st.HeadAllocs, st.HeadRecycles, st.HeadRetires)
+	}
+
+	// Recycled heads must still enforce exclusivity correctly.
+	for k := uint64(0); k < keys; k++ {
+		if err := m.Acquire(1, RowName(1, k), X); err != nil {
+			t.Fatalf("post-stress X on key %d: %v", k, err)
+		}
+	}
+	m.ReleaseAll(1)
+}

@@ -87,6 +87,10 @@ type lockStatsJSON struct {
 	ReleaseAll    uint64 `json:"release_all"`
 	Escalations   uint64 `json:"escalations"`
 	EscalatedAcqs uint64 `json:"escalated_acquires"`
+	HeadAllocs    uint64 `json:"head_allocs"`
+	HeadRecycles  uint64 `json:"head_recycles"`
+	HeadRetires   uint64 `json:"head_retires"`
+	HeatEvictions uint64 `json:"heat_evictions"`
 }
 
 type logStatsJSON struct {
@@ -131,6 +135,8 @@ func Snapshot(e *core.Engine) StatsJSON {
 			Deadlocks: st.Lock.Deadlocks, Timeouts: st.Lock.Timeouts,
 			Upgrades: st.Lock.Upgrades, ReleaseAll: st.Lock.ReleaseAll,
 			Escalations: st.Lock.Escalations, EscalatedAcqs: st.Lock.EscalatedAcqs,
+			HeadAllocs: st.Lock.HeadAllocs, HeadRecycles: st.Lock.HeadRecycles,
+			HeadRetires: st.Lock.HeadRetires, HeatEvictions: st.Lock.HeatEvictions,
 		},
 		LockWait: histJSON(e.Locks().WaitHist()),
 		Log: logStatsJSON{
@@ -207,6 +213,10 @@ func writeMetrics(w io.Writer, e *core.Engine) {
 	writePromCounter(w, "hydra_lock_timeouts_total", st.Lock.Timeouts)
 	writePromCounter(w, "hydra_lock_upgrades_total", st.Lock.Upgrades)
 	writePromCounter(w, "hydra_lock_escalations_total", st.Lock.Escalations)
+	writePromCounter(w, "hydra_lock_head_allocs_total", st.Lock.HeadAllocs)
+	writePromCounter(w, "hydra_lock_head_recycles_total", st.Lock.HeadRecycles)
+	writePromCounter(w, "hydra_lock_head_retires_total", st.Lock.HeadRetires)
+	writePromCounter(w, "hydra_lock_heat_evictions_total", st.Lock.HeatEvictions)
 
 	writePromCounter(w, "hydra_log_inserts_total", st.Log.Inserts)
 	writePromCounter(w, "hydra_log_inserted_bytes_total", st.Log.InsertedBytes)

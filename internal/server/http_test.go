@@ -125,6 +125,10 @@ func TestMetricsExposition(t *testing.T) {
 		"hydra_commits_total",
 		"hydra_log_inserts_total",
 		"hydra_buffer_hits_total",
+		"hydra_lock_head_allocs_total",
+		"hydra_lock_head_recycles_total",
+		"hydra_lock_head_retires_total",
+		"hydra_lock_heat_evictions_total",
 		"hydra_latch_acquires_total{tier=",
 		"hydra_latch_acquire_seconds_bucket{tier=",
 		`le="+Inf"`,
@@ -154,6 +158,14 @@ func TestStatsJSONEndpoint(t *testing.T) {
 	}
 	if st.Log.Inserts == 0 {
 		t.Error("log inserts not reported")
+	}
+	// The committed insert took and released row/table locks, so the
+	// lock-head lifecycle counters must be live on the wire.
+	if st.Lock.HeadAllocs == 0 {
+		t.Error("lock head allocs not reported")
+	}
+	if st.Lock.HeadRetires == 0 {
+		t.Error("lock head retires not reported")
 	}
 	if len(st.Latches) == 0 {
 		t.Error("no latch tiers reported")
