@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet lint stress bench bench-wal bench-lock bench-smoke
+.PHONY: build test race vet lint stress stress-dora bench bench-wal bench-lock bench-dora bench-smoke
 
 build:
 	$(GO) build ./...
@@ -9,7 +9,14 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race ./internal/lock/... ./internal/core/... ./internal/buffer/... ./internal/wal/... ./internal/obs/... ./internal/server/...
+	$(GO) test -race ./internal/lock/... ./internal/core/... ./internal/buffer/... ./internal/wal/... ./internal/obs/... ./internal/server/... ./internal/dora/... ./internal/sync2/...
+
+# stress-dora runs the DORA mixed-path stress tests under the race
+# detector: fast-path, cross-partition and timeout-cancel transactions
+# over few executors with tiny queue depths, plus engine close under
+# load and the canceled-parked-action regression.
+stress-dora:
+	$(GO) test -race -count=1 -run 'TestStressMixedPaths|TestCanceledParkedActionNeverRuns|TestCloseUnderLoad' ./internal/dora/
 
 vet:
 	$(GO) vet ./...
@@ -43,13 +50,22 @@ bench-wal:
 bench-lock:
 	$(GO) test -run '^$$' -bench 'BenchmarkLockAcquireRelease|BenchmarkAcquireReleaseChurn' -benchtime 2s -benchmem ./internal/lock/
 
+# bench-dora runs the DORA execution-path benchmarks: the
+# single-partition fast path allocs/op and the cross-partition
+# rendezvous figures in EXPERIMENTS.md E13 come from this target.
+bench-dora:
+	$(GO) test -run '^$$' -bench 'BenchmarkDoraExecSingle|BenchmarkDoraExecCross' -benchtime 2s -benchmem ./internal/dora/
+
 # bench-smoke compiles and runs every benchmark for a single
 # iteration: it catches benchmarks that crash or no longer build
 # without paying for a timed run (CI's guard against bench rot).
 # ./... picks up the WAL flush benchmarks (bench_test.go) too; the
 # explicit wal run below it asserts the vectored path's counters are
-# live, not just that the benchmarks compile.
+# live, not just that the benchmarks compile. The final server test
+# asserts the hydra_dora_* families actually appear in /metrics and
+# /stats under live DORA load.
 bench-smoke:
 	$(GO) test -run '^$$' -bench . -benchtime 1x ./...
 	$(GO) test -run '^$$' -bench 'BenchmarkFlushWrap|BenchmarkSegmentedSync' -benchtime 20x ./internal/wal/
 	$(GO) test -run '^$$' -bench 'BenchmarkAcquireReleaseChurn' -benchtime 20x ./internal/lock/
+	$(GO) test -run 'TestDoraMetricsExposition' -count=1 ./internal/server/

@@ -231,6 +231,13 @@ func printStats(st server.StatsJSON) {
 	}
 	fmt.Printf("buffer      hits=%d misses=%d (%.2f%% hit) evictions=%d writebacks=%d\n",
 		st.Buffer.Hits, st.Buffer.Misses, hitPct, st.Buffer.Evictions, st.Buffer.Writebacks)
+	if st.Dora.SinglePartition+st.Dora.CrossPartition > 0 {
+		fmt.Printf("dora        actions=%d single=%d cross=%d rvps=%d local_waits=%d timeouts=%d\n",
+			st.Dora.ActionsExecuted, st.Dora.SinglePartition, st.Dora.CrossPartition,
+			st.Dora.RendezvousCrossed, st.Dora.LocalWaits, st.Dora.Timeouts)
+		fmt.Printf("            batches=%d jobs=%d service %s\n",
+			st.Dora.Batches, st.Dora.BatchedJobs, st.Dora.Service.Summary)
+	}
 	if len(st.Latches) > 0 {
 		fmt.Println("latch tiers (sampled time-to-acquire)")
 		for _, t := range st.Latches {

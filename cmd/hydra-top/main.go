@@ -150,6 +150,30 @@ func render(w *os.File, st, prev *server.StatsJSON, dt time.Duration) {
 		fmt.Fprintf(w, "        wait dist: %s\n", st.LockWait.Summary)
 	}
 
+	// Thread-to-data execution: the single/cross split is the fast-path
+	// hit ratio; batch is jobs moved per executor wakeup; depth sums
+	// the instantaneous executor backlogs.
+	if txns := st.Dora.SinglePartition + st.Dora.CrossPartition; txns > 0 {
+		singlePct := 100 * float64(st.Dora.SinglePartition) / float64(txns)
+		doraBatch := 0.0
+		if st.Dora.Batches > 0 {
+			doraBatch = float64(st.Dora.BatchedJobs) / float64(st.Dora.Batches)
+		}
+		depth := 0
+		for _, d := range st.Dora.QueueDepths {
+			depth += d
+		}
+		fmt.Fprintf(w, "dora    action=%-9s single=%5.1f%%  rvp=%-9s waits=%-7d timeout=%-6d batch=%.1f depth=%d\n",
+			r(st.Dora.ActionsExecuted, p.Dora.ActionsExecuted), singlePct,
+			r(st.Dora.RendezvousCrossed, p.Dora.RendezvousCrossed),
+			st.Dora.LocalWaits, st.Dora.Timeouts, doraBatch, depth)
+		if st.Dora.Service.Count > 0 {
+			fmt.Fprintf(w, "        service: p50=%s p99=%s  inbox wait: p50=%s p99=%s\n",
+				ns(st.Dora.Service.P50Ns), ns(st.Dora.Service.P99Ns),
+				ns(st.Dora.Wait.P50Ns), ns(st.Dora.Wait.P99Ns))
+		}
+	}
+
 	fmt.Fprintf(w, "\n%-12s %10s  %9s %9s %9s %9s\n",
 		"latch tier", "acquires", "p50", "p90", "p99", "max")
 	fmt.Fprintln(w, strings.Repeat("-", 64))

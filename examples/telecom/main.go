@@ -61,6 +61,14 @@ func main() {
 	ls := dcore.StatsSnapshot().Lock
 	fmt.Printf("dora:         %8.0f tps  (actions: %d, lock table ops: %d)\n",
 		doraTPS, ds.ActionsExecuted, ls.TableOps)
+	txns := ds.SinglePartition + ds.CrossPartition
+	batch := 0.0
+	if ds.Batches > 0 {
+		batch = float64(ds.BatchedJobs) / float64(ds.Batches)
+	}
+	fmt.Printf("              fast path: %d/%d txns single-partition (%.0f%%), %.1f jobs/drain, svc p99 %v\n",
+		ds.SinglePartition, txns, 100*float64(ds.SinglePartition)/float64(txns),
+		batch, time.Duration(ds.Service.Quantile(0.99)))
 	fmt.Printf("\ndora/conventional = %.2fx\n", doraTPS/convTPS)
 	d.Close()
 	dcore.Close()

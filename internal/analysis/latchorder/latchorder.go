@@ -18,14 +18,22 @@
 // B+-tree, lock stripes keyed by hash) is ordered by a protocol the
 // type system cannot see.
 //
-// The analysis is intra-procedural: it sees nesting within one
-// function body. Holding a lock across a call into another package is
-// lockscope's territory when the callee blocks; silent cross-function
-// rank inversions are out of scope for v1.
+// Nesting is checked one call level deep: a pre-pass summarizes every
+// function declared in the package — the minimum-rank hierarchy
+// acquisition on its synchronous path (nested function literals
+// excluded: they run on other goroutines or at exit) — and a call to
+// a summarized function while holding a higher rank is the same
+// inversion as a direct acquisition. This catches the DORA executor
+// shape, where the transaction body's acquisitions hide behind the
+// runWhole→core.Txn call boundary. Summaries do not chase the
+// callee's own callees (depth one by design), and calls across
+// package boundaries are lockscope's territory when the callee
+// blocks.
 package latchorder
 
 import (
 	"go/ast"
+	"go/types"
 	"sort"
 	"strconv"
 	"strings"
@@ -75,22 +83,100 @@ var Hierarchy = map[string]int{
 	"wal.Log.mu":             invariant.TierWALLog,
 	"wal.Log.waitMu":         invariant.TierWALWait,
 	"wal.SegmentedDevice.mu": invariant.TierWALDevice,
+	"sync2.Queue.mu":         invariant.TierDoraQueue,
+}
+
+// summary is one function's interprocedural footprint: the lowest-
+// ranked hierarchy acquisition on its synchronous path. One entry is
+// enough — any held rank above it makes the call an inversion, and
+// the report names the worst offender.
+type summary struct {
+	site string
+	rank int
 }
 
 func run(pass *analysis.Pass) error {
+	sums := summarize(pass)
 	for _, f := range pass.Files {
 		for _, d := range f.Decls {
 			fd, ok := d.(*ast.FuncDecl)
 			if !ok || fd.Body == nil {
 				continue
 			}
-			checkFunc(pass, fd)
+			checkFunc(pass, fd, sums)
 		}
 	}
 	return nil
 }
 
-func checkFunc(pass *analysis.Pass, fd *ast.FuncDecl) {
+// summarize builds the (acquires, min-rank) summary for every function
+// declared in the package. Acquisitions inside nested function
+// literals are excluded — WalkFunc treats literal bodies as separate
+// execution contexts, and so does the summary.
+func summarize(pass *analysis.Pass) map[*types.Func]summary {
+	sums := make(map[*types.Func]summary)
+	for _, f := range pass.Files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			fn, ok := pass.TypesInfo.Defs[fd.Name].(*types.Func)
+			if !ok {
+				continue
+			}
+			best, have := summary{}, false
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				switch n := n.(type) {
+				case *ast.FuncLit:
+					return false
+				case *ast.CallExpr:
+					act, _, class := lockflow.ClassifyLockCall(pass.TypesInfo, n)
+					if act != lockflow.Acquire || class == lockflow.ClassNone {
+						return true
+					}
+					site := lockflow.LockSite(pass.TypesInfo, n)
+					rank, ranked := Hierarchy[site]
+					if ranked && (!have || rank < best.rank) {
+						best, have = summary{site: site, rank: rank}, true
+					}
+				}
+				return true
+			})
+			if have {
+				sums[fn] = best
+			}
+		}
+	}
+	return sums
+}
+
+// calleeOf resolves a call to the *types.Func it statically invokes,
+// or nil for function values, interface methods and builtins.
+func calleeOf(info *types.Info, c *ast.CallExpr) *types.Func {
+	switch f := ast.Unparen(c.Fun).(type) {
+	case *ast.Ident:
+		fn, _ := info.Uses[f].(*types.Func)
+		return fn
+	case *ast.SelectorExpr:
+		fn, _ := info.Uses[f.Sel].(*types.Func)
+		return fn
+	}
+	return nil
+}
+
+func checkFunc(pass *analysis.Pass, fd *ast.FuncDecl, sums map[*types.Func]summary) {
+	// Deferred calls run at function exit, when the locks held at the
+	// defer statement may long be released; exempt them from the
+	// call-summary check rather than report on a held set that will
+	// not be the one at execution time.
+	deferred := make(map[*ast.CallExpr]bool)
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if ds, ok := n.(*ast.DeferStmt); ok {
+			deferred[ds.Call] = true
+		}
+		return true
+	})
 	// siteOf remembers the declaration site behind each held key so
 	// Visit can rank what Classify tracked.
 	siteOf := make(map[string]string)
@@ -116,7 +202,24 @@ func checkFunc(pass *analysis.Pass, fd *ast.FuncDecl) {
 				return
 			}
 			act, key, class := lockflow.ClassifyLockCall(pass.TypesInfo, c)
-			if act != lockflow.Acquire || class == lockflow.ClassNone {
+			if class == lockflow.ClassNone {
+				// Not a lock operation: check the callee's summary, so
+				// an inversion one call level down is caught too.
+				fn := calleeOf(pass.TypesInfo, c)
+				if fn == nil || deferred[c] {
+					return
+				}
+				sum, ok := sums[fn]
+				if !ok {
+					return
+				}
+				if inv := inversions(held, siteOf, sum.rank, ""); inv != "" {
+					pass.Reportf(c.Pos(), "calls %s, which acquires %s (rank %d), while holding %s: violates the declared latch hierarchy",
+						fn.FullName(), sum.site, sum.rank, inv)
+				}
+				return
+			}
+			if act != lockflow.Acquire {
 				return
 			}
 			site := lockflow.LockSite(pass.TypesInfo, c)

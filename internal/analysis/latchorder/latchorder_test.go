@@ -8,5 +8,5 @@ import (
 )
 
 func TestLatchorderFixtures(t *testing.T) {
-	antest.Run(t, "testdata", latchorder.Analyzer, "wal", "buffer")
+	antest.Run(t, "testdata", latchorder.Analyzer, "wal", "buffer", "core")
 }

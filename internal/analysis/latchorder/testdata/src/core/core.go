@@ -1,0 +1,103 @@
+// Package core reproduces the DORA executor→transaction call shape:
+// partition executors run whole transactions by calling into core.Txn
+// helpers, so a rank inversion can hide one call level down from the
+// function that holds the lock. core.Engine.mu is rank 20, core.Txn.mu
+// rank 30.
+package core
+
+import "sync"
+
+type Engine struct{ mu sync.Mutex }
+
+type Txn struct {
+	mu sync.Mutex
+	e  *Engine
+}
+
+// beginOnExecutor is the executor-side transaction begin: it takes the
+// txn mutex (rank 30). Summarized as acquiring rank 30.
+func beginOnExecutor(t *Txn) {
+	t.mu.Lock()
+	t.mu.Unlock()
+}
+
+// register takes the engine tier (rank 20). Summarized as acquiring
+// rank 20.
+func register(e *Engine) {
+	e.mu.Lock()
+	e.mu.Unlock()
+}
+
+// finish is a method callee, pinning the rendered method name.
+func (t *Txn) finish() {
+	t.e.mu.Lock()
+	t.e.mu.Unlock()
+}
+
+// runWholeGood is the fast-path shape: engine registration, then the
+// transaction body one call down. Outer-before-inner is legal.
+func runWholeGood(e *Engine, t *Txn) {
+	e.mu.Lock()
+	beginOnExecutor(t) // legal: acquires rank 30 while rank 20 is held
+	e.mu.Unlock()
+}
+
+// runWholeBad hides the inversion behind the call: the executor still
+// holds the txn mutex when the callee takes the engine lock.
+func runWholeBad(e *Engine, t *Txn) {
+	t.mu.Lock()
+	register(e) // want "calls core.register, which acquires core.Engine.mu \\(rank 20\\), while holding core.Txn.mu \\(rank 30\\)"
+	t.mu.Unlock()
+}
+
+// methodBad is the same inversion through a method call.
+func methodBad(t *Txn) {
+	t.mu.Lock()
+	t.finish() // want "calls \\(\\*core.Txn\\).finish, which acquires core.Engine.mu \\(rank 20\\), while holding core.Txn.mu \\(rank 30\\)"
+	t.mu.Unlock()
+}
+
+// releasedBeforeCall: nothing is held at the call, whatever the callee
+// acquires.
+func releasedBeforeCall(e *Engine, t *Txn) {
+	t.mu.Lock()
+	t.mu.Unlock()
+	register(e)
+}
+
+// deferredCall runs at function exit, after the txn mutex is released
+// on this path; the held set at the defer statement is not the one at
+// execution time, so deferred calls are exempt.
+func deferredCall(e *Engine, t *Txn) {
+	t.mu.Lock()
+	defer register(e)
+	t.mu.Unlock()
+}
+
+// litOnly hands back a literal that acquires the engine lock; the
+// literal body is not litOnly's synchronous path and does not count
+// toward its summary.
+func litOnly(e *Engine) func() {
+	return func() {
+		e.mu.Lock()
+		e.mu.Unlock()
+	}
+}
+
+func callLitOnlyUnderTxn(e *Engine, t *Txn) {
+	t.mu.Lock()
+	_ = litOnly(e) // quiet: no synchronous acquisition in the callee
+	t.mu.Unlock()
+}
+
+// middle acquires nothing itself; summaries are one call level deep by
+// design, so the inversion two levels down is out of scope.
+func middle(e *Engine) {
+	register(e)
+}
+
+func twoLevels(e *Engine, t *Txn) {
+	t.mu.Lock()
+	middle(e) // quiet: depth-one summaries do not chase middle's callees
+	t.mu.Unlock()
+}

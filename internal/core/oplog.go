@@ -131,5 +131,9 @@ func rowRecord(key uint64, value []byte) []byte {
 // rowKey extracts the key from a heap row record.
 func rowKey(rec []byte) uint64 { return binary.LittleEndian.Uint64(rec) }
 
-// rowValue extracts (a copy of) the value from a heap row record.
-func rowValue(rec []byte) []byte { return append([]byte(nil), rec[8:]...) }
+// rowValue extracts the value from a heap row record, aliasing rec.
+// Every caller passes a record it privately owns — a fresh heap.Read
+// copy or a transaction-arena undo image — and no consumer retains
+// the bytes past the owner's lifetime, so the former defensive copy
+// was pure overhead on the row hot path.
+func rowValue(rec []byte) []byte { return rec[8:] }

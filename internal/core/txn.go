@@ -1,6 +1,7 @@
 package core
 
 import (
+	"encoding/binary"
 	"errors"
 	"fmt"
 	"sync"
@@ -57,6 +58,54 @@ type Txn struct {
 	undo     []undoEntry
 	logged   bool   // wrote at least one record (begin is lazy)
 	enc      []byte // scratch buffer for op payload encoding
+	arena    []byte // bump allocator for undo row images (under mu)
+}
+
+// arenaChunk is the undo arena's growth quantum: one chunk amortizes
+// the per-op row-image allocation over ~a hundred OLTP-sized rows.
+const arenaChunk = 4096
+
+// arenaCopy copies b into the transaction's undo arena. The arena
+// retires wholesale when the transaction finishes, and full chunks
+// are abandoned in place (never moved), so previously returned slices
+// stay valid as it grows. Callers hold t.mu.
+func (t *Txn) arenaCopy(b []byte) []byte {
+	if b == nil {
+		return nil
+	}
+	if cap(t.arena)-len(t.arena) < len(b) {
+		size := arenaChunk
+		if len(b) > size {
+			size = len(b)
+		}
+		t.arena = make([]byte, 0, size)
+	}
+	off := len(t.arena)
+	t.arena = append(t.arena, b...)
+	return t.arena[off:len(t.arena):len(t.arena)]
+}
+
+// arenaRowRecord builds a heap row record (key(8) | value) in the undo
+// arena. The bytes stay valid for the transaction's lifetime — exactly
+// the lifetime of the undo entry that retains them as an after-image —
+// so write paths avoid a per-op allocation.
+func (t *Txn) arenaRowRecord(key uint64, value []byte) []byte {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	need := 8 + len(value)
+	if cap(t.arena)-len(t.arena) < need {
+		size := arenaChunk
+		if need > size {
+			size = need
+		}
+		t.arena = make([]byte, 0, size)
+	}
+	off := len(t.arena)
+	t.arena = t.arena[:off+need]
+	rec := t.arena[off : off+need : off+need]
+	binary.LittleEndian.PutUint64(rec, key)
+	copy(rec[8:], value)
+	return rec
 }
 
 // Begin starts a transaction.
@@ -98,6 +147,9 @@ func (t *Txn) finish(state txnState) {
 		t.undo[i] = undoEntry{}
 	}
 	t.undo = t.undo[:0]
+	// The undo entries were the only holders of arena bytes; reuse the
+	// current chunk (abandoned full ones are garbage now).
+	t.arena = t.arena[:0]
 	invariant.PoolPut("core.finish", t)
 	e.txnPool.Put(t)
 }
@@ -175,6 +227,11 @@ func (t *Txn) logOp(op *OpRecord) (wal.LSN, error) {
 		return 0, err
 	}
 	t.lastLSN = lsn
+	// Callers may pass Before aliasing a page slice that is only valid
+	// while they hold the frame latch (logOp runs inside that window);
+	// rewrite it to an arena copy the undo entry — and the caller, via
+	// the mutated op — can keep for the transaction's lifetime.
+	op.Before = t.arenaCopy(op.Before)
 	t.undo = append(t.undo, undoEntry{op: *op, prev: prev})
 	return lsn, nil
 }
@@ -242,7 +299,7 @@ func (t *Txn) Insert(tbl *Table, key uint64, value []byte) error {
 	if _, err := tbl.Index.Get(key); err == nil {
 		return fmt.Errorf("%w: table %s key %d", ErrExists, tbl.Name, key)
 	}
-	rec := rowRecord(key, value)
+	rec := t.arenaRowRecord(key, value)
 	op := OpRecord{Op: OpInsert, Table: tbl.ID, Key: key, After: rec}
 	rid, err := tbl.Heap.InsertFn(rec, func(rid heap.RID) (uint64, error) {
 		op.RID = rid
@@ -277,10 +334,10 @@ func (t *Txn) Update(tbl *Table, key uint64, value []byte) error {
 		return fmt.Errorf("%w: table %s key %d", ErrNotFound, tbl.Name, key)
 	}
 	rid := heap.Unpack(packed)
-	rec := rowRecord(key, value)
+	rec := t.arenaRowRecord(key, value)
 	op := OpRecord{Op: OpUpdate, Table: tbl.ID, Key: key, RID: rid, After: rec}
 	err = tbl.Heap.UpdateFn(rid, rec, func(before []byte) (uint64, error) {
-		op.Before = append([]byte(nil), before...)
+		op.Before = before // page slice; logOp arena-copies it synchronously
 		lsn, lerr := t.logOp(&op)
 		return uint64(lsn), lerr
 	})
@@ -339,7 +396,7 @@ func (t *Txn) Delete(tbl *Table, key uint64) error {
 	rid := heap.Unpack(packed)
 	op := OpRecord{Op: OpDelete, Table: tbl.ID, Key: key, RID: rid}
 	if err := tbl.Heap.DeleteFn(rid, func(before []byte) (uint64, error) {
-		op.Before = append([]byte(nil), before...)
+		op.Before = before // page slice; logOp arena-copies it synchronously
 		lsn, lerr := t.logOp(&op)
 		return uint64(lsn), lerr
 	}); err != nil {
@@ -404,6 +461,61 @@ func (t *Txn) Commit() error {
 		t.releaseLocks(false)
 	}
 	// The end record needs no flush wait.
+	if _, err := e.log.AppendFields(wal.RecEnd, t.id, commitLSN, 0, 0, nil); err != nil {
+		return err
+	}
+	obs.TraceEvent(obs.EvCommit, t.id, uint64(commitLSN), 0)
+	t.finish(txnCommitted)
+	e.commits.Inc()
+	return nil
+}
+
+// CommitAsync performs the executor half of a split commit: it
+// appends the commit record and releases the transaction's locks
+// immediately (early lock release), WITHOUT waiting for durability.
+// The DORA fast path runs it on the owning executor so the executor
+// never stalls on a group-commit flush; the coordinator completes the
+// commit with CommitWait, which is the only part that blocks.
+//
+// The returned LSN is the commit record's position. A read-only
+// transaction (nothing logged) commits fully here and returns NilLSN;
+// the handle is retired and CommitWait must NOT be called. On error
+// the transaction is still active and the caller must Abort it.
+func (t *Txn) CommitAsync() (wal.LSN, error) {
+	if err := t.checkActive(); err != nil {
+		return wal.NilLSN, err
+	}
+	e := t.e
+	if !t.logged {
+		t.releaseLocks(false)
+		obs.TraceEvent(obs.EvCommit, t.id, 0, 0)
+		t.finish(txnCommitted)
+		e.commits.Inc()
+		return wal.NilLSN, nil
+	}
+	commitLSN, err := e.log.AppendFields(wal.RecCommit, t.id, t.lastLSN, 0, 0, nil)
+	if err != nil {
+		return wal.NilLSN, err
+	}
+	t.mu.Lock()
+	t.lastLSN = commitLSN // under mu: checkpoint ATT snapshots read it
+	t.mu.Unlock()
+	t.releaseLocks(false)
+	return commitLSN, nil
+}
+
+// CommitWait completes a commit begun with CommitAsync: it waits for
+// the commit record's durability (under SyncCommit), writes the end
+// record, and retires the handle. commitLSN must be the value
+// CommitAsync returned, and it must not be NilLSN. After CommitWait
+// returns — success or error — the handle must not be used again.
+func (t *Txn) CommitWait(commitLSN wal.LSN) error {
+	e := t.e
+	if e.cfg.SyncCommit {
+		if err := e.log.WaitFlushed(commitLSN); err != nil {
+			return err
+		}
+	}
 	if _, err := e.log.AppendFields(wal.RecEnd, t.id, commitLSN, 0, 0, nil); err != nil {
 		return err
 	}

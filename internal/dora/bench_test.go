@@ -1,0 +1,92 @@
+package dora
+
+import (
+	"sync/atomic"
+	"testing"
+
+	"hydra/internal/core"
+)
+
+func benchEngine(b *testing.B, executors int) (*Engine, *core.Engine, *core.Table) {
+	b.Helper()
+	c, err := core.Open(core.Scalable())
+	if err != nil {
+		b.Fatal(err)
+	}
+	tbl, err := c.CreateTable("t")
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := c.Exec(func(tx *core.Txn) error {
+		for k := uint64(0); k < 4096; k++ {
+			if err := tx.Insert(tbl, k, enc(k)); err != nil {
+				return err
+			}
+		}
+		return nil
+	}); err != nil {
+		b.Fatal(err)
+	}
+	d := New(c, Options{Executors: executors})
+	b.Cleanup(func() {
+		d.Close()
+		c.Close()
+	})
+	return d, c, tbl
+}
+
+// BenchmarkDoraExecSingle measures the single-partition fast path:
+// one read-modify-write action shipped whole to its owning executor.
+// The allocs/op figure is the headline number of EXPERIMENTS.md E13.
+func BenchmarkDoraExecSingle(b *testing.B) {
+	d, _, tbl := benchEngine(b, 4)
+	var key atomic.Uint64
+	b.ResetTimer()
+	b.ReportAllocs()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			k := key.Add(1) % 4096
+			err := d.ExecSingle(Action{Table: tbl, Key: k, Fn: func(tx *core.Txn) error {
+				v, err := tx.ReadForUpdate(tbl, k)
+				if err != nil {
+					return err
+				}
+				return tx.Update(tbl, k, v)
+			}})
+			if err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkDoraExecCross measures the coordinator path: a two-phase
+// transaction whose actions land on different executors.
+func BenchmarkDoraExecCross(b *testing.B) {
+	d, _, tbl := benchEngine(b, 4)
+	var key atomic.Uint64
+	b.ResetTimer()
+	b.ReportAllocs()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			k1 := key.Add(2) % 4096
+			k2 := (k1 + 1) % 4096
+			err := d.Exec([]Phase{
+				{{Table: tbl, Key: k1, Fn: func(tx *core.Txn) error {
+					_, err := tx.Read(tbl, k1)
+					return err
+				}}},
+				{{Table: tbl, Key: k2, Fn: func(tx *core.Txn) error {
+					v, err := tx.ReadForUpdate(tbl, k2)
+					if err != nil {
+						return err
+					}
+					return tx.Update(tbl, k2, v)
+				}}},
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}

@@ -37,6 +37,20 @@ func enc(v uint64) []byte {
 
 func dec(b []byte) uint64 { return binary.LittleEndian.Uint64(b) }
 
+// crossKeys returns two keys that route to different executors, so
+// tests exercising the cross-partition path don't depend on hash luck.
+func crossKeys(t *testing.T, d *Engine, tbl *core.Table) (uint64, uint64) {
+	t.Helper()
+	k1 := uint64(1)
+	for k2 := uint64(2); k2 < 100_000; k2++ {
+		if d.Route(tbl, k2) != d.Route(tbl, k1) {
+			return k1, k2
+		}
+	}
+	t.Fatal("no cross-partition key pair found")
+	return 0, 0
+}
+
 func TestSingleActionTxn(t *testing.T) {
 	d, c, tbl := newDora(t, 4)
 	err := d.ExecSingle(Action{Table: tbl, Key: 1, Fn: func(tx *core.Txn) error {
@@ -55,29 +69,34 @@ func TestSingleActionTxn(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	st := d.StatsSnapshot()
+	if st.SinglePartition != 1 || st.CrossPartition != 0 {
+		t.Fatalf("fast-path counters: single=%d cross=%d", st.SinglePartition, st.CrossPartition)
+	}
 }
 
 func TestMultiPhaseTxn(t *testing.T) {
 	d, c, tbl := newDora(t, 4)
+	k1, k2 := crossKeys(t, d, tbl)
 	// Phase 1: two inserts in parallel; phase 2 (after RVP): an
 	// update that depends on phase 1 having completed.
 	err := d.Exec([]Phase{
 		{
-			{Table: tbl, Key: 1, Fn: func(tx *core.Txn) error { return tx.Insert(tbl, 1, enc(10)) }},
-			{Table: tbl, Key: 2, Fn: func(tx *core.Txn) error { return tx.Insert(tbl, 2, enc(20)) }},
+			{Table: tbl, Key: k1, Fn: func(tx *core.Txn) error { return tx.Insert(tbl, k1, enc(10)) }},
+			{Table: tbl, Key: k2, Fn: func(tx *core.Txn) error { return tx.Insert(tbl, k2, enc(20)) }},
 		},
 		{
-			{Table: tbl, Key: 1, Fn: func(tx *core.Txn) error { return tx.Update(tbl, 1, enc(11)) }},
+			{Table: tbl, Key: k1, Fn: func(tx *core.Txn) error { return tx.Update(tbl, k1, enc(11)) }},
 		},
 	})
 	if err != nil {
 		t.Fatal(err)
 	}
 	c.Exec(func(tx *core.Txn) error {
-		if v, _ := tx.Read(tbl, 1); dec(v) != 11 {
+		if v, _ := tx.Read(tbl, k1); dec(v) != 11 {
 			t.Fatalf("key 1 = %d", dec(v))
 		}
-		if v, _ := tx.Read(tbl, 2); dec(v) != 20 {
+		if v, _ := tx.Read(tbl, k2); dec(v) != 20 {
 			t.Fatalf("key 2 = %d", dec(v))
 		}
 		return nil
@@ -85,6 +104,38 @@ func TestMultiPhaseTxn(t *testing.T) {
 	st := d.StatsSnapshot()
 	if st.ActionsExecuted != 3 || st.RendezvousCrossed != 2 {
 		t.Fatalf("stats = %+v", st)
+	}
+	if st.SinglePartition != 0 || st.CrossPartition != 1 {
+		t.Fatalf("fast-path counters: single=%d cross=%d", st.SinglePartition, st.CrossPartition)
+	}
+}
+
+// A multi-phase transaction whose every action routes to one executor
+// must take the fast path: shipped whole, no rendezvous crossed.
+func TestSamePartitionMultiPhaseFastPath(t *testing.T) {
+	d, c, tbl := newDora(t, 4)
+	// RouteShift 0: the same key always routes identically, so phases
+	// over one key are single-partition by construction.
+	k := uint64(42)
+	err := d.Exec([]Phase{
+		{{Table: tbl, Key: k, Fn: func(tx *core.Txn) error { return tx.Insert(tbl, k, enc(1)) }}},
+		{{Table: tbl, Key: k, Fn: func(tx *core.Txn) error { return tx.Update(tbl, k, enc(2)) }}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Exec(func(tx *core.Txn) error {
+		if v, _ := tx.Read(tbl, k); dec(v) != 2 {
+			t.Fatalf("key = %d", dec(v))
+		}
+		return nil
+	})
+	st := d.StatsSnapshot()
+	if st.SinglePartition != 1 || st.CrossPartition != 0 || st.RendezvousCrossed != 0 {
+		t.Fatalf("fast path not taken: %+v", st)
+	}
+	if st.ActionsExecuted != 2 {
+		t.Fatalf("actions = %d", st.ActionsExecuted)
 	}
 }
 
@@ -217,9 +268,10 @@ func TestClosedEngineRejects(t *testing.T) {
 // chosen to land on different executors.
 func TestMultiPhaseLocalLockSerialization(t *testing.T) {
 	d, c, tbl := newDora(t, 4)
+	k1, k2 := crossKeys(t, d, tbl)
 	if err := d.Exec([]Phase{{
-		{Table: tbl, Key: 1, Fn: func(tx *core.Txn) error { return tx.Insert(tbl, 1, enc(0)) }},
-		{Table: tbl, Key: 2, Fn: func(tx *core.Txn) error { return tx.Insert(tbl, 2, enc(0)) }},
+		{Table: tbl, Key: k1, Fn: func(tx *core.Txn) error { return tx.Insert(tbl, k1, enc(0)) }},
+		{Table: tbl, Key: k2, Fn: func(tx *core.Txn) error { return tx.Insert(tbl, k2, enc(0)) }},
 	}}); err != nil {
 		t.Fatal(err)
 	}
@@ -237,20 +289,20 @@ func TestMultiPhaseLocalLockSerialization(t *testing.T) {
 			for i := 0; i < loops; i++ {
 				var v uint64
 				err := d.Exec([]Phase{
-					{{Table: tbl, Key: 1, Fn: func(tx *core.Txn) error {
-						b, err := tx.Read(tbl, 1)
+					{{Table: tbl, Key: k1, Fn: func(tx *core.Txn) error {
+						b, err := tx.Read(tbl, k1)
 						if err != nil {
 							return err
 						}
 						v = dec(b)
-						return tx.Update(tbl, 1, enc(v+1))
+						return tx.Update(tbl, k1, enc(v+1))
 					}}},
-					{{Table: tbl, Key: 2, Fn: func(tx *core.Txn) error {
-						b, err := tx.Read(tbl, 2)
+					{{Table: tbl, Key: k2, Fn: func(tx *core.Txn) error {
+						b, err := tx.Read(tbl, k2)
 						if err != nil {
 							return err
 						}
-						return tx.Update(tbl, 2, enc(dec(b)+1))
+						return tx.Update(tbl, k2, enc(dec(b)+1))
 					}}},
 				})
 				if err == nil {
@@ -264,11 +316,11 @@ func TestMultiPhaseLocalLockSerialization(t *testing.T) {
 	}
 	wg.Wait()
 	c.Exec(func(tx *core.Txn) error {
-		v1, err := tx.Read(tbl, 1)
+		v1, err := tx.Read(tbl, k1)
 		if err != nil {
 			return err
 		}
-		v2, err := tx.Read(tbl, 2)
+		v2, err := tx.Read(tbl, k2)
 		if err != nil {
 			return err
 		}
@@ -292,14 +344,15 @@ func TestCrossPartitionDeadlockTimeout(t *testing.T) {
 	tbl, _ := c.CreateTable("t")
 	d := New(c, Options{Executors: 4, LockTimeout: 100 * time.Millisecond})
 	defer d.Close()
+	k1, k2 := crossKeys(t, d, tbl)
 	if err := d.Exec([]Phase{{
-		{Table: tbl, Key: 1, Fn: func(tx *core.Txn) error { return tx.Insert(tbl, 1, enc(0)) }},
-		{Table: tbl, Key: 2, Fn: func(tx *core.Txn) error { return tx.Insert(tbl, 2, enc(0)) }},
+		{Table: tbl, Key: k1, Fn: func(tx *core.Txn) error { return tx.Insert(tbl, k1, enc(0)) }},
+		{Table: tbl, Key: k2, Fn: func(tx *core.Txn) error { return tx.Insert(tbl, k2, enc(0)) }},
 	}}); err != nil {
 		t.Fatal(err)
 	}
 
-	// Txn A locks 1 then wants 2; txn B locks 2 then wants 1. Gate
+	// Txn A locks k1 then wants k2; txn B locks k2 then wants k1. Gate
 	// phase 1 completion so both phase-1 grabs happen before either
 	// phase 2 is submitted.
 	gate := make(chan struct{})
@@ -317,8 +370,8 @@ func TestCrossPartitionDeadlockTimeout(t *testing.T) {
 	}
 	errs := make(chan error, 2)
 	ready := make(chan struct{}, 2)
-	go func() { errs <- run(1, 2, ready) }()
-	go func() { errs <- run(2, 1, ready) }()
+	go func() { errs <- run(k1, k2, ready) }()
+	go func() { errs <- run(k2, k1, ready) }()
 	<-ready
 	<-ready
 	close(gate)
@@ -340,8 +393,8 @@ func TestCrossPartitionDeadlockTimeout(t *testing.T) {
 	}
 	// Aborted effects must be rolled back; survivors consistent.
 	c.Exec(func(tx *core.Txn) error {
-		v1, _ := tx.Read(tbl, 1)
-		v2, _ := tx.Read(tbl, 2)
+		v1, _ := tx.Read(tbl, k1)
+		v2, _ := tx.Read(tbl, k2)
 		// Each key is either untouched (0) or carries a committed
 		// txn's full effect (111 for its first key, 222 for second).
 		for _, v := range []uint64{dec(v1), dec(v2)} {

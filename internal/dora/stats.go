@@ -1,0 +1,114 @@
+package dora
+
+import (
+	"sync"
+
+	"hydra/internal/hist"
+)
+
+// Stats reports executor activity.
+type Stats struct {
+	// ActionsExecuted counts action bodies run on executors.
+	ActionsExecuted uint64
+	// RendezvousCrossed counts phase barriers joined (cross path).
+	RendezvousCrossed uint64
+	// LocalWaits counts jobs parked on a partition-local lock.
+	LocalWaits uint64
+	// Timeouts counts transactions canceled at a rendezvous.
+	Timeouts uint64
+	// SinglePartition counts transactions shipped whole (fast path).
+	SinglePartition uint64
+	// CrossPartition counts transactions through the coordinator.
+	CrossPartition uint64
+	// Batches counts executor inbox drains; BatchedJobs the jobs they
+	// moved. BatchedJobs/Batches is the amortization factor.
+	Batches     uint64
+	BatchedJobs uint64
+	// QueueDepths is the instantaneous backlog per executor.
+	QueueDepths []int
+	// Service is the distribution of action body runtimes; Wait the
+	// enqueue-to-dispatch inbox delay.
+	Service hist.H
+	Wait    hist.H
+}
+
+// StatsSnapshot returns cumulative counters.
+func (d *Engine) StatsSnapshot() Stats {
+	s := Stats{
+		ActionsExecuted:   d.executed.Load(),
+		RendezvousCrossed: d.rvps.Load(),
+		LocalWaits:        d.localWaits.Load(),
+		Timeouts:          d.timeouts.Load(),
+		SinglePartition:   d.singleTxns.Load(),
+		CrossPartition:    d.crossTxns.Load(),
+		Batches:           d.batches.Load(),
+		BatchedJobs:       d.batchedJobs.Load(),
+		QueueDepths:       make([]int, len(d.exec)),
+		Service:           d.service.Snapshot(),
+		Wait:              d.wait.Snapshot(),
+	}
+	for i, ex := range d.exec {
+		s.QueueDepths[i] = ex.queue.Len()
+	}
+	return s
+}
+
+// merge folds other into s (for the process-global aggregate).
+func (s *Stats) merge(other Stats) {
+	s.ActionsExecuted += other.ActionsExecuted
+	s.RendezvousCrossed += other.RendezvousCrossed
+	s.LocalWaits += other.LocalWaits
+	s.Timeouts += other.Timeouts
+	s.SinglePartition += other.SinglePartition
+	s.CrossPartition += other.CrossPartition
+	s.Batches += other.Batches
+	s.BatchedJobs += other.BatchedJobs
+	for i, dep := range other.QueueDepths {
+		if i < len(s.QueueDepths) {
+			s.QueueDepths[i] += dep
+		} else {
+			s.QueueDepths = append(s.QueueDepths, dep)
+		}
+	}
+	s.Service.Merge(&other.Service)
+	s.Wait.Merge(&other.Wait)
+}
+
+// The process-global engine registry, the Prometheus model the latch
+// profiler already uses: the metrics endpoint is wired to a
+// *core.Engine, not to whatever DORA engines the process happens to
+// run, so the exposition aggregates every live engine registered
+// here. New registers, Close unregisters.
+var (
+	regMu   sync.Mutex
+	engines = map[*Engine]struct{}{}
+)
+
+func register(d *Engine) {
+	regMu.Lock()
+	engines[d] = struct{}{}
+	regMu.Unlock()
+}
+
+func unregister(d *Engine) {
+	regMu.Lock()
+	delete(engines, d)
+	regMu.Unlock()
+}
+
+// GlobalStats aggregates the stats of every live engine. With no
+// engine running it returns zeros, so metric families stay present
+// (and zero) in the exposition rather than appearing mid-flight.
+func GlobalStats() Stats {
+	regMu.Lock()
+	list := make([]*Engine, 0, len(engines))
+	for d := range engines {
+		list = append(list, d)
+	}
+	regMu.Unlock()
+	var out Stats
+	for _, d := range list {
+		out.merge(d.StatsSnapshot())
+	}
+	return out
+}

@@ -21,6 +21,7 @@ func All() []Experiment {
 		{"e7", "staged engine shared scans", E7},
 		{"e8", "ELR commit path and ARIES restart", E8},
 		{"e9", "ablation of the scalable constructs", E9},
+		{"e10", "contention crossover: lock manager vs DORA", E10},
 	}
 }
 

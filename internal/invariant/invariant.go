@@ -34,4 +34,5 @@ const (
 	TierWALLog     = 80 // wal.Log.mu
 	TierWALWait    = 82 // wal.Log.waitMu
 	TierWALDevice  = 84 // wal.SegmentedDevice.mu
+	TierDoraQueue  = 90 // sync2.Queue.mu (DORA executor inboxes)
 )

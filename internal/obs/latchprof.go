@@ -22,6 +22,7 @@ const (
 	TierWALLog                 // wal.Log.mu
 	TierWALWait                // wal.Log.waitMu
 	TierWALDevice              // wal.SegmentedDevice.mu
+	TierDoraQueue              // sync2.Queue.mu (DORA executor inboxes)
 
 	// NumTiers is the tier count; valid tiers are < NumTiers.
 	NumTiers
@@ -30,7 +31,7 @@ const (
 var tierNames = [NumTiers]string{
 	"engine_ckpt", "engine_mu", "txn_mu", "tree_coarse", "tree_root",
 	"lock_part", "frame_latch", "pool_shard", "file_store",
-	"wal_log", "wal_wait", "wal_device",
+	"wal_log", "wal_wait", "wal_device", "dora_queue",
 }
 
 func (t Tier) String() string {

@@ -25,6 +25,7 @@ import (
 	"time"
 
 	"hydra/internal/core"
+	"hydra/internal/dora"
 	"hydra/internal/hist"
 	"hydra/internal/obs"
 )
@@ -68,6 +69,7 @@ type StatsJSON struct {
 	LockWait     HistJSON      `json:"lock_wait"`
 	Log          logStatsJSON  `json:"log"`
 	Buffer       bufStatsJSON  `json:"buffer"`
+	Dora         doraStatsJSON `json:"dora"`
 	Latches      []TierJSON    `json:"latches"`
 	TraceEnabled bool          `json:"trace_enabled"`
 	TraceEvents  int           `json:"trace_events"`
@@ -119,6 +121,23 @@ type bufStatsJSON struct {
 	Writebacks uint64 `json:"writebacks"`
 }
 
+// doraStatsJSON aggregates every live DORA engine in the process (the
+// executors belong to the DORA layer above the core engine, so they
+// register in a process-global registry rather than hanging off e).
+type doraStatsJSON struct {
+	ActionsExecuted   uint64   `json:"actions_executed"`
+	RendezvousCrossed uint64   `json:"rendezvous_crossed"`
+	LocalWaits        uint64   `json:"local_waits"`
+	Timeouts          uint64   `json:"timeouts"`
+	SinglePartition   uint64   `json:"single_partition_txns"`
+	CrossPartition    uint64   `json:"cross_partition_txns"`
+	Batches           uint64   `json:"batches"`
+	BatchedJobs       uint64   `json:"batched_jobs"`
+	QueueDepths       []int    `json:"queue_depths"`
+	Service           HistJSON `json:"action_service"`
+	Wait              HistJSON `json:"action_wait"`
+}
+
 // Snapshot collects one consistent-enough view of the engine's
 // observability state. Counters are striped atomics, so the view is
 // racy across counters but each value is a real point-in-time sum.
@@ -155,6 +174,15 @@ func Snapshot(e *core.Engine) StatsJSON {
 		Latches:      make([]TierJSON, 0, len(tiers)),
 		TraceEnabled: obs.Trace.Enabled(),
 		TraceEvents:  obs.Trace.Len(),
+	}
+	ds := dora.GlobalStats()
+	out.Dora = doraStatsJSON{
+		ActionsExecuted: ds.ActionsExecuted, RendezvousCrossed: ds.RendezvousCrossed,
+		LocalWaits: ds.LocalWaits, Timeouts: ds.Timeouts,
+		SinglePartition: ds.SinglePartition, CrossPartition: ds.CrossPartition,
+		Batches: ds.Batches, BatchedJobs: ds.BatchedJobs,
+		QueueDepths: ds.QueueDepths,
+		Service:     histJSON(ds.Service), Wait: histJSON(ds.Wait),
 	}
 	for _, t := range tiers {
 		out.Latches = append(out.Latches, TierJSON{
@@ -236,6 +264,23 @@ func writeMetrics(w io.Writer, e *core.Engine) {
 	writePromCounter(w, "hydra_buffer_misses_total", st.Buffer.Misses)
 	writePromCounter(w, "hydra_buffer_evictions_total", st.Buffer.Evictions)
 	writePromCounter(w, "hydra_buffer_writebacks_total", st.Buffer.Writebacks)
+
+	ds := dora.GlobalStats()
+	writePromCounter(w, "hydra_dora_actions_total", ds.ActionsExecuted)
+	writePromCounter(w, "hydra_dora_rendezvous_total", ds.RendezvousCrossed)
+	writePromCounter(w, "hydra_dora_local_waits_total", ds.LocalWaits)
+	writePromCounter(w, "hydra_dora_timeouts_total", ds.Timeouts)
+	writePromCounter(w, "hydra_dora_batches_total", ds.Batches)
+	writePromCounter(w, "hydra_dora_batched_jobs_total", ds.BatchedJobs)
+	fmt.Fprintf(w, "# TYPE hydra_dora_txns_total counter\n")
+	fmt.Fprintf(w, "hydra_dora_txns_total{path=\"single\"} %d\n", ds.SinglePartition)
+	fmt.Fprintf(w, "hydra_dora_txns_total{path=\"cross\"} %d\n", ds.CrossPartition)
+	fmt.Fprintf(w, "# TYPE hydra_dora_queue_depth gauge\n")
+	for i, depth := range ds.QueueDepths {
+		fmt.Fprintf(w, "hydra_dora_queue_depth{executor=\"%d\"} %d\n", i, depth)
+	}
+	writePromHist(w, "hydra_dora_action_service_seconds", "", &ds.Service)
+	writePromHist(w, "hydra_dora_action_wait_seconds", "", &ds.Wait)
 
 	lw := e.Locks().WaitHist()
 	writePromHist(w, "hydra_lock_wait_seconds", "", &lw)

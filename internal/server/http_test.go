@@ -12,6 +12,7 @@ import (
 	"testing"
 
 	"hydra/internal/core"
+	"hydra/internal/dora"
 	"hydra/internal/obs"
 )
 
@@ -136,6 +137,76 @@ func TestMetricsExposition(t *testing.T) {
 		if !strings.Contains(body, want) {
 			t.Errorf("/metrics missing %q", want)
 		}
+	}
+}
+
+// TestDoraMetricsExposition drives live single- and cross-partition
+// DORA load and asserts the hydra_dora_* families show it on both
+// /metrics and /stats.
+func TestDoraMetricsExposition(t *testing.T) {
+	e, ts := startMetrics(t)
+	tbl, err := e.CreateTable("d")
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := dora.New(e, dora.Options{Executors: 4})
+	defer d.Close()
+	for i := uint64(0); i < 64; i++ {
+		i := i
+		if err := d.ExecSingle(dora.Action{Table: tbl, Key: i, Fn: func(tx *core.Txn) error {
+			return tx.Insert(tbl, i, []byte("v"))
+		}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// One guaranteed cross-partition transaction: two keys on
+	// different executors.
+	k1 := uint64(1)
+	k2 := uint64(2)
+	for ; d.Route(tbl, k2) == d.Route(tbl, k1); k2++ {
+	}
+	if err := d.Exec([]dora.Phase{{
+		{Table: tbl, Key: k1, Fn: func(tx *core.Txn) error { _, err := tx.Read(tbl, k1); return err }},
+		{Table: tbl, Key: k2, Fn: func(tx *core.Txn) error { _, err := tx.Read(tbl, k2); return err }},
+	}}); err != nil {
+		t.Fatal(err)
+	}
+
+	body := get(t, ts.URL+"/metrics")
+	checkExposition(t, body)
+	for _, want := range []string{
+		"hydra_dora_actions_total",
+		"hydra_dora_rendezvous_total",
+		"hydra_dora_local_waits_total",
+		"hydra_dora_timeouts_total",
+		"hydra_dora_batches_total",
+		"hydra_dora_batched_jobs_total",
+		`hydra_dora_txns_total{path="single"}`,
+		`hydra_dora_txns_total{path="cross"}`,
+		`hydra_dora_queue_depth{executor="0"}`,
+		"hydra_dora_action_service_seconds_bucket",
+		"hydra_dora_action_wait_seconds_count",
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("/metrics missing %q", want)
+		}
+	}
+
+	var st StatsJSON
+	if err := json.Unmarshal([]byte(get(t, ts.URL+"/stats")), &st); err != nil {
+		t.Fatal(err)
+	}
+	if st.Dora.ActionsExecuted < 66 {
+		t.Errorf("dora actions = %d, want >= 66", st.Dora.ActionsExecuted)
+	}
+	if st.Dora.SinglePartition != 64 || st.Dora.CrossPartition != 1 {
+		t.Errorf("dora txns: single=%d cross=%d", st.Dora.SinglePartition, st.Dora.CrossPartition)
+	}
+	if len(st.Dora.QueueDepths) != 4 {
+		t.Errorf("queue depths = %v", st.Dora.QueueDepths)
+	}
+	if st.Dora.Service.Count == 0 {
+		t.Error("dora service histogram empty")
 	}
 }
 

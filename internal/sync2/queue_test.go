@@ -1,0 +1,170 @@
+package sync2
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestQueueFIFO(t *testing.T) {
+	q := NewQueue[int](4)
+	for i := 0; i < 4; i++ {
+		if !q.Put(i) {
+			t.Fatalf("put %d refused", i)
+		}
+	}
+	if q.Len() != 4 || q.Cap() != 4 {
+		t.Fatalf("len=%d cap=%d", q.Len(), q.Cap())
+	}
+	got, ok := q.Drain(nil)
+	if !ok {
+		t.Fatal("drain reported closed")
+	}
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("order broken: got %v", got)
+		}
+	}
+	if q.Len() != 0 {
+		t.Fatalf("len after drain = %d", q.Len())
+	}
+}
+
+func TestQueuePutBlocksUntilDrain(t *testing.T) {
+	q := NewQueue[int](1)
+	q.Put(0)
+	unblocked := make(chan struct{})
+	go func() {
+		q.Put(1) // must block: queue full
+		close(unblocked)
+	}()
+	select {
+	case <-unblocked:
+		t.Fatal("Put did not block on a full queue")
+	case <-time.After(20 * time.Millisecond):
+	}
+	if got, _ := q.Drain(nil); len(got) != 1 || got[0] != 0 {
+		t.Fatalf("drain = %v", got)
+	}
+	select {
+	case <-unblocked:
+	case <-time.After(2 * time.Second):
+		t.Fatal("Put never unblocked after drain")
+	}
+}
+
+// Close must (a) refuse new Puts, (b) release Puts blocked on a full
+// queue, (c) let the consumer drain the accepted backlog before
+// reporting closed. This is the shutdown contract the DORA engine's
+// Close/Exec race fix depends on.
+func TestQueueClose(t *testing.T) {
+	q := NewQueue[int](2)
+	q.Put(1)
+	q.Put(2)
+	blockedResult := make(chan bool, 1)
+	go func() {
+		blockedResult <- q.Put(3) // blocks on full, then fails at close
+	}()
+	time.Sleep(10 * time.Millisecond)
+	q.Close()
+	if ok := <-blockedResult; ok {
+		t.Fatal("Put blocked across Close reported success")
+	}
+	if q.Put(4) {
+		t.Fatal("Put accepted after Close")
+	}
+	// The accepted backlog survives the close...
+	got, ok := q.Drain(nil)
+	if !ok {
+		t.Fatal("backlog dropped: Drain reported closed before yielding it")
+	}
+	if len(got) != 2 || got[0] != 1 || got[1] != 2 {
+		t.Fatalf("backlog = %v", got)
+	}
+	// ...and only then does Drain report closed.
+	if got, ok := q.Drain(nil); ok || len(got) != 0 {
+		t.Fatalf("after backlog: got=%v ok=%v", got, ok)
+	}
+}
+
+func TestQueueDrainBlocksUntilPut(t *testing.T) {
+	q := NewQueue[int](4)
+	got := make(chan []int, 1)
+	go func() {
+		v, _ := q.Drain(nil)
+		got <- v
+	}()
+	select {
+	case v := <-got:
+		t.Fatalf("drain returned %v from an empty queue", v)
+	case <-time.After(20 * time.Millisecond):
+	}
+	q.Put(42)
+	select {
+	case v := <-got:
+		if len(v) != 1 || v[0] != 42 {
+			t.Fatalf("drain = %v", v)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("drain never woke")
+	}
+}
+
+// Many producers, one batching consumer: nothing lost, nothing
+// duplicated, and the consumer sees Close only after the full backlog.
+func TestQueueProducersConsumer(t *testing.T) {
+	const producers, per = 8, 500
+	q := NewQueue[int](16)
+	var wg sync.WaitGroup
+	for p := 0; p < producers; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				if !q.Put(p*per + i) {
+					t.Errorf("put refused before close")
+					return
+				}
+			}
+		}(p)
+	}
+	seen := make([]bool, producers*per)
+	var total, batches atomic.Int64
+	consumerDone := make(chan struct{})
+	go func() {
+		defer close(consumerDone)
+		var buf []int
+		for {
+			var ok bool
+			buf, ok = q.Drain(buf[:0])
+			for _, v := range buf {
+				if seen[v] {
+					t.Errorf("duplicate %d", v)
+					return
+				}
+				seen[v] = true
+				total.Add(1)
+			}
+			if len(buf) > 0 {
+				batches.Add(1)
+			}
+			if !ok {
+				return
+			}
+		}
+	}()
+	wg.Wait()
+	q.Close()
+	select {
+	case <-consumerDone:
+	case <-time.After(10 * time.Second):
+		t.Fatal("consumer never saw close")
+	}
+	if total.Load() != producers*per {
+		t.Fatalf("consumed %d of %d", total.Load(), producers*per)
+	}
+	if batches.Load() > total.Load() {
+		t.Fatal("batch accounting broken")
+	}
+}

@@ -89,6 +89,42 @@ func TestPartitionedLockTableHelpsButBounded(t *testing.T) {
 	}
 }
 
+// The E10 crossover shape: at zero skew DORA's dispatch overhead loses
+// narrowly; as the hot fraction rises, the conventional system's serial
+// chain per hot transaction carries lock visits and parked-waiter
+// handoffs that DORA's batched executor inbox does not, and the ratio
+// flips past 1.
+func TestSkewCrossover(t *testing.T) {
+	hotFracs := []float64{0, 0.2, 0.5, 0.8, 0.9, 0.95, 0.99}
+	conv, dora := SweepSkew(DefaultParams(1), 4, hotFracs, txns)
+	first := dora[0].TxnsPerMCycle / conv[0].TxnsPerMCycle
+	if first >= 1 {
+		t.Fatalf("DORA should pay for dispatch at zero skew: ratio %f", first)
+	}
+	last := len(hotFracs) - 1
+	end := dora[last].TxnsPerMCycle / conv[last].TxnsPerMCycle
+	if end <= 1 {
+		t.Fatalf("DORA should win on the contended tail: ratio %f", end)
+	}
+}
+
+// Under extreme skew both systems serialize on the hot set; throughput
+// must collapse versus the uniform case for both, or the model is not
+// actually charging for contention.
+func TestSkewCollapsesThroughput(t *testing.T) {
+	p := DefaultParams(1)
+	p.HotRows = 2 // hot set narrower than the core count
+	conv, dora := SweepSkew(p, 8, []float64{0, 0.99}, txns)
+	if conv[1].TxnsPerMCycle > conv[0].TxnsPerMCycle/2 {
+		t.Fatalf("conventional barely slowed by 99%% skew: %f -> %f",
+			conv[0].TxnsPerMCycle, conv[1].TxnsPerMCycle)
+	}
+	if dora[1].TxnsPerMCycle > dora[0].TxnsPerMCycle/2 {
+		t.Fatalf("DORA barely slowed by 99%% skew: %f -> %f",
+			dora[0].TxnsPerMCycle, dora[1].TxnsPerMCycle)
+	}
+}
+
 func TestDeterminism(t *testing.T) {
 	a := Conventional(DefaultParams(8), 8, txns)
 	b := Conventional(DefaultParams(8), 8, txns)

@@ -16,6 +16,15 @@ type Micro struct {
 	Theta     float64 // zipf exponent; 0 = uniform
 	ValueSize int
 
+	// HotKeys/HotFrac overlay a dial-a-contention hot set on the base
+	// distribution: a draw lands uniformly in the first HotKeys keys
+	// with probability HotFrac, and falls through to the base (zipf or
+	// uniform) draw otherwise. HotFrac 0 disables the overlay. The
+	// crossover experiments sweep HotFrac to find the skew where
+	// thread-to-data execution overtakes the shared lock manager.
+	HotKeys uint64
+	HotFrac float64
+
 	Table *core.Table
 }
 
@@ -55,15 +64,22 @@ func SetupMicro(e *core.Engine, keys uint64, writeFrac, theta float64, valueSize
 
 // Sampler draws keys for one worker; create one per goroutine.
 type Sampler struct {
-	src  *rng.Source
-	zipf *rng.Zipf
-	keys uint64
+	src     *rng.Source
+	zipf    *rng.Zipf
+	keys    uint64
+	hotKeys uint64
+	hotFrac float64
 }
 
-// NewSampler returns a key sampler seeded per worker.
+// NewSampler returns a key sampler seeded per worker. It captures the
+// workload's hot-set knobs, so set HotKeys/HotFrac before creating
+// samplers.
 func (w *Micro) NewSampler(seed uint64) *Sampler {
 	src := rng.New(seed)
-	s := &Sampler{src: src, keys: w.Keys}
+	s := &Sampler{src: src, keys: w.Keys, hotKeys: w.HotKeys, hotFrac: w.HotFrac}
+	if s.hotKeys == 0 || s.hotKeys > w.Keys {
+		s.hotKeys = w.Keys
+	}
 	if w.Theta > 0 {
 		s.zipf = rng.NewZipf(src.Split(1), w.Keys, w.Theta)
 	}
@@ -72,6 +88,9 @@ func (w *Micro) NewSampler(seed uint64) *Sampler {
 
 // Next draws a key.
 func (s *Sampler) Next() uint64 {
+	if s.hotFrac > 0 && s.src.Float64() < s.hotFrac {
+		return uint64(s.src.Intn(int(s.hotKeys)))
+	}
 	if s.zipf != nil {
 		return s.zipf.Next()
 	}

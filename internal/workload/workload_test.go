@@ -234,6 +234,42 @@ func TestMicroZipfSkewsTraffic(t *testing.T) {
 	}
 }
 
+func TestMicroHotSetFocusesTraffic(t *testing.T) {
+	e := newEngine(t)
+	w, err := SetupMicro(e, 10000, 1.0, 0, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.HotKeys = 4
+	w.HotFrac = 0.8
+	s := w.NewSampler(5)
+	const draws = 20000
+	hot := 0
+	for i := 0; i < draws; i++ {
+		if s.Next() < w.HotKeys {
+			hot++
+		}
+	}
+	// ~80% of draws plus the uniform tail's sliver should land hot;
+	// allow generous sampling slack around the expectation.
+	if frac := float64(hot) / draws; frac < 0.75 || frac > 0.85 {
+		t.Fatalf("hot fraction = %.3f, want ~0.80", frac)
+	}
+
+	// Knob off: the hot set draws only its uniform share.
+	w.HotFrac = 0
+	s = w.NewSampler(7)
+	hot = 0
+	for i := 0; i < draws; i++ {
+		if s.Next() < 4 {
+			hot++
+		}
+	}
+	if frac := float64(hot) / draws; frac > 0.01 {
+		t.Fatalf("hot fraction with knob off = %.3f", frac)
+	}
+}
+
 func TestCodecs(t *testing.T) {
 	if DecU64(U64(42)) != 42 {
 		t.Fatal("U64 round trip")
