@@ -1,6 +1,8 @@
 GO ?= go
+VET_SUMMARIES := .hydra-vet/summaries.json
+VET_BASELINE  := vet.baseline.json
 
-.PHONY: build test race vet lint stress stress-dora bench bench-wal bench-lock bench-dora bench-smoke
+.PHONY: build test race vet lint vet-baseline vet-update-baseline stress stress-dora bench bench-wal bench-lock bench-dora bench-smoke
 
 build:
 	$(GO) build ./...
@@ -21,11 +23,31 @@ stress-dora:
 vet:
 	$(GO) vet ./...
 
-# lint runs hydra-vet (internal/analysis) over the whole module,
-# including test files, via the go vet -vettool protocol.
+# lint runs hydra-vet (internal/analysis) over the whole module in two
+# passes. The standalone pass loads the full source tree, so the
+# latchsum closure resolves cross-package call chains from source, and
+# it persists the computed summaries; the go vet -vettool pass (which
+# sees one package at a time, but additionally covers test files)
+# reads them back via HYDRA_VET_SUMMARIES so dora → core → lock chains
+# stay visible there too.
 lint:
 	$(GO) build -o bin/hydra-vet ./cmd/hydra-vet
-	$(GO) vet -vettool=$(abspath bin/hydra-vet) ./...
+	./bin/hydra-vet -summaries $(VET_SUMMARIES) ./...
+	HYDRA_VET_SUMMARIES=$(abspath $(VET_SUMMARIES)) $(GO) vet -vettool=$(abspath bin/hydra-vet) ./...
+
+# vet-baseline asserts hydra-vet reports exactly the committed
+# baseline: zero new findings (matched by file/analyzer/message,
+# ignoring line numbers). CI runs this; the baseline is committed.
+vet-baseline:
+	$(GO) build -o bin/hydra-vet ./cmd/hydra-vet
+	./bin/hydra-vet -tests -json -baseline $(VET_BASELINE) ./...
+
+# vet-update-baseline regenerates the committed baseline from the
+# current tree. Run it (and review the diff) after intentionally
+# accepting a finding instead of fixing or marker-suppressing it.
+vet-update-baseline:
+	$(GO) build -o bin/hydra-vet ./cmd/hydra-vet
+	./bin/hydra-vet -tests -write-baseline $(VET_BASELINE) ./...
 
 # stress exercises the hydradebug runtime assertions (latch-order and
 # pool-ownership checks compiled in via the build tag). The lock

@@ -1,0 +1,57 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestDiffBaselineIgnoresLines: baseline matching is by (file,
+// analyzer, message) multiset — line drift doesn't churn, extra
+// occurrences of a baselined message do.
+func TestDiffBaselineIgnoresLines(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "base.json")
+	base := `[
+  {"file":"a.go","line":10,"analyzer":"blockscope","message":"channel send while holding spin-tier x"},
+  {"file":"b.go","line":5,"analyzer":"latchorder","message":"acquires y while holding z"}
+]`
+	if err := os.WriteFile(path, []byte(base), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	cur := []finding{
+		// Same finding, different line: absorbed.
+		{File: "a.go", Line: 42, Analyzer: "blockscope", Message: "channel send while holding spin-tier x"},
+		// Second occurrence of a finding baselined once: fresh.
+		{File: "a.go", Line: 50, Analyzer: "blockscope", Message: "channel send while holding spin-tier x"},
+		// Brand new finding: fresh.
+		{File: "c.go", Line: 1, Analyzer: "lockscope", Message: "new"},
+	}
+	fresh, err := diffBaseline(path, cur)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fresh) != 2 {
+		t.Fatalf("fresh = %+v, want 2 findings", fresh)
+	}
+	if fresh[0].Line != 50 || fresh[1].File != "c.go" {
+		t.Errorf("wrong findings survived: %+v", fresh)
+	}
+}
+
+// TestWriteBaselineRoundTrip: an empty tree writes a diffable empty
+// baseline.
+func TestWriteBaselineRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "base.json")
+	if err := writeBaseline(path, nil); err != nil {
+		t.Fatal(err)
+	}
+	fresh, err := diffBaseline(path, []finding{{File: "a.go", Analyzer: "x", Message: "m"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fresh) != 1 {
+		t.Fatalf("fresh = %+v, want the single new finding", fresh)
+	}
+}

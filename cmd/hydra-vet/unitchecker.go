@@ -15,6 +15,7 @@ import (
 	"strings"
 
 	"hydra/internal/analysis"
+	"hydra/internal/analysis/latchsum"
 )
 
 // unitcheckerMain implements the `go vet -vettool` driver protocol and
@@ -127,6 +128,14 @@ func runUnit(cfgPath string, analyzers []*analysis.Analyzer) int {
 			return 0
 		}
 		return unitErr(fmt.Errorf("type-checking %s: %w", cfg.ImportPath, err))
+	}
+
+	// In unit mode dependencies are export data only — no source to
+	// compute cross-package latch summaries from. A cache written by a
+	// prior standalone run (hydra-vet -summaries) restores whole-program
+	// visibility; make lint sequences the two.
+	if path := os.Getenv("HYDRA_VET_SUMMARIES"); path != "" {
+		latchsum.Default.SetDisk(latchsum.LoadCache(path))
 	}
 
 	pkg := &analysis.Package{

@@ -41,6 +41,11 @@ type Pass struct {
 	Files     []*ast.File
 	Pkg       *types.Package
 	TypesInfo *types.Info
+	// Package is the loaded package behind the pass, carrying
+	// tree-local imports with full source for whole-program summary
+	// computation. Nil only in drivers that analyze detached units
+	// (go vet -vettool), where cross-package facts come from a cache.
+	Package *Package
 
 	// report collects a diagnostic; installed by the driver.
 	report func(Diagnostic)
@@ -55,11 +60,26 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 	})
 }
 
+// ReportChain records a finding carrying the call chain witnessing it,
+// so machine-readable drivers (hydra-vet -json) expose the chain
+// structurally rather than only inside the message text.
+func (p *Pass) ReportChain(pos token.Pos, chain []string, format string, args ...any) {
+	p.report(Diagnostic{
+		Analyzer: p.Analyzer.Name,
+		Pos:      pos,
+		Message:  fmt.Sprintf(format, args...),
+		Chain:    chain,
+	})
+}
+
 // Diagnostic is one finding.
 type Diagnostic struct {
 	Analyzer string
 	Pos      token.Pos
 	Message  string
+	// Chain is the witness call chain for summary-closure findings
+	// (latchorder), outermost callee first; nil otherwise.
+	Chain []string
 }
 
 // Run executes each analyzer over each package and returns the
@@ -78,6 +98,7 @@ func Run(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) {
 				Files:     pkg.Files,
 				Pkg:       pkg.Types,
 				TypesInfo: pkg.Info,
+				Package:   pkg,
 			}
 			pass.report = func(d Diagnostic) {
 				if !sup.covers(pkg.Fset, d) {

@@ -1,0 +1,280 @@
+// Package blockscope implements the hydra-vet analyzer forbidding
+// blocking operations while a spin-tier latch is held.
+//
+// A spin-tier latch is one whose waiters burn a core instead of
+// parking: every internal/sync2 primitive (TAS/TATAS/ticket/MCS/
+// hybrid), and any ranked sync.Mutex at or above MinRank in the
+// declared hierarchy — the lock-manager partition mutexes and the
+// leaf bookkeeping tiers below them, whose critical sections are
+// sized in nanoseconds. Parking the holder of such a latch — on a
+// channel, a WaitGroup, a condition variable, a sleep, or a bounded
+// sync2.Queue — converts every concurrent waiter's spin into wasted
+// cycles for the full duration of the block, the convoy the paper's
+// scalability argument assumes away.
+//
+// Blockscope is narrower and stricter than lockscope: lockscope asks
+// "does this critical section do IO or call something that blocks?",
+// propagating may-block summaries through same-package calls;
+// blockscope asks "is this *synchronization* operation under a latch
+// whose waiters spin?" and reports the operation itself. The two
+// overlap on ordinary mutexes but blockscope alone covers the sync2
+// primitives (which lockscope treats as guards only for its IO
+// tables) and the rank threshold.
+//
+// sync.Cond.Wait is exempt when the spin-tier latch is the only lock
+// held: Wait releases its own mutex while parked (sync2.Queue's
+// internal notFull/notEmpty waits are this exact shape).
+//
+// The escape hatch is a line-level marker:
+//
+//	//hydra:blockok -- <reason>
+//
+// on the flagged line or the line directly above it. The reason is
+// mandatory; a bare marker is itself reported. Use it where the
+// block is provably bounded or the latch is provably uncontended at
+// that point (e.g. a drain loop that owns the only reference).
+package blockscope
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"path"
+	"sort"
+	"strings"
+
+	"hydra/internal/analysis"
+	"hydra/internal/analysis/latchsum"
+	"hydra/internal/analysis/lockflow"
+	"hydra/internal/invariant"
+)
+
+// Analyzer is the blockscope analyzer.
+var Analyzer = &analysis.Analyzer{
+	Name: "blockscope",
+	Doc:  "no blocking operation (channel op, WaitGroup/Cond wait, sleep, sync2.Queue op) while a spin-tier latch is held",
+	Run:  run,
+}
+
+// MinRank is the hierarchy rank at or above which a ranked sync.Mutex
+// counts as spin-tier (waiters effectively spin: the critical
+// sections at these tiers are too short for parking to win). sync2
+// primitives are always spin-tier regardless of rank. Configurable
+// via hydra-vet's -blockscope-rank flag.
+var MinRank = invariant.TierLockPart
+
+const okMarker = "//hydra:blockok"
+
+type blockKind int
+
+const (
+	blockNone blockKind = iota
+	blockOp             // unconditionally blocking
+	blockCondWait
+)
+
+func run(pass *analysis.Pass) error {
+	ok := collectBlockOK(pass)
+	for _, f := range pass.Files {
+		for _, d := range f.Decls {
+			fd, isFn := d.(*ast.FuncDecl)
+			if !isFn || fd.Body == nil {
+				continue
+			}
+			checkFunc(pass, fd, ok)
+		}
+	}
+	return nil
+}
+
+func checkFunc(pass *analysis.Pass, fd *ast.FuncDecl, ok *okSet) {
+	skip := lockflow.SelectCommNodes(fd.Body)
+	desc := make(map[string]string) // held key -> diagnostic rendering
+	reported := make(map[token.Pos]bool)
+	lockflow.WalkFunc(fd.Body, lockflow.Hooks{
+		Classify: func(c *ast.CallExpr, deferred bool) (lockflow.Action, string) {
+			act, key, class := lockflow.ClassifyLockCall(pass.TypesInfo, c)
+			if act == lockflow.None || class == lockflow.ClassLatch {
+				// Page latches are held across IO by design; crabbing
+				// and write-back discipline are latchorder's concern.
+				return lockflow.None, ""
+			}
+			site := lockflow.LockSite(pass.TypesInfo, c)
+			rank, ranked := latchsum.Hierarchy[site]
+			if class != lockflow.ClassSync2 && !(ranked && rank >= MinRank) {
+				return lockflow.None, "" // parking lock below the spin tiers
+			}
+			if deferred && act == lockflow.Release {
+				return lockflow.None, "" // held to function end
+			}
+			switch {
+			case ranked:
+				desc[key] = fmt.Sprintf("%s (rank %d)", site, rank)
+			case site != "":
+				desc[key] = site
+			default:
+				desc[key] = key
+			}
+			return act, key
+		},
+		Visit: func(n ast.Node, held map[string]lockflow.Hold) {
+			if len(held) == 0 || reported[n.Pos()] {
+				return
+			}
+			what, kind := blockingNode(pass.TypesInfo, n, skip)
+			if kind == blockNone {
+				return
+			}
+			if kind == blockCondWait && len(held) <= 1 {
+				return // condvar releases its own (sole held) mutex while parked
+			}
+			reported[n.Pos()] = true
+			if ok.covers(pass.Fset, n.Pos()) {
+				return
+			}
+			pass.Reportf(n.Pos(), "%s while holding spin-tier %s", what, heldDesc(held, desc))
+		},
+	})
+}
+
+// blockingNode classifies an AST node as an operation that parks the
+// goroutine.
+func blockingNode(info *types.Info, n ast.Node, skip map[ast.Node]bool) (string, blockKind) {
+	if skip[n] {
+		return "", blockNone
+	}
+	switch n := n.(type) {
+	case *ast.SendStmt:
+		return "channel send", blockOp
+	case *ast.UnaryExpr:
+		if n.Op == token.ARROW {
+			return "channel receive", blockOp
+		}
+	case *ast.RangeStmt:
+		if t := info.TypeOf(n.X); t != nil {
+			if _, isChan := t.Underlying().(*types.Chan); isChan {
+				return "range over channel", blockOp
+			}
+		}
+	case *ast.SelectStmt:
+		for _, cc := range n.Body.List {
+			if comm, isComm := cc.(*ast.CommClause); isComm && comm.Comm == nil {
+				return "", blockNone // has default: non-blocking poll
+			}
+		}
+		return "blocking select", blockOp
+	case *ast.CallExpr:
+		return blockingCall(info, n)
+	}
+	return "", blockNone
+}
+
+// blockingCall matches the parking calls blockscope cares about:
+// sync.WaitGroup.Wait, sync.Cond.Wait, time.Sleep, and the bounded
+// sync2.Queue operations (Put parks on a full queue, Drain on an
+// empty one).
+func blockingCall(info *types.Info, c *ast.CallExpr) (string, blockKind) {
+	sel, isSel := c.Fun.(*ast.SelectorExpr)
+	if !isSel {
+		return "", blockNone
+	}
+	if selection := info.Selections[sel]; selection != nil {
+		fn, isFn := selection.Obj().(*types.Func)
+		if !isFn || fn.Pkg() == nil {
+			return "", blockNone
+		}
+		pkg := path.Base(fn.Pkg().Path())
+		name := fn.Name()
+		recv := lockflow.NamedRecvName(selection.Recv())
+		switch pkg {
+		case "sync":
+			if name == "Wait" && recv == "WaitGroup" {
+				return "(sync.WaitGroup).Wait", blockOp
+			}
+			if name == "Wait" && recv == "Cond" {
+				return "(sync.Cond).Wait", blockCondWait
+			}
+		case "sync2":
+			if recv == "Queue" && (name == "Put" || name == "Drain") {
+				return "(sync2.Queue)." + name, blockOp
+			}
+		}
+		return "", blockNone
+	}
+	// Package-qualified call: time.Sleep.
+	x, isIdent := sel.X.(*ast.Ident)
+	if !isIdent {
+		return "", blockNone
+	}
+	pn, isPkg := info.Uses[x].(*types.PkgName)
+	if !isPkg {
+		return "", blockNone
+	}
+	if path.Base(pn.Imported().Path()) == "time" && sel.Sel.Name == "Sleep" {
+		return "time.Sleep", blockOp
+	}
+	return "", blockNone
+}
+
+// okSet is the set of //hydra:blockok directive lines, per file.
+type okSet struct {
+	lines map[string]map[int]bool
+}
+
+// covers reports whether a directive sits on pos's line or the line
+// directly above it.
+func (s *okSet) covers(fset *token.FileSet, pos token.Pos) bool {
+	p := fset.Position(pos)
+	byLine := s.lines[p.Filename]
+	return byLine[p.Line] || byLine[p.Line-1]
+}
+
+// collectBlockOK gathers well-formed //hydra:blockok directives and
+// reports malformed ones (the justification is not optional).
+func collectBlockOK(pass *analysis.Pass) *okSet {
+	s := &okSet{lines: make(map[string]map[int]bool)}
+	for _, f := range pass.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if !strings.HasPrefix(c.Text, okMarker) {
+					continue
+				}
+				rest := strings.TrimPrefix(c.Text, okMarker)
+				_, justification, found := strings.Cut(rest, "--")
+				if !found || strings.TrimSpace(justification) == "" {
+					pass.Reportf(c.Pos(), "blockok marker missing justification: want %s -- <reason>", okMarker)
+					continue
+				}
+				p := pass.Fset.Position(c.Pos())
+				if s.lines[p.Filename] == nil {
+					s.lines[p.Filename] = make(map[int]bool)
+				}
+				s.lines[p.Filename][p.Line] = true
+			}
+		}
+	}
+	return s
+}
+
+// heldDesc renders the held spin-tier latches in acquisition order.
+func heldDesc(held map[string]lockflow.Hold, desc map[string]string) string {
+	type kv struct {
+		k string
+		o int
+	}
+	var list []kv
+	for k, h := range held {
+		list = append(list, kv{k, h.Order})
+	}
+	sort.Slice(list, func(i, j int) bool { return list[i].o < list[j].o })
+	var names []string
+	for _, e := range list {
+		d := desc[e.k]
+		if d == "" {
+			d = e.k
+		}
+		names = append(names, d)
+	}
+	return strings.Join(names, ", ")
+}

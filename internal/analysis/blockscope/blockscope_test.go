@@ -1,0 +1,49 @@
+package blockscope_test
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"hydra/internal/analysis"
+	"hydra/internal/analysis/antest"
+	"hydra/internal/analysis/blockscope"
+)
+
+func TestBlockscopeFixtures(t *testing.T) {
+	antest.Run(t, "testdata", blockscope.Analyzer, "exec", "lock", "core", "sync2")
+}
+
+// TestBlockokMarkerRequiresJustification: a bare marker is reported
+// and suppresses nothing.
+func TestBlockokMarkerRequiresJustification(t *testing.T) {
+	ld, err := analysis.NewLoader(filepath.Join("testdata", "src"), "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkgs, err := ld.Load("badmark")
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags, err := analysis.Run(pkgs, []*analysis.Analyzer{blockscope.Analyzer})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var gotMarker, gotSend bool
+	for _, d := range diags {
+		switch {
+		case strings.Contains(d.Message, "blockok marker missing justification"):
+			gotMarker = true
+		case strings.Contains(d.Message, "channel send while holding spin-tier badmark.worker.mu"):
+			gotSend = true
+		default:
+			t.Errorf("unexpected diagnostic: %s", d.Message)
+		}
+	}
+	if !gotMarker {
+		t.Error("malformed blockok marker not reported")
+	}
+	if !gotSend {
+		t.Error("operation under malformed marker was suppressed")
+	}
+}

@@ -1,0 +1,21 @@
+// Package badmark carries a bare //hydra:blockok with no
+// justification; TestBlockokMarkerRequiresJustification asserts the
+// marker itself is reported AND the operation stays flagged (a
+// malformed marker suppresses nothing). It is checked outside antest
+// because the marker diagnostic lands on the marker's own line, where
+// a want comment cannot also sit.
+package badmark
+
+import "sync2"
+
+type worker struct {
+	mu    sync2.MCSLock
+	inbox chan int
+}
+
+func send(w *worker) {
+	w.mu.Lock()
+	//hydra:blockok
+	w.inbox <- 1
+	w.mu.Unlock()
+}

@@ -1,0 +1,15 @@
+// Package core pins the other side of the rank threshold: Engine.mu
+// is rank 20, a parking tier far above the spin threshold, so a
+// blocking wait under it is legal for blockscope (latchorder and
+// lockscope police it on their own terms).
+package core
+
+import "sync"
+
+type Engine struct{ mu sync.Mutex }
+
+func checkpointWait(e *Engine, done chan struct{}) {
+	e.mu.Lock()
+	<-done
+	e.mu.Unlock()
+}

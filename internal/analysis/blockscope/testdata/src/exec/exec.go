@@ -1,0 +1,123 @@
+// Package exec exercises blockscope's core shape: parking operations
+// under an MCS spin latch. Every sync2 primitive is spin-tier
+// unconditionally, so executor.mu guards here without a hierarchy
+// rank.
+package exec
+
+import (
+	"sync"
+	"time"
+
+	"sync2"
+)
+
+type executor struct {
+	mu    sync2.MCSLock
+	inbox chan int
+}
+
+func sendUnderLatch(e *executor) {
+	e.mu.Lock()
+	e.inbox <- 1 // want "channel send while holding spin-tier exec.executor.mu"
+	e.mu.Unlock()
+}
+
+func recvUnderLatch(e *executor) int {
+	e.mu.Lock()
+	v := <-e.inbox // want "channel receive while holding spin-tier exec.executor.mu"
+	e.mu.Unlock()
+	return v
+}
+
+func rangeUnderLatch(e *executor) {
+	e.mu.Lock()
+	for v := range e.inbox { // want "range over channel while holding spin-tier exec.executor.mu"
+		_ = v
+	}
+	e.mu.Unlock()
+}
+
+func selectUnderLatch(e *executor) {
+	e.mu.Lock()
+	select { // want "blocking select while holding spin-tier exec.executor.mu"
+	case v := <-e.inbox:
+		_ = v
+	}
+	e.mu.Unlock()
+}
+
+// pollUnderLatch: a select with a default never parks — legal.
+func pollUnderLatch(e *executor) {
+	e.mu.Lock()
+	select {
+	case v := <-e.inbox:
+		_ = v
+	default:
+	}
+	e.mu.Unlock()
+}
+
+func sleepUnderLatch(e *executor) {
+	e.mu.Lock()
+	time.Sleep(time.Millisecond) // want "time.Sleep while holding spin-tier exec.executor.mu"
+	e.mu.Unlock()
+}
+
+func waitUnderLatch(e *executor, wg *sync.WaitGroup) {
+	e.mu.Lock()
+	wg.Wait() // want "\\(sync.WaitGroup\\).Wait while holding spin-tier exec.executor.mu"
+	e.mu.Unlock()
+}
+
+// sendUnderDeferredUnlock: a deferred release pins the latch across
+// everything after it.
+func sendUnderDeferredUnlock(e *executor) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.inbox <- 1 // want "channel send while holding spin-tier exec.executor.mu"
+}
+
+func sendAfterRelease(e *executor) {
+	e.mu.Lock()
+	e.mu.Unlock()
+	e.inbox <- 1
+}
+
+// condUnderSoleLatch: Cond.Wait releases its own mutex while parked,
+// so waiting under only the condvar's latch is the queue pattern, not
+// a convoy.
+func condUnderSoleLatch(e *executor, c *sync.Cond) {
+	e.mu.Lock()
+	c.Wait()
+	e.mu.Unlock()
+}
+
+type pair struct {
+	a sync2.MCSLock
+	b sync2.MCSLock
+}
+
+// condUnderTwoLatches: a second spin latch is NOT released by the
+// wait — that one convoys.
+func condUnderTwoLatches(p *pair, c *sync.Cond) {
+	p.a.Lock()
+	p.b.Lock()
+	c.Wait() // want "\\(sync.Cond\\).Wait while holding spin-tier exec.pair.a, exec.pair.b"
+	p.b.Unlock()
+	p.a.Unlock()
+}
+
+// sendMarkedOK: the escape hatch on the line above the operation.
+func sendMarkedOK(e *executor) {
+	e.mu.Lock()
+	//hydra:blockok -- recovery path: inbox is unshared until executors start
+	e.inbox <- 1
+	e.mu.Unlock()
+}
+
+// sendMarkedSameLine: the escape hatch as a trailing comment.
+func sendMarkedSameLine(e *executor) {
+	e.mu.Lock()
+	e.inbox <- 1 //hydra:blockok -- capacity reserved by the caller; send cannot park
+	e.mu.Unlock()
+}

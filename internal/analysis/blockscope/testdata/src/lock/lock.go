@@ -1,0 +1,51 @@
+// Package lock exercises the rank threshold: a plain sync.Mutex is
+// spin-tier only when its declaration site is ranked at or above
+// MinRank. lock.partition.mu is rank 50 — exactly the threshold.
+package lock
+
+import (
+	"sync"
+
+	"sync2"
+)
+
+type partition struct {
+	mu   sync.Mutex
+	held map[int]bool
+}
+
+// grantAndKick is the seeded bad shape: the partition mutex is held
+// across a bounded queue Put, which parks when the inbox is full.
+func grantAndKick(p *partition, q *sync2.Queue, k int) {
+	p.mu.Lock()
+	p.held[k] = true
+	q.Put(k) // want "\\(sync2.Queue\\).Put while holding spin-tier lock.partition.mu \\(rank 50\\)"
+	p.mu.Unlock()
+}
+
+// grantThenKick is the fix: grant under the latch, kick after.
+func grantThenKick(p *partition, q *sync2.Queue, k int) {
+	p.mu.Lock()
+	p.held[k] = true
+	p.mu.Unlock()
+	q.Put(k)
+}
+
+func drainUnderPartition(p *partition, q *sync2.Queue, into []int) []int {
+	p.mu.Lock()
+	out, _ := q.Drain(into) // want "\\(sync2.Queue\\).Drain while holding spin-tier lock.partition.mu \\(rank 50\\)"
+	p.mu.Unlock()
+	return out
+}
+
+// manager.mu is unranked — an ordinary parking mutex below the spin
+// tier. Blocking under it is lockscope's business, not blockscope's.
+type manager struct {
+	mu sync.Mutex
+}
+
+func enqueueUnderManager(m *manager, q *sync2.Queue, k int) {
+	m.mu.Lock()
+	q.Put(k)
+	m.mu.Unlock()
+}

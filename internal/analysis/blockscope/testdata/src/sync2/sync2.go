@@ -1,0 +1,16 @@
+// Package sync2 models hydra's spin-lock package: lock recognition is
+// by defining-package base name, so fixtures needn't import the real
+// module. MCSLock stands in for the spin primitives; Queue for the
+// bounded executor inbox whose Put/Drain park the caller.
+package sync2
+
+type MCSLock struct{ state uint32 }
+
+func (l *MCSLock) Lock()   { l.state = 1 }
+func (l *MCSLock) Unlock() { l.state = 0 }
+
+type Queue struct{ buf []int }
+
+func (q *Queue) Put(v int) bool { q.buf = append(q.buf, v); return true }
+
+func (q *Queue) Drain(into []int) ([]int, bool) { return append(into, q.buf...), true }

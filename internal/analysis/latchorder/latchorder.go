@@ -11,92 +11,73 @@
 // opposite nesting elsewhere, deadlocks.
 //
 // Locks are identified by declaration site ("pkg.Type.field", as
-// rendered by lockflow.LockSite); the Hierarchy table assigns each
-// known site a rank. Unranked sites are ignored — the analyzer only
-// constrains locks that opt into the hierarchy — and equal ranks are
-// allowed, because same-tier acquisition (latch crabbing down a
-// B+-tree, lock stripes keyed by hash) is ordered by a protocol the
-// type system cannot see.
+// rendered by lockflow.LockSite); the hierarchy table
+// (latchsum.Hierarchy) assigns each known site a rank. Unranked sites
+// are ignored — the analyzer only constrains locks that opt into the
+// hierarchy — and equal ranks are allowed, because same-tier
+// acquisition (latch crabbing down a B+-tree, lock stripes keyed by
+// hash) is ordered by a protocol the type system cannot see.
 //
-// Nesting is checked one call level deep: a pre-pass summarizes every
-// function declared in the package — the minimum-rank hierarchy
-// acquisition on its synchronous path (nested function literals
-// excluded: they run on other goroutines or at exit) — and a call to
-// a summarized function while holding a higher rank is the same
-// inversion as a direct acquisition. This catches the DORA executor
-// shape, where the transaction body's acquisitions hide behind the
-// runWhole→core.Txn call boundary. Summaries do not chase the
-// callee's own callees (depth one by design), and calls across
-// package boundaries are lockscope's territory when the callee
-// blocks.
+// Nesting is checked whole-program: latchsum computes, for every
+// function, the minimum-ranked acquisition reachable on its
+// synchronous call path — a fixed point over the package call graph,
+// crossing package boundaries through exported summaries — so a call
+// to a function that (arbitrarily many calls down) acquires a rank
+// below one currently held is the same inversion as a direct
+// acquisition, and the diagnostic spells the witness chain
+// ("via dora.runWhole → core.apply → lock.acquire"). This catches the
+// DORA executor shape, where the transaction body's acquisitions hide
+// behind the executor→core.Txn call boundary, and its deeper
+// cross-package variants.
+//
+// Deferred calls are checked against the ranks still held at function
+// exit, where they actually run: a lock whose release is itself
+// deferred is considered held by exactly the deferred calls
+// registered before that release (defers run LIFO). Immediately-
+// invoked function literals are part of the synchronous path;
+// go-statement bodies and escaping literals are independent execution
+// contexts walked with an empty held set.
 package latchorder
 
 import (
 	"go/ast"
+	"go/token"
 	"go/types"
 	"sort"
 	"strconv"
 	"strings"
 
 	"hydra/internal/analysis"
+	"hydra/internal/analysis/latchsum"
 	"hydra/internal/analysis/lockflow"
-	"hydra/internal/invariant"
 )
 
 // Analyzer is the latchorder analyzer.
 var Analyzer = &analysis.Analyzer{
 	Name: "latchorder",
-	Doc:  "lock/latch acquisition order must follow the declared hierarchy (engine locks < structure locks < page latches < shard/stripe mutexes)",
+	Doc:  "lock/latch acquisition order must follow the declared hierarchy (engine locks < structure locks < page latches < shard/stripe mutexes), checked through arbitrarily deep call chains across packages",
 	Run:  run,
 }
 
-// Hierarchy maps lock declaration sites to ranks. A lock may only be
-// acquired while every ranked lock already held has rank <= its own.
-// Lower rank = outer tier = acquired first. Gaps leave room for new
-// tiers.
-//
-// The ranks come from internal/invariant's tier constants, which the
-// hydradebug runtime assertions enforce on live executions — one
-// source of truth for both layers. DESIGN.md renders the table; keep
-// the prose in sync.
-var Hierarchy = map[string]int{
-	// Tier 0: whole-engine serialization.
-	"core.Engine.ckptMu": invariant.TierEngineCkpt,
-	"core.Engine.mu":     invariant.TierEngineMu,
-
-	// Tier 1: per-transaction and per-structure locks.
-	"core.Txn.mu":       invariant.TierTxnMu,
-	"btree.Tree.coarse": invariant.TierTreeCoarse,
-	"btree.Tree.rootMu": invariant.TierTreeRoot,
-
-	// Tier 2: lock-manager partitions (2PL state).
-	"lock.partition.mu": invariant.TierLockPart,
-
-	// Tier 3: page latches (crabbing orders same-rank acquisitions).
-	"buffer.Frame.Latch": invariant.TierFrameLatch,
-
-	// Tier 4: short bookkeeping mutexes — leaves of the hierarchy;
-	// nothing may be acquired under them (and lockscope separately
-	// forbids blocking there).
-	"buffer.shard.mu":        invariant.TierPoolShard,
-	"buffer.FileStore.mu":    invariant.TierFileStore,
-	"wal.Log.mu":             invariant.TierWALLog,
-	"wal.Log.waitMu":         invariant.TierWALWait,
-	"wal.SegmentedDevice.mu": invariant.TierWALDevice,
-	"sync2.Queue.mu":         invariant.TierDoraQueue,
-}
-
-// summary is one function's interprocedural footprint: the lowest-
-// ranked hierarchy acquisition on its synchronous path. One entry is
-// enough — any held rank above it makes the call an inversion, and
-// the report names the worst offender.
-type summary struct {
-	site string
-	rank int
-}
+// Hierarchy is the declared rank table; it lives in latchsum so the
+// summary closure and blockscope share one source of truth.
+var Hierarchy = latchsum.Hierarchy
 
 func run(pass *analysis.Pass) error {
-	sums := summarize(pass)
+	pkg := pass.Package
+	if pkg == nil {
+		// Detached driver (go vet unit mode): rebuild the package view;
+		// imports resolve through latchsum's disk cache when the driver
+		// installed one.
+		pkg = &analysis.Package{
+			Path:  pass.Pkg.Path(),
+			Fset:  pass.Fset,
+			Files: pass.Files,
+			Types: pass.Pkg,
+			Info:  pass.TypesInfo,
+		}
+	}
+	sums := latchsum.Default.ForPackage(pkg)
 	for _, f := range pass.Files {
 		for _, d := range f.Decls {
 			fd, ok := d.(*ast.FuncDecl)
@@ -109,67 +90,11 @@ func run(pass *analysis.Pass) error {
 	return nil
 }
 
-// summarize builds the (acquires, min-rank) summary for every function
-// declared in the package. Acquisitions inside nested function
-// literals are excluded — WalkFunc treats literal bodies as separate
-// execution contexts, and so does the summary.
-func summarize(pass *analysis.Pass) map[*types.Func]summary {
-	sums := make(map[*types.Func]summary)
-	for _, f := range pass.Files {
-		for _, d := range f.Decls {
-			fd, ok := d.(*ast.FuncDecl)
-			if !ok || fd.Body == nil {
-				continue
-			}
-			fn, ok := pass.TypesInfo.Defs[fd.Name].(*types.Func)
-			if !ok {
-				continue
-			}
-			best, have := summary{}, false
-			ast.Inspect(fd.Body, func(n ast.Node) bool {
-				switch n := n.(type) {
-				case *ast.FuncLit:
-					return false
-				case *ast.CallExpr:
-					act, _, class := lockflow.ClassifyLockCall(pass.TypesInfo, n)
-					if act != lockflow.Acquire || class == lockflow.ClassNone {
-						return true
-					}
-					site := lockflow.LockSite(pass.TypesInfo, n)
-					rank, ranked := Hierarchy[site]
-					if ranked && (!have || rank < best.rank) {
-						best, have = summary{site: site, rank: rank}, true
-					}
-				}
-				return true
-			})
-			if have {
-				sums[fn] = best
-			}
-		}
-	}
-	return sums
-}
-
-// calleeOf resolves a call to the *types.Func it statically invokes,
-// or nil for function values, interface methods and builtins.
-func calleeOf(info *types.Info, c *ast.CallExpr) *types.Func {
-	switch f := ast.Unparen(c.Fun).(type) {
-	case *ast.Ident:
-		fn, _ := info.Uses[f].(*types.Func)
-		return fn
-	case *ast.SelectorExpr:
-		fn, _ := info.Uses[f.Sel].(*types.Func)
-		return fn
-	}
-	return nil
-}
-
-func checkFunc(pass *analysis.Pass, fd *ast.FuncDecl, sums map[*types.Func]summary) {
-	// Deferred calls run at function exit, when the locks held at the
-	// defer statement may long be released; exempt them from the
-	// call-summary check rather than report on a held set that will
-	// not be the one at execution time.
+func checkFunc(pass *analysis.Pass, fd *ast.FuncDecl, sums *latchsum.PkgSummaries) {
+	// Deferred calls run at function exit; they are exempt from the
+	// in-line check (the held set at the defer statement is not the
+	// one at execution time) and instead checked below against the
+	// ranks still held at each exit point.
 	deferred := make(map[*ast.CallExpr]bool)
 	ast.Inspect(fd.Body, func(n ast.Node) bool {
 		if ds, ok := n.(*ast.DeferStmt); ok {
@@ -177,17 +102,39 @@ func checkFunc(pass *analysis.Pass, fd *ast.FuncDecl, sums map[*types.Func]summa
 		}
 		return true
 	})
+	// Only defers registered by the function body itself run at ITS
+	// exit; defers inside literals (escaping or immediately invoked)
+	// belong to the literal's frame and stay out of the exit check.
+	var deferredCalls []*ast.CallExpr
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.DeferStmt:
+			deferredCalls = append(deferredCalls, n.Call)
+		}
+		return true
+	})
 	// siteOf remembers the declaration site behind each held key so
-	// Visit can rank what Classify tracked.
+	// Visit can rank what Classify tracked; deferRelease records where
+	// a lock's deferred unlock was registered, which decides whether
+	// the lock is still held when a given deferred call runs.
 	siteOf := make(map[string]string)
+	deferRelease := make(map[string]token.Pos)
+	reported := make(map[token.Pos]bool)
 	lockflow.WalkFunc(fd.Body, lockflow.Hooks{
-		Classify: func(c *ast.CallExpr, deferred bool) (lockflow.Action, string) {
+		Classify: func(c *ast.CallExpr, isDeferred bool) (lockflow.Action, string) {
 			act, key, class := lockflow.ClassifyLockCall(pass.TypesInfo, c)
 			if class == lockflow.ClassNone {
 				return lockflow.None, ""
 			}
-			if deferred && act == lockflow.Release {
-				return lockflow.None, "" // held to function end
+			if isDeferred && act == lockflow.Release {
+				// Held to function end; remember the registration point
+				// (the latest one runs first under LIFO).
+				if c.Pos() > deferRelease[key] {
+					deferRelease[key] = c.Pos()
+				}
+				return lockflow.None, ""
 			}
 			if act == lockflow.Acquire {
 				siteOf[key] = lockflow.LockSite(pass.TypesInfo, c)
@@ -203,23 +150,26 @@ func checkFunc(pass *analysis.Pass, fd *ast.FuncDecl, sums map[*types.Func]summa
 			}
 			act, key, class := lockflow.ClassifyLockCall(pass.TypesInfo, c)
 			if class == lockflow.ClassNone {
-				// Not a lock operation: check the callee's summary, so
-				// an inversion one call level down is caught too.
-				fn := calleeOf(pass.TypesInfo, c)
-				if fn == nil || deferred[c] {
+				// Not a lock operation: check the callee's transitive
+				// summary, so an inversion any number of calls down is
+				// caught here, where the offending rank is held.
+				fn := latchsum.CalleeOf(pass.TypesInfo, c)
+				if fn == nil || deferred[c] || reported[c.Pos()] {
 					return
 				}
-				sum, ok := sums[fn]
+				sum, ok := sums.Callee(fn)
 				if !ok {
 					return
 				}
-				if inv := inversions(held, siteOf, sum.rank, ""); inv != "" {
-					pass.Reportf(c.Pos(), "calls %s, which acquires %s (rank %d), while holding %s: violates the declared latch hierarchy",
-						fn.FullName(), sum.site, sum.rank, inv)
+				if inv := inversions(held, siteOf, sum.Rank, ""); inv != "" {
+					reported[c.Pos()] = true
+					pass.ReportChain(c.Pos(), fullChain(fn, sum),
+						"calls %s, which acquires %s (rank %d)%s, while holding %s: violates the declared latch hierarchy",
+						latchsum.ShortName(fn), sum.Site, sum.Rank, via(fn, sum), inv)
 				}
 				return
 			}
-			if act != lockflow.Acquire {
+			if act != lockflow.Acquire || deferred[c] {
 				return
 			}
 			site := lockflow.LockSite(pass.TypesInfo, c)
@@ -227,12 +177,114 @@ func checkFunc(pass *analysis.Pass, fd *ast.FuncDecl, sums map[*types.Func]summa
 			if !ranked {
 				return
 			}
-			if inv := inversions(held, siteOf, rank, key); inv != "" {
+			if inv := inversions(held, siteOf, rank, key); inv != "" && !reported[c.Pos()] {
+				reported[c.Pos()] = true
 				pass.Reportf(c.Pos(), "acquires %s (rank %d) while holding %s: violates the declared latch hierarchy",
 					site, rank, inv)
 			}
 		},
+		// FuncEnd sees the held set at each exit point — where the
+		// deferred calls actually run. LitEnd keeps escaping literals'
+		// exits from being mistaken for the function's own.
+		FuncEnd: func(_ *ast.ReturnStmt, held map[string]lockflow.Hold) {
+			checkDeferredAtExit(pass, deferredCalls, held, siteOf, deferRelease, reported, sums)
+		},
+		LitEnd: func(_ *ast.ReturnStmt, _ map[string]lockflow.Hold) {},
 	})
+}
+
+// checkDeferredAtExit verifies every deferred call against the locks
+// still held when it runs. Defers execute LIFO, so a lock whose
+// release was itself deferred at position pR has already been dropped
+// when a deferred call registered at pD < pR runs, and is still held
+// for one registered at pD > pR.
+func checkDeferredAtExit(pass *analysis.Pass, calls []*ast.CallExpr, held map[string]lockflow.Hold,
+	siteOf map[string]string, deferRelease map[string]token.Pos, reported map[token.Pos]bool,
+	sums *latchsum.PkgSummaries) {
+	if len(held) == 0 || len(calls) == 0 {
+		return
+	}
+	for _, c := range calls {
+		if reported[c.Pos()] {
+			continue
+		}
+		sum, desc, ok := deferredSummary(pass, c, sums)
+		if !ok {
+			continue
+		}
+		// The held set as of this defer's execution: exit-held locks
+		// minus those whose deferred release runs first.
+		live := make(map[string]lockflow.Hold, len(held))
+		for k, h := range held {
+			if rel, deferredRel := deferRelease[k]; deferredRel && rel > c.Pos() {
+				continue
+			}
+			live[k] = h
+		}
+		if inv := inversions(live, siteOf, sum.Rank, ""); inv != "" {
+			reported[c.Pos()] = true
+			pass.ReportChain(c.Pos(), sum.Chain,
+				"deferred %s acquires %s (rank %d)%s at function exit while still holding %s: violates the declared latch hierarchy",
+				desc, sum.Site, sum.Rank, viaChain(sum.Chain), inv)
+		}
+	}
+}
+
+// deferredSummary resolves what a deferred call will acquire when it
+// runs: a direct ranked acquisition, a summarized callee, or an
+// inline literal's body footprint.
+func deferredSummary(pass *analysis.Pass, c *ast.CallExpr, sums *latchsum.PkgSummaries) (latchsum.FuncSummary, string, bool) {
+	if lit, ok := c.Fun.(*ast.FuncLit); ok {
+		s, ok := sums.NodeSummary(pass.TypesInfo, lit.Body)
+		return s, "function literal", ok
+	}
+	if act, _, class := lockflow.ClassifyLockCall(pass.TypesInfo, c); class != lockflow.ClassNone {
+		if act != lockflow.Acquire {
+			return latchsum.FuncSummary{}, "", false
+		}
+		site := lockflow.LockSite(pass.TypesInfo, c)
+		rank, ranked := Hierarchy[site]
+		if !ranked {
+			return latchsum.FuncSummary{}, "", false
+		}
+		return latchsum.FuncSummary{Site: site, Rank: rank}, "acquisition", true
+	}
+	fn := latchsum.CalleeOf(pass.TypesInfo, c)
+	if fn == nil {
+		return latchsum.FuncSummary{}, "", false
+	}
+	s, ok := sums.Callee(fn)
+	if !ok {
+		return latchsum.FuncSummary{}, "", false
+	}
+	return s, "call to " + latchsum.ShortName(fn), true
+}
+
+// fullChain is the complete witness chain for a call-site finding:
+// the called function followed by its summary's chain.
+func fullChain(fn *types.Func, sum latchsum.FuncSummary) []string {
+	full := make([]string, 0, len(sum.Chain)+1)
+	full = append(full, latchsum.ShortName(fn))
+	full = append(full, sum.Chain...)
+	return full
+}
+
+// via renders the witness chain suffix for a call-site diagnostic;
+// empty for a depth-one summary, where the callee name already says
+// everything.
+func via(fn *types.Func, sum latchsum.FuncSummary) string {
+	if len(sum.Chain) == 0 {
+		return ""
+	}
+	return " via " + latchsum.ChainString(fullChain(fn, sum))
+}
+
+// viaChain renders a bare chain suffix (deferred-call diagnostics).
+func viaChain(chain []string) string {
+	if len(chain) == 0 {
+		return ""
+	}
+	return " via " + latchsum.ChainString(chain)
 }
 
 // inversions renders the held locks whose rank strictly exceeds rank,

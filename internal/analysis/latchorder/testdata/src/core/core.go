@@ -65,13 +65,42 @@ func releasedBeforeCall(e *Engine, t *Txn) {
 	register(e)
 }
 
-// deferredCall runs at function exit, after the txn mutex is released
-// on this path; the held set at the defer statement is not the one at
-// execution time, so deferred calls are exempt.
+// deferredCall runs at function exit, and by then the txn mutex has
+// been explicitly released — deferred calls are checked against the
+// ranks held at EXIT, not at the defer statement, so this is legal.
 func deferredCall(e *Engine, t *Txn) {
 	t.mu.Lock()
 	defer register(e)
 	t.mu.Unlock()
+}
+
+// deferredAtExitBad still holds the txn mutex at exit (its unlock is
+// itself deferred, and registered BEFORE the call, so under LIFO the
+// call runs first, under the lock).
+func deferredAtExitBad(e *Engine, t *Txn) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	defer register(e) // want "deferred call to core.register acquires core.Engine.mu \\(rank 20\\) at function exit while still holding core.Txn.mu \\(rank 30\\)"
+}
+
+// deferredLIFOGood registers the call before the lock is even taken:
+// the deferred unlock (registered later) runs first, so the lock is
+// already released when the call runs.
+func deferredLIFOGood(e *Engine, t *Txn) {
+	defer register(e)
+	t.mu.Lock()
+	defer t.mu.Unlock()
+}
+
+// deferredLitBad: a deferred function literal is summarized at its
+// definition site and checked against the exit-held ranks like any
+// deferred call.
+func deferredLitBad(e *Engine, t *Txn) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	defer func() { // want "deferred function literal acquires core.Engine.mu \\(rank 20\\) via core.register at function exit while still holding core.Txn.mu \\(rank 30\\)"
+		register(e)
+	}()
 }
 
 // litOnly hands back a literal that acquires the engine lock; the
@@ -90,14 +119,74 @@ func callLitOnlyUnderTxn(e *Engine, t *Txn) {
 	t.mu.Unlock()
 }
 
-// middle acquires nothing itself; summaries are one call level deep by
-// design, so the inversion two levels down is out of scope.
+// middle acquires nothing itself; the fixed-point closure carries
+// register's acquisition up through it, so callers two (and more)
+// levels away from the acquisition still see the inversion — with the
+// witness chain spelled out.
 func middle(e *Engine) {
 	register(e)
 }
 
 func twoLevels(e *Engine, t *Txn) {
 	t.mu.Lock()
-	middle(e) // quiet: depth-one summaries do not chase middle's callees
+	middle(e) // want "calls core.middle, which acquires core.Engine.mu \\(rank 20\\) via core.middle → core.register, while holding core.Txn.mu \\(rank 30\\)"
+	t.mu.Unlock()
+}
+
+// outer is a third hop: the chain in the diagnostic walks all the way
+// down to the acquiring function.
+func outer(e *Engine) {
+	middle(e)
+}
+
+func threeLevels(e *Engine, t *Txn) {
+	t.mu.Lock()
+	outer(e) // want "calls core.outer, which acquires core.Engine.mu \\(rank 20\\) via core.outer → core.middle → core.register, while holding core.Txn.mu \\(rank 30\\)"
+	t.mu.Unlock()
+}
+
+// iifeBody: an immediately-invoked literal runs inline — the held set
+// flows into its body, so the call inside it is checked.
+func iifeBody(e *Engine, t *Txn) {
+	t.mu.Lock()
+	func() {
+		register(e) // want "calls core.register, which acquires core.Engine.mu \\(rank 20\\), while holding core.Txn.mu \\(rank 30\\)"
+	}()
+	t.mu.Unlock()
+}
+
+// acquiresViaIIFE's literal body runs synchronously, so its
+// acquisition is part of the function's summary.
+func acquiresViaIIFE(e *Engine) {
+	func() {
+		e.mu.Lock()
+		e.mu.Unlock()
+	}()
+}
+
+func callIIFESummaryBad(e *Engine, t *Txn) {
+	t.mu.Lock()
+	acquiresViaIIFE(e) // want "calls core.acquiresViaIIFE, which acquires core.Engine.mu \\(rank 20\\), while holding core.Txn.mu \\(rank 30\\)"
+	t.mu.Unlock()
+}
+
+// mutualA/mutualB form a recursive cycle around the acquisition; the
+// closure must converge and still report through the cycle.
+func mutualA(e *Engine, stop bool) {
+	if !stop {
+		mutualB(e, true)
+	}
+	register(e)
+}
+
+func mutualB(e *Engine, stop bool) {
+	if !stop {
+		mutualA(e, true)
+	}
+}
+
+func cycleCaller(e *Engine, t *Txn) {
+	t.mu.Lock()
+	mutualB(e, false) // want "calls core.mutualB, which acquires core.Engine.mu \\(rank 20\\) via core.mutualB → core.mutualA → core.register, while holding core.Txn.mu \\(rank 30\\)"
 	t.mu.Unlock()
 }

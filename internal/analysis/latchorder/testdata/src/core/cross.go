@@ -1,0 +1,15 @@
+package core
+
+import "lock"
+
+// Apply is the exported transaction entry point importers call; its
+// own acquisition hides two hops down, across a package boundary
+// (core → lock). The closure exports its summary keyed by full name
+// so a dora-shaped caller sees the whole chain.
+func Apply(k int) {
+	applyRow(k)
+}
+
+func applyRow(k int) {
+	lock.AcquireRow(k)
+}

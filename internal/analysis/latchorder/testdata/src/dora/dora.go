@@ -1,0 +1,36 @@
+// Package dora seeds the executor-shaped cross-package inversion:
+// a function holding a page latch (rank 60) calls the exported
+// core.Apply, whose ranked acquisition — lock.partition.mu, rank 50 —
+// sits two calls and two package boundaries away. Only the full
+// fixed-point closure over exported summaries sees it; a depth-one or
+// same-package analysis reports nothing here.
+package dora
+
+import (
+	"buffer"
+	"core"
+	"latch"
+)
+
+// runUnderLatch is the bad executor shape: the page latch is still
+// held when the transaction body (core.Apply → core.applyRow →
+// lock.AcquireRow) acquires the lower-ranked partition mutex.
+func runUnderLatch(f *buffer.Frame, k int) {
+	f.Latch.Acquire(latch.Exclusive)
+	core.Apply(k) // want "calls core.Apply, which acquires lock.partition.mu \\(rank 50\\) via core.Apply → core.applyRow → lock.AcquireRow, while holding buffer.Frame.Latch \\(rank 60\\)"
+	f.Latch.Release(latch.Exclusive)
+}
+
+// runAfterRelease is the fixed shape: latch dropped before the body
+// runs. Same callee, same chain, nothing held — legal.
+func runAfterRelease(f *buffer.Frame, k int) {
+	f.Latch.Acquire(latch.Exclusive)
+	f.Latch.Release(latch.Exclusive)
+	core.Apply(k)
+}
+
+// directLockCall: rank 50 under nothing is legal however deep the
+// callee; pins that the cross-package summary alone triggers nothing.
+func directLockCall(k int) {
+	core.Apply(k)
+}

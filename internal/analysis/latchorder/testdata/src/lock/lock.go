@@ -1,0 +1,18 @@
+// Package lock reproduces the lock-manager partition shape:
+// lock.partition.mu is rank 50. The exported entry point is what the
+// cross-package closure summarizes for importers.
+package lock
+
+import "sync"
+
+type partition struct{ mu sync.Mutex }
+
+var parts [4]partition
+
+// AcquireRow locks the owning partition (rank 50) — the innermost
+// hop of the dora → core → lock fixture chain.
+func AcquireRow(k int) {
+	p := &parts[k%len(parts)]
+	p.mu.Lock()
+	p.mu.Unlock()
+}

@@ -1,0 +1,88 @@
+package latchsum_test
+
+import (
+	"go/types"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"hydra/internal/analysis"
+	"hydra/internal/analysis/latchsum"
+)
+
+func loadFixture(t *testing.T) *analysis.Package {
+	t.Helper()
+	ld, err := analysis.NewLoader(filepath.Join("testdata", "src"), "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkgs, err := ld.Load("core")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkgs) != 1 {
+		t.Fatalf("loaded %d packages, want 1", len(pkgs))
+	}
+	return pkgs[0]
+}
+
+func summaryOf(t *testing.T, sums map[*types.Func]latchsum.FuncSummary, name string) (latchsum.FuncSummary, bool) {
+	t.Helper()
+	for fn, s := range sums {
+		if fn.Name() == name {
+			return s, true
+		}
+	}
+	return latchsum.FuncSummary{}, false
+}
+
+// TestFixedPointConvergesOnRecursiveCycle pins the closure's behavior
+// on a mutually recursive call cycle: it terminates, carries the
+// minimum rank through the cycle, and renders the witness chain.
+func TestFixedPointConvergesOnRecursiveCycle(t *testing.T) {
+	pkg := loadFixture(t)
+	sums := latchsum.Summaries(pkg, nil)
+
+	cases := []struct {
+		fn   string
+		want latchsum.FuncSummary
+	}{
+		{"B", latchsum.FuncSummary{Site: "core.Engine.mu", Rank: 20}},
+		{"A", latchsum.FuncSummary{Site: "core.Engine.mu", Rank: 20, Chain: []string{"core.B"}}},
+		{"Self", latchsum.FuncSummary{Site: "core.Engine.mu", Rank: 20}},
+		{"Top", latchsum.FuncSummary{Site: "core.Engine.mu", Rank: 20, Chain: []string{"core.A", "core.B"}}},
+	}
+	for _, c := range cases {
+		got, ok := summaryOf(t, sums, c.fn)
+		if !ok {
+			t.Fatalf("%s: no summary computed", c.fn)
+		}
+		if !reflect.DeepEqual(got, c.want) {
+			t.Errorf("%s: summary = %+v, want %+v", c.fn, got, c.want)
+		}
+	}
+	if s, ok := summaryOf(t, sums, "Quiet"); ok {
+		t.Errorf("Quiet: unexpected summary %+v", s)
+	}
+}
+
+// TestFixedPointDeterministic recomputes the closure and demands
+// identical summaries — chains included — so repeated runs (and CI
+// baselines) never churn.
+func TestFixedPointDeterministic(t *testing.T) {
+	pkg := loadFixture(t)
+	a := latchsum.Summaries(pkg, nil)
+	b := latchsum.Summaries(pkg, nil)
+	if len(a) != len(b) {
+		t.Fatalf("summary count differs across runs: %d vs %d", len(a), len(b))
+	}
+	for fn, sa := range a {
+		sb, ok := b[fn]
+		if !ok {
+			t.Fatalf("%s: present in one run only", fn.FullName())
+		}
+		if !reflect.DeepEqual(sa, sb) {
+			t.Errorf("%s: %+v vs %+v across runs", fn.FullName(), sa, sb)
+		}
+	}
+}

@@ -1,0 +1,257 @@
+package latchsum
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"go/ast"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+
+	"hydra/internal/analysis"
+	"hydra/internal/analysis/lockflow"
+)
+
+// Resolver turns packages into summary maps, memoizing per type-
+// checked package and falling back to a disk cache for dependencies
+// whose source is not loaded (the go vet -vettool unit protocol ships
+// export data only).
+//
+// Default is the process-wide resolver the analyzers use; drivers
+// configure its disk cache before running (cmd/hydra-vet's -summaries
+// flag, the HYDRA_VET_SUMMARIES environment variable in vet-tool
+// mode).
+type Resolver struct {
+	mu   sync.Mutex
+	memo map[*types.Package]map[string]FuncSummary
+	disk *Cache
+}
+
+// Default is the shared resolver.
+var Default = &Resolver{}
+
+// SetDisk installs (or clears) the disk-cache fallback.
+func (r *Resolver) SetDisk(c *Cache) {
+	r.mu.Lock()
+	r.disk = c
+	r.mu.Unlock()
+}
+
+// PkgSummaries is one package's computed summaries plus the
+// resolution context to look up any callee — same-package or
+// imported — that a call site in the package can name.
+type PkgSummaries struct {
+	pkg *analysis.Package
+	r   *Resolver
+	// Funcs maps every function declared in the package to its
+	// fixed-point summary; functions with no reachable ranked
+	// acquisition are absent.
+	Funcs map[*types.Func]FuncSummary
+}
+
+// ForPackage computes the complete summary map for pkg (exported and
+// unexported functions alike), resolving tree-local imports from
+// source when pkg.Imports carries them and from the disk cache
+// otherwise.
+func (r *Resolver) ForPackage(pkg *analysis.Package) *PkgSummaries {
+	return &PkgSummaries{
+		pkg:   pkg,
+		r:     r,
+		Funcs: Summaries(pkg, r.depResolver(pkg)),
+	}
+}
+
+// Callee returns the summary of a function a call site in this
+// package statically invokes, whether declared here or in an import.
+func (ps *PkgSummaries) Callee(fn *types.Func) (FuncSummary, bool) {
+	if fn.Pkg() == ps.pkg.Types {
+		s, ok := ps.Funcs[fn]
+		return s, ok
+	}
+	if fn.Pkg() == nil {
+		return FuncSummary{}, false
+	}
+	if m := ps.r.depResolver(ps.pkg)(fn.Pkg().Path()); m != nil {
+		s, ok := m[fn.FullName()]
+		return s, ok
+	}
+	return FuncSummary{}, false
+}
+
+// NodeSummary computes the synchronous latch footprint of an
+// arbitrary subtree — a deferred function literal's body, say — the
+// same way Summaries treats a function body: direct ranked
+// acquisitions plus the summaries of statically-resolved callees.
+func (ps *PkgSummaries) NodeSummary(info *types.Info, n ast.Node) (FuncSummary, bool) {
+	var best FuncSummary
+	have := false
+	improve := func(s FuncSummary) {
+		if !have || s.Rank < best.Rank {
+			best, have = s, true
+		}
+	}
+	WalkSync(n, func(c *ast.CallExpr) {
+		act, _, class := lockflow.ClassifyLockCall(info, c)
+		if act == lockflow.Acquire && class != lockflow.ClassNone {
+			site := lockflow.LockSite(info, c)
+			if rank, ranked := Hierarchy[site]; ranked {
+				improve(FuncSummary{Site: site, Rank: rank})
+			}
+			return
+		}
+		if callee := CalleeOf(info, c); callee != nil {
+			if s, ok := ps.Callee(callee); ok {
+				chain := make([]string, 0, len(s.Chain)+1)
+				chain = append(chain, ShortName(callee))
+				chain = append(chain, s.Chain...)
+				improve(FuncSummary{Site: s.Site, Rank: s.Rank, Chain: chain})
+			}
+		}
+	})
+	return best, have
+}
+
+// ByName computes pkg's summaries keyed by FullName — the shape a
+// dependent package's closure consumes and the shape the disk cache
+// stores. Memoized on the type-checked package identity.
+func (r *Resolver) ByName(pkg *analysis.Package) map[string]FuncSummary {
+	r.mu.Lock()
+	if m, ok := r.memo[pkg.Types]; ok {
+		r.mu.Unlock()
+		return m
+	}
+	r.mu.Unlock()
+
+	// Compute outside the lock: the recursion below re-enters ByName
+	// for imports, and Go's import graph is acyclic so it terminates.
+	sums := r.ForPackage(pkg)
+	byName := make(map[string]FuncSummary, len(sums.Funcs))
+	for fn, s := range sums.Funcs {
+		// Methods of unexported types are reachable from other packages
+		// through exported constructors, so everything is published —
+		// the map is small and completeness beats guessing visibility.
+		byName[fn.FullName()] = s
+	}
+	r.mu.Lock()
+	if r.memo == nil {
+		r.memo = make(map[*types.Package]map[string]FuncSummary)
+	}
+	r.memo[pkg.Types] = byName
+	r.mu.Unlock()
+	return byName
+}
+
+func (r *Resolver) depResolver(pkg *analysis.Package) DepResolver {
+	return func(importPath string) map[string]FuncSummary {
+		if dep, ok := pkg.Imports[importPath]; ok && dep != nil {
+			return r.ByName(dep)
+		}
+		r.mu.Lock()
+		disk := r.disk
+		r.mu.Unlock()
+		if disk != nil {
+			return disk.Lookup(importPath)
+		}
+		return nil
+	}
+}
+
+// Cache is the JSON disk form of cross-package summaries. A
+// standalone hydra-vet run (whole source tree loaded) computes every
+// package's summaries and writes them here; a subsequent go vet
+// -vettool run, which sees one package's source at a time, reads them
+// back so dora → core → lock chains stay visible. Entries carry a
+// source fingerprint so the writer refreshes stale packages.
+type Cache struct {
+	path string
+
+	mu   sync.Mutex
+	data cacheFile
+}
+
+type cacheFile struct {
+	Packages map[string]PkgEntry `json:"packages"`
+}
+
+// PkgEntry is one package's cached summaries.
+type PkgEntry struct {
+	Fingerprint string                 `json:"fingerprint"`
+	Funcs       map[string]FuncSummary `json:"funcs"`
+}
+
+// LoadCache opens (or initializes) the cache at path. A missing or
+// corrupt file yields an empty cache, not an error: the cache is an
+// accelerator, never a source of truth.
+func LoadCache(path string) *Cache {
+	c := &Cache{path: path}
+	c.data.Packages = make(map[string]PkgEntry)
+	if raw, err := os.ReadFile(path); err == nil {
+		var f cacheFile
+		if json.Unmarshal(raw, &f) == nil && f.Packages != nil {
+			c.data = f
+		}
+	}
+	return c
+}
+
+// Lookup returns the cached summaries for pkgPath, or nil.
+func (c *Cache) Lookup(pkgPath string) map[string]FuncSummary {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if e, ok := c.data.Packages[pkgPath]; ok {
+		return e.Funcs
+	}
+	return nil
+}
+
+// Store records pkgPath's summaries under fingerprint.
+func (c *Cache) Store(pkgPath, fingerprint string, funcs map[string]FuncSummary) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.data.Packages[pkgPath] = PkgEntry{Fingerprint: fingerprint, Funcs: funcs}
+}
+
+// Fresh reports whether pkgPath is cached under fingerprint.
+func (c *Cache) Fresh(pkgPath, fingerprint string) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	e, ok := c.data.Packages[pkgPath]
+	return ok && e.Fingerprint == fingerprint
+}
+
+// Save writes the cache back to its path, creating parent directories
+// as needed.
+func (c *Cache) Save() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if dir := filepath.Dir(c.path); dir != "." {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return err
+		}
+	}
+	raw, err := json.MarshalIndent(&c.data, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(c.path, append(raw, '\n'), 0o644)
+}
+
+// Fingerprint hashes a package's source files (names and contents) so
+// cache writers can skip packages that have not changed.
+func Fingerprint(dir string, fileNames []string) string {
+	h := sha256.New()
+	names := append([]string(nil), fileNames...)
+	sort.Strings(names)
+	for _, name := range names {
+		h.Write([]byte(name))
+		h.Write([]byte{0})
+		if raw, err := os.ReadFile(filepath.Join(dir, name)); err == nil {
+			h.Write(raw)
+		}
+		h.Write([]byte{0})
+	}
+	return hex.EncodeToString(h.Sum(nil)[:16])
+}

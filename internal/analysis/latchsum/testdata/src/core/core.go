@@ -1,0 +1,51 @@
+// Package core gives the latchsum closure a recursive call cycle
+// around a ranked acquisition: core.Engine.mu is rank 20, core.Txn.mu
+// rank 30 in the shared hierarchy table.
+package core
+
+import "sync"
+
+type Engine struct{ mu sync.Mutex }
+
+type Txn struct{ mu sync.Mutex }
+
+// A and B are mutually recursive; only B touches the hierarchy. The
+// fixed point must terminate and give A the chain through B.
+func A(e *Engine, n int) {
+	if n > 0 {
+		B(e, n-1)
+	}
+}
+
+func B(e *Engine, n int) {
+	e.mu.Lock()
+	e.mu.Unlock()
+	if n > 0 {
+		A(e, n-1)
+	}
+}
+
+// Self is directly recursive around its own acquisition.
+func Self(e *Engine, n int) {
+	if n > 0 {
+		Self(e, n-1)
+	}
+	e.mu.Lock()
+	e.mu.Unlock()
+}
+
+// Top acquires rank 30 directly and reaches rank 20 through the
+// cycle; the summary keeps the minimum with its witness chain.
+func Top(e *Engine, t *Txn) {
+	t.mu.Lock()
+	t.mu.Unlock()
+	A(e, 1)
+}
+
+// Quiet never touches the hierarchy and must have no summary.
+func Quiet(n int) int {
+	if n <= 0 {
+		return 0
+	}
+	return Quiet(n - 1)
+}

@@ -23,6 +23,12 @@ type Package struct {
 	Files []*ast.File
 	Types *types.Package
 	Info  *types.Info
+	// Imports holds the tree-local packages this one imports, keyed by
+	// import path — full source, not just export data, so analyzers
+	// can compute cross-package summaries (latchsum). Standard-library
+	// imports are absent. Nil when the driver has no source for
+	// dependencies (the go vet -vettool unit protocol).
+	Imports map[string]*Package
 }
 
 // Loader parses and type-checks packages of one source tree without
@@ -275,6 +281,14 @@ func (ld *Loader) loadPath(ipath, dir string) (*Package, error) {
 		Files: files,
 		Types: tpkg,
 		Info:  ld.info,
+	}
+	// Type-checking pulled every tree-local import through loadPath,
+	// so the memo has them all; expose the direct ones.
+	pkg.Imports = make(map[string]*Package)
+	for _, imp := range tpkg.Imports() {
+		if dep, ok := ld.pkgs[imp.Path()]; ok && dep != nil {
+			pkg.Imports[imp.Path()] = dep
+		}
 	}
 	ld.pkgs[ipath] = pkg
 	return pkg, nil

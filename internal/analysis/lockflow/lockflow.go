@@ -19,7 +19,10 @@
 //     immediate release (poolcycle's deferred Put satisfies the
 //     ownership obligation).
 //   - function literals execute later, possibly on another goroutine:
-//     they are walked separately with an empty held set.
+//     they are walked separately with an empty held set — EXCEPT an
+//     immediately-invoked literal (func(){...}()), whose body runs
+//     inline and is walked with the current held set, its effects
+//     merged back across its exit paths.
 //
 // This is a syntactic approximation, not a CFG — goto and loop-carried
 // holds are out of scope — but Hydra's lock usage is block-structured,
@@ -70,6 +73,22 @@ type Hooks struct {
 	// return statement and the fall-off end of the body (nil stmt).
 	// Terminating branches inside loops are not exits.
 	FuncEnd func(ret *ast.ReturnStmt, held map[string]Hold)
+	// LitEnd, if set, observes exit points of separately-walked
+	// function literals (go bodies, escaping closures) instead of
+	// FuncEnd; when nil, FuncEnd fires for those too. Hooks that care
+	// only about the enclosing function's exits (latchorder's
+	// deferred-call check) install a LitEnd to keep literal exits out
+	// of FuncEnd.
+	LitEnd func(ret *ast.ReturnStmt, held map[string]Hold)
+}
+
+// litEnd returns the hook to fire at a separately-walked literal's
+// exit points.
+func (h Hooks) litEnd() func(*ast.ReturnStmt, map[string]Hold) {
+	if h.LitEnd != nil {
+		return h.LitEnd
+	}
+	return h.FuncEnd
 }
 
 // WalkFunc walks body with h. Nested function literals are walked
@@ -90,10 +109,12 @@ func WalkFunc(body *ast.BlockStmt, h Hooks) {
 	// starts empty.
 	for i := 0; i < len(w.lits); i++ {
 		lit := w.lits[i]
-		w2 := &walker{hooks: h, held: map[string]Hold{}}
+		lh := h
+		lh.FuncEnd = h.litEnd()
+		w2 := &walker{hooks: lh, held: map[string]Hold{}}
 		term := w2.stmts(lit.Body.List)
-		if !term && h.FuncEnd != nil {
-			h.FuncEnd(nil, w2.held)
+		if !term && lh.FuncEnd != nil {
+			lh.FuncEnd(nil, w2.held)
 		}
 		w.lits = append(w.lits, w2.lits...)
 	}
@@ -317,6 +338,17 @@ func (w *walker) expr(e ast.Expr, deferred bool) {
 			w.lits = append(w.lits, n)
 			return false
 		case *ast.CallExpr:
+			// An immediately-invoked literal runs its body inline, on
+			// this goroutine, with whatever is held right now. Deferred
+			// IIFEs run at function exit instead and stay on the
+			// literal path.
+			if lit, ok := n.Fun.(*ast.FuncLit); ok && !deferred {
+				for _, a := range n.Args {
+					w.expr(a, false)
+				}
+				w.inlineLit(lit)
+				return false
+			}
 			// Arguments and receiver first (evaluation order), then
 			// the call's own effect.
 			w.expr(n.Fun, false)
@@ -349,6 +381,37 @@ func (w *walker) call(c *ast.CallExpr, deferred bool) {
 		w.held[key] = Hold{Pos: c.Pos(), Order: w.seq}
 	case Release:
 		delete(w.held, key)
+	}
+}
+
+// inlineLit walks an immediately-invoked function literal's body with
+// the current held set. Returns inside the literal exit the literal,
+// not the enclosing function, so the sub-walk captures its own exit
+// held sets (outer FuncEnd hooks must not fire) and the post-call
+// held set is their intersection — the same conservative merge the
+// branch rules use. A body that always panics leaves the held set
+// untouched: control never reaches the code after the call.
+func (w *walker) inlineLit(lit *ast.FuncLit) {
+	sub := &walker{held: cloneHeld(w.held), seq: w.seq}
+	var exits []map[string]Hold
+	sub.hooks = Hooks{
+		Classify: w.hooks.Classify,
+		Visit:    w.hooks.Visit,
+		FuncEnd: func(_ *ast.ReturnStmt, held map[string]Hold) {
+			exits = append(exits, cloneHeld(held))
+		},
+	}
+	if !sub.stmts(lit.Body.List) {
+		exits = append(exits, sub.held)
+	}
+	w.seq = sub.seq
+	w.lits = append(w.lits, sub.lits...)
+	if len(exits) > 0 {
+		merged := exits[0]
+		for _, e := range exits[1:] {
+			merged = intersectHeld(merged, e)
+		}
+		w.held = merged
 	}
 }
 

@@ -1,0 +1,54 @@
+package lockflow
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// SelectCommNodes collects every node inside a select communication
+// clause. Sends and receives there are scheduled by the select itself;
+// analyzers that classify blocking operations skip these nodes so a
+// blocking select is reported once, at the SelectStmt, not once per
+// clause.
+func SelectCommNodes(body *ast.BlockStmt) map[ast.Node]bool {
+	skip := make(map[ast.Node]bool)
+	if body == nil {
+		return skip
+	}
+	ast.Inspect(body, func(n ast.Node) bool {
+		sel, ok := n.(*ast.SelectStmt)
+		if !ok {
+			return true
+		}
+		for _, cc := range sel.Body.List {
+			comm, ok := cc.(*ast.CommClause)
+			if !ok || comm.Comm == nil {
+				continue
+			}
+			ast.Inspect(comm.Comm, func(m ast.Node) bool {
+				if m != nil {
+					skip[m] = true
+				}
+				return true
+			})
+		}
+		return true
+	})
+	return skip
+}
+
+// NamedRecvName unwraps pointers and returns the bare name of a named
+// receiver type ("WaitGroup", "Cond", "Queue"), or "" for anything
+// unnamed.
+func NamedRecvName(t types.Type) string {
+	for {
+		switch tt := t.(type) {
+		case *types.Pointer:
+			t = tt.Elem()
+		case *types.Named:
+			return tt.Obj().Name()
+		default:
+			return ""
+		}
+	}
+}

@@ -109,7 +109,7 @@ func run(pass *analysis.Pass) error {
 	direct := make(map[*types.Func]string) // fn -> reason
 	calls := make(map[*types.Func][]*types.Func)
 	for fn, decl := range funcs {
-		skip := selectCommNodes(decl.Body)
+		skip := lockflow.SelectCommNodes(decl.Body)
 		lockflow.WalkFunc(decl.Body, lockflow.Hooks{
 			Visit: func(n ast.Node, _ map[string]lockflow.Hold) {
 				if _, ok := direct[fn]; !ok {
@@ -156,7 +156,7 @@ func run(pass *analysis.Pass) error {
 	// operations (direct or via a may-block same-package call) inside
 	// critical sections.
 	for _, decl := range funcs {
-		skip := selectCommNodes(decl.Body)
+		skip := lockflow.SelectCommNodes(decl.Body)
 		reported := make(map[token.Pos]bool)
 		lockflow.WalkFunc(decl.Body, lockflow.Hooks{
 			Classify: func(c *ast.CallExpr, deferred bool) (lockflow.Action, string) {
@@ -327,36 +327,6 @@ func staticCallee(pass *analysis.Pass, c *ast.CallExpr) *types.Func {
 	return fn
 }
 
-// selectCommNodes collects every node inside a select communication
-// clause; sends/receives there are scheduled by the select itself and
-// must not double-report.
-func selectCommNodes(body *ast.BlockStmt) map[ast.Node]bool {
-	skip := make(map[ast.Node]bool)
-	if body == nil {
-		return skip
-	}
-	ast.Inspect(body, func(n ast.Node) bool {
-		sel, ok := n.(*ast.SelectStmt)
-		if !ok {
-			return true
-		}
-		for _, cc := range sel.Body.List {
-			comm, ok := cc.(*ast.CommClause)
-			if !ok || comm.Comm == nil {
-				continue
-			}
-			ast.Inspect(comm.Comm, func(m ast.Node) bool {
-				if m != nil {
-					skip[m] = true
-				}
-				return true
-			})
-		}
-		return true
-	})
-	return skip
-}
-
 // blockingNode classifies an AST node as a blocking operation.
 func blockingNode(info *types.Info, n ast.Node, skip map[ast.Node]bool) (string, blockKind) {
 	if skip[n] {
@@ -402,7 +372,7 @@ func blockingCall(info *types.Info, c *ast.CallExpr) (string, blockKind) {
 		pkg := path.Base(fn.Pkg().Path())
 		name := fn.Name()
 		if pkg == "sync" {
-			recv := recvTypeName(selection.Recv())
+			recv := lockflow.NamedRecvName(selection.Recv())
 			if name == "Wait" && recv == "WaitGroup" {
 				return "(sync.WaitGroup).Wait", blockOp
 			}
@@ -416,7 +386,7 @@ func blockingCall(info *types.Info, c *ast.CallExpr) (string, blockKind) {
 		if m, ok := blockingMethods[pkg]; ok && m[name] {
 			return "(" + pkg + ")." + name, blockOp
 		}
-		if recvTypeName(selection.Recv()) == "PageStore" && blockingMethods["buffer"][name] {
+		if lockflow.NamedRecvName(selection.Recv()) == "PageStore" && blockingMethods["buffer"][name] {
 			return "(PageStore)." + name, blockOp
 		}
 		return "", blockNone
@@ -435,19 +405,6 @@ func blockingCall(info *types.Info, c *ast.CallExpr) (string, blockKind) {
 		return pkg + "." + sel.Sel.Name, blockOp
 	}
 	return "", blockNone
-}
-
-func recvTypeName(t types.Type) string {
-	for {
-		switch tt := t.(type) {
-		case *types.Pointer:
-			t = tt.Elem()
-		case *types.Named:
-			return tt.Obj().Name()
-		default:
-			return ""
-		}
-	}
 }
 
 // heldList renders the held locks in acquisition order.

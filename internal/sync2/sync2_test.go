@@ -98,21 +98,21 @@ func TestTicketFairnessOrdering(t *testing.T) {
 		close(arrived)
 		l.Lock()
 		//hydra:vet:ignore lockscope -- buffered (cap 2) report channel; send cannot block
-		order <- 1
+		order <- 1 //hydra:blockok -- buffered (cap 2) report channel, one send per goroutine; cannot park
 		l.Unlock()
 	}()
 	//hydra:vet:ignore lockscope -- fairness test: main goroutine deliberately parks arrivals behind its lock
-	<-arrived
+	<-arrived //hydra:blockok -- fairness test: main goroutine deliberately parks arrivals behind its lock
 	//hydra:vet:ignore lockscope -- fairness test: main goroutine deliberately parks arrivals behind its lock
-	time.Sleep(10 * time.Millisecond) // let goroutine 1 take its ticket
+	time.Sleep(10 * time.Millisecond) //hydra:blockok -- fairness test: bounded sleep to order ticket arrivals
 	go func() {
 		l.Lock()
 		//hydra:vet:ignore lockscope -- buffered (cap 2) report channel; send cannot block
-		order <- 2
+		order <- 2 //hydra:blockok -- buffered (cap 2) report channel, one send per goroutine; cannot park
 		l.Unlock()
 	}()
 	//hydra:vet:ignore lockscope -- fairness test: main goroutine deliberately parks arrivals behind its lock
-	time.Sleep(10 * time.Millisecond)
+	time.Sleep(10 * time.Millisecond) //hydra:blockok -- fairness test: bounded sleep to order ticket arrivals
 	l.Unlock()
 	if first := <-order; first != 1 {
 		t.Fatalf("ticket lock served arrival %d first", first)
@@ -135,7 +135,7 @@ func TestSpinRWLockReadersShareWritersExclude(t *testing.T) {
 		l.Unlock()
 	}()
 	//hydra:vet:ignore lockscope -- exclusion test: waits (bounded) under RLock to assert the writer stays out
-	select {
+	select { //hydra:blockok -- exclusion test: 20ms-bounded select under RLock is the assertion itself
 	case <-done:
 		t.Fatal("writer acquired lock while readers held it")
 	case <-time.After(20 * time.Millisecond):
@@ -159,7 +159,7 @@ func TestSpinRWLockWriterBlocksReaders(t *testing.T) {
 		l.RUnlock()
 	}()
 	//hydra:vet:ignore lockscope -- exclusion test: waits (bounded) under Lock to assert readers stay out
-	select {
+	select { //hydra:blockok -- exclusion test: 20ms-bounded select under Lock is the assertion itself
 	case <-got:
 		t.Fatal("reader acquired lock while writer held it")
 	case <-time.After(20 * time.Millisecond):

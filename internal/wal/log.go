@@ -479,7 +479,7 @@ func (l *Log) wakeFlushed(upTo uint64) {
 	invariant.Acquired(invariant.TierWALWait, "wal.Log.waitMu")
 	for len(l.waiters) > 0 && l.waiters[0].target <= upTo {
 		//hydra:vet:ignore lockscope -- capacity-1 waiter channel, popped once; send cannot block
-		l.waiters.pop().ch <- nil
+		l.waiters.pop().ch <- nil //hydra:blockok -- capacity-1 waiter channel, popped once; send cannot park
 	}
 	invariant.Released(invariant.TierWALWait, "wal.Log.waitMu")
 	l.waitMu.Unlock()
@@ -494,7 +494,7 @@ func (l *Log) failWaiters(err error) {
 	invariant.Acquired(invariant.TierWALWait, "wal.Log.waitMu")
 	for len(l.waiters) > 0 {
 		//hydra:vet:ignore lockscope -- capacity-1 waiter channel, popped once; send cannot block
-		l.waiters.pop().ch <- err
+		l.waiters.pop().ch <- err //hydra:blockok -- capacity-1 waiter channel, popped once; send cannot park
 	}
 	invariant.Released(invariant.TierWALWait, "wal.Log.waitMu")
 	l.waitMu.Unlock()
