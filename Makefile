@@ -2,7 +2,7 @@ GO ?= go
 VET_SUMMARIES := .hydra-vet/summaries.json
 VET_BASELINE  := vet.baseline.json
 
-.PHONY: build test race vet lint vet-baseline vet-update-baseline stress stress-dora bench bench-wal bench-lock bench-dora bench-smoke
+.PHONY: build test race vet lint vet-baseline vet-update-baseline stress stress-dora bench bench-json bench-wal bench-lock bench-dora bench-smoke
 
 build:
 	$(GO) build ./...
@@ -59,6 +59,14 @@ stress:
 bench:
 	$(GO) test -run '^$$' -bench 'BenchmarkLockAcquireRelease|BenchmarkCommitPipeline|BenchmarkPoolFetchParallel' -benchmem ./internal/lock/ ./internal/core/ ./internal/buffer/
 
+# bench-json runs the full experiment suite and archives the results
+# as a dated machine-readable document (schema hydra-bench/v1, see
+# EXPERIMENTS.md "Machine-readable runs"). Override BENCH_SCALE=full
+# for report sizing.
+BENCH_SCALE ?= quick
+bench-json:
+	$(GO) run ./cmd/hydra-bench -scale $(BENCH_SCALE) -json BENCH_$$(date +%Y-%m-%d).json
+
 # bench-wal runs the WAL flush-path benchmarks with enough iterations
 # for the per-flush metrics (writes/flush, segsyncs/sync) to settle:
 # the numbers cited in EXPERIMENTS.md E11 come from this target.
@@ -83,11 +91,16 @@ bench-dora:
 # without paying for a timed run (CI's guard against bench rot).
 # ./... picks up the WAL flush benchmarks (bench_test.go) too; the
 # explicit wal run below it asserts the vectored path's counters are
-# live, not just that the benchmarks compile. The final server test
-# asserts the hydra_dora_* families actually appear in /metrics and
-# /stats under live DORA load.
+# live, not just that the benchmarks compile. The final server tests
+# assert the hydra_dora_* families appear in /metrics and /stats under
+# live DORA load, and that the transaction phase-accounting families
+# (hydra_txn_phase_*, the slow-transaction reservoir counters, and the
+# hydra_incidents_total kinds) appear under committed traffic. The
+# accounting itself is budgeted at <=3% ns/op and zero extra allocs/op
+# on the commit/lock/DORA hot paths — regressions show up in the bench
+# targets above against the figures recorded in EXPERIMENTS.md.
 bench-smoke:
 	$(GO) test -run '^$$' -bench . -benchtime 1x ./...
 	$(GO) test -run '^$$' -bench 'BenchmarkFlushWrap|BenchmarkSegmentedSync' -benchtime 20x ./internal/wal/
 	$(GO) test -run '^$$' -bench 'BenchmarkAcquireReleaseChurn' -benchtime 20x ./internal/lock/
-	$(GO) test -run 'TestDoraMetricsExposition' -count=1 ./internal/server/
+	$(GO) test -run 'TestDoraMetricsExposition|TestPhaseMetricsExposition' -count=1 ./internal/server/

@@ -16,6 +16,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"sort"
 	"strconv"
 	"strings"
 	"time"
@@ -243,6 +244,37 @@ func printStats(st server.StatsJSON) {
 		for _, t := range st.Latches {
 			fmt.Printf("  %-12s ops=%-10d %s\n", t.Tier, t.Ops, t.Acquire.Summary)
 		}
+	}
+	if len(st.Phases) > 0 {
+		fmt.Println("phase profile (per path/outcome, critical-path wall time)")
+		for _, cell := range st.Phases {
+			fmt.Printf("  %-20s n=%-10d total %s\n",
+				cell.Path+"/"+cell.Outcome, cell.Count, cell.Total.Summary)
+			names := make([]string, 0, len(cell.Phase))
+			for name := range cell.Phase {
+				names = append(names, name)
+			}
+			sort.Strings(names)
+			for _, name := range names {
+				fmt.Printf("    %-18s %s\n", name, cell.Phase[name].Summary)
+			}
+		}
+	}
+	if st.Slow.Admitted > 0 {
+		fmt.Printf("slow txns   admitted=%d rotated=%d window=%s retained=%d\n",
+			st.Slow.Admitted, st.Slow.Rotated,
+			time.Duration(st.Slow.WindowNs).Round(time.Second), len(st.Slow.Entries))
+		for i, e := range st.Slow.Entries {
+			if i == 5 {
+				fmt.Printf("  ... %d more\n", len(st.Slow.Entries)-i)
+				break
+			}
+			fmt.Printf("  txn=%-10d %s/%s total=%s\n",
+				e.Txn, e.Path, e.Outcome, time.Duration(e.TotalNs))
+		}
+	}
+	if st.Incidents > 0 {
+		fmt.Printf("incidents   %d captured (GET /incidents on the observability port)\n", st.Incidents)
 	}
 	fmt.Printf("tracer      enabled=%v events=%d\n", st.TraceEnabled, st.TraceEvents)
 }

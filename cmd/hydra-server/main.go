@@ -16,9 +16,11 @@ package main
 import (
 	"flag"
 	"fmt"
+	"net/http"
 	"os"
 	"os/signal"
 	"syscall"
+	"time"
 
 	"hydra/internal/core"
 	"hydra/internal/obs"
@@ -56,9 +58,19 @@ func main() {
 	}
 
 	obs.Trace.SetEnabled(*trace)
+	// The stall flight recorder runs regardless of the HTTP listener:
+	// STATS FULL on the line protocol reports incidents too.
+	fr := server.NewFlightRecorder(engine, server.FlightOptions{})
+	fr.Start()
+	defer fr.Stop()
 	if *httpAddr != "" {
 		go func() {
-			if err := server.ServeMetrics(*httpAddr, engine); err != nil {
+			hs := &http.Server{
+				Addr:              *httpAddr,
+				Handler:           server.NewMetricsMux(engine, fr),
+				ReadHeaderTimeout: 5 * time.Second,
+			}
+			if err := hs.ListenAndServe(); err != nil {
 				fmt.Fprintf(os.Stderr, "hydra-server: metrics listener: %v\n", err)
 			}
 		}()
@@ -66,6 +78,7 @@ func main() {
 	}
 
 	srv := server.New(engine)
+	srv.SetFlightRecorder(fr)
 	done := make(chan error, 1)
 	go func() { done <- srv.ListenAndServe(*addr) }()
 	fmt.Printf("hydra-server: listening on %s (config=%s, dir=%q)\n", *addr, *config, *dir)

@@ -18,6 +18,7 @@ import (
 	"fmt"
 	"net/http"
 	"os"
+	"sort"
 	"strings"
 	"time"
 
@@ -181,6 +182,81 @@ func render(w *os.File, st, prev *server.StatsJSON, dt time.Duration) {
 		fmt.Fprintf(w, "%-12s %10d  %9s %9s %9s %9s\n",
 			t.Tier, t.Ops,
 			ns(t.Acquire.P50Ns), ns(t.Acquire.P90Ns), ns(t.Acquire.P99Ns), ns(t.Acquire.MaxNs))
+	}
+
+	renderPhases(w, st)
+	renderTail(w, st)
+}
+
+// renderPhases prints one line per (path, outcome) profile cell: the
+// total latency tail plus the top phases by share of accumulated wall
+// time. Shares are estimated from mean*count per phase histogram, so
+// they are approximate under the factor-of-two bucketing, but they
+// answer the triage question — where do these transactions spend time.
+func renderPhases(w *os.File, st *server.StatsJSON) {
+	if len(st.Phases) == 0 {
+		return
+	}
+	fmt.Fprintf(w, "\n%-20s %10s  %9s %9s %9s  %s\n",
+		"phase profile", "txns", "p50", "p99", "max", "top phases by time")
+	fmt.Fprintln(w, strings.Repeat("-", 90))
+	for _, cell := range st.Phases {
+		type share struct {
+			name string
+			ns   float64
+		}
+		total := float64(cell.Total.MeanNs) * float64(cell.Total.Count)
+		shares := make([]share, 0, len(cell.Phase))
+		for name, h := range cell.Phase {
+			shares = append(shares, share{name, float64(h.MeanNs) * float64(h.Count)})
+		}
+		sort.Slice(shares, func(i, j int) bool { return shares[i].ns > shares[j].ns })
+		var top []string
+		for i, s := range shares {
+			if i == 3 || s.ns <= 0 {
+				break
+			}
+			pct := 0.0
+			if total > 0 {
+				pct = 100 * s.ns / total
+			}
+			top = append(top, fmt.Sprintf("%s %.0f%%", s.name, pct))
+		}
+		fmt.Fprintf(w, "%-20s %10d  %9s %9s %9s  %s\n",
+			cell.Path+"/"+cell.Outcome, cell.Count,
+			ns(cell.Total.P50Ns), ns(cell.Total.P99Ns), ns(cell.Total.MaxNs),
+			strings.Join(top, "  "))
+	}
+}
+
+// renderTail prints the worst-K slow-transaction reservoir (top few
+// entries with their dominant phase) and the incident count from the
+// stall flight recorder.
+func renderTail(w *os.File, st *server.StatsJSON) {
+	if st.Slow.Admitted > 0 && len(st.Slow.Entries) > 0 {
+		fmt.Fprintf(w, "\nslow    admitted=%d rotated=%d window=%s  worst:\n",
+			st.Slow.Admitted, st.Slow.Rotated, time.Duration(st.Slow.WindowNs).Round(time.Second))
+		for i, e := range st.Slow.Entries {
+			if i == 5 {
+				break
+			}
+			dom, domNs := "", int64(0)
+			for name, v := range e.Phase {
+				if v > domNs {
+					dom, domNs = name, v
+				}
+			}
+			detail := ""
+			if dom != "" {
+				detail = fmt.Sprintf("  (%s %s)", dom, ns(domNs))
+			}
+			fmt.Fprintf(w, "        txn=%-8d %s/%s %s%s\n",
+				e.Txn, e.Path, e.Outcome, ns(e.TotalNs), detail)
+		}
+	}
+	if st.Incidents > 0 {
+		fmt.Fprintf(w, "\nINCIDENTS %d captured — inspect /incidents on the observability port\n",
+			st.Incidents)
 	}
 }
 

@@ -54,6 +54,7 @@ import (
 	"hydra/internal/analysis/latchorder"
 	"hydra/internal/analysis/latchsum"
 	"hydra/internal/analysis/lockscope"
+	"hydra/internal/analysis/phasebal"
 	"hydra/internal/analysis/poolcycle"
 )
 
@@ -65,6 +66,7 @@ func all() []*analysis.Analyzer {
 		blockscope.Analyzer,
 		poolcycle.Analyzer,
 		atomicmix.Analyzer,
+		phasebal.Analyzer,
 	}
 }
 

@@ -1,0 +1,246 @@
+// Package phasebal implements the hydra-vet analyzer checking
+// phase-clock start/stop balance.
+//
+// Transaction critical-path accounting (internal/obs.PhaseClock) is
+// built from open-coded spans: a start stamp `t0 := obs.Now()` closed
+// by `c.Add(phase, obs.Now()-t0)` or handed to `c.Defer(phase, t0)`.
+// Nothing at runtime detects an unbalanced span — a stamp that is
+// never closed silently donates its time to the user-residual phase,
+// and a swapped subtraction produces a negative duration that Add
+// silently drops. Both bugs corrupt the accounting without failing a
+// single test, which is exactly the kind of invariant hydra-vet
+// exists to machine-check.
+//
+// The analyzer enforces, per function body:
+//
+//  1. Every local stamped from obs.Now() must be consumed: closed by
+//     a PhaseClock Add/Defer, measured by a subtraction against a
+//     later Now, or escaped (passed to a call such as noteInsertWait,
+//     returned, stored, or assigned onward) so a callee can close it.
+//     A stamp whose only uses are comparisons is a leaked span.
+//  2. PhaseClock.Add takes a duration: `t0 - obs.Now()` (reversed
+//     subtraction, always negative) and a bare start stamp are both
+//     reported.
+//  3. PhaseClock.Defer takes the span's start stamp, not a duration:
+//     a subtraction argument is reported.
+package phasebal
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"path"
+
+	"hydra/internal/analysis"
+)
+
+// Analyzer is the phasebal analyzer.
+var Analyzer = &analysis.Analyzer{
+	Name: "phasebal",
+	Doc:  "phase-accounting spans must balance: every obs.Now() stamp is closed or escapes, Add takes a duration, Defer takes a stamp",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			checkBody(pass, fn.Body)
+		}
+	}
+	return nil
+}
+
+// checkBody analyzes one function body (nested closures included: a
+// stamp closed inside a closure in the same body is balanced).
+func checkBody(pass *analysis.Pass, body *ast.BlockStmt) {
+	info := pass.TypesInfo
+
+	// Pass 1: collect the Now-stamp locals — `t0 := obs.Now()` or
+	// `var t0 = obs.Now()` — with the position of their first stamp.
+	stamps := make(map[types.Object]token.Pos)
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			if len(n.Lhs) != len(n.Rhs) {
+				return true
+			}
+			for i, rhs := range n.Rhs {
+				if !isNowCall(info, rhs) {
+					continue
+				}
+				id, ok := n.Lhs[i].(*ast.Ident)
+				if !ok || id.Name == "_" {
+					continue
+				}
+				if obj := defOrUse(info, id); obj != nil {
+					if _, seen := stamps[obj]; !seen {
+						stamps[obj] = id.Pos()
+					}
+				}
+			}
+		case *ast.ValueSpec:
+			for i, v := range n.Values {
+				if !isNowCall(info, v) || i >= len(n.Names) {
+					continue
+				}
+				if obj := info.Defs[n.Names[i]]; obj != nil {
+					if _, seen := stamps[obj]; !seen {
+						stamps[obj] = n.Names[i].Pos()
+					}
+				}
+			}
+		}
+		return true
+	})
+
+	// Pass 2: find each stamp's consuming uses, tracking ancestors
+	// (ast.Inspect signals post-order exit with a nil node).
+	consumed := make(map[types.Object]bool)
+	var stack []ast.Node
+	ast.Inspect(body, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		if id, ok := n.(*ast.Ident); ok {
+			if obj := info.Uses[id]; obj != nil {
+				if _, isStamp := stamps[obj]; isStamp && consumes(info, stack, id) {
+					consumed[obj] = true
+				}
+			}
+		}
+		stack = append(stack, n)
+		return true
+	})
+
+	for obj, pos := range stamps {
+		if !consumed[obj] {
+			pass.Reportf(pos, "phase stamp %s from obs.Now() is never closed: no Add/Defer, no span subtraction, and it does not escape", obj.Name())
+		}
+	}
+
+	// Pass 3: well-formed Add/Defer arguments.
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || len(call.Args) < 2 {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok || !isPhaseClock(info, sel.X) {
+			return true
+		}
+		arg := call.Args[1]
+		switch sel.Sel.Name {
+		case "Add":
+			if sub, ok := arg.(*ast.BinaryExpr); ok && sub.Op == token.SUB && isNowCall(info, sub.Y) && !isNowCall(info, sub.X) {
+				pass.Reportf(arg.Pos(), "reversed span arithmetic: obs.Now() is the subtrahend, so the duration is always negative and Add drops it; want obs.Now()-t0")
+			}
+			if id, ok := arg.(*ast.Ident); ok {
+				if obj := info.Uses[id]; obj != nil {
+					if _, isStamp := stamps[obj]; isStamp {
+						pass.Reportf(arg.Pos(), "Add takes a duration but %s is a start stamp; want obs.Now()-%s (or Defer to close at fold)", id.Name, id.Name)
+					}
+				}
+			}
+		case "Defer":
+			if sub, ok := arg.(*ast.BinaryExpr); ok && sub.Op == token.SUB {
+				pass.Reportf(arg.Pos(), "Defer takes the span's start stamp, not a duration: the fold closes the span at end of transaction")
+			}
+		}
+		return true
+	})
+}
+
+// consumes decides whether this use of a stamp closes or escapes the
+// span. stack holds the ancestors of id, innermost last.
+func consumes(info *types.Info, stack []ast.Node, id *ast.Ident) bool {
+	child := ast.Node(id)
+	for i := len(stack) - 1; i >= 0; i-- {
+		switch a := stack[i].(type) {
+		case *ast.CallExpr:
+			for _, arg := range a.Args {
+				if arg == child || within(arg, id.Pos()) {
+					return true
+				}
+			}
+		case *ast.ReturnStmt:
+			// Only the stamp itself escapes; a derived value (say a
+			// returned comparison) closes nothing.
+			return child == ast.Node(id)
+		case *ast.CompositeLit, *ast.SendStmt, *ast.IndexExpr:
+			return true
+		case *ast.AssignStmt:
+			// Only an appearance on the right-hand side escapes the
+			// stamp; re-stamping the variable itself is a write.
+			for _, rhs := range a.Rhs {
+				if rhs == child || within(rhs, id.Pos()) {
+					return true
+				}
+			}
+			return false
+		case *ast.BinaryExpr:
+			// A subtraction against a later Now is the span read
+			// itself, wherever its result flows (poll conditions
+			// compare the open span against a horizon).
+			if a.Op == token.SUB && (isNowCall(info, a.X) || isNowCall(info, a.Y)) {
+				return true
+			}
+		case *ast.BlockStmt, *ast.FuncLit:
+			return false
+		}
+		child = stack[i]
+	}
+	return false
+}
+
+// defOrUse resolves an assignment left-hand ident whether the
+// statement defines it (:=) or rebinds it (=).
+func defOrUse(info *types.Info, id *ast.Ident) types.Object {
+	if obj := info.Defs[id]; obj != nil {
+		return obj
+	}
+	return info.Uses[id]
+}
+
+// within reports whether pos falls inside n's extent.
+func within(n ast.Node, pos token.Pos) bool {
+	return n != nil && n.Pos() <= pos && pos < n.End()
+}
+
+// isNowCall matches obs.Now() (by package base name, so fixtures can
+// model the package locally), looking through parentheses.
+func isNowCall(info *types.Info, e ast.Expr) bool {
+	e = ast.Unparen(e)
+	c, ok := e.(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	sel, ok := c.Fun.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Now" {
+		return false
+	}
+	x, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	pn, ok := info.Uses[x].(*types.PkgName)
+	return ok && path.Base(pn.Imported().Path()) == "obs"
+}
+
+// isPhaseClock reports whether e's type is (a pointer to) the named
+// type PhaseClock.
+func isPhaseClock(info *types.Info, e ast.Expr) bool {
+	t := info.TypeOf(e)
+	if t == nil {
+		return false
+	}
+	if p, ok := t.Underlying().(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	n, ok := t.(*types.Named)
+	return ok && n.Obj().Name() == "PhaseClock"
+}

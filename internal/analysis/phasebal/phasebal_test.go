@@ -1,0 +1,12 @@
+package phasebal_test
+
+import (
+	"testing"
+
+	"hydra/internal/analysis/antest"
+	"hydra/internal/analysis/phasebal"
+)
+
+func TestPhasebalFixtures(t *testing.T) {
+	antest.Run(t, "testdata", phasebal.Analyzer, "m")
+}

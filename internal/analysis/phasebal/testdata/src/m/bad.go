@@ -1,0 +1,46 @@
+// Package m is phasebal's fixture: bad.go pins the true positives,
+// good.go pins the true negatives.
+package m
+
+import "obs"
+
+// leakStamp starts a span and never stops it: the time silently
+// lands in the user residual.
+func leakStamp(c *obs.PhaseClock) bool {
+	t0 := obs.Now() // want "phase stamp t0 from obs.Now\\(\\) is never closed"
+	park()
+	return t0 != 0 // a comparison reads the stamp but closes nothing
+}
+
+// leakVarStamp leaks through the var form too.
+func leakVarStamp(c *obs.PhaseClock) {
+	var t0 = obs.Now() // want "phase stamp t0 from obs.Now\\(\\) is never closed"
+	if t0 > 100 {
+		park()
+	}
+}
+
+// reversed subtracts in the wrong order: the duration is always
+// negative and Add's torn-read guard silently drops it.
+func reversed(c *obs.PhaseClock) {
+	t0 := obs.Now()
+	park()
+	c.Add(obs.PhaseLockWait, t0-obs.Now()) // want "reversed span arithmetic"
+}
+
+// stampAsDuration hands Add an absolute timestamp.
+func stampAsDuration(c *obs.PhaseClock) {
+	t0 := obs.Now()
+	park()
+	c.Add(obs.PhaseLatchWait, t0) // want "Add takes a duration but t0 is a start stamp"
+}
+
+// durationAsStamp hands Defer a closed duration: the fold would then
+// subtract it from the transaction end stamp, producing garbage.
+func durationAsStamp(c *obs.PhaseClock) {
+	t0 := obs.Now()
+	park()
+	c.Defer(obs.PhaseFlushWait, obs.Now()-t0) // want "Defer takes the span's start stamp, not a duration"
+}
+
+func park() {}

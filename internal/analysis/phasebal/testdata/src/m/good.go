@@ -1,0 +1,75 @@
+package m
+
+import "obs"
+
+// timedWait is the canonical balanced span.
+func timedWait(c *obs.PhaseClock) {
+	t0 := obs.Now()
+	park()
+	c.Add(obs.PhaseLockWait, obs.Now()-t0)
+}
+
+// deferredWait closes at the transaction fold: handing the stamp to
+// Defer balances the span.
+func deferredWait(c *obs.PhaseClock) error {
+	t0 := obs.Now()
+	err := waitDurable()
+	c.Defer(obs.PhaseFlushWait, t0)
+	return err
+}
+
+// tryLock escapes the stamp to its caller (the lockInsertMu idiom:
+// the helper stamps, the caller closes after unlocking).
+func tryLock(c *obs.PhaseClock) int64 {
+	if fastPath() {
+		return 0
+	}
+	t0 := obs.Now()
+	park()
+	return t0
+}
+
+// noteWait is the closing half of the tryLock contract.
+func noteWait(c *obs.PhaseClock, t0 int64) {
+	if t0 != 0 {
+		c.Add(obs.PhaseLogInsert, obs.Now()-t0)
+	}
+}
+
+// helperEscape passes the stamp onward for the callee to close.
+func helperEscape(c *obs.PhaseClock) {
+	t0 := tryLock(c)
+	noteWait(c, t0)
+}
+
+// spanRead measures the open span in a poll condition: the
+// subtraction against a later Now is the read that justifies the
+// stamp even though no Add runs on this path.
+func spanRead(c *obs.PhaseClock, horizon int64) bool {
+	t0 := obs.Now()
+	park()
+	return obs.Now()-t0 > horizon
+}
+
+// assignEscape flows the stamp into derived arithmetic that is
+// consumed downstream.
+func assignEscape(c *obs.PhaseClock) int64 {
+	start := obs.Now()
+	park()
+	end := obs.Now()
+	total := end - start
+	return total
+}
+
+// restamp overwrites the stamp before closing it once: rebinding is a
+// write, and the single Add balances the live span.
+func restamp(c *obs.PhaseClock) {
+	t0 := obs.Now()
+	if fastPath() {
+		t0 = obs.Now()
+	}
+	c.Add(obs.PhaseLatchWait, obs.Now()-t0)
+}
+
+func fastPath() bool     { return false }
+func waitDurable() error { return nil }

@@ -1,0 +1,25 @@
+// Package obs models internal/obs's phase-accounting surface for
+// phasebal fixtures (matched by package base name).
+package obs
+
+// Phase indexes a critical-path phase.
+type Phase int
+
+const (
+	PhaseLockWait Phase = iota
+	PhaseLatchWait
+	PhaseFlushWait
+	PhaseLogInsert
+)
+
+// Now is the monotonic stamp source.
+func Now() int64 { return 0 }
+
+// PhaseClock accumulates per-phase spans.
+type PhaseClock struct{ ns [4]int64 }
+
+// Add folds a closed span's duration into a phase.
+func (c *PhaseClock) Add(p Phase, d int64) {}
+
+// Defer records an open span closed at the transaction fold.
+func (c *PhaseClock) Defer(p Phase, t0 int64) {}

@@ -7,6 +7,7 @@ import (
 
 	"hydra/internal/buffer"
 	"hydra/internal/latch"
+	"hydra/internal/obs"
 	"hydra/internal/page"
 )
 
@@ -78,20 +79,57 @@ func (t *Tree) RootID() page.ID {
 	return t.root
 }
 
-// Get returns the value stored under key.
-func (t *Tree) Get(key uint64) (uint64, error) {
-	if t.mode == Coarse {
-		t.coarse.RLock()
-		defer t.coarse.RUnlock()
-		return t.getUnlatched(key)
+// lockCoarseR takes the tree-wide lock shared, attributing contended
+// acquisition to the clock's latch-wait phase: in Coarse mode this
+// lock IS the conventional design's serialization point, so its wait
+// must show up in the per-transaction breakdown.
+//
+//hydra:vet:nonpropagating -- returns holding the tree lock for the caller's operation
+func lockCoarseR(mu *sync.RWMutex, c *obs.PhaseClock) {
+	if c == nil || mu.TryRLock() {
+		if c == nil {
+			mu.RLock()
+		}
+		return
 	}
-	return t.getCrabbing(key)
+	t0 := obs.Now()
+	mu.RLock()
+	c.Add(obs.PhaseLatchWait, obs.Now()-t0)
 }
 
-func (t *Tree) getUnlatched(key uint64) (uint64, error) {
+// lockCoarseW is lockCoarseR for exclusive acquisition.
+//
+//hydra:vet:nonpropagating -- returns holding the tree lock for the caller's operation
+func lockCoarseW(mu *sync.RWMutex, c *obs.PhaseClock) {
+	if c == nil || mu.TryLock() {
+		if c == nil {
+			mu.Lock()
+		}
+		return
+	}
+	t0 := obs.Now()
+	mu.Lock()
+	c.Add(obs.PhaseLatchWait, obs.Now()-t0)
+}
+
+// Get returns the value stored under key.
+func (t *Tree) Get(key uint64) (uint64, error) { return t.GetC(key, nil) }
+
+// GetC is Get with a phase clock: latch and tree-lock waits feed the
+// latch-wait phase, buffer misses the buffer-miss phase.
+func (t *Tree) GetC(key uint64, c *obs.PhaseClock) (uint64, error) {
+	if t.mode == Coarse {
+		lockCoarseR(&t.coarse, c)
+		defer t.coarse.RUnlock()
+		return t.getUnlatched(key, c)
+	}
+	return t.getCrabbing(key, c)
+}
+
+func (t *Tree) getUnlatched(key uint64, c *obs.PhaseClock) (uint64, error) {
 	id := t.root
 	for {
-		f, err := t.pool.Fetch(id)
+		f, err := t.pool.FetchC(id, c)
 		if err != nil {
 			return 0, err
 		}
@@ -113,14 +151,14 @@ func (t *Tree) getUnlatched(key uint64) (uint64, error) {
 	}
 }
 
-func (t *Tree) getCrabbing(key uint64) (uint64, error) {
+func (t *Tree) getCrabbing(key uint64, c *obs.PhaseClock) (uint64, error) {
 	t.rootMu.RLock()
 	defer t.rootMu.RUnlock()
-	f, err := t.pool.Fetch(t.root)
+	f, err := t.pool.FetchC(t.root, c)
 	if err != nil {
 		return 0, err
 	}
-	f.Latch.Acquire(latch.Shared)
+	f.Latch.AcquireC(latch.Shared, c)
 	for {
 		n := node{f.Page}
 		if n.isLeaf() {
@@ -137,13 +175,13 @@ func (t *Tree) getCrabbing(key uint64) (uint64, error) {
 			return v, nil
 		}
 		childID, _ := n.innerSearch(key)
-		cf, err := t.pool.Fetch(childID)
+		cf, err := t.pool.FetchC(childID, c)
 		if err != nil {
 			f.Latch.Release(latch.Shared)
 			t.pool.Unpin(f, false)
 			return 0, err
 		}
-		cf.Latch.Acquire(latch.Shared)
+		cf.Latch.AcquireC(latch.Shared, c)
 		f.Latch.Release(latch.Shared)
 		t.pool.Unpin(f, false)
 		f = cf
@@ -151,14 +189,17 @@ func (t *Tree) getCrabbing(key uint64) (uint64, error) {
 }
 
 // Insert stores (key, value), replacing any existing value (upsert).
-func (t *Tree) Insert(key, value uint64) error {
+func (t *Tree) Insert(key, value uint64) error { return t.InsertC(key, value, nil) }
+
+// InsertC is Insert with a phase clock (see GetC).
+func (t *Tree) InsertC(key, value uint64, c *obs.PhaseClock) error {
 	if t.mode == Coarse {
-		t.coarse.Lock()
+		lockCoarseW(&t.coarse, c)
 		defer t.coarse.Unlock()
-		return t.insertExclusive(key, value)
+		return t.insertExclusive(key, value, c)
 	}
 	for {
-		done, err := t.insertCrabbing(key, value)
+		done, err := t.insertCrabbing(key, value, c)
 		if err != nil {
 			return err
 		}
@@ -167,7 +208,7 @@ func (t *Tree) Insert(key, value uint64) error {
 		}
 		// Root was full: take the tree exclusively, split it, retry.
 		t.rootMu.Lock()
-		err = t.splitRootIfFull()
+		err = t.splitRootIfFull(c)
 		t.rootMu.Unlock()
 		if err != nil {
 			return err
@@ -178,7 +219,7 @@ func (t *Tree) Insert(key, value uint64) error {
 // insertCrabbing attempts a latch-coupled insert. It reports
 // done=false (without inserting) when the root is full and must be
 // split by the exclusive path first.
-func (t *Tree) insertCrabbing(key, value uint64) (bool, error) {
+func (t *Tree) insertCrabbing(key, value uint64, c *obs.PhaseClock) (bool, error) {
 	t.rootMu.RLock()
 	defer t.rootMu.RUnlock()
 
@@ -191,11 +232,11 @@ func (t *Tree) insertCrabbing(key, value uint64) (bool, error) {
 		path = nil
 	}
 
-	f, err := t.pool.Fetch(t.root)
+	f, err := t.pool.FetchC(t.root, c)
 	if err != nil {
 		return false, err
 	}
-	f.Latch.Acquire(latch.Exclusive)
+	f.Latch.AcquireC(latch.Exclusive, c)
 	if full(node{f.Page}) {
 		f.Latch.Release(latch.Exclusive)
 		t.pool.Unpin(f, false)
@@ -209,12 +250,12 @@ func (t *Tree) insertCrabbing(key, value uint64) (bool, error) {
 			break
 		}
 		childID, _ := n.innerSearch(key)
-		cf, err := t.pool.Fetch(childID)
+		cf, err := t.pool.FetchC(childID, c)
 		if err != nil {
 			releaseAll()
 			return false, err
 		}
-		cf.Latch.Acquire(latch.Exclusive)
+		cf.Latch.AcquireC(latch.Exclusive, c)
 		if !full(node{cf.Page}) {
 			// Child is split-safe: ancestors can go.
 			releaseAll()
@@ -237,7 +278,7 @@ func (t *Tree) insertCrabbing(key, value uint64) (bool, error) {
 		return true, nil
 	}
 	// Split the leaf and bubble the separator up the retained path.
-	sep, newID, err := t.leafSplitInsert(leaf, key, value)
+	sep, newID, err := t.leafSplitInsert(leaf, key, value, c)
 	if err != nil {
 		releaseAll()
 		return false, err
@@ -250,7 +291,7 @@ func (t *Tree) insertCrabbing(key, value uint64) (bool, error) {
 			releaseAll()
 			return true, nil
 		}
-		sep, newID, err = t.innerSplitInsert(parent, sep, newID)
+		sep, newID, err = t.innerSplitInsert(parent, sep, newID, c)
 		if err != nil {
 			releaseAll()
 			return false, err
@@ -265,8 +306,8 @@ func (t *Tree) insertCrabbing(key, value uint64) (bool, error) {
 
 // splitRootIfFull preemptively splits a full root under the exclusive
 // tree lock.
-func (t *Tree) splitRootIfFull() error {
-	f, err := t.pool.Fetch(t.root)
+func (t *Tree) splitRootIfFull(c *obs.PhaseClock) error {
+	f, err := t.pool.FetchC(t.root, c)
 	if err != nil {
 		return err
 	}
@@ -278,15 +319,15 @@ func (t *Tree) splitRootIfFull() error {
 	var sep uint64
 	var newID page.ID
 	if n.isLeaf() {
-		sep, newID, err = t.leafSplit(n)
+		sep, newID, err = t.leafSplit(n, c)
 	} else {
-		sep, newID, err = t.innerSplit(n)
+		sep, newID, err = t.innerSplit(n, c)
 	}
 	if err != nil {
 		t.pool.Unpin(f, false)
 		return err
 	}
-	rf, err := t.pool.NewPage(page.TypeBTreeInner)
+	rf, err := t.pool.NewPageC(page.TypeBTreeInner, c)
 	if err != nil {
 		t.pool.Unpin(f, true)
 		return err
@@ -302,13 +343,13 @@ func (t *Tree) splitRootIfFull() error {
 
 // insertExclusive is the Coarse-mode insert: top-down preemptive
 // splitting under the tree-wide writer lock, no latches.
-func (t *Tree) insertExclusive(key, value uint64) error {
-	if err := t.splitRootIfFullLocked(); err != nil {
+func (t *Tree) insertExclusive(key, value uint64, c *obs.PhaseClock) error {
+	if err := t.splitRootIfFullLocked(c); err != nil {
 		return err
 	}
 	id := t.root
 	for {
-		f, err := t.pool.Fetch(id)
+		f, err := t.pool.FetchC(id, c)
 		if err != nil {
 			return err
 		}
@@ -324,7 +365,7 @@ func (t *Tree) insertExclusive(key, value uint64) error {
 			return nil
 		}
 		childID, _ := n.innerSearch(key)
-		cf, err := t.pool.Fetch(childID)
+		cf, err := t.pool.FetchC(childID, c)
 		if err != nil {
 			t.pool.Unpin(f, false)
 			return err
@@ -334,9 +375,9 @@ func (t *Tree) insertExclusive(key, value uint64) error {
 			var sep uint64
 			var newID page.ID
 			if cn.isLeaf() {
-				sep, newID, err = t.leafSplit(cn)
+				sep, newID, err = t.leafSplit(cn, c)
 			} else {
-				sep, newID, err = t.innerSplit(cn)
+				sep, newID, err = t.innerSplit(cn, c)
 			}
 			if err != nil {
 				t.pool.Unpin(cf, false)
@@ -361,28 +402,31 @@ func (t *Tree) insertExclusive(key, value uint64) error {
 	}
 }
 
-func (t *Tree) splitRootIfFullLocked() error {
+func (t *Tree) splitRootIfFullLocked(c *obs.PhaseClock) error {
 	// Same as splitRootIfFull; Coarse mode's writer lock already
 	// excludes all other traffic.
-	return t.splitRootIfFull()
+	return t.splitRootIfFull(c)
 }
 
 // Delete removes key. In the tradition of many production trees,
 // underflowing nodes are not rebalanced; empty leaves are left in
 // place and reclaimed on reorganization.
-func (t *Tree) Delete(key uint64) error {
+func (t *Tree) Delete(key uint64) error { return t.DeleteC(key, nil) }
+
+// DeleteC is Delete with a phase clock (see GetC).
+func (t *Tree) DeleteC(key uint64, c *obs.PhaseClock) error {
 	if t.mode == Coarse {
-		t.coarse.Lock()
+		lockCoarseW(&t.coarse, c)
 		defer t.coarse.Unlock()
-		return t.deleteUnlatched(key)
+		return t.deleteUnlatched(key, c)
 	}
-	return t.deleteCrabbing(key)
+	return t.deleteCrabbing(key, c)
 }
 
-func (t *Tree) deleteUnlatched(key uint64) error {
+func (t *Tree) deleteUnlatched(key uint64, c *obs.PhaseClock) error {
 	id := t.root
 	for {
-		f, err := t.pool.Fetch(id)
+		f, err := t.pool.FetchC(id, c)
 		if err != nil {
 			return err
 		}
@@ -402,16 +446,16 @@ func (t *Tree) deleteUnlatched(key uint64) error {
 	}
 }
 
-func (t *Tree) deleteCrabbing(key uint64) error {
+func (t *Tree) deleteCrabbing(key uint64, c *obs.PhaseClock) error {
 	// Deletes never modify ancestors (no rebalancing), so plain latch
 	// coupling with immediate parent release suffices.
 	t.rootMu.RLock()
 	defer t.rootMu.RUnlock()
-	f, err := t.pool.Fetch(t.root)
+	f, err := t.pool.FetchC(t.root, c)
 	if err != nil {
 		return err
 	}
-	f.Latch.Acquire(latch.Exclusive)
+	f.Latch.AcquireC(latch.Exclusive, c)
 	for {
 		n := node{f.Page}
 		if n.isLeaf() {
@@ -427,13 +471,13 @@ func (t *Tree) deleteCrabbing(key uint64) error {
 			return nil
 		}
 		childID, _ := n.innerSearch(key)
-		cf, err := t.pool.Fetch(childID)
+		cf, err := t.pool.FetchC(childID, c)
 		if err != nil {
 			f.Latch.Release(latch.Exclusive)
 			t.pool.Unpin(f, false)
 			return err
 		}
-		cf.Latch.Acquire(latch.Exclusive)
+		cf.Latch.AcquireC(latch.Exclusive, c)
 		f.Latch.Release(latch.Exclusive)
 		t.pool.Unpin(f, false)
 		f = cf
@@ -443,8 +487,13 @@ func (t *Tree) deleteCrabbing(key uint64) error {
 // Scan calls fn for every (key, value) with lo <= key <= hi in
 // ascending order; fn returning false stops the scan.
 func (t *Tree) Scan(lo, hi uint64, fn func(key, value uint64) bool) error {
+	return t.ScanC(lo, hi, nil, fn)
+}
+
+// ScanC is Scan with a phase clock (see GetC).
+func (t *Tree) ScanC(lo, hi uint64, c *obs.PhaseClock, fn func(key, value uint64) bool) error {
 	if t.mode == Coarse {
-		t.coarse.RLock()
+		lockCoarseR(&t.coarse, c)
 		defer t.coarse.RUnlock()
 	} else {
 		t.rootMu.RLock()
@@ -453,12 +502,12 @@ func (t *Tree) Scan(lo, hi uint64, fn func(key, value uint64) bool) error {
 	latched := t.mode == Crabbing
 
 	// Descend to the leaf containing lo.
-	f, err := t.pool.Fetch(t.root)
+	f, err := t.pool.FetchC(t.root, c)
 	if err != nil {
 		return err
 	}
 	if latched {
-		f.Latch.Acquire(latch.Shared)
+		f.Latch.AcquireC(latch.Shared, c)
 	}
 	for {
 		n := node{f.Page}
@@ -466,7 +515,7 @@ func (t *Tree) Scan(lo, hi uint64, fn func(key, value uint64) bool) error {
 			break
 		}
 		childID, _ := n.innerSearch(lo)
-		cf, err := t.pool.Fetch(childID)
+		cf, err := t.pool.FetchC(childID, c)
 		if err != nil {
 			if latched {
 				f.Latch.Release(latch.Shared)
@@ -475,7 +524,7 @@ func (t *Tree) Scan(lo, hi uint64, fn func(key, value uint64) bool) error {
 			return err
 		}
 		if latched {
-			cf.Latch.Acquire(latch.Shared)
+			cf.Latch.AcquireC(latch.Shared, c)
 			f.Latch.Release(latch.Shared)
 		}
 		t.pool.Unpin(f, false)
@@ -510,7 +559,7 @@ func (t *Tree) Scan(lo, hi uint64, fn func(key, value uint64) bool) error {
 			t.pool.Unpin(f, false)
 			return nil
 		}
-		nf, err := t.pool.Fetch(next)
+		nf, err := t.pool.FetchC(next, c)
 		if err != nil {
 			if latched {
 				f.Latch.Release(latch.Shared)
@@ -519,7 +568,7 @@ func (t *Tree) Scan(lo, hi uint64, fn func(key, value uint64) bool) error {
 			return err
 		}
 		if latched {
-			nf.Latch.Acquire(latch.Shared)
+			nf.Latch.AcquireC(latch.Shared, c)
 			f.Latch.Release(latch.Shared)
 		}
 		t.pool.Unpin(f, false)
@@ -552,8 +601,8 @@ func innerInsertPos(n node, sep uint64) int {
 
 // leafSplit moves the upper half of n into a fresh leaf, returning
 // the separator (first key of the new leaf) and its page id.
-func (t *Tree) leafSplit(n node) (uint64, page.ID, error) {
-	rf, err := t.pool.NewPage(page.TypeBTreeLeaf)
+func (t *Tree) leafSplit(n node, c *obs.PhaseClock) (uint64, page.ID, error) {
+	rf, err := t.pool.NewPageC(page.TypeBTreeLeaf, c)
 	if err != nil {
 		return 0, 0, err
 	}
@@ -573,8 +622,8 @@ func (t *Tree) leafSplit(n node) (uint64, page.ID, error) {
 
 // leafSplitInsert splits n and then inserts (key, value) into the
 // correct half, returning the separator and new page id.
-func (t *Tree) leafSplitInsert(n node, key, value uint64) (uint64, page.ID, error) {
-	rf, err := t.pool.NewPage(page.TypeBTreeLeaf)
+func (t *Tree) leafSplitInsert(n node, key, value uint64, c *obs.PhaseClock) (uint64, page.ID, error) {
+	rf, err := t.pool.NewPageC(page.TypeBTreeLeaf, c)
 	if err != nil {
 		return 0, 0, err
 	}
@@ -601,8 +650,8 @@ func (t *Tree) leafSplitInsert(n node, key, value uint64) (uint64, page.ID, erro
 
 // innerSplit splits a full interior node, returning the key promoted
 // to the parent and the new right node's id.
-func (t *Tree) innerSplit(n node) (uint64, page.ID, error) {
-	rf, err := t.pool.NewPage(page.TypeBTreeInner)
+func (t *Tree) innerSplit(n node, c *obs.PhaseClock) (uint64, page.ID, error) {
+	rf, err := t.pool.NewPageC(page.TypeBTreeInner, c)
 	if err != nil {
 		return 0, 0, err
 	}
@@ -621,15 +670,15 @@ func (t *Tree) innerSplit(n node) (uint64, page.ID, error) {
 
 // innerSplitInsert splits n and inserts (sep, child) into the proper
 // half, returning the promoted key and new node id.
-func (t *Tree) innerSplitInsert(n node, sep uint64, child page.ID) (uint64, page.ID, error) {
-	promoted, newID, err := t.innerSplit(n)
+func (t *Tree) innerSplitInsert(n node, sep uint64, child page.ID, c *obs.PhaseClock) (uint64, page.ID, error) {
+	promoted, newID, err := t.innerSplit(n, c)
 	if err != nil {
 		return 0, 0, err
 	}
 	var target node
 	var tf *buffer.Frame
 	if sep >= promoted {
-		f, err := t.pool.Fetch(newID)
+		f, err := t.pool.FetchC(newID, c)
 		if err != nil {
 			return 0, 0, err
 		}

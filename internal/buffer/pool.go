@@ -134,12 +134,38 @@ func (p *Pool) shardFor(id page.ID) *shard {
 // page, not the whole shard. Evicting a dirty victim follows the same
 // shape: the victim is reserved under the lock and written back
 // outside it (see victimLocked).
-func (p *Pool) Fetch(id page.ID) (*Frame, error) {
-	s := p.shardFor(id)
+func (p *Pool) Fetch(id page.ID) (*Frame, error) { return p.fetch(id, nil) }
+
+// FetchC is Fetch with a phase clock: contended shard-mutex
+// acquisition is attributed to the latch-wait phase, and miss-path
+// work (store read, dirty-victim write-back, waiting out another
+// fetcher's in-flight IO) to the buffer-miss phase. The hit path with
+// an uncontended shard mutex performs no clock reads; a nil clock
+// makes FetchC identical to Fetch.
+func (p *Pool) FetchC(id page.ID, c *obs.PhaseClock) (*Frame, error) {
+	return p.fetch(id, c)
+}
+
+// lockShard takes the shard mutex, feeding contended acquisition time
+// to the clock's latch-wait phase via a try-first probe.
+//
+//hydra:vet:nonpropagating -- returns holding s.mu for the caller's critical section
+func lockShard(s *shard, c *obs.PhaseClock) {
 	ps := obs.LatchStart(obs.TierPoolShard)
-	s.mu.Lock()
+	if c == nil {
+		s.mu.Lock()
+	} else if !s.mu.TryLock() {
+		t0 := obs.Now()
+		s.mu.Lock()
+		c.Add(obs.PhaseLatchWait, obs.Now()-t0)
+	}
 	obs.LatchDone(obs.TierPoolShard, ps)
 	invariant.Acquired(invariant.TierPoolShard, "buffer.shard.mu")
+}
+
+func (p *Pool) fetch(id page.ID, c *obs.PhaseClock) (*Frame, error) {
+	s := p.shardFor(id)
+	lockShard(s, c)
 	for {
 		if f, ok := s.table[id]; ok {
 			if f.loading {
@@ -148,7 +174,13 @@ func (p *Pool) Fetch(id page.ID) (*Frame, error) {
 				// it to settle and re-examine: a completed fill is a
 				// hit; a completed eviction or failed fill leaves no
 				// entry and this fetcher (re)reads the page itself.
-				s.cond.Wait()
+				if c != nil {
+					t0 := obs.Now()
+					s.cond.Wait()
+					c.Add(obs.PhaseBufMissIO, obs.Now()-t0)
+				} else {
+					s.cond.Wait()
+				}
 				continue
 			}
 			f.pins++
@@ -159,7 +191,7 @@ func (p *Pool) Fetch(id page.ID) (*Frame, error) {
 			return f, nil
 		}
 		p.misses.Add(1)
-		f, needsWB, err := p.victimLocked(s)
+		f, needsWB, err := p.victimLocked(s, c)
 		if err != nil {
 			invariant.Released(invariant.TierPoolShard, "buffer.shard.mu")
 			s.mu.Unlock()
@@ -168,7 +200,7 @@ func (p *Pool) Fetch(id page.ID) (*Frame, error) {
 		if needsWB {
 			invariant.Released(invariant.TierPoolShard, "buffer.shard.mu")
 			s.mu.Unlock()
-			werr := p.flushFrame(f)
+			werr := p.flushFrameC(f, c)
 			s.mu.Lock()
 			invariant.Acquired(invariant.TierPoolShard, "buffer.shard.mu")
 			p.evictReserved(s, f, werr)
@@ -198,7 +230,13 @@ func (p *Pool) Fetch(id page.ID) (*Frame, error) {
 		invariant.Released(invariant.TierPoolShard, "buffer.shard.mu")
 		s.mu.Unlock()
 
-		err = p.store.ReadPage(id, f.Page)
+		if c != nil {
+			t0 := obs.Now()
+			err = p.store.ReadPage(id, f.Page)
+			c.Add(obs.PhaseBufMissIO, obs.Now()-t0)
+		} else {
+			err = p.store.ReadPage(id, f.Page)
+		}
 
 		s.mu.Lock()
 		invariant.Acquired(invariant.TierPoolShard, "buffer.shard.mu")
@@ -225,15 +263,22 @@ func (p *Pool) Fetch(id page.ID) (*Frame, error) {
 
 // NewPage allocates a fresh page in the store, formats it with the
 // given type, pins it, and returns its frame.
-func (p *Pool) NewPage(t page.Type) (*Frame, error) {
+func (p *Pool) NewPage(t page.Type) (*Frame, error) { return p.newPage(t, nil) }
+
+// NewPageC is NewPage with a phase clock (see FetchC for the
+// attribution rules).
+func (p *Pool) NewPageC(t page.Type, c *obs.PhaseClock) (*Frame, error) {
+	return p.newPage(t, c)
+}
+
+func (p *Pool) newPage(t page.Type, c *obs.PhaseClock) (*Frame, error) {
 	id, err := p.store.Allocate()
 	if err != nil {
 		return nil, err
 	}
 	s := p.shardFor(id)
-	s.mu.Lock()
-	invariant.Acquired(invariant.TierPoolShard, "buffer.shard.mu")
-	f, needsWB, err := p.victimLocked(s)
+	lockShard(s, c)
+	f, needsWB, err := p.victimLocked(s, c)
 	if err != nil {
 		invariant.Released(invariant.TierPoolShard, "buffer.shard.mu")
 		s.mu.Unlock()
@@ -242,7 +287,7 @@ func (p *Pool) NewPage(t page.Type) (*Frame, error) {
 	if needsWB {
 		invariant.Released(invariant.TierPoolShard, "buffer.shard.mu")
 		s.mu.Unlock()
-		werr := p.flushFrame(f)
+		werr := p.flushFrameC(f, c)
 		s.mu.Lock()
 		invariant.Acquired(invariant.TierPoolShard, "buffer.shard.mu")
 		p.evictReserved(s, f, werr)
@@ -275,7 +320,7 @@ func (p *Pool) NewPage(t page.Type) (*Frame, error) {
 // skip it. The caller must then drop s.mu, write the page out
 // (flushFrame), retake s.mu, and complete or abort the eviction with
 // evictReserved. Caller holds s.mu.
-func (p *Pool) victimLocked(s *shard) (f *Frame, needsWriteBack bool, err error) {
+func (p *Pool) victimLocked(s *shard, c *obs.PhaseClock) (f *Frame, needsWriteBack bool, err error) {
 	for {
 		// Clock sweep: up to two full passes (first pass clears ref
 		// bits).
@@ -310,7 +355,13 @@ func (p *Pool) victimLocked(s *shard) (f *Frame, needsWriteBack bool, err error)
 		// write-back that may fail and return its frame). Wait for one
 		// to settle and rescan rather than reporting a spurious
 		// ErrNoFrames.
-		s.cond.Wait()
+		if c != nil {
+			t0 := obs.Now()
+			s.cond.Wait()
+			c.Add(obs.PhaseBufMissIO, obs.Now()-t0)
+		} else {
+			s.cond.Wait()
+		}
 	}
 }
 
@@ -345,7 +396,23 @@ func (p *Pool) evictReserved(s *shard, f *Frame, werr error) {
 // dirty/recLSN under the shard mutex according to their protocol —
 // and must be called with the frame's content stable (latched shared,
 // or reserved and unpinned) and the shard mutex NOT held.
-func (p *Pool) flushFrame(f *Frame) error {
+func (p *Pool) flushFrame(f *Frame) error { return p.flushFrameC(f, nil) }
+
+// flushFrameC is flushFrame with the write-back time (WAL-first flush
+// included) attributed to the clock's buffer-miss phase.
+func (p *Pool) flushFrameC(f *Frame, c *obs.PhaseClock) error {
+	var t0 int64
+	if c != nil {
+		t0 = obs.Now()
+	}
+	err := p.flushFrameIO(f)
+	if c != nil {
+		c.Add(obs.PhaseBufMissIO, obs.Now()-t0)
+	}
+	return err
+}
+
+func (p *Pool) flushFrameIO(f *Frame) error {
 	if p.opts.FlushLog != nil {
 		if err := p.opts.FlushLog(f.Page.LSN()); err != nil {
 			return fmt.Errorf("buffer: WAL flush before writeback: %w", err)

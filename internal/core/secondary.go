@@ -7,6 +7,7 @@ import (
 	"hydra/internal/btree"
 	"hydra/internal/heap"
 	"hydra/internal/lock"
+	"hydra/internal/obs"
 )
 
 // SecondaryIndex is a value-derived, non-unique index over a table:
@@ -117,12 +118,12 @@ func (tx *Txn) LookupRange(tbl *Table, idx *SecondaryIndex, loAttr, hiAttr uint6
 		return err
 	}
 	var inner error
-	err := idx.tree.Scan(sxKey(loAttr, 0), sxKey(hiAttr, u32), func(composite, rowKey uint64) bool {
-		packed, err := tbl.Index.Get(rowKey)
+	err := idx.tree.ScanC(sxKey(loAttr, 0), sxKey(hiAttr, u32), &tx.clock, func(composite, rowKey uint64) bool {
+		packed, err := tbl.Index.GetC(rowKey, &tx.clock)
 		if err != nil {
 			return true // row vanished between index and heap (stale entry)
 		}
-		rec, err := tbl.Heap.Read(heap.Unpack(packed))
+		rec, err := tbl.Heap.ReadC(heap.Unpack(packed), &tx.clock)
 		if err != nil {
 			inner = err
 			return false
@@ -139,6 +140,12 @@ func (tx *Txn) LookupRange(tbl *Table, idx *SecondaryIndex, loAttr, hiAttr uint6
 // or-in-progress row change: oldVal/newVal are nil when absent
 // (insert has no old, delete has no new).
 func (t *Table) maintainSecondaries(key uint64, oldVal, newVal []byte) error {
+	return t.maintainSecondariesC(key, oldVal, newVal, nil)
+}
+
+// maintainSecondariesC is maintainSecondaries with a phase clock;
+// recovery undo passes nil.
+func (t *Table) maintainSecondariesC(key uint64, oldVal, newVal []byte, c *obs.PhaseClock) error {
 	t.idxMu.RLock()
 	indexes := t.secondary
 	t.idxMu.RUnlock()
@@ -164,7 +171,7 @@ func (t *Table) maintainSecondaries(key uint64, oldVal, newVal []byte) error {
 			if oldAttr > u32 {
 				return fmt.Errorf("%w: attribute %d", ErrKeyRange, oldAttr)
 			}
-			if err := idx.tree.Delete(sxKey(oldAttr, key)); err != nil && !errors.Is(err, btree.ErrNotFound) {
+			if err := idx.tree.DeleteC(sxKey(oldAttr, key), c); err != nil && !errors.Is(err, btree.ErrNotFound) {
 				return err
 			}
 		}
@@ -172,7 +179,7 @@ func (t *Table) maintainSecondaries(key uint64, oldVal, newVal []byte) error {
 			if newAttr > u32 {
 				return fmt.Errorf("%w: attribute %d", ErrKeyRange, newAttr)
 			}
-			if err := idx.tree.Insert(sxKey(newAttr, key), key); err != nil {
+			if err := idx.tree.InsertC(sxKey(newAttr, key), key, c); err != nil {
 				return err
 			}
 		}

@@ -47,6 +47,15 @@ type Txn struct {
 	noLock bool         // DORA: partition ownership replaces locking
 	locks  *lock.Holder // caller-owned lock set (see lock.Holder)
 
+	// path tags which execution path runs the transaction (DORA sets
+	// it after Begin; conventional transactions keep PathConv).
+	path obs.TxnPath
+	// clock accumulates the transaction's critical-path breakdown. It
+	// lives by value so a pooled handle's clock costs no allocation;
+	// its address is stable for the handle's lifetime, which lets the
+	// lock holder and DORA executors keep a pointer to it.
+	clock obs.PhaseClock
+
 	// mu guards lastLSN, undo, logged, enc. It is intentionally held
 	// across WAL appends: DORA executors sharing a no-lock transaction
 	// must serialize the prev-LSN chain, and an append is a buffer copy
@@ -117,6 +126,9 @@ func (e *Engine) Begin() *Txn {
 		t.locks.Reset(id)
 	} else {
 		t = &Txn{e: e, locks: e.locks.NewHolder(id)}
+		// The holder keeps a pointer to the clock for the life of the
+		// handle: lock waits made on this holder's behalf feed it.
+		t.locks.SetClock(&t.clock)
 	}
 	invariant.PoolGot("core.Begin", t)
 	t.id = id
@@ -126,6 +138,10 @@ func (e *Engine) Begin() *Txn {
 	t.lastLSN = wal.NilLSN
 	t.firstLSN = wal.NilLSN
 	t.logged = false
+	// No clock Reset here: finish's fold drains every lap to zero, so a
+	// pooled handle's clock is already clean; Start just restamps.
+	t.path = obs.PathConv
+	t.clock.Start(obs.Now())
 	e.activeMu.Lock()
 	e.active[id] = t
 	e.activeMu.Unlock()
@@ -138,6 +154,18 @@ func (e *Engine) Begin() *Txn {
 func (t *Txn) finish(state txnState) {
 	t.state = state
 	e := t.e
+	// Fold the critical-path breakdown before the handle is recycled;
+	// the same numbers feed the slow-transaction reservoir so a
+	// tail-worthy transaction is captured without re-reading the clock.
+	end := obs.Now()
+	total := end - t.clock.StartTime()
+	oc := obs.OutcomeCommit
+	if state == txnAborted {
+		oc = obs.OutcomeAbort
+	}
+	var phases [obs.NumPhases]int64
+	obs.TxnPhases.Fold(t.path, oc, &t.clock, total, &phases)
+	obs.SlowTxns.Offer(t.id, t.path, oc, end, total, &phases)
 	e.activeMu.Lock()
 	delete(e.active, t.id)
 	e.activeMu.Unlock()
@@ -174,6 +202,17 @@ func (e *Engine) BeginNoLock() *Txn {
 // ID returns the transaction id.
 func (t *Txn) ID() uint64 { return t.id }
 
+// SetPath tags the execution path folded into the phase profile when
+// the transaction finishes. The DORA layer calls it right after
+// Begin; conventional transactions keep the default PathConv.
+func (t *Txn) SetPath(p obs.TxnPath) { t.path = p }
+
+// Clock returns the transaction's phase clock. DORA executors use it
+// to attribute queue and service time to the transaction they are
+// running on behalf of; the pointer is valid until Commit/Abort
+// returns (the handle may then be recycled).
+func (t *Txn) Clock() *obs.PhaseClock { return &t.clock }
+
 func (t *Txn) acquire(name lock.Name, mode lock.Mode) error {
 	if t.noLock {
 		return nil
@@ -192,7 +231,7 @@ func (t *Txn) ensureBegin() error {
 	if t.logged {
 		return nil
 	}
-	lsn, err := t.e.log.AppendFields(wal.RecBegin, t.id, wal.NilLSN, 0, 0, nil)
+	lsn, err := t.e.log.AppendFieldsC(wal.RecBegin, t.id, wal.NilLSN, 0, 0, nil, &t.clock)
 	if err != nil {
 		return err
 	}
@@ -222,7 +261,7 @@ func (t *Txn) logOp(op *OpRecord) (wal.LSN, error) {
 	// The payload is copied into the log ring before AppendFields
 	// returns, so the scratch buffer is safely reused per op.
 	t.enc = encodeOpTo(t.enc, op)
-	lsn, err := t.e.log.AppendFields(wal.RecUpdate, t.id, prev, uint64(op.RID.Page), 0, t.enc)
+	lsn, err := t.e.log.AppendFieldsC(wal.RecUpdate, t.id, prev, uint64(op.RID.Page), 0, t.enc, &t.clock)
 	if err != nil {
 		return 0, err
 	}
@@ -247,11 +286,11 @@ func (t *Txn) Read(tbl *Table, key uint64) ([]byte, error) {
 	if err := t.acquire(lock.RowName(tbl.ID, key), lock.S); err != nil {
 		return nil, err
 	}
-	packed, err := tbl.Index.Get(key)
+	packed, err := tbl.Index.GetC(key, &t.clock)
 	if err != nil {
 		return nil, fmt.Errorf("%w: table %s key %d", ErrNotFound, tbl.Name, key)
 	}
-	rec, err := tbl.Heap.Read(heap.Unpack(packed))
+	rec, err := tbl.Heap.ReadC(heap.Unpack(packed), &t.clock)
 	if err != nil {
 		return nil, err
 	}
@@ -271,11 +310,11 @@ func (t *Txn) ReadForUpdate(tbl *Table, key uint64) ([]byte, error) {
 	if err := t.acquire(lock.RowName(tbl.ID, key), lock.X); err != nil {
 		return nil, err
 	}
-	packed, err := tbl.Index.Get(key)
+	packed, err := tbl.Index.GetC(key, &t.clock)
 	if err != nil {
 		return nil, fmt.Errorf("%w: table %s key %d", ErrNotFound, tbl.Name, key)
 	}
-	rec, err := tbl.Heap.Read(heap.Unpack(packed))
+	rec, err := tbl.Heap.ReadC(heap.Unpack(packed), &t.clock)
 	if err != nil {
 		return nil, err
 	}
@@ -296,12 +335,12 @@ func (t *Txn) Insert(tbl *Table, key uint64, value []byte) error {
 	if err := t.acquire(lock.RowName(tbl.ID, key), lock.X); err != nil {
 		return err
 	}
-	if _, err := tbl.Index.Get(key); err == nil {
+	if _, err := tbl.Index.GetC(key, &t.clock); err == nil {
 		return fmt.Errorf("%w: table %s key %d", ErrExists, tbl.Name, key)
 	}
 	rec := t.arenaRowRecord(key, value)
 	op := OpRecord{Op: OpInsert, Table: tbl.ID, Key: key, After: rec}
-	rid, err := tbl.Heap.InsertFn(rec, func(rid heap.RID) (uint64, error) {
+	rid, err := tbl.Heap.InsertFnC(rec, &t.clock, func(rid heap.RID) (uint64, error) {
 		op.RID = rid
 		lsn, err := t.logOp(&op)
 		return uint64(lsn), err
@@ -309,10 +348,10 @@ func (t *Txn) Insert(tbl *Table, key uint64, value []byte) error {
 	if err != nil {
 		return err
 	}
-	if err := tbl.Index.Insert(key, rid.Pack()); err != nil {
+	if err := tbl.Index.InsertC(key, rid.Pack(), &t.clock); err != nil {
 		return err
 	}
-	return tbl.maintainSecondaries(key, nil, value)
+	return tbl.maintainSecondariesC(key, nil, value, &t.clock)
 }
 
 // Update replaces the value of an existing row.
@@ -329,39 +368,39 @@ func (t *Txn) Update(tbl *Table, key uint64, value []byte) error {
 	if err := t.acquire(lock.RowName(tbl.ID, key), lock.X); err != nil {
 		return err
 	}
-	packed, err := tbl.Index.Get(key)
+	packed, err := tbl.Index.GetC(key, &t.clock)
 	if err != nil {
 		return fmt.Errorf("%w: table %s key %d", ErrNotFound, tbl.Name, key)
 	}
 	rid := heap.Unpack(packed)
 	rec := t.arenaRowRecord(key, value)
 	op := OpRecord{Op: OpUpdate, Table: tbl.ID, Key: key, RID: rid, After: rec}
-	err = tbl.Heap.UpdateFn(rid, rec, func(before []byte) (uint64, error) {
+	err = tbl.Heap.UpdateFnC(rid, rec, &t.clock, func(before []byte) (uint64, error) {
 		op.Before = before // page slice; logOp arena-copies it synchronously
 		lsn, lerr := t.logOp(&op)
 		return uint64(lsn), lerr
 	})
 	if err == nil {
-		return tbl.maintainSecondaries(key, rowValue(op.Before), value)
+		return tbl.maintainSecondariesC(key, rowValue(op.Before), value, &t.clock)
 	}
 	if !errors.Is(err, page.ErrPageFull) {
 		return err
 	}
 	// The grown row no longer fits on its page: delete + re-insert,
 	// which moves the row and updates the index.
-	before, rerr := tbl.Heap.Read(rid)
+	before, rerr := tbl.Heap.ReadC(rid, &t.clock)
 	if rerr != nil {
 		return rerr
 	}
 	delOp := OpRecord{Op: OpDelete, Table: tbl.ID, Key: key, RID: rid, Before: before}
-	if err := tbl.Heap.DeleteFn(rid, func([]byte) (uint64, error) {
+	if err := tbl.Heap.DeleteFnC(rid, &t.clock, func([]byte) (uint64, error) {
 		lsn, lerr := t.logOp(&delOp)
 		return uint64(lsn), lerr
 	}); err != nil {
 		return err
 	}
 	insOp := OpRecord{Op: OpInsert, Table: tbl.ID, Key: key, After: rec}
-	newRID, err := tbl.Heap.InsertFn(rec, func(r heap.RID) (uint64, error) {
+	newRID, err := tbl.Heap.InsertFnC(rec, &t.clock, func(r heap.RID) (uint64, error) {
 		insOp.RID = r
 		lsn, lerr := t.logOp(&insOp)
 		return uint64(lsn), lerr
@@ -369,10 +408,10 @@ func (t *Txn) Update(tbl *Table, key uint64, value []byte) error {
 	if err != nil {
 		return err
 	}
-	if err := tbl.Index.Insert(key, newRID.Pack()); err != nil {
+	if err := tbl.Index.InsertC(key, newRID.Pack(), &t.clock); err != nil {
 		return err
 	}
-	return tbl.maintainSecondaries(key, rowValue(before), value)
+	return tbl.maintainSecondariesC(key, rowValue(before), value, &t.clock)
 }
 
 // Delete removes a row.
@@ -389,23 +428,23 @@ func (t *Txn) Delete(tbl *Table, key uint64) error {
 	if err := t.acquire(lock.RowName(tbl.ID, key), lock.X); err != nil {
 		return err
 	}
-	packed, err := tbl.Index.Get(key)
+	packed, err := tbl.Index.GetC(key, &t.clock)
 	if err != nil {
 		return fmt.Errorf("%w: table %s key %d", ErrNotFound, tbl.Name, key)
 	}
 	rid := heap.Unpack(packed)
 	op := OpRecord{Op: OpDelete, Table: tbl.ID, Key: key, RID: rid}
-	if err := tbl.Heap.DeleteFn(rid, func(before []byte) (uint64, error) {
+	if err := tbl.Heap.DeleteFnC(rid, &t.clock, func(before []byte) (uint64, error) {
 		op.Before = before // page slice; logOp arena-copies it synchronously
 		lsn, lerr := t.logOp(&op)
 		return uint64(lsn), lerr
 	}); err != nil {
 		return err
 	}
-	if err := tbl.Index.Delete(key); err != nil {
+	if err := tbl.Index.DeleteC(key, &t.clock); err != nil {
 		return err
 	}
-	return tbl.maintainSecondaries(key, rowValue(op.Before), nil)
+	return tbl.maintainSecondariesC(key, rowValue(op.Before), nil, &t.clock)
 }
 
 // Scan iterates rows with lo <= key <= hi in key order under a
@@ -417,8 +456,8 @@ func (t *Txn) Scan(tbl *Table, lo, hi uint64, fn func(key uint64, value []byte) 
 	if err := t.acquire(lock.TableName(tbl.ID), lock.S); err != nil {
 		return err
 	}
-	return tbl.Index.Scan(lo, hi, func(key, packed uint64) bool {
-		rec, err := tbl.Heap.Read(heap.Unpack(packed))
+	return tbl.Index.ScanC(lo, hi, &t.clock, func(key, packed uint64) bool {
+		rec, err := tbl.Heap.ReadC(heap.Unpack(packed), &t.clock)
 		if err != nil {
 			return true // row vanished mid-scan (should not happen under S)
 		}
@@ -442,7 +481,7 @@ func (t *Txn) Commit() error {
 		e.commits.Inc()
 		return nil
 	}
-	commitLSN, err := e.log.AppendFields(wal.RecCommit, t.id, t.lastLSN, 0, 0, nil)
+	commitLSN, err := e.log.AppendFieldsC(wal.RecCommit, t.id, t.lastLSN, 0, 0, nil, &t.clock)
 	if err != nil {
 		return err
 	}
@@ -453,7 +492,7 @@ func (t *Txn) Commit() error {
 		t.releaseLocks(false)
 	}
 	if e.cfg.SyncCommit {
-		if err := e.log.WaitFlushed(commitLSN); err != nil {
+		if err := e.log.WaitFlushedC(commitLSN, &t.clock); err != nil {
 			return err
 		}
 	}
@@ -461,7 +500,7 @@ func (t *Txn) Commit() error {
 		t.releaseLocks(false)
 	}
 	// The end record needs no flush wait.
-	if _, err := e.log.AppendFields(wal.RecEnd, t.id, commitLSN, 0, 0, nil); err != nil {
+	if _, err := e.log.AppendFieldsC(wal.RecEnd, t.id, commitLSN, 0, 0, nil, &t.clock); err != nil {
 		return err
 	}
 	obs.TraceEvent(obs.EvCommit, t.id, uint64(commitLSN), 0)
@@ -493,7 +532,7 @@ func (t *Txn) CommitAsync() (wal.LSN, error) {
 		e.commits.Inc()
 		return wal.NilLSN, nil
 	}
-	commitLSN, err := e.log.AppendFields(wal.RecCommit, t.id, t.lastLSN, 0, 0, nil)
+	commitLSN, err := e.log.AppendFieldsC(wal.RecCommit, t.id, t.lastLSN, 0, 0, nil, &t.clock)
 	if err != nil {
 		return wal.NilLSN, err
 	}
@@ -512,11 +551,11 @@ func (t *Txn) CommitAsync() (wal.LSN, error) {
 func (t *Txn) CommitWait(commitLSN wal.LSN) error {
 	e := t.e
 	if e.cfg.SyncCommit {
-		if err := e.log.WaitFlushed(commitLSN); err != nil {
+		if err := e.log.WaitFlushedC(commitLSN, &t.clock); err != nil {
 			return err
 		}
 	}
-	if _, err := e.log.AppendFields(wal.RecEnd, t.id, commitLSN, 0, 0, nil); err != nil {
+	if _, err := e.log.AppendFieldsC(wal.RecEnd, t.id, commitLSN, 0, 0, nil, &t.clock); err != nil {
 		return err
 	}
 	obs.TraceEvent(obs.EvCommit, t.id, uint64(commitLSN), 0)
@@ -533,7 +572,7 @@ func (t *Txn) Abort() error {
 	}
 	e := t.e
 	if t.logged {
-		lsn, err := e.log.AppendFields(wal.RecAbort, t.id, t.lastLSN, 0, 0, nil)
+		lsn, err := e.log.AppendFieldsC(wal.RecAbort, t.id, t.lastLSN, 0, 0, nil, &t.clock)
 		if err != nil {
 			return err
 		}
@@ -550,7 +589,7 @@ func (t *Txn) Abort() error {
 			}
 			t.setLastLSN(clr)
 		}
-		if _, err := e.log.AppendFields(wal.RecEnd, t.id, t.lastLSN, 0, 0, nil); err != nil {
+		if _, err := e.log.AppendFieldsC(wal.RecEnd, t.id, t.lastLSN, 0, 0, nil, &t.clock); err != nil {
 			return err
 		}
 	}

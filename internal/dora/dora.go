@@ -244,6 +244,9 @@ func (d *Engine) run(ex *executor) {
 				buf[i] = job{} // drop refs; the batch buffer is reused
 				if j.kind == jobAction || j.kind == jobTxn {
 					d.wait.ObserveNanos(now - j.enq)
+					// The same stamp feeds the transaction's phase
+					// clock: inbox delay is DORA's queue-wait phase.
+					j.ctx.tx.Clock().Add(obs.PhaseQueueWait, now-j.enq)
 				}
 				d.dispatch(ls, j)
 			}
@@ -416,6 +419,7 @@ func (d *Engine) runWholeTxn(home int, j job, n int) error {
 	c := d.getCtx()
 	c.tx = d.core.BeginNoLock()
 	tx := c.tx
+	tx.SetPath(obs.PathDoraSingle)
 	c.pending.Store(1)
 	j.ctx = c
 	j.tid = tx.ID()
@@ -478,6 +482,7 @@ func (d *Engine) execCross(phases []Phase) error {
 	c := d.getCtx()
 	c.tx = d.core.BeginNoLock()
 	tx := c.tx
+	tx.SetPath(obs.PathDoraCross)
 	tid := tx.ID()
 	d.crossTxns.Inc()
 	var result error

@@ -70,11 +70,15 @@ func (d *Engine) dispatch(ls *localState, j job) {
 	}
 }
 
-// runAction times and counts one action body.
+// runAction times and counts one action body. The service stamp also
+// feeds the transaction's exec-run phase (an overlay over whatever
+// lock/latch/IO phases the body itself attributes).
 func (d *Engine) runAction(fn func(*core.Txn) error, tx *core.Txn) error {
 	start := obs.Now()
 	err := fn(tx)
-	d.service.ObserveNanos(obs.Now() - start)
+	dur := obs.Now() - start
+	d.service.ObserveNanos(dur)
+	tx.Clock().Add(obs.PhaseExecRun, dur)
 	d.executed.Inc()
 	return err
 }

@@ -24,8 +24,11 @@ type Stats struct {
 	// moved. BatchedJobs/Batches is the amortization factor.
 	Batches     uint64
 	BatchedJobs uint64
-	// QueueDepths is the instantaneous backlog per executor.
+	// QueueDepths is the instantaneous backlog per executor;
+	// QueueCaps the matching inbox capacities (the flight recorder
+	// compares them to detect executors pinned at capacity).
 	QueueDepths []int
+	QueueCaps   []int
 	// Service is the distribution of action body runtimes; Wait the
 	// enqueue-to-dispatch inbox delay.
 	Service hist.H
@@ -44,11 +47,13 @@ func (d *Engine) StatsSnapshot() Stats {
 		Batches:           d.batches.Load(),
 		BatchedJobs:       d.batchedJobs.Load(),
 		QueueDepths:       make([]int, len(d.exec)),
+		QueueCaps:         make([]int, len(d.exec)),
 		Service:           d.service.Snapshot(),
 		Wait:              d.wait.Snapshot(),
 	}
 	for i, ex := range d.exec {
 		s.QueueDepths[i] = ex.queue.Len()
+		s.QueueCaps[i] = ex.queue.Cap()
 	}
 	return s
 }
@@ -68,6 +73,13 @@ func (s *Stats) merge(other Stats) {
 			s.QueueDepths[i] += dep
 		} else {
 			s.QueueDepths = append(s.QueueDepths, dep)
+		}
+	}
+	for i, c := range other.QueueCaps {
+		if i < len(s.QueueCaps) {
+			s.QueueCaps[i] += c
+		} else {
+			s.QueueCaps = append(s.QueueCaps, c)
 		}
 	}
 	s.Service.Merge(&other.Service)

@@ -11,6 +11,7 @@ import (
 
 	"hydra/internal/buffer"
 	"hydra/internal/latch"
+	"hydra/internal/obs"
 	"hydra/internal/page"
 )
 
@@ -197,13 +198,18 @@ func (h *File) InsertAt(rid RID, rec []byte, lsn uint64) error {
 }
 
 // Read returns a copy of the record at rid.
-func (h *File) Read(rid RID) ([]byte, error) {
-	f, err := h.pool.Fetch(rid.Page)
+func (h *File) Read(rid RID) ([]byte, error) { return h.ReadC(rid, nil) }
+
+// ReadC is Read with a phase clock: buffer misses and latch waits
+// encountered along the way are attributed to c. A nil clock behaves
+// exactly like Read.
+func (h *File) ReadC(rid RID, c *obs.PhaseClock) ([]byte, error) {
+	f, err := h.pool.FetchC(rid.Page, c)
 	if err != nil {
 		return nil, err
 	}
 	defer h.pool.Unpin(f, false)
-	f.Latch.Acquire(latch.Shared)
+	f.Latch.AcquireC(latch.Shared, c)
 	defer f.Latch.Release(latch.Shared)
 	rec, err := f.Page.Read(int(rid.Slot))
 	if err != nil {
@@ -240,11 +246,16 @@ func (h *File) Delete(rid RID) error {
 // withPageX runs fn with rid's page fetched, pinned, and X-latched,
 // marking it dirty on success.
 func (h *File) withPageX(rid RID, fn func(*page.Page) error) error {
-	f, err := h.pool.Fetch(rid.Page)
+	return h.withPageXC(rid, nil, fn)
+}
+
+// withPageXC is withPageX with a phase clock (see ReadC).
+func (h *File) withPageXC(rid RID, c *obs.PhaseClock, fn func(*page.Page) error) error {
+	f, err := h.pool.FetchC(rid.Page, c)
 	if err != nil {
 		return err
 	}
-	f.Latch.Acquire(latch.Exclusive)
+	f.Latch.AcquireC(latch.Exclusive, c)
 	err = fn(f.Page)
 	f.Latch.Release(latch.Exclusive)
 	h.pool.Unpin(f, err == nil)

@@ -6,6 +6,7 @@ import (
 
 	"hydra/internal/buffer"
 	"hydra/internal/latch"
+	"hydra/internal/obs"
 	"hydra/internal/page"
 )
 
@@ -36,6 +37,11 @@ func (h *File) SetExtendHook(fn ExtendHook) { h.extend = fn }
 // page latch is still held; the returned LSN becomes the pageLSN. If
 // logFn fails the insert is rolled back physically.
 func (h *File) InsertFn(rec []byte, logFn func(rid RID) (uint64, error)) (RID, error) {
+	return h.InsertFnC(rec, nil, logFn)
+}
+
+// InsertFnC is InsertFn with a phase clock (see ReadC).
+func (h *File) InsertFnC(rec []byte, c *obs.PhaseClock, logFn func(rid RID) (uint64, error)) (RID, error) {
 	if len(rec) > page.MaxRecordSize {
 		return RID{}, page.ErrRecordTooBig
 	}
@@ -44,11 +50,11 @@ func (h *File) InsertFn(rec []byte, logFn func(rid RID) (uint64, error)) (RID, e
 		target := h.last
 		h.mu.Unlock()
 
-		f, err := h.pool.Fetch(target)
+		f, err := h.pool.FetchC(target, c)
 		if err != nil {
 			return RID{}, err
 		}
-		f.Latch.Acquire(latchExclusive)
+		f.Latch.AcquireC(latchExclusive, c)
 		slot, err := f.Page.Insert(rec)
 		if err == nil {
 			rid := RID{Page: target, Slot: uint16(slot)}
@@ -69,7 +75,7 @@ func (h *File) InsertFn(rec []byte, logFn func(rid RID) (uint64, error)) (RID, e
 			h.pool.Unpin(f, false)
 			return RID{}, err
 		}
-		if err := h.extendLocked(f, target); err != nil {
+		if err := h.extendLocked(f, target, c); err != nil {
 			return RID{}, err
 		}
 	}
@@ -78,7 +84,7 @@ func (h *File) InsertFn(rec []byte, logFn func(rid RID) (uint64, error)) (RID, e
 // extendLocked grows the chain past the full page f (latched X,
 // pinned) or chases an extension made by another inserter. It always
 // releases f's latch and pin.
-func (h *File) extendLocked(f frameHandle, target page.ID) error {
+func (h *File) extendLocked(f frameHandle, target page.ID, c *obs.PhaseClock) error {
 	next := f.Page.Next()
 	if next != page.InvalidID {
 		h.mu.Lock()
@@ -90,7 +96,7 @@ func (h *File) extendLocked(f frameHandle, target page.ID) error {
 		h.pool.Unpin(f, false)
 		return nil
 	}
-	nf, err := h.pool.NewPage(page.TypeHeap)
+	nf, err := h.pool.NewPageC(page.TypeHeap, c)
 	if err != nil {
 		f.Latch.Release(latchExclusive)
 		h.pool.Unpin(f, false)
@@ -120,7 +126,12 @@ func (h *File) extendLocked(f frameHandle, target page.ID) error {
 // UpdateFn replaces the record at rid; logFn sees the before-image
 // while the latch is held and returns the LSN to stamp.
 func (h *File) UpdateFn(rid RID, rec []byte, logFn func(before []byte) (uint64, error)) error {
-	return h.withPageX(rid, func(p *page.Page) error {
+	return h.UpdateFnC(rid, rec, nil, logFn)
+}
+
+// UpdateFnC is UpdateFn with a phase clock (see ReadC).
+func (h *File) UpdateFnC(rid RID, rec []byte, c *obs.PhaseClock, logFn func(before []byte) (uint64, error)) error {
+	return h.withPageXC(rid, c, func(p *page.Page) error {
 		beforeAlias, err := p.Read(int(rid.Slot))
 		if err != nil {
 			return fmt.Errorf("%w: %v", ErrNotFound, rid)
@@ -150,7 +161,12 @@ func (h *File) UpdateFn(rid RID, rec []byte, logFn func(before []byte) (uint64, 
 
 // DeleteFn removes the record at rid; logFn sees the before-image.
 func (h *File) DeleteFn(rid RID, logFn func(before []byte) (uint64, error)) error {
-	return h.withPageX(rid, func(p *page.Page) error {
+	return h.DeleteFnC(rid, nil, logFn)
+}
+
+// DeleteFnC is DeleteFn with a phase clock (see ReadC).
+func (h *File) DeleteFnC(rid RID, c *obs.PhaseClock, logFn func(before []byte) (uint64, error)) error {
+	return h.withPageXC(rid, c, func(p *page.Page) error {
 		before, err := p.Read(int(rid.Slot))
 		if err != nil {
 			return fmt.Errorf("%w: %v", ErrNotFound, rid)

@@ -35,6 +35,11 @@ func (m Mode) String() string {
 // recursive-free, paired Acquire/Release usage.
 type Latch interface {
 	Acquire(m Mode)
+	// AcquireC is Acquire with a phase clock: when the latch cannot
+	// be taken immediately, the wait is attributed to the clock's
+	// latch-wait phase. The uncontended path performs no clock reads;
+	// a nil clock behaves exactly like Acquire.
+	AcquireC(m Mode, c *obs.PhaseClock)
 	Release(m Mode)
 	// TryUpgrade attempts a Shared->Exclusive conversion without
 	// releasing; it reports success. On failure the shared hold is
@@ -82,6 +87,29 @@ func (l *blockLatch) Acquire(m Mode) {
 	obs.LatchDone(obs.TierFrameLatch, s)
 }
 
+func (l *blockLatch) AcquireC(m Mode, c *obs.PhaseClock) {
+	if c == nil {
+		l.Acquire(m)
+		return
+	}
+	invariant.Acquired(invariant.TierFrameLatch, "latch")
+	s := obs.LatchStart(obs.TierFrameLatch)
+	if m == Shared {
+		if !l.mu.TryRLock() {
+			t0 := obs.Now()
+			l.mu.RLock()
+			c.Add(obs.PhaseLatchWait, obs.Now()-t0)
+		}
+	} else {
+		if !l.mu.TryLock() {
+			t0 := obs.Now()
+			l.mu.Lock()
+			c.Add(obs.PhaseLatchWait, obs.Now()-t0)
+		}
+	}
+	obs.LatchDone(obs.TierFrameLatch, s)
+}
+
 func (l *blockLatch) Release(m Mode) {
 	if m == Shared {
 		l.mu.RUnlock()
@@ -106,6 +134,29 @@ func (l *spinLatch) Acquire(m Mode) {
 		l.rw.RLock()
 	} else {
 		l.rw.Lock()
+	}
+	obs.LatchDone(obs.TierFrameLatch, s)
+}
+
+func (l *spinLatch) AcquireC(m Mode, c *obs.PhaseClock) {
+	if c == nil {
+		l.Acquire(m)
+		return
+	}
+	invariant.Acquired(invariant.TierFrameLatch, "latch")
+	s := obs.LatchStart(obs.TierFrameLatch)
+	if m == Shared {
+		if !l.rw.TryRLock() {
+			t0 := obs.Now()
+			l.rw.RLock()
+			c.Add(obs.PhaseLatchWait, obs.Now()-t0)
+		}
+	} else {
+		if !l.rw.TryLock() {
+			t0 := obs.Now()
+			l.rw.Lock()
+			c.Add(obs.PhaseLatchWait, obs.Now()-t0)
+		}
 	}
 	obs.LatchDone(obs.TierFrameLatch, s)
 }

@@ -1,6 +1,10 @@
 package lock
 
-import "sync"
+import (
+	"sync"
+
+	"hydra/internal/obs"
+)
 
 // Holder is a transaction's private lock context: the set of locks it
 // holds and its escalation state, carried by the transaction itself
@@ -16,6 +20,13 @@ import "sync"
 type Holder struct {
 	m  *Manager
 	id uint64
+
+	// clock, when set, receives the transaction's lock-wait time:
+	// the manager's blocking path already measures the wait for its
+	// own histogram, so phase attribution costs zero extra clock
+	// reads. Written only between transactions (SetClock), read on
+	// the owning transaction's wait path.
+	clock *obs.PhaseClock
 
 	mu   sync.Mutex
 	held map[Name]Mode
@@ -56,6 +67,11 @@ func (h *Holder) Reset(txn uint64) {
 
 // ID returns the transaction id the holder currently represents.
 func (h *Holder) ID() uint64 { return h.id }
+
+// SetClock attaches (or detaches, with nil) the phase clock that
+// receives this holder's lock-wait time. Call it between
+// transactions, alongside Reset.
+func (h *Holder) SetClock(c *obs.PhaseClock) { h.clock = c }
 
 // Acquire obtains name in mode for the holder's transaction; see
 // Manager.Acquire for the blocking and error contract.

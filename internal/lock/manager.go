@@ -81,7 +81,10 @@ type waiter struct {
 	txn     uint64
 	mode    Mode
 	upgrade bool
-	ready   chan error
+	// since is the obs.Now() stamp at enqueue; the stall flight
+	// recorder scans it to find waiters older than its threshold.
+	since int64
+	ready chan error
 }
 
 type lockHead struct {
@@ -409,9 +412,10 @@ func (h *lockHead) compatibleExcept(mode Mode, txn uint64) bool {
 //hydra:vet:nonpropagating -- waitInner releases the caller's p.mu before blocking
 func (m *Manager) wait(p *partition, lh *lockHead, name Name, h *Holder, mode Mode, upgrade bool) error {
 	start := obs.Now()
-	err := m.waitInner(p, lh, name, h, mode, upgrade)
+	err := m.waitInner(p, lh, name, h, mode, upgrade, start)
 	waited := obs.Now() - start
 	m.waitProf.ObserveNanos(waited)
+	h.clock.Add(obs.PhaseLockWait, waited)
 	obs.TraceEvent(obs.EvLockWait, h.id, name.hash(), uint64(waited))
 	return err
 }
@@ -420,12 +424,12 @@ func (m *Manager) wait(p *partition, lh *lockHead, name Name, h *Holder, mode Mo
 // with p.mu held; returns with it released.
 //
 //hydra:vet:nonpropagating -- releases the caller's p.mu before blocking on the ready channel
-func (m *Manager) waitInner(p *partition, lh *lockHead, name Name, h *Holder, mode Mode, upgrade bool) error {
+func (m *Manager) waitInner(p *partition, lh *lockHead, name Name, h *Holder, mode Mode, upgrade bool, start int64) error {
 	m.stats.waits.Inc()
 	txn := h.id
 	lh.contention++
 	m.bumpHeat(p, name)
-	w := &waiter{txn: txn, mode: mode, upgrade: upgrade, ready: make(chan error, 1)}
+	w := &waiter{txn: txn, mode: mode, upgrade: upgrade, since: start, ready: make(chan error, 1)}
 	if upgrade {
 		// Upgraders go first to shrink the conversion window.
 		lh.queue = append([]*waiter{w}, lh.queue...)
@@ -687,6 +691,55 @@ func (m *Manager) flagAgentsAmong(ids []uint64) {
 // WaitHist returns a snapshot of the transactional lock-wait
 // distribution (time from conflict to grant, victims included).
 func (m *Manager) WaitHist() hist.H { return m.waitProf.Snapshot() }
+
+// OldestWaiterAge returns the age in nanoseconds of the oldest
+// currently-enqueued lock waiter, and how many waiters are enqueued.
+// The stall flight recorder polls it: a waiter older than the
+// deadlock/timeout horizon means admission has stalled. It walks
+// every partition under its mutex, so it is a diagnostics-rate call,
+// not a hot-path one.
+func (m *Manager) OldestWaiterAge() (age int64, waiters int) {
+	now := obs.Now()
+	oldest := int64(0)
+	for i := range m.parts {
+		p := &m.parts[i]
+		p.mu.Lock()
+		for _, lh := range p.table {
+			for _, w := range lh.queue {
+				waiters++
+				if a := now - w.since; a > oldest {
+					oldest = a
+				}
+			}
+		}
+		p.mu.Unlock()
+	}
+	return oldest, waiters
+}
+
+// WaitsForSnapshot copies the current waits-for graph: each entry is
+// one txn -> blockers edge set. Diagnostics only (incident bundles);
+// the copy is taken stripe by stripe, so it is a consistent view per
+// stripe but not across stripes — fine for a stall snapshot.
+func (m *Manager) WaitsForSnapshot() map[uint64][]uint64 {
+	out := make(map[uint64][]uint64)
+	for i := range m.wf {
+		st := &m.wf[i]
+		st.mu.Lock()
+		for txn, set := range st.edges {
+			if len(set) == 0 {
+				continue
+			}
+			bl := make([]uint64, 0, len(set))
+			for b := range set {
+				bl = append(bl, b)
+			}
+			out[txn] = bl
+		}
+		st.mu.Unlock()
+	}
+	return out
+}
 
 // StatsSnapshot returns a copy of the cumulative counters. Each
 // counter is striped; Load sums the stripes with atomic loads.

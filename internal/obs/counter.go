@@ -28,6 +28,11 @@ func (c *Counter) Add(n uint64) {
 	c.s[stripeIdx()].v.Add(n)
 }
 
+// addAt adds n using a caller-chosen stripe hint (see Hist.observeAt).
+func (c *Counter) addAt(si uint64, n uint64) {
+	c.s[si&(nStripes-1)].v.Add(n)
+}
+
 // Inc adds 1 to the counter.
 func (c *Counter) Inc() {
 	c.s[stripeIdx()].v.Add(1)

@@ -46,11 +46,18 @@ func bucketOf(v uint64) int {
 
 // Observe records one duration.
 func (h *Hist) Observe(d time.Duration) {
-	v := uint64(d)
-	if int64(d) < 0 {
+	h.observeAt(stripeIdx(), int64(d))
+}
+
+// observeAt records ns nanoseconds using a caller-chosen stripe hint.
+// Callers that feed several histograms per event (the phase-profile
+// fold) hoist the stripe computation to one call.
+func (h *Hist) observeAt(si uint64, ns int64) {
+	v := uint64(ns)
+	if ns < 0 {
 		v = 0
 	}
-	s := &h.s[stripeIdx()&(nHistStripes-1)]
+	s := &h.s[si&(nHistStripes-1)]
 	s.counts[bucketOf(v)].Add(1)
 	s.sum.Add(v)
 	for {

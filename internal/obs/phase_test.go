@@ -1,0 +1,214 @@
+package obs
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestPhaseClockNilSafe(t *testing.T) {
+	var c *PhaseClock
+	c.Start(1)
+	c.Add(PhaseLockWait, 5)
+	c.Defer(PhaseFlushWait, 1)
+	c.Reset()
+	if c.StartTime() != 0 || c.Lap(PhaseLockWait) != 0 {
+		t.Fatal("nil clock must read as zero")
+	}
+}
+
+func TestPhaseClockAccumulates(t *testing.T) {
+	var c PhaseClock
+	c.Start(100)
+	c.Add(PhaseLockWait, 30)
+	c.Add(PhaseLockWait, 20)
+	c.Add(PhaseLogInsert, 10)
+	c.Add(PhaseBufMissIO, -5) // dropped: torn read guard
+	if got := c.Lap(PhaseLockWait); got != 50 {
+		t.Fatalf("lock-wait lap = %d, want 50", got)
+	}
+	if got := c.Lap(PhaseBufMissIO); got != 0 {
+		t.Fatalf("negative add leaked: %d", got)
+	}
+}
+
+func TestSnapResidualAndReset(t *testing.T) {
+	var c PhaseClock
+	c.Start(0)
+	c.Add(PhaseLockWait, 100)
+	c.Add(PhaseExecRun, 400) // overlay: must not reduce the residual
+	var out [NumPhases]int64
+	c.snap(1000, &out)
+	if out[PhaseLockWait] != 100 || out[PhaseExecRun] != 400 {
+		t.Fatalf("snap lost laps: %+v", out)
+	}
+	// user = total - attributed(excluding exec_run/user) = 1000 - 100.
+	if out[PhaseUser] != 900 {
+		t.Fatalf("user residual = %d, want 900", out[PhaseUser])
+	}
+	// The fold doubles as the reset.
+	if c.Lap(PhaseLockWait) != 0 || c.Lap(PhaseExecRun) != 0 {
+		t.Fatal("snap did not drain the clock")
+	}
+	// Residual clamps at zero when attribution exceeds the total
+	// (torn stamps under clock drift).
+	c.Add(PhaseLatchWait, 500)
+	c.snap(200, &out)
+	if out[PhaseUser] != 0 {
+		t.Fatalf("residual must clamp at 0, got %d", out[PhaseUser])
+	}
+}
+
+func TestSnapClosesDeferredSpan(t *testing.T) {
+	var c PhaseClock
+	c.Start(1000)
+	c.Add(PhaseLogInsert, 50)
+	c.Defer(PhaseFlushWait, 1200) // wait started at 1200; txn ends at 2000
+	var out [NumPhases]int64
+	c.snap(1000, &out) // total 1000 => end stamp 2000
+	if out[PhaseFlushWait] != 800 {
+		t.Fatalf("deferred flush wait = %d, want 800", out[PhaseFlushWait])
+	}
+	if out[PhaseUser] != 1000-50-800 {
+		t.Fatalf("user residual = %d, want %d", out[PhaseUser], 1000-50-800)
+	}
+	// The deferred span is consumed: a second snap sees nothing.
+	c.Start(0)
+	c.snap(100, &out)
+	if out[PhaseFlushWait] != 0 {
+		t.Fatal("deferred span fired twice")
+	}
+}
+
+func TestPhaseProfileFold(t *testing.T) {
+	var pp PhaseProfile
+	var c PhaseClock
+	for i := 0; i < 3; i++ {
+		c.Start(0)
+		c.Add(PhaseLockWait, int64(1000*(i+1)))
+		pp.Fold(PathConv, OutcomeCommit, &c, int64(5000*(i+1)), nil)
+	}
+	c.Start(0)
+	pp.Fold(PathDoraSingle, OutcomeAbort, &c, 100, nil)
+
+	s := pp.Snapshot(PathConv, OutcomeCommit)
+	if s.Count != 3 {
+		t.Fatalf("conv/commit count = %d, want 3", s.Count)
+	}
+	if s.Total.Count() != 3 || s.Total.Max() < 15000 {
+		t.Fatalf("total hist: count=%d max=%d", s.Total.Count(), s.Total.Max())
+	}
+	if s.Phase[PhaseLockWait].Count() != 3 {
+		t.Fatalf("lock-wait hist count = %d, want 3", s.Phase[PhaseLockWait].Count())
+	}
+	// Zero phases are skipped, not observed as zeros.
+	if s.Phase[PhaseLogInsert].Count() != 0 {
+		t.Fatal("zero phase was observed")
+	}
+	if got := pp.Snapshot(PathDoraSingle, OutcomeAbort).Count; got != 1 {
+		t.Fatalf("dora_single/abort count = %d, want 1", got)
+	}
+	// Out-of-range arguments are dropped, not folded into cell 0.
+	pp.Fold(NumPaths, OutcomeCommit, &c, 1, nil)
+	if got := pp.Snapshot(PathConv, OutcomeCommit).Count; got != 3 {
+		t.Fatalf("out-of-range fold leaked: count = %d", got)
+	}
+}
+
+func TestPhaseProfileFoldConcurrent(t *testing.T) {
+	var pp PhaseProfile
+	const workers, per = 8, 200
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var c PhaseClock
+			for i := 0; i < per; i++ {
+				c.Start(0)
+				c.Add(PhaseLatchWait, 10)
+				pp.Fold(PathConv, OutcomeCommit, &c, 100, nil)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := pp.Snapshot(PathConv, OutcomeCommit).Count; got != workers*per {
+		t.Fatalf("count = %d, want %d", got, workers*per)
+	}
+}
+
+func TestSlowReservoirWorstK(t *testing.T) {
+	var r SlowReservoir
+	var phases [NumPhases]int64
+	// 3*SlowK offers with strictly increasing totals: the reservoir
+	// must retain exactly the top K.
+	n := 3 * SlowK
+	for i := 1; i <= n; i++ {
+		r.Offer(uint64(i), PathConv, OutcomeCommit, int64(i)*10, int64(i), &phases)
+	}
+	s := r.Snapshot()
+	if len(s.Entries) != SlowK {
+		t.Fatalf("retained %d, want %d", len(s.Entries), SlowK)
+	}
+	// Slowest first, and all from the top K of the offered totals.
+	for i, e := range s.Entries {
+		if want := int64(n - i); e.Total != want {
+			t.Fatalf("entry %d total = %d, want %d", i, e.Total, want)
+		}
+	}
+	if s.Admitted == 0 {
+		t.Fatal("admitted counter not incremented")
+	}
+	// A below-floor offer is rejected by the lock-free fast path.
+	before := r.Admitted()
+	r.Offer(999, PathConv, OutcomeCommit, 1, 1, &phases)
+	if r.Admitted() != before {
+		t.Fatal("below-floor offer was admitted")
+	}
+}
+
+func TestSlowReservoirRotation(t *testing.T) {
+	var r SlowReservoir
+	var phases [NumPhases]int64
+	r.Offer(1, PathConv, OutcomeCommit, 100, 50, &phases)
+	// An offer far past the window start forces a rotation; the
+	// previous window's entries must remain visible.
+	r.Offer(2, PathDoraSingle, OutcomeCommit, 100+slowWindowNs+1, 60, &phases)
+	if r.Rotations() != 1 {
+		t.Fatalf("rotations = %d, want 1", r.Rotations())
+	}
+	s := r.Snapshot()
+	if len(s.Entries) != 2 {
+		t.Fatalf("retained %d entries across rotation, want 2", len(s.Entries))
+	}
+	seen := map[uint64]bool{}
+	for _, e := range s.Entries {
+		seen[e.Txn] = true
+	}
+	if !seen[1] || !seen[2] {
+		t.Fatalf("lost an entry across rotation: %v", seen)
+	}
+}
+
+func TestSlowReservoirCapturesTrace(t *testing.T) {
+	var r SlowReservoir
+	var phases [NumPhases]int64
+	Trace.SetEnabled(true)
+	defer Trace.SetEnabled(false)
+	Trace.Record(EvBegin, 7, 0, 0)
+	Trace.Record(EvCommit, 7, 1, 0)
+	Trace.Record(EvBegin, 8, 0, 0) // different txn: filtered out
+	r.Offer(7, PathConv, OutcomeCommit, 1000, 500, &phases)
+	s := r.Snapshot()
+	if len(s.Entries) != 1 {
+		t.Fatalf("retained %d, want 1", len(s.Entries))
+	}
+	tr := s.Entries[0].Trace
+	if len(tr) != 2 {
+		t.Fatalf("captured %d events, want 2", len(tr))
+	}
+	for _, ev := range tr {
+		if ev.Txn != 7 {
+			t.Fatalf("captured foreign txn %d", ev.Txn)
+		}
+	}
+}

@@ -126,31 +126,91 @@ func TraceEvent(kind EventKind, txn, arg, arg2 uint64) {
 	Trace.Record(kind, txn, arg, arg2)
 }
 
+// readSlot copies one slot if it holds a complete event, using the
+// seqlock protocol: accept only if the same even seq is observed
+// before and after reading the fields.
+func readSlot(sl *slot, ev *Event) bool {
+	seq1 := sl.seq.Load()
+	if seq1 == 0 || seq1&1 != 0 {
+		return false
+	}
+	ev.TS = sl.ts.Load()
+	ev.Txn = sl.txn.Load()
+	karg := sl.karg.Load()
+	ev.Kind = EventKind(karg >> 56)
+	ev.Arg = karg & (1<<56 - 1)
+	ev.Arg2 = sl.arg2.Load()
+	return sl.seq.Load() == seq1 // torn if a writer got in between
+}
+
 // Dump returns the retained events in timestamp order. Slots caught
 // mid-write (or never written) are skipped.
-func (t *Tracer) Dump() []Event {
+func (t *Tracer) Dump() []Event { return t.DumpFiltered(0, 0) }
+
+// DumpFiltered returns retained events in timestamp order, keeping
+// only transaction txn when txn != 0 and, when max > 0, only the max
+// most recent matching events. It is the /trace endpoint's workhorse:
+// the filter makes per-transaction forensics cheap and the cap bounds
+// the response on a busy server.
+func (t *Tracer) DumpFiltered(txn uint64, max int) []Event {
 	out := make([]Event, 0, nTraceStripes*ringSlots/4)
+	var ev Event
 	for i := range t.stripes {
 		s := &t.stripes[i]
 		for j := range s.slots {
-			sl := &s.slots[j]
-			seq1 := sl.seq.Load()
-			if seq1 == 0 || seq1&1 != 0 {
+			if !readSlot(&s.slots[j], &ev) {
 				continue
 			}
-			ev := Event{TS: sl.ts.Load(), Txn: sl.txn.Load()}
-			karg := sl.karg.Load()
-			ev.Kind = EventKind(karg >> 56)
-			ev.Arg = karg & (1<<56 - 1)
-			ev.Arg2 = sl.arg2.Load()
-			if sl.seq.Load() != seq1 {
-				continue // torn: a writer got in between the loads
+			if txn != 0 && ev.Txn != txn {
+				continue
 			}
 			out = append(out, ev)
 		}
 	}
 	sort.Slice(out, func(a, b int) bool { return out[a].TS < out[b].TS })
+	if max > 0 && len(out) > max {
+		out = out[len(out)-max:] // most recent wins under a cap
+	}
 	return out
+}
+
+// CollectTxn appends the retained events of transaction txn to buf,
+// never growing it past its capacity (newer events displace older
+// ones when full) and never allocating: the slow-transaction
+// reservoir calls it from the admission path with a fixed-size
+// buffer. Events are returned in timestamp order.
+func (t *Tracer) CollectTxn(txn uint64, buf []Event) []Event {
+	if txn == 0 || cap(buf) == 0 {
+		return buf
+	}
+	var ev Event
+	for i := range t.stripes {
+		s := &t.stripes[i]
+		for j := range s.slots {
+			if !readSlot(&s.slots[j], &ev) || ev.Txn != txn {
+				continue
+			}
+			if len(buf) < cap(buf) {
+				buf = append(buf, ev)
+				// Insertion sort by TS: the buffer is small (the
+				// reservoir passes 32 slots), so this stays cheap
+				// and allocation-free where sort.Slice would not.
+				for k := len(buf) - 1; k > 0 && buf[k].TS < buf[k-1].TS; k-- {
+					buf[k], buf[k-1] = buf[k-1], buf[k]
+				}
+				continue
+			}
+			// Full: displace the oldest (buf[0]) iff ev is newer.
+			if ev.TS > buf[0].TS {
+				copy(buf, buf[1:])
+				buf[len(buf)-1] = ev
+				for k := len(buf) - 1; k > 0 && buf[k].TS < buf[k-1].TS; k-- {
+					buf[k], buf[k-1] = buf[k-1], buf[k]
+				}
+			}
+		}
+	}
+	return buf
 }
 
 // Len returns the number of events currently retained (dump-sized

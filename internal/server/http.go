@@ -1,10 +1,15 @@
 // HTTP observability surface: a stdlib-only listener exposing the
 // engine's counters and contention profiles while a workload runs.
 //
-//	GET /metrics  Prometheus text exposition (counters + histograms)
-//	GET /stats    the same snapshot as JSON (hydra-top's feed)
-//	GET /trace    retained transaction events as JSON;
-//	              ?enable=on|off toggles recording
+//	GET /metrics    Prometheus text exposition (counters + histograms)
+//	GET /stats      the same snapshot as JSON (hydra-top's feed)
+//	GET /trace      retained transaction events as JSON;
+//	                ?enable=on|off toggles recording,
+//	                ?txn=<id> filters to one transaction,
+//	                ?max=<n> caps the response (default 4096 events)
+//	GET /slow       the worst-K slow-transaction reservoir with phase
+//	                breakdowns and captured traces
+//	GET /incidents  the stall flight recorder's diagnostic bundles
 //
 // The handlers live in this package (not internal/obs) deliberately:
 // obs must stay import-free of the engine so every subsystem can
@@ -62,17 +67,129 @@ type TierJSON struct {
 
 // StatsJSON is the full snapshot served at /stats and by STATS FULL.
 type StatsJSON struct {
-	UptimeSec    float64       `json:"uptime_sec"`
-	Commits      uint64        `json:"commits"`
-	Aborts       uint64        `json:"aborts"`
-	Lock         lockStatsJSON `json:"lock"`
-	LockWait     HistJSON      `json:"lock_wait"`
-	Log          logStatsJSON  `json:"log"`
-	Buffer       bufStatsJSON  `json:"buffer"`
-	Dora         doraStatsJSON `json:"dora"`
-	Latches      []TierJSON    `json:"latches"`
-	TraceEnabled bool          `json:"trace_enabled"`
-	TraceEvents  int           `json:"trace_events"`
+	UptimeSec    float64         `json:"uptime_sec"`
+	Commits      uint64          `json:"commits"`
+	Aborts       uint64          `json:"aborts"`
+	Lock         lockStatsJSON   `json:"lock"`
+	LockWait     HistJSON        `json:"lock_wait"`
+	Log          logStatsJSON    `json:"log"`
+	Buffer       bufStatsJSON    `json:"buffer"`
+	Dora         doraStatsJSON   `json:"dora"`
+	Latches      []TierJSON      `json:"latches"`
+	Phases       []PhaseCellJSON `json:"phases"`
+	Slow         SlowJSON        `json:"slow"`
+	Incidents    int             `json:"incidents"`
+	TraceEnabled bool            `json:"trace_enabled"`
+	TraceEvents  int             `json:"trace_events"`
+}
+
+// PhaseCellJSON is one (path, outcome) cell of the transaction phase
+// profile: the total wall-time distribution plus each phase's
+// distribution over the transactions where that phase was non-zero.
+type PhaseCellJSON struct {
+	Path    string              `json:"path"`
+	Outcome string              `json:"outcome"`
+	Count   uint64              `json:"count"`
+	Total   HistJSON            `json:"total"`
+	Phase   map[string]HistJSON `json:"phase"`
+}
+
+// phaseCells collects the non-empty profile cells.
+func phaseCells() []PhaseCellJSON {
+	out := make([]PhaseCellJSON, 0, int(obs.NumPaths)*int(obs.NumOutcomes))
+	for p := obs.TxnPath(0); p < obs.NumPaths; p++ {
+		for oc := obs.TxnOutcome(0); oc < obs.NumOutcomes; oc++ {
+			s := obs.TxnPhases.Snapshot(p, oc)
+			if s.Count == 0 {
+				continue
+			}
+			cell := PhaseCellJSON{
+				Path:    p.String(),
+				Outcome: oc.String(),
+				Count:   s.Count,
+				Total:   histJSON(s.Total),
+				Phase:   make(map[string]HistJSON, int(obs.NumPhases)),
+			}
+			for i := range s.Phase {
+				if s.Phase[i].Count() == 0 {
+					continue
+				}
+				cell.Phase[obs.Phase(i).String()] = histJSON(s.Phase[i])
+			}
+			out = append(out, cell)
+		}
+	}
+	return out
+}
+
+// SlowTxnJSON is one retained slow transaction on the wire.
+type SlowTxnJSON struct {
+	Txn     uint64           `json:"txn"`
+	Path    string           `json:"path"`
+	Outcome string           `json:"outcome"`
+	StartNs int64            `json:"start_ns"`
+	TotalNs int64            `json:"total_ns"`
+	Phase   map[string]int64 `json:"phase_ns"`
+	Trace   []TraceEventJSON `json:"trace,omitempty"`
+}
+
+// TraceEventJSON is one tracer event on the wire (shared by /trace,
+// /slow and incident bundles).
+type TraceEventJSON struct {
+	TSNs int64  `json:"ts_ns"`
+	Txn  uint64 `json:"txn"`
+	Kind string `json:"kind"`
+	Arg  uint64 `json:"arg"`
+	Arg2 uint64 `json:"arg2"`
+}
+
+func traceEventsJSON(events []obs.Event) []TraceEventJSON {
+	out := make([]TraceEventJSON, 0, len(events))
+	for _, ev := range events {
+		out = append(out, TraceEventJSON{
+			TSNs: ev.TS, Txn: ev.Txn, Kind: ev.Kind.String(),
+			Arg: ev.Arg, Arg2: ev.Arg2,
+		})
+	}
+	return out
+}
+
+func slowTxnsJSON(entries []obs.SlowTxn) []SlowTxnJSON {
+	out := make([]SlowTxnJSON, 0, len(entries))
+	for i := range entries {
+		e := &entries[i]
+		j := SlowTxnJSON{
+			Txn: e.Txn, Path: e.Path.String(), Outcome: e.Outcome.String(),
+			StartNs: e.Start, TotalNs: e.Total,
+			Phase: make(map[string]int64, int(obs.NumPhases)),
+		}
+		for p := range e.Phase {
+			if e.Phase[p] != 0 {
+				j.Phase[obs.Phase(p).String()] = e.Phase[p]
+			}
+		}
+		if len(e.Trace) > 0 {
+			j.Trace = traceEventsJSON(e.Trace)
+		}
+		out = append(out, j)
+	}
+	return out
+}
+
+// SlowJSON is the /slow response body.
+type SlowJSON struct {
+	Admitted uint64        `json:"admitted"`
+	Rotated  uint64        `json:"rotated"`
+	WindowNs int64         `json:"window_ns"`
+	Entries  []SlowTxnJSON `json:"entries"`
+}
+
+func slowJSON() SlowJSON {
+	s := obs.SlowTxns.Snapshot()
+	return SlowJSON{
+		Admitted: s.Admitted, Rotated: s.Rotated, WindowNs: s.WindowNs,
+		Entries: slowTxnsJSON(s.Entries),
+	}
 }
 
 // The subsystem Stats structs carry doc comments, not JSON tags;
@@ -141,7 +258,8 @@ type doraStatsJSON struct {
 // Snapshot collects one consistent-enough view of the engine's
 // observability state. Counters are striped atomics, so the view is
 // racy across counters but each value is a real point-in-time sum.
-func Snapshot(e *core.Engine) StatsJSON {
+// fr may be nil (no flight recorder running).
+func Snapshot(e *core.Engine, fr *FlightRecorder) StatsJSON {
 	st := e.StatsSnapshot()
 	tiers := obs.LatchSnapshot()
 	out := StatsJSON{
@@ -172,8 +290,13 @@ func Snapshot(e *core.Engine) StatsJSON {
 			Evictions: st.Buffer.Evictions, Writebacks: st.Buffer.Writebacks,
 		},
 		Latches:      make([]TierJSON, 0, len(tiers)),
+		Phases:       phaseCells(),
+		Slow:         slowJSON(),
 		TraceEnabled: obs.Trace.Enabled(),
 		TraceEvents:  obs.Trace.Len(),
+	}
+	if fr != nil {
+		out.Incidents = len(fr.Snapshot())
 	}
 	ds := dora.GlobalStats()
 	out.Dora = doraStatsJSON{
@@ -227,8 +350,8 @@ func writePromHist(w io.Writer, name, labels string, h *hist.H) {
 }
 
 // writeMetrics renders the whole exposition. Factored out of the
-// handler so tests can render to a buffer.
-func writeMetrics(w io.Writer, e *core.Engine) {
+// handler so tests can render to a buffer. fr may be nil.
+func writeMetrics(w io.Writer, e *core.Engine, fr *FlightRecorder) {
 	st := e.StatsSnapshot()
 	writePromCounter(w, "hydra_commits_total", st.Commits)
 	writePromCounter(w, "hydra_aborts_total", st.Aborts)
@@ -304,57 +427,151 @@ func writeMetrics(w io.Writer, e *core.Engine) {
 		writePromHist(w, name, fmt.Sprintf("tier=%q", t.Tier), &tiers[i].Acquire)
 	}
 
+	// Transaction critical-path accounting: total wall time and the
+	// per-phase distributions, labelled by execution path and outcome.
+	// Families always emit a TYPE line; cells appear once they have
+	// observations (the exposition stays bounded: at most
+	// paths × outcomes × (1 + phases) series).
+	writePhaseFamily(w, "hydra_txn_total_seconds", func(s *obs.PhaseSnapshot, emit func(labels string, h *hist.H)) {
+		emit("", &s.Total)
+	})
+	writePhaseFamily(w, "hydra_txn_phase_seconds", func(s *obs.PhaseSnapshot, emit func(labels string, h *hist.H)) {
+		for i := range s.Phase {
+			if s.Phase[i].Count() == 0 {
+				continue
+			}
+			emit(fmt.Sprintf("phase=%q,", obs.Phase(i).String()), &s.Phase[i])
+		}
+	})
+
+	writePromCounter(w, "hydra_slow_admitted_total", obs.SlowTxns.Admitted())
+	writePromCounter(w, "hydra_slow_rotations_total", obs.SlowTxns.Rotations())
+
+	fmt.Fprintf(w, "# TYPE hydra_incidents_total counter\n")
+	for k := StallKind(0); k < numStallKinds; k++ {
+		var v uint64
+		if fr != nil {
+			v = fr.Count(k)
+		}
+		fmt.Fprintf(w, "hydra_incidents_total{kind=%q} %d\n", k.String(), v)
+	}
+
 	fmt.Fprintf(w, "# TYPE hydra_trace_events gauge\nhydra_trace_events %d\n", obs.Trace.Len())
 }
 
+// writePhaseFamily renders one histogram family over the non-empty
+// (path, outcome) cells of the phase profile. fill receives each cell
+// and an emit callback that prefixes the family's extra labels.
+func writePhaseFamily(w io.Writer, name string, fill func(s *obs.PhaseSnapshot, emit func(labels string, h *hist.H))) {
+	fmt.Fprintf(w, "# TYPE %s histogram\n", name)
+	for p := obs.TxnPath(0); p < obs.NumPaths; p++ {
+		for oc := obs.TxnOutcome(0); oc < obs.NumOutcomes; oc++ {
+			s := obs.TxnPhases.Snapshot(p, oc)
+			if s.Count == 0 {
+				continue
+			}
+			fill(&s, func(labels string, h *hist.H) {
+				full := fmt.Sprintf("%spath=%q,outcome=%q", labels, p.String(), oc.String())
+				// writePromHist emits its own TYPE line; the family
+				// already has one above, so strip every repeat.
+				var b strings.Builder
+				writePromHist(&b, name, full, h)
+				io.WriteString(w, strings.TrimPrefix(b.String(), "# TYPE "+name+" histogram\n"))
+			})
+		}
+	}
+}
+
+// traceMaxDefault caps a /trace response when the caller does not pass
+// an explicit ?max=: the retained ring can hold far more events than a
+// dashboard wants in one response body.
+const traceMaxDefault = 4096
+
 // NewMetricsMux returns the observability mux: /metrics, /stats,
-// /trace. Mount it on any listener; it holds only a reference to e.
-func NewMetricsMux(e *core.Engine) *http.ServeMux {
+// /trace, /slow, /incidents. Mount it on any listener; it holds only
+// references to e and fr. fr may be nil — /incidents then serves an
+// empty list and the incident counters read zero.
+func NewMetricsMux(e *core.Engine, fr *FlightRecorder) *http.ServeMux {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
-		writeMetrics(w, e)
+		writeMetrics(w, e, fr)
 	})
 	mux.HandleFunc("/stats", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "application/json")
 		enc := json.NewEncoder(w)
 		enc.SetIndent("", "  ")
-		enc.Encode(Snapshot(e))
+		enc.Encode(Snapshot(e, fr))
 	})
 	mux.HandleFunc("/trace", func(w http.ResponseWriter, r *http.Request) {
-		if v := r.URL.Query().Get("enable"); v != "" {
+		q := r.URL.Query()
+		if v := q.Get("enable"); v != "" {
 			on := v == "on" || v == "true" || v == "1"
 			obs.Trace.SetEnabled(on)
 		}
-		events := obs.Trace.Dump()
-		type evJSON struct {
-			TSNs int64  `json:"ts_ns"`
-			Txn  uint64 `json:"txn"`
-			Kind string `json:"kind"`
-			Arg  uint64 `json:"arg"`
-			Arg2 uint64 `json:"arg2"`
+		var txn uint64
+		if v := q.Get("txn"); v != "" {
+			n, err := strconv.ParseUint(v, 10, 64)
+			if err != nil {
+				http.Error(w, "bad txn: "+err.Error(), http.StatusBadRequest)
+				return
+			}
+			txn = n
 		}
+		max := traceMaxDefault
+		if v := q.Get("max"); v != "" {
+			n, err := strconv.Atoi(v)
+			if err != nil || n < 0 {
+				http.Error(w, "bad max", http.StatusBadRequest)
+				return
+			}
+			max = n
+		}
+		events := obs.Trace.DumpFiltered(txn, max)
 		out := struct {
-			Enabled bool     `json:"enabled"`
-			Events  []evJSON `json:"events"`
-		}{Enabled: obs.Trace.Enabled(), Events: make([]evJSON, 0, len(events))}
-		for _, ev := range events {
-			out.Events = append(out.Events, evJSON{
-				TSNs: ev.TS, Txn: ev.Txn, Kind: ev.Kind.String(),
-				Arg: ev.Arg, Arg2: ev.Arg2,
-			})
+			Enabled bool             `json:"enabled"`
+			Txn     uint64           `json:"txn,omitempty"`
+			Capped  bool             `json:"capped"`
+			Events  []TraceEventJSON `json:"events"`
+		}{
+			Enabled: obs.Trace.Enabled(),
+			Txn:     txn,
+			Capped:  max > 0 && len(events) == max,
+			Events:  traceEventsJSON(events),
 		}
 		sort.SliceStable(out.Events, func(a, b int) bool { return out.Events[a].TSNs < out.Events[b].TSNs })
 		w.Header().Set("Content-Type", "application/json")
 		json.NewEncoder(w).Encode(out)
 	})
+	mux.HandleFunc("/slow", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		enc.Encode(slowJSON())
+	})
+	mux.HandleFunc("/incidents", func(w http.ResponseWriter, r *http.Request) {
+		incidents := []Incident{}
+		if fr != nil {
+			incidents = fr.Snapshot()
+		}
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		enc.Encode(struct {
+			Incidents []Incident `json:"incidents"`
+		}{incidents})
+	})
 	return mux
 }
 
 // ServeMetrics listens on addr and serves the observability mux until
-// the listener fails. It is a convenience for cmd/hydra-server; tests
-// use httptest.Server around NewMetricsMux.
+// the listener fails, with a stall flight recorder running alongside.
+// It is a convenience for cmd/hydra-server; tests use httptest.Server
+// around NewMetricsMux.
 func ServeMetrics(addr string, e *core.Engine) error {
-	srv := &http.Server{Addr: addr, Handler: NewMetricsMux(e), ReadHeaderTimeout: 5 * time.Second}
+	fr := NewFlightRecorder(e, FlightOptions{})
+	fr.Start()
+	defer fr.Stop()
+	srv := &http.Server{Addr: addr, Handler: NewMetricsMux(e, fr), ReadHeaderTimeout: 5 * time.Second}
 	return srv.ListenAndServe()
 }

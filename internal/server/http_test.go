@@ -22,9 +22,12 @@ func startMetrics(t *testing.T) (*core.Engine, *httptest.Server) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	ts := httptest.NewServer(NewMetricsMux(e))
+	fr := NewFlightRecorder(e, FlightOptions{})
+	fr.Start()
+	ts := httptest.NewServer(NewMetricsMux(e, fr))
 	t.Cleanup(func() {
 		ts.Close()
+		fr.Stop()
 		e.Close()
 	})
 	return e, ts
@@ -137,6 +140,52 @@ func TestMetricsExposition(t *testing.T) {
 		if !strings.Contains(body, want) {
 			t.Errorf("/metrics missing %q", want)
 		}
+	}
+}
+
+// TestPhaseMetricsExposition drives committed traffic and asserts the
+// transaction critical-path accounting families — phase histograms,
+// the slow-transaction reservoir, and the incident counters — appear
+// in the Prometheus exposition. CI's bench-smoke target runs this to
+// guard the observability contract.
+func TestPhaseMetricsExposition(t *testing.T) {
+	e, ts := startMetrics(t)
+	tbl, err := e.CreateTable("ph")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := uint64(0); i < 100; i++ {
+		if err := e.Exec(func(tx *core.Txn) error {
+			return tx.Insert(tbl, i, []byte("v"))
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	body := get(t, ts.URL+"/metrics")
+	checkExposition(t, body)
+	for _, want := range []string{
+		`hydra_txn_total_seconds_bucket{path="conv",outcome="commit"`,
+		`hydra_txn_total_seconds_count{path="conv",outcome="commit"}`,
+		`hydra_txn_phase_seconds_bucket{phase="flush_wait",path="conv",outcome="commit"`,
+		"hydra_slow_admitted_total",
+		"hydra_slow_rotations_total",
+		`hydra_incidents_total{kind="wal_stall"}`,
+		`hydra_incidents_total{kind="dora_queue_pinned"}`,
+		`hydra_incidents_total{kind="lock_waiter_stuck"}`,
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("/metrics missing %q", want)
+		}
+	}
+
+	// The same accounting shows on /stats for hydra-top.
+	var st StatsJSON
+	if err := json.Unmarshal([]byte(get(t, ts.URL+"/stats")), &st); err != nil {
+		t.Fatal(err)
+	}
+	if len(st.Phases) == 0 {
+		t.Fatal("/stats has no phase cells after committed traffic")
 	}
 }
 

@@ -36,6 +36,7 @@ import (
 // Server serves engine over a listener.
 type Server struct {
 	engine *core.Engine
+	fr     *FlightRecorder // optional; feeds STATS FULL incident counts
 
 	mu     sync.Mutex
 	ln     net.Listener
@@ -48,6 +49,10 @@ type Server struct {
 func New(e *core.Engine) *Server {
 	return &Server{engine: e, conns: make(map[net.Conn]struct{})}
 }
+
+// SetFlightRecorder attaches a running stall flight recorder so STATS
+// FULL reports incident counts. Call before Serve.
+func (s *Server) SetFlightRecorder(fr *FlightRecorder) { s.fr = fr }
 
 // Serve accepts connections until Close. It returns after the
 // listener fails or is closed.
@@ -223,7 +228,7 @@ func (s *Server) dispatch(line string, txn **core.Txn) (string, bool) {
 	case "STATS":
 		if len(fields) == 2 && strings.ToUpper(fields[1]) == "FULL" {
 			// One-line JSON so the line protocol stays line-oriented.
-			b, err := json.Marshal(Snapshot(s.engine))
+			b, err := json.Marshal(Snapshot(s.engine, s.fr))
 			if err != nil {
 				return errReply(err), false
 			}

@@ -122,6 +122,21 @@ func (l *SpinRWLock) Unlock() {
 	atomic.AndUint32(&l.state, ^uint32(rwWriterHeld))
 }
 
+// TryRLock attempts a shared acquisition without spinning. It may
+// fail spuriously when the state word is churning; callers use it as
+// a contention probe before a timed slow-path RLock.
+func (l *SpinRWLock) TryRLock() bool {
+	s := atomic.LoadUint32(&l.state)
+	return s&(rwWriterHeld|rwWriterWaiting) == 0 &&
+		atomic.CompareAndSwapUint32(&l.state, s, s+1)
+}
+
+// TryLock attempts an exclusive acquisition without spinning: it
+// succeeds only from the fully-free state.
+func (l *SpinRWLock) TryLock() bool {
+	return atomic.CompareAndSwapUint32(&l.state, 0, rwWriterHeld)
+}
+
 // TryUpgrade attempts to convert a shared hold into an exclusive hold
 // without releasing. It succeeds only if the caller is the sole
 // reader and no writer is pending; on failure the shared hold is

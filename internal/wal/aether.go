@@ -136,22 +136,23 @@ func (ca *consArray) finish(s *caslot, groupSize, n uint64) {
 
 // insertConsolidated is the CD insert path: consolidation array in
 // front of a decoupled (copy-outside-mutex) buffer fill.
-func (l *Log) insertConsolidated(rec []byte) (LSN, error) {
+func (l *Log) insertConsolidated(rec []byte, c *obs.PhaseClock) (LSN, error) {
 	n := uint64(len(rec))
 	s, offset, leader := l.ca.join(n, uint64(l.opts.BufferSize)/4)
 	var base uint64
 	var groupSize uint64
 	if leader {
 		ls := obs.LatchStart(obs.TierWALLog)
-		l.mu.Lock()
+		t0 := l.lockInsertMu(c)
 		obs.LatchDone(obs.TierWALLog, ls)
 		invariant.Acquired(invariant.TierWALLog, "wal.Log.mu")
 		l.stats.mutexAcquires.Inc()
 		groupSize = l.ca.close(s) // no more joiners past this point
 		var err error
-		base, err = l.allocateLocked(groupSize)
+		base, err = l.allocateLocked(groupSize, c, &t0)
 		invariant.Released(invariant.TierWALLog, "wal.Log.mu")
 		l.mu.Unlock()
+		l.noteInsertWait(c, t0)
 		if err != nil {
 			// The group got no ring space. Members are spinning in
 			// waitBase: a plain return would leave them spinning
@@ -165,7 +166,21 @@ func (l *Log) insertConsolidated(rec []byte) (LSN, error) {
 	} else {
 		l.stats.groupIns.Add(1)
 		var ok bool
-		base, ok = l.ca.waitBase(s)
+		if b := s.base.Load(); b != 0 {
+			// Leader already published: no wait to attribute.
+			base, ok = b-1, b != caPoisonBase
+			if !ok {
+				base = 0
+			}
+		} else if c != nil {
+			// Group-member spin for the leader's base publication is
+			// the consolidated path's insert wait; attribute it.
+			t0 := obs.Now()
+			base, ok = l.ca.waitBase(s)
+			c.Add(obs.PhaseLogInsert, obs.Now()-t0)
+		} else {
+			base, ok = l.ca.waitBase(s)
+		}
 		// groupSize is only needed by finish for recycling; members
 		// other than the leader learn it from the closed word.
 		groupSize = caSize(s.word.Load())

@@ -37,7 +37,7 @@ func benchWrapFlush(b *testing.B, vectored bool) {
 		l.next = startAt
 		l.fr.filled.Store(startAt)
 		l.flushed.Store(startAt)
-		if _, err := l.insertSerial(rec); err != nil {
+		if _, err := l.insertSerial(rec, nil); err != nil {
 			b.Fatal(err)
 		}
 		select {

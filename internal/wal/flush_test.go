@@ -58,7 +58,7 @@ func TestFlushWrapAroundSingleSubmission(t *testing.T) {
 	if _, err := Encode(&Record{Type: RecUpdate, TxnID: 7, Payload: payload}, rec); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := l.insertSerial(rec); err != nil {
+	if _, err := l.insertSerial(rec, nil); err != nil {
 		t.Fatal(err)
 	}
 	<-l.kick // consume: no flusher is running
@@ -115,7 +115,7 @@ func TestFlushWrapAroundSequentialFallback(t *testing.T) {
 	payload := bytes.Repeat([]byte("s"), 200)
 	rec := make([]byte, EncodedSize(len(payload)))
 	Encode(&Record{Type: RecUpdate, TxnID: 7, Payload: payload}, rec)
-	if _, err := l.insertSerial(rec); err != nil {
+	if _, err := l.insertSerial(rec, nil); err != nil {
 		t.Fatal(err)
 	}
 	<-l.kick

@@ -214,6 +214,14 @@ func (l *Log) Append(r *Record) (LSN, error) {
 // AppendFields encodes and inserts a record given directly by its
 // fields, sparing hot paths the per-record *Record allocation.
 func (l *Log) AppendFields(typ RecType, txnID uint64, prev LSN, pageID uint64, undoNext LSN, payload []byte) (LSN, error) {
+	return l.AppendFieldsC(typ, txnID, prev, pageID, undoNext, payload, nil)
+}
+
+// AppendFieldsC is AppendFields with a phase clock: time the insert
+// spends blocked (ring full, allocation-mutex contention,
+// consolidation-group waits) is attributed to the clock's log-insert
+// phase. A nil clock makes it identical to AppendFields.
+func (l *Log) AppendFieldsC(typ RecType, txnID uint64, prev LSN, pageID uint64, undoNext LSN, payload []byte, c *obs.PhaseClock) (LSN, error) {
 	size := EncodedSize(len(payload))
 	buf := encBufPool.Get().(*[]byte)
 	invariant.PoolGot("wal.encBufPool", buf)
@@ -226,7 +234,7 @@ func (l *Log) AppendFields(typ RecType, txnID uint64, prev LSN, pageID uint64, u
 		encBufPool.Put(buf)
 		return 0, err
 	}
-	lsn, err := l.Insert(b)
+	lsn, err := l.insert(b, c)
 	invariant.PoolPut("wal.AppendFields", buf)
 	encBufPool.Put(buf)
 	obs.TraceEvent(obs.EvLogAppend, txnID, uint64(typ), uint64(size))
@@ -240,7 +248,9 @@ var encBufPool = sync.Pool{New: func() any {
 
 // Insert places an already-encoded record into the log and returns
 // its LSN. The insert algorithm is chosen by Options.Kind.
-func (l *Log) Insert(rec []byte) (LSN, error) {
+func (l *Log) Insert(rec []byte) (LSN, error) { return l.insert(rec, nil) }
+
+func (l *Log) insert(rec []byte, c *obs.PhaseClock) (LSN, error) {
 	if l.closed.Load() {
 		return 0, ErrClosed
 	}
@@ -254,11 +264,11 @@ func (l *Log) Insert(rec []byte) (LSN, error) {
 	}
 	switch l.opts.Kind {
 	case Serial:
-		return l.insertSerial(rec)
+		return l.insertSerial(rec, c)
 	case Decoupled:
-		return l.insertDecoupled(rec)
+		return l.insertDecoupled(rec, c)
 	case Consolidated:
-		return l.insertConsolidated(rec)
+		return l.insertConsolidated(rec, c)
 	default:
 		panic("wal: unknown buffer kind")
 	}
@@ -284,7 +294,12 @@ func (l *Log) poison(err error) {
 // flusher has died or the log is closing: the durable frontier the
 // wait depends on will never advance again (the flusher broadcasts
 // l.space on its way out so blocked allocators observe the death).
-func (l *Log) allocateLocked(n uint64) (uint64, error) {
+//
+// When clocking (c != nil), a ring-full wait stamps *t0 if the caller
+// arrived with an uncontended stamp (0), extending the span the caller
+// finalizes with noteInsertWait after Unlock — this keeps every clock
+// read out of the allocation critical section.
+func (l *Log) allocateLocked(n uint64, c *obs.PhaseClock, t0 *int64) (uint64, error) {
 	for l.next+n-l.flushed.Load() > uint64(l.opts.BufferSize) {
 		if err := l.poisoned(); err != nil {
 			return 0, err
@@ -293,6 +308,9 @@ func (l *Log) allocateLocked(n uint64) (uint64, error) {
 			return 0, ErrClosed
 		}
 		l.kickFlusher()
+		if c != nil && *t0 == 0 {
+			*t0 = obs.Now()
+		}
 		l.space.Wait()
 	}
 	lsn := l.next
@@ -300,38 +318,41 @@ func (l *Log) allocateLocked(n uint64) (uint64, error) {
 	return lsn, nil
 }
 
-func (l *Log) insertSerial(rec []byte) (LSN, error) {
+func (l *Log) insertSerial(rec []byte, c *obs.PhaseClock) (LSN, error) {
 	n := uint64(len(rec))
 	ls := obs.LatchStart(obs.TierWALLog)
-	l.mu.Lock()
+	t0 := l.lockInsertMu(c)
 	obs.LatchDone(obs.TierWALLog, ls)
 	invariant.Acquired(invariant.TierWALLog, "wal.Log.mu")
 	l.stats.mutexAcquires.Inc()
-	lsn, err := l.allocateLocked(n)
+	lsn, err := l.allocateLocked(n, c, &t0)
 	if err != nil {
 		invariant.Released(invariant.TierWALLog, "wal.Log.mu")
 		l.mu.Unlock()
+		l.noteInsertWait(c, t0)
 		return 0, err
 	}
 	l.ring.copyIn(lsn, rec) // copy under the mutex: the serial pathology
 	l.fr.complete(lsn, lsn+n)
 	invariant.Released(invariant.TierWALLog, "wal.Log.mu")
 	l.mu.Unlock()
+	l.noteInsertWait(c, t0)
 	l.noteInsert(n)
 	l.kickFlusher()
 	return LSN(lsn), nil
 }
 
-func (l *Log) insertDecoupled(rec []byte) (LSN, error) {
+func (l *Log) insertDecoupled(rec []byte, c *obs.PhaseClock) (LSN, error) {
 	n := uint64(len(rec))
 	ls := obs.LatchStart(obs.TierWALLog)
-	l.mu.Lock()
+	t0 := l.lockInsertMu(c)
 	obs.LatchDone(obs.TierWALLog, ls)
 	invariant.Acquired(invariant.TierWALLog, "wal.Log.mu")
 	l.stats.mutexAcquires.Inc()
-	lsn, err := l.allocateLocked(n)
+	lsn, err := l.allocateLocked(n, c, &t0)
 	invariant.Released(invariant.TierWALLog, "wal.Log.mu")
 	l.mu.Unlock()
+	l.noteInsertWait(c, t0)
 	if err != nil {
 		return 0, err
 	}
@@ -340,6 +361,38 @@ func (l *Log) insertDecoupled(rec []byte) (LSN, error) {
 	l.noteInsert(n)
 	l.kickFlusher()
 	return LSN(lsn), nil
+}
+
+// lockInsertMu acquires the allocation mutex for an insert path. With
+// a clock, the try-first fast path costs one extra branch when the
+// mutex is free; a contended acquisition returns its start stamp so
+// the caller can finalize the attribution with noteInsertWait AFTER
+// releasing the mutex — no clock read ever executes inside the
+// allocation critical section, which is the log's serialization
+// bottleneck under load. Returns 0 when there is nothing to attribute.
+//
+//hydra:vet:nonpropagating -- returns holding l.mu for the caller's insert critical section
+func (l *Log) lockInsertMu(c *obs.PhaseClock) int64 {
+	if c == nil {
+		l.mu.Lock()
+		return 0
+	}
+	if l.mu.TryLock() {
+		return 0
+	}
+	t0 := obs.Now()
+	l.mu.Lock()
+	return t0
+}
+
+// noteInsertWait attributes a contended insert-mutex acquisition that
+// lockInsertMu stamped. Called after l.mu.Unlock(), so the measured
+// span covers wait plus the caller's (short) critical section; the
+// uncontended path attributes nothing.
+func (l *Log) noteInsertWait(c *obs.PhaseClock, t0 int64) {
+	if t0 != 0 {
+		c.Add(obs.PhaseLogInsert, obs.Now()-t0)
+	}
 }
 
 func (l *Log) noteInsert(n uint64) {
@@ -429,7 +482,12 @@ var waiterChPool = sync.Pool{New: func() any { return make(chan error, 1) }}
 // WaitFlushed blocks until the log is durable up to and including the
 // record that starts at lsn (group commit). It returns early with an
 // error if the log is closed or the flusher failed.
-func (l *Log) WaitFlushed(lsn LSN) error {
+func (l *Log) WaitFlushed(lsn LSN) error { return l.WaitFlushedC(lsn, nil) }
+
+// WaitFlushedC is WaitFlushed with a phase clock: time parked waiting
+// for the durable frontier is attributed to the flush-wait phase. The
+// already-durable fast path performs no clock reads at all.
+func (l *Log) WaitFlushedC(lsn LSN, c *obs.PhaseClock) error {
 	target := uint64(lsn) + 1 // any byte past the record start implies record scheduling order; callers pass end-1 semantics via RecordEnd
 	if l.flushed.Load() >= target {
 		// Already durable: no registration, no mutex beyond this load.
@@ -438,6 +496,23 @@ func (l *Log) WaitFlushed(lsn LSN) error {
 		}
 		return nil
 	}
+	if c == nil {
+		return l.waitFlushedSlow(target)
+	}
+	// The span's closing stamp is deferred to the transaction fold:
+	// commit durability is the last wait a transaction performs, so the
+	// fold's end-of-transaction Now closes it microseconds late — noise
+	// against a group-commit wait — and the commit path saves one clock
+	// read.
+	t0 := obs.Now()
+	err := l.waitFlushedSlow(target)
+	c.Defer(obs.PhaseFlushWait, t0)
+	return err
+}
+
+// waitFlushedSlow registers as a group-commit waiter and parks until
+// the durable frontier passes target or the log dies.
+func (l *Log) waitFlushedSlow(target uint64) error {
 	l.kickFlusher()
 	ws := obs.LatchStart(obs.TierWALWait)
 	l.waitMu.Lock()
@@ -498,6 +573,19 @@ func (l *Log) failWaiters(err error) {
 	}
 	invariant.Released(invariant.TierWALWait, "wal.Log.waitMu")
 	l.waitMu.Unlock()
+}
+
+// CommitWaiters returns the number of committers currently parked on
+// the durable frontier. The stall flight recorder polls it together
+// with FlushedLSN: waiters present while the frontier stands still is
+// the signature of a stuck flusher.
+func (l *Log) CommitWaiters() int {
+	l.waitMu.Lock()
+	invariant.Acquired(invariant.TierWALWait, "wal.Log.waitMu")
+	n := len(l.waiters)
+	invariant.Released(invariant.TierWALWait, "wal.Log.waitMu")
+	l.waitMu.Unlock()
+	return n
 }
 
 // Flush forces all filled records to stable storage before returning.
