@@ -93,7 +93,9 @@ bench-dora:
 # explicit wal run below it asserts the vectored path's counters are
 # live, not just that the benchmarks compile. The final server tests
 # assert the hydra_dora_* families appear in /metrics and /stats under
-# live DORA load, and that the transaction phase-accounting families
+# live DORA load, the hydra_mvcc_* families (and the lock-bypass
+# counter) under snapshot-read traffic, and that the transaction
+# phase-accounting families
 # (hydra_txn_phase_*, the slow-transaction reservoir counters, and the
 # hydra_incidents_total kinds) appear under committed traffic. The
 # accounting itself is budgeted at <=3% ns/op and zero extra allocs/op
@@ -103,4 +105,4 @@ bench-smoke:
 	$(GO) test -run '^$$' -bench . -benchtime 1x ./...
 	$(GO) test -run '^$$' -bench 'BenchmarkFlushWrap|BenchmarkSegmentedSync' -benchtime 20x ./internal/wal/
 	$(GO) test -run '^$$' -bench 'BenchmarkAcquireReleaseChurn' -benchtime 20x ./internal/lock/
-	$(GO) test -run 'TestDoraMetricsExposition|TestPhaseMetricsExposition' -count=1 ./internal/server/
+	$(GO) test -run 'TestDoraMetricsExposition|TestPhaseMetricsExposition|TestMVCCMetricsExposition' -count=1 ./internal/server/

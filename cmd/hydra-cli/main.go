@@ -239,6 +239,13 @@ func printStats(st server.StatsJSON) {
 		fmt.Printf("            batches=%d jobs=%d service %s\n",
 			st.Dora.Batches, st.Dora.BatchedJobs, st.Dora.Service.Summary)
 	}
+	if st.Mvcc.SnapshotBegins > 0 || st.Mvcc.Installs > 0 {
+		fmt.Printf("mvcc        snapshots=%d reads=%d chain_reads=%d lock_bypasses=%d\n",
+			st.Mvcc.SnapshotBegins, st.Mvcc.SnapshotReads, st.Mvcc.ChainReads, st.Lock.Bypasses)
+		fmt.Printf("            installs=%d live_nodes=%d gc_nodes=%d sweeps=%d floor=%d active=%d\n",
+			st.Mvcc.Installs, st.Mvcc.LiveNodes, st.Mvcc.GCNodes, st.Mvcc.GCSweeps,
+			st.Mvcc.SnapshotFloor, st.Mvcc.ActiveSnapshots)
+	}
 	if len(st.Latches) > 0 {
 		fmt.Println("latch tiers (sampled time-to-acquire)")
 		for _, t := range st.Latches {

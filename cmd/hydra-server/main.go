@@ -33,6 +33,7 @@ func main() {
 	config := flag.String("config", "scalable", "engine configuration: conventional or scalable")
 	httpAddr := flag.String("http", ":7655", "observability listen address (/metrics, /stats, /trace); empty disables")
 	trace := flag.Bool("trace", false, "enable transaction event tracing at startup")
+	mvcc := flag.Bool("mvcc", false, "enable MVCC version chains; autocommitted GET/SCAN run as lock-free snapshot reads")
 	flag.Parse()
 
 	var cfg core.Config
@@ -46,6 +47,7 @@ func main() {
 		os.Exit(2)
 	}
 	cfg.Dir = *dir
+	cfg.MVCC = *mvcc
 
 	engine, err := core.Open(cfg)
 	if err != nil {

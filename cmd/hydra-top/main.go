@@ -175,6 +175,25 @@ func render(w *os.File, st, prev *server.StatsJSON, dt time.Duration) {
 		}
 	}
 
+	// Snapshot reads resolve against version chains without touching
+	// the lock manager; bypass tracks the lock requests they skipped.
+	// live/active are instantaneous gauges (chain nodes retained,
+	// snapshots pinned); oldest is the GC watermark's age.
+	if st.Mvcc.SnapshotBegins > 0 || st.Mvcc.Installs > 0 {
+		fmt.Fprintf(w, "mvcc    snapread=%-8s chain=%-9s bypass=%-9s install=%-8s live=%-7d gc=%d\n",
+			r(st.Mvcc.SnapshotReads, p.Mvcc.SnapshotReads),
+			r(st.Mvcc.ChainReads, p.Mvcc.ChainReads),
+			r(st.Lock.Bypasses, p.Lock.Bypasses),
+			r(st.Mvcc.Installs, p.Mvcc.Installs),
+			st.Mvcc.LiveNodes, st.Mvcc.GCNodes)
+		if st.Mvcc.ActiveSnapshots > 0 {
+			fmt.Fprintf(w, "        snapshots active=%d oldest=%s floor=%d\n",
+				st.Mvcc.ActiveSnapshots,
+				time.Duration(st.Mvcc.OldestSnapshotAgeNs).Round(time.Millisecond),
+				st.Mvcc.SnapshotFloor)
+		}
+	}
+
 	fmt.Fprintf(w, "\n%-12s %10s  %9s %9s %9s %9s\n",
 		"latch tier", "acquires", "p50", "p90", "p99", "max")
 	fmt.Fprintln(w, strings.Repeat("-", 64))

@@ -1,0 +1,72 @@
+// MVCC tier fixtures: core.verShard.mu is rank 62 — the version-chain
+// shard leaf, legal under the frame latch (buffer.Frame.Latch, 60) —
+// and core.verTable.publishMu/snapMu are ranks 32/34. The load-bearing
+// bad shape is a chain traversal under the frame latch reaching the
+// lock manager (lock.partition.mu, 50): snapshot resolution must never
+// generate lock-table traffic, and rank 50 under rank 60 is exactly
+// that regression.
+package core
+
+import (
+	"buffer"
+	"latch"
+	"lock"
+	"sync"
+)
+
+type verShard struct{ mu sync.Mutex }
+
+type verTable struct {
+	publishMu sync.Mutex
+	snapMu    sync.Mutex
+}
+
+// chainWalkGood is the snapshot-read shape: resolve the version chain
+// under the page's S latch by taking the owning shard's mutex. 62
+// above 60 is inner-after-outer, legal.
+func chainWalkGood(f *buffer.Frame, s *verShard) {
+	f.Latch.Acquire(latch.Shared)
+	s.mu.Lock()
+	s.mu.Unlock()
+	f.Latch.Release(latch.Shared)
+}
+
+// chainWalkLockMgrBad reaches the lock manager from under the frame
+// latch — the inversion a snapshot read reintroducing lock traffic
+// would create.
+func chainWalkLockMgrBad(f *buffer.Frame, k int) {
+	f.Latch.Acquire(latch.Shared)
+	lock.AcquireRow(k) // want "calls lock.AcquireRow, which acquires lock.partition.mu \\(rank 50\\), while holding buffer.Frame.Latch \\(rank 60\\)"
+	f.Latch.Release(latch.Shared)
+}
+
+// resolveViaHelper hides the same lock-manager call one frame down;
+// the summary closure still surfaces it at the latched caller.
+func resolveViaHelper(f *buffer.Frame, k int) {
+	f.Latch.Acquire(latch.Shared)
+	resolveLocked(k) // want "calls core.resolveLocked, which acquires lock.partition.mu \\(rank 50\\) via core.resolveLocked → lock.AcquireRow, while holding buffer.Frame.Latch \\(rank 60\\)"
+	f.Latch.Release(latch.Shared)
+}
+
+func resolveLocked(k int) {
+	lock.AcquireRow(k)
+}
+
+// publishThenShard is the commit-stamp shape: the publish lock (32)
+// first, then a shard (62) while stamping chain heads. Legal.
+func publishThenShard(t *verTable, s *verShard) {
+	t.publishMu.Lock()
+	s.mu.Lock()
+	s.mu.Unlock()
+	t.publishMu.Unlock()
+}
+
+// publishUnderSnapBad nests the publish lock (32) beneath the
+// snapshot registry lock (34): commit publication must never wait on
+// snapshot begin/release bookkeeping.
+func publishUnderSnapBad(t *verTable) {
+	t.snapMu.Lock()
+	t.publishMu.Lock() // want "acquires core.verTable.publishMu \\(rank 32\\) while holding core.verTable.snapMu \\(rank 34\\)"
+	t.publishMu.Unlock()
+	t.snapMu.Unlock()
+}

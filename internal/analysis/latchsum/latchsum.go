@@ -61,15 +61,21 @@ var Hierarchy = map[string]int{
 	"core.Engine.mu":     invariant.TierEngineMu,
 
 	// Tier 1: per-transaction and per-structure locks.
-	"core.Txn.mu":       invariant.TierTxnMu,
-	"btree.Tree.coarse": invariant.TierTreeCoarse,
-	"btree.Tree.rootMu": invariant.TierTreeRoot,
+	"core.Txn.mu":             invariant.TierTxnMu,
+	"core.verTable.publishMu": invariant.TierMVCCPublish,
+	"core.verTable.snapMu":    invariant.TierMVCCSnap,
+	"btree.Tree.coarse":       invariant.TierTreeCoarse,
+	"btree.Tree.rootMu":       invariant.TierTreeRoot,
 
 	// Tier 2: lock-manager partitions (2PL state).
 	"lock.partition.mu": invariant.TierLockPart,
 
 	// Tier 3: page latches (crabbing orders same-rank acquisitions).
 	"buffer.Frame.Latch": invariant.TierFrameLatch,
+	// MVCC chain shards sit between the page latches and the buffer
+	// bookkeeping tiers: version install runs inside a page X-latch
+	// window, and nothing is acquired under a shard.
+	"core.verShard.mu": invariant.TierMVCCShard,
 
 	// Tier 4: short bookkeeping mutexes — leaves of the hierarchy;
 	// nothing may be acquired under them (and lockscope/blockscope

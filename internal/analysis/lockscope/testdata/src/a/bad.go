@@ -113,3 +113,18 @@ func blockingSelect(s *shard, ch chan int) {
 	}
 	s.mu.Unlock()
 }
+
+// verShardIO is the chain-walk regression lockscope guards against:
+// resolving a version by rereading the heap page while still holding
+// the chain shard's spin-tier mutex turns every concurrent install on
+// the shard into an IO-length stall.
+type verShardIO struct {
+	mu    sync.Mutex
+	store PageStore
+}
+
+func (s *verShardIO) resolveFromHeap(id uint64) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.store.ReadPage(id) // want "\\(PageStore\\).ReadPage while holding s.mu"
+}

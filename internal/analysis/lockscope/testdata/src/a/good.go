@@ -124,3 +124,28 @@ func goroutineBodyIsNotUnderLock(s *shard, ch chan int) {
 	}()
 	s.mu.Unlock()
 }
+
+// verShard is the version-chain shard shape: its mutex is spin-tier —
+// the critical sections are map lookups and pointer splices only, so
+// lockscope must stay silent even though the surrounding read path
+// does IO before and after the section.
+type verShard struct {
+	mu     sync.Mutex
+	chains map[uint64]int
+}
+
+func chainLookup(s *verShard, k uint64, p *pool) error {
+	if err := p.store.ReadPage(k); err != nil { // heap read, nothing held
+		return err
+	}
+	s.mu.Lock()
+	_ = s.chains[k]
+	s.mu.Unlock()
+	return nil
+}
+
+func chainInstall(s *verShard, k uint64) {
+	s.mu.Lock()
+	s.chains[k] = s.chains[k] + 1
+	s.mu.Unlock()
+}

@@ -44,3 +44,15 @@ func durationAsStamp(c *obs.PhaseClock) {
 }
 
 func park() {}
+
+// shardLockLeak is the chain-walk wait site with the close dropped:
+// the contended shard acquisition is stamped but never folded, so the
+// wait silently lands in the user residual.
+func shardLockLeak(c *obs.PhaseClock) bool {
+	if fastPath() {
+		return true
+	}
+	t0 := obs.Now() // want "phase stamp t0 from obs.Now\\(\\) is never closed"
+	park()
+	return t0 != 0 // reads the stamp, folds nothing
+}

@@ -73,3 +73,15 @@ func restamp(c *obs.PhaseClock) {
 
 func fastPath() bool     { return false }
 func waitDurable() error { return nil }
+
+// shardLockWait mirrors the version-shard acquisition: TryLock keeps
+// the uncontended path stamp-free; only the contended fall-through
+// opens a span, closed as latch wait once the lock is held.
+func shardLockWait(c *obs.PhaseClock) {
+	if fastPath() { // TryLock succeeded, no span
+		return
+	}
+	t0 := obs.Now()
+	park()
+	c.Add(obs.PhaseLatchWait, obs.Now()-t0)
+}

@@ -73,6 +73,15 @@ type Config struct {
 	// ELR enables early lock release: locks are dropped at the commit
 	// record's insertion rather than after its flush.
 	ELR bool
+
+	// MVCC enables undo-based version chains and the snapshot-read
+	// path (BeginSnapshot): writers keep before-images reachable from
+	// the row, stamped with their commit LSN, and read-only snapshot
+	// transactions resolve reads against them with zero lock-manager
+	// traffic. Off by default in both named configurations — writers
+	// pay a version install per logged op, so it is opted into by
+	// read-mostly workloads.
+	MVCC bool
 }
 
 // Conventional returns the baseline configuration: every construct in
@@ -129,6 +138,10 @@ var (
 	ErrExists      = errors.New("core: key already exists")
 	ErrNotFound    = errors.New("core: key not found")
 	ErrTxnDone     = errors.New("core: transaction already finished")
+	// ErrReadOnlyTxn rejects write operations on snapshot transactions.
+	ErrReadOnlyTxn = errors.New("core: read-only snapshot transaction")
+	// ErrMVCCDisabled rejects BeginSnapshot when Config.MVCC is off.
+	ErrMVCCDisabled = errors.New("core: MVCC disabled (Config.MVCC)")
 )
 
 // Table is a keyed table: a heap file of rows plus a B+-tree index
@@ -154,6 +167,10 @@ type Engine struct {
 	logDev wal.Device
 	log    *wal.Log
 	locks  *lock.Manager
+	// mvcc is the version table backing snapshot reads; always
+	// allocated (so stats and release paths need no nil checks), only
+	// populated when cfg.MVCC is on.
+	mvcc *verTable
 
 	// mu guards the catalog maps. DDL persists its pages synchronously
 	// under it; it is a rare-operation lock, not a hot-path guard.
@@ -259,6 +276,7 @@ func OpenWith(cfg Config, store buffer.PageStore, dev wal.Device) (*Engine, erro
 		WaitTimeout:         cfg.LockTimeout,
 		EscalationThreshold: cfg.LockEscalation,
 	})
+	e.mvcc = newVerTable()
 
 	n, err := store.NumPages()
 	if err != nil {
@@ -277,11 +295,15 @@ func OpenWith(cfg Config, store buffer.PageStore, dev wal.Device) (*Engine, erro
 		if err := e.writeMeta(wal.NilLSN); err != nil {
 			return nil, err
 		}
+		e.mvcc.snapFloor.Store(uint64(e.log.NextLSN()))
 		return e, nil
 	}
 	if err := e.recover(); err != nil {
 		return nil, fmt.Errorf("core: recovery: %w", err)
 	}
+	// Chains are volatile: after (re)open there are no versions, so the
+	// snapshot floor is simply "everything durable so far".
+	e.mvcc.snapFloor.Store(uint64(e.log.NextLSN()))
 	return e, nil
 }
 
@@ -343,6 +365,9 @@ func (e *Engine) installTableLocked(t *Table) {
 		})
 		return uint64(lsn), err
 	})
+	if e.cfg.MVCC {
+		t.Heap.SetVersioned(true)
+	}
 	e.tables[t.Name] = t
 	e.tablesByID[t.ID] = t
 }
@@ -392,6 +417,7 @@ type Stats struct {
 	Lock            lock.Stats
 	Log             wal.Stats
 	Buffer          buffer.Stats
+	Mvcc            MvccStats
 }
 
 // StatsSnapshot returns engine-wide counters.
@@ -402,6 +428,7 @@ func (e *Engine) StatsSnapshot() Stats {
 		Lock:    e.locks.StatsSnapshot(),
 		Log:     e.log.StatsSnapshot(),
 		Buffer:  e.pool.StatsSnapshot(),
+		Mvcc:    e.mvcc.statsSnapshot(),
 	}
 }
 

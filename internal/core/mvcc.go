@@ -1,0 +1,434 @@
+// MVCC version table: undo-based in-memory version chains that give
+// read-only transactions a lock-free snapshot view.
+//
+// Writers keep before-images reachable from the row: every logged
+// forward operation installs a version node holding the record's
+// before-image (nil for inserts) at the head of the row's chain, under
+// the same page X latch + Txn.mu window that logs the operation. At
+// commit the transaction's nodes are stamped — one atomic store on the
+// shared verTxn, visible through every node — with the commit record's
+// LSN, and the snapshot floor advances to it. A read-only transaction
+// pins the floor at begin and resolves each read by walking the chain
+// for the oldest node whose commit LSN is pending or newer than its
+// snapshot: that node's before-image is the row as of the snapshot
+// (nil = the key did not exist). No blocking node means the current
+// row is the snapshot row. Zero lock-manager traffic either way.
+//
+// Publish ordering: for version-installing transactions the commit
+// record append, the stamp, and the floor advance happen under one
+// mutex (publishMu), so the floor only ever names fully stamped
+// commits and advances in LSN order — a snapshot can never pin a
+// floor whose transaction is still half-published.
+//
+// Chains are volatile: a crash discards them with the process, and
+// recovery restarts the floor at the log's next LSN. The per-page
+// version epoch (page.VerEpoch) shares this lifetime — stale non-zero
+// epochs after a restart cost a chain lookup that misses, never a
+// wrong read.
+//
+// GC: a node whose commit LSN is at or below the watermark — the
+// oldest active snapshot, or the floor when none is active — serves no
+// current or future snapshot and is pruned. Writers prune their own
+// chain's tail on install; releasing the oldest snapshot sweeps all
+// shards. Pending nodes are never pruned; aborted transactions unlink
+// their nodes eagerly after undo restores the heap rows.
+package core
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"hydra/internal/invariant"
+	"hydra/internal/obs"
+)
+
+// verKey addresses one row's version chain.
+type verKey struct {
+	table uint32
+	key   uint64
+}
+
+// verTxn is the per-transaction commit stamp shared by all of the
+// transaction's version nodes: one atomic store at publish flips every
+// node from pending (0) to committed.
+type verTxn struct {
+	commitLSN atomic.Uint64
+}
+
+// verNode is one version: the row's before-image as of the owning
+// transaction's write. Nodes are immutable after install except for
+// the chain link, which only mutates under the shard mutex.
+type verNode struct {
+	key    verKey
+	txn    *verTxn
+	before []byte   // heap record (key|value) before the write; nil = key absent
+	next   *verNode // older version
+}
+
+// verShardCount shards the chain map; chains are touched once per
+// versioned write and once per chain-hitting snapshot read, so modest
+// striping suffices.
+const verShardCount = 64
+
+// verShard is one stripe of the chain map.
+type verShard struct {
+	// mu is a leaf bookkeeping mutex (spin tier): critical sections are
+	// a map probe plus pointer splices, never IO and never parking.
+	mu     sync.Mutex
+	chains map[verKey]*verNode
+}
+
+// lock acquires the shard mutex, feeding the latch profile and
+// attributing a contended acquisition to the clock's latch-wait phase
+// (the chain-walk wait site). c may be nil.
+func (sh *verShard) lock(c *obs.PhaseClock) {
+	s := obs.LatchStart(obs.TierMVCCShard)
+	if !sh.mu.TryLock() {
+		t0 := obs.Now()
+		sh.mu.Lock()
+		c.Add(obs.PhaseLatchWait, obs.Now()-t0)
+	}
+	invariant.Acquired(invariant.TierMVCCShard, "core.verShard.mu")
+	obs.LatchDone(obs.TierMVCCShard, s)
+}
+
+func (sh *verShard) unlock() {
+	invariant.Released(invariant.TierMVCCShard, "core.verShard.mu")
+	sh.mu.Unlock()
+}
+
+// noSnapshot is the oldestSnap sentinel when no snapshot is active.
+const noSnapshot = ^uint64(0)
+
+// verTable is the engine's version store.
+type verTable struct {
+	shards [verShardCount]verShard
+
+	// publishMu serializes {commit-record append, version stamp, floor
+	// advance} for version-installing transactions. The append is a log
+	// ring copy (group commit keeps the IO asynchronous), so the
+	// critical section is short; correctness needs the three steps
+	// indivisible so the floor advances in commit-LSN order over fully
+	// stamped transactions only.
+	//hydra:vet:coarse -- commit publish lock: held across the WAL ring append by design so snapshot floor, stamp, and commit record advance atomically
+	publishMu sync.Mutex
+
+	// snapFloor is the newest published commit LSN: the snapshot a new
+	// read-only transaction pins.
+	snapFloor atomic.Uint64
+
+	// snapMu guards the active-snapshot registry; oldestSnap mirrors
+	// its minimum so the install-path watermark read is lock-free.
+	snapMu     sync.Mutex
+	snaps      map[uint64]uint64 // txn id -> pinned snapshot LSN
+	snapBorn   map[uint64]int64  // txn id -> begin stamp (obs.Now)
+	oldestSnap atomic.Uint64     // min pinned LSN, noSnapshot when none
+
+	snapBegins obs.Counter // snapshots pinned
+	snapReads  obs.Counter // point reads + scans on the snapshot path
+	chainReads obs.Counter // reads answered from a version chain
+	installs   obs.Counter // version nodes installed
+	gcNodes    obs.Counter // nodes reclaimed by prune/sweep
+	gcSweeps   obs.Counter // whole-table sweeps
+	liveNodes  atomic.Int64
+}
+
+func newVerTable() *verTable {
+	vt := &verTable{
+		snaps:    make(map[uint64]uint64),
+		snapBorn: make(map[uint64]int64),
+	}
+	vt.oldestSnap.Store(noSnapshot)
+	for i := range vt.shards {
+		vt.shards[i].chains = make(map[verKey]*verNode)
+	}
+	return vt
+}
+
+func (vt *verTable) shard(k verKey) *verShard {
+	h := (k.key ^ uint64(k.table)*0x9E3779B97F4A7C15) * 0x9E3779B97F4A7C15
+	return &vt.shards[h>>(64-6)] // top bits: verShardCount == 64
+}
+
+// watermark returns the GC horizon: the oldest active snapshot, or the
+// floor when none is active. A node committed at or below it serves no
+// current or future snapshot (new snapshots pin >= the current floor,
+// and the floor is monotone).
+func (vt *verTable) watermark() uint64 {
+	if o := vt.oldestSnap.Load(); o != noSnapshot {
+		return o
+	}
+	return vt.snapFloor.Load()
+}
+
+// pin registers a snapshot for txn id and returns its snapshot LSN.
+func (vt *verTable) pin(id uint64) uint64 {
+	vt.snapMu.Lock()
+	invariant.Acquired(invariant.TierMVCCSnap, "core.verTable.snapMu")
+	s := vt.snapFloor.Load()
+	vt.snaps[id] = s
+	vt.snapBorn[id] = obs.Now()
+	if old := vt.oldestSnap.Load(); old == noSnapshot || s < old {
+		vt.oldestSnap.Store(s)
+	}
+	invariant.Released(invariant.TierMVCCSnap, "core.verTable.snapMu")
+	vt.snapMu.Unlock()
+	vt.snapBegins.Inc()
+	return s
+}
+
+// release unregisters txn id's snapshot; if the departure advanced the
+// watermark, the chains are swept under the new horizon.
+func (vt *verTable) release(id uint64) {
+	vt.snapMu.Lock()
+	invariant.Acquired(invariant.TierMVCCSnap, "core.verTable.snapMu")
+	if _, ok := vt.snaps[id]; !ok {
+		invariant.Released(invariant.TierMVCCSnap, "core.verTable.snapMu")
+		vt.snapMu.Unlock()
+		return
+	}
+	old := vt.oldestSnap.Load()
+	delete(vt.snaps, id)
+	delete(vt.snapBorn, id)
+	min := uint64(noSnapshot)
+	for _, s := range vt.snaps {
+		if s < min {
+			min = s
+		}
+	}
+	vt.oldestSnap.Store(min)
+	next := min
+	if next == noSnapshot {
+		next = vt.snapFloor.Load()
+	}
+	invariant.Released(invariant.TierMVCCSnap, "core.verTable.snapMu")
+	vt.snapMu.Unlock()
+	// Sweep outside snapMu: pin/release stay short, and the sweep
+	// takes only the leaf shard mutexes.
+	if next > old {
+		vt.sweep(next)
+	}
+}
+
+// install records a version node for (table, key) with the given
+// before-image, linked at the head of the row's chain. Called from
+// logOp, inside the page X-latch critical section of the write it
+// shadows — which is what makes the snapshot read's post-read chain
+// check sufficient: any write a reader observed has its node installed
+// before the reader's page latch was granted. The before-image is
+// copied into node-owned memory (the caller's arena recycles at txn
+// finish; chain nodes outlive it).
+func (t *Txn) installVersion(table uint32, key uint64, before []byte) {
+	vt := t.e.mvcc
+	if t.verTxn == nil {
+		t.verTxn = &verTxn{}
+	}
+	n := &verNode{key: verKey{table: table, key: key}, txn: t.verTxn}
+	if before != nil {
+		n.before = append([]byte(nil), before...)
+	}
+	w := vt.watermark()
+	sh := vt.shard(n.key)
+	sh.lock(&t.clock)
+	n.next = sh.chains[n.key]
+	// Prune the tail the new head obsoletes; n itself is pending and
+	// never prunable.
+	_, freed := pruneChain(n, w)
+	sh.chains[n.key] = n
+	sh.unlock()
+	t.verNodes = append(t.verNodes, n)
+	vt.installs.Inc()
+	if freed > 0 {
+		vt.gcNodes.Add(uint64(freed))
+	}
+	vt.liveNodes.Add(int64(1 - freed))
+}
+
+// pruneChain cuts the chain suffix invisible under watermark w: the
+// first node (newest-first order) committed at or below w starts the
+// dead tail — every node older than it is committed no later, and the
+// before-images of dead nodes serve only snapshots older than w.
+// Returns the surviving head (nil when the whole chain dies) and the
+// number of nodes freed.
+func pruneChain(head *verNode, w uint64) (*verNode, int) {
+	var prev *verNode
+	for n := head; n != nil; n = n.next {
+		c := n.txn.commitLSN.Load()
+		if c != 0 && c <= w {
+			freed := 0
+			for m := n; m != nil; m = m.next {
+				freed++
+			}
+			if prev == nil {
+				return nil, freed
+			}
+			prev.next = nil
+			return head, freed
+		}
+		prev = n
+	}
+	return head, 0
+}
+
+// resolve walks (table, key)'s chain for snapshot snap. blocked
+// reports whether a version newer than the snapshot (or pending)
+// covers the row; val is then the visible record — a copy — or nil
+// when the key did not exist at the snapshot. blocked == false means
+// the current heap row (or index miss) is authoritative.
+func (vt *verTable) resolve(table uint32, key uint64, snap uint64, c *obs.PhaseClock) (val []byte, blocked bool) {
+	k := verKey{table: table, key: key}
+	sh := vt.shard(k)
+	sh.lock(c)
+	var oldest *verNode
+	for n := sh.chains[k]; n != nil; n = n.next {
+		cl := n.txn.commitLSN.Load()
+		if cl != 0 && cl <= snap {
+			break // committed at or before the snapshot: visible from here
+		}
+		oldest = n
+	}
+	if oldest != nil {
+		blocked = true
+		if oldest.before != nil {
+			val = append([]byte(nil), oldest.before...)
+		}
+	}
+	sh.unlock()
+	return val, blocked
+}
+
+// collectRange pre-resolves every chained key of table in [lo, hi]
+// for snapshot snap. pre maps key -> visible record (nil = invisible
+// at snap) for every key whose chain blocks; extras lists, sorted, the
+// blocked keys with a visible record — the scan merges them in key
+// order so rows deleted after the snapshot still appear.
+func (vt *verTable) collectRange(table uint32, lo, hi, snap uint64, c *obs.PhaseClock) (pre map[uint64][]byte, extras []uint64) {
+	for i := range vt.shards {
+		sh := &vt.shards[i]
+		sh.lock(c)
+		for k, head := range sh.chains {
+			if k.table != table || k.key < lo || k.key > hi {
+				continue
+			}
+			var oldest *verNode
+			for n := head; n != nil; n = n.next {
+				cl := n.txn.commitLSN.Load()
+				if cl != 0 && cl <= snap {
+					break
+				}
+				oldest = n
+			}
+			if oldest == nil {
+				continue
+			}
+			if pre == nil {
+				pre = make(map[uint64][]byte)
+			}
+			if oldest.before == nil {
+				pre[k.key] = nil
+			} else {
+				pre[k.key] = append([]byte(nil), oldest.before...)
+				extras = append(extras, k.key)
+			}
+		}
+		sh.unlock()
+	}
+	sort.Slice(extras, func(i, j int) bool { return extras[i] < extras[j] })
+	return pre, extras
+}
+
+// unlink removes an aborted transaction's nodes from their chains.
+// Called after undo restored the heap rows: until then the pending
+// nodes correctly block snapshot readers onto the before-images.
+func (vt *verTable) unlink(nodes []*verNode, c *obs.PhaseClock) {
+	removed := 0
+	for _, n := range nodes {
+		sh := vt.shard(n.key)
+		sh.lock(c)
+		cur := sh.chains[n.key]
+		var prev *verNode
+		for cur != nil && cur != n {
+			prev = cur
+			cur = cur.next
+		}
+		if cur == n {
+			if prev == nil {
+				if n.next == nil {
+					delete(sh.chains, n.key)
+				} else {
+					sh.chains[n.key] = n.next
+				}
+			} else {
+				prev.next = n.next
+			}
+			removed++
+		}
+		sh.unlock()
+	}
+	if removed > 0 {
+		vt.liveNodes.Add(int64(-removed))
+	}
+}
+
+// sweep prunes every chain under watermark w.
+func (vt *verTable) sweep(w uint64) {
+	freed := 0
+	for i := range vt.shards {
+		sh := &vt.shards[i]
+		sh.lock(nil)
+		for k, head := range sh.chains {
+			nh, f := pruneChain(head, w)
+			freed += f
+			if nh == nil {
+				delete(sh.chains, k)
+			}
+		}
+		sh.unlock()
+	}
+	if freed > 0 {
+		vt.gcNodes.Add(uint64(freed))
+		vt.liveNodes.Add(int64(-freed))
+	}
+	vt.gcSweeps.Inc()
+}
+
+// MvccStats aggregates the version store's counters.
+type MvccStats struct {
+	SnapshotBegins uint64 // read-only snapshots pinned
+	SnapshotReads  uint64 // reads + scans served on the snapshot path
+	ChainReads     uint64 // reads answered from a version chain
+	Installs       uint64 // version nodes installed
+	GCNodes        uint64 // nodes reclaimed
+	GCSweeps       uint64 // whole-table sweeps
+	LiveNodes      int64  // nodes currently linked
+	SnapshotFloor  uint64 // newest published commit LSN
+
+	ActiveSnapshots     int   // snapshots currently pinned
+	OldestSnapshotAgeNs int64 // age of the oldest pinned snapshot
+}
+
+func (vt *verTable) statsSnapshot() MvccStats {
+	st := MvccStats{
+		SnapshotBegins: vt.snapBegins.Load(),
+		SnapshotReads:  vt.snapReads.Load(),
+		ChainReads:     vt.chainReads.Load(),
+		Installs:       vt.installs.Load(),
+		GCNodes:        vt.gcNodes.Load(),
+		GCSweeps:       vt.gcSweeps.Load(),
+		LiveNodes:      vt.liveNodes.Load(),
+		SnapshotFloor:  vt.snapFloor.Load(),
+	}
+	vt.snapMu.Lock()
+	invariant.Acquired(invariant.TierMVCCSnap, "core.verTable.snapMu")
+	st.ActiveSnapshots = len(vt.snaps)
+	now := obs.Now()
+	for id := range vt.snaps {
+		if age := now - vt.snapBorn[id]; age > st.OldestSnapshotAgeNs {
+			st.OldestSnapshotAgeNs = age
+		}
+	}
+	invariant.Released(invariant.TierMVCCSnap, "core.verTable.snapMu")
+	vt.snapMu.Unlock()
+	return st
+}

@@ -1,0 +1,262 @@
+// Snapshot-read execution path: lock-free read-only transactions over
+// the MVCC version chains (see mvcc.go for the version store itself).
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"hydra/internal/btree"
+	"hydra/internal/heap"
+	"hydra/internal/invariant"
+	"hydra/internal/obs"
+	"hydra/internal/wal"
+)
+
+// BeginSnapshot starts a read-only transaction that reads a fixed
+// snapshot of the database: the state as of the newest published
+// commit at begin. Reads resolve against the version chains and take
+// no transactional locks — writers never block this transaction and it
+// never blocks writers. Write operations (and ReadForUpdate) fail with
+// ErrReadOnlyTxn. Requires Config.MVCC.
+func (e *Engine) BeginSnapshot() (*Txn, error) {
+	if !e.cfg.MVCC {
+		return nil, ErrMVCCDisabled
+	}
+	if e.closed.Load() {
+		return nil, ErrClosed
+	}
+	t := e.Begin()
+	t.snapRO = true
+	t.path = obs.PathROSnap
+	t.snap = e.mvcc.pin(t.id)
+	return t, nil
+}
+
+// MVCCEnabled reports whether the engine was opened with Config.MVCC
+// (i.e. BeginSnapshot is available).
+func (e *Engine) MVCCEnabled() bool { return e.cfg.MVCC }
+
+// ExecSnapshot runs fn in a read-only snapshot transaction: the
+// lock-free analogue of Exec for pure reads. There is no retry loop —
+// snapshot transactions cannot deadlock or time out.
+func (e *Engine) ExecSnapshot(fn func(tx *Txn) error) error {
+	t, err := e.BeginSnapshot()
+	if err != nil {
+		return err
+	}
+	if err := fn(t); err != nil {
+		t.Abort()
+		return err
+	}
+	return t.Commit()
+}
+
+// SnapshotLSN returns the snapshot a read-only transaction pinned at
+// begin, or 0 for read-write transactions.
+func (t *Txn) SnapshotLSN() uint64 {
+	if !t.snapRO {
+		return 0
+	}
+	return t.snap
+}
+
+// notFound renders the canonical missing-key error.
+func notFound(tbl *Table, key uint64) error {
+	return fmt.Errorf("%w: table %s key %d", ErrNotFound, tbl.Name, key)
+}
+
+// indexReadErr distinguishes a true index miss from an infrastructure
+// failure (buffer-pool IO error, WAL-poison shutdown surfacing through
+// a page read): only the former becomes ErrNotFound; everything else
+// propagates as the fault it is.
+func indexReadErr(err error, tbl *Table, key uint64) error {
+	if errors.Is(err, btree.ErrNotFound) {
+		return notFound(tbl, key)
+	}
+	return fmt.Errorf("core: table %s key %d: index read: %w", tbl.Name, key, err)
+}
+
+// snapshotRead is Read on the snapshot path: index probe and heap read
+// under physical latches only, then a chain check. The page's version
+// epoch gates the chain lookup — a zero epoch proves no versioned
+// write ever touched the page, so the row just read is the snapshot
+// row. The check runs after the heap read: version install happens
+// inside the writer's page X-latch window, so any write whose effect
+// the reader observed had installed its node before the reader's S
+// latch was granted.
+func (t *Txn) snapshotRead(tbl *Table, key uint64) ([]byte, error) {
+	e := t.e
+	e.mvcc.snapReads.Inc()
+	// Bypass accounting: the locked path would have taken IS(table) +
+	// S(row).
+	e.locks.NoteBypass(2)
+	resolveChain := func() ([]byte, error, bool) {
+		val, blocked := e.mvcc.resolve(tbl.ID, key, t.snap, &t.clock)
+		if !blocked {
+			return nil, nil, false
+		}
+		e.mvcc.chainReads.Inc()
+		if val == nil {
+			return nil, notFound(tbl, key), true
+		}
+		return append([]byte(nil), rowValue(val)...), nil, true
+	}
+	packed, err := tbl.Index.GetC(key, &t.clock)
+	if err != nil {
+		if !errors.Is(err, btree.ErrNotFound) {
+			return nil, indexReadErr(err, tbl, key)
+		}
+		// Absent from the index: either never existed, or a newer
+		// transaction deleted it — the chain decides.
+		if v, cerr, ok := resolveChain(); ok {
+			return v, cerr
+		}
+		return nil, notFound(tbl, key)
+	}
+	rec, epoch, err := tbl.Heap.ReadVersionedC(heap.Unpack(packed), &t.clock)
+	if err != nil {
+		if !errors.Is(err, heap.ErrNotFound) {
+			return nil, err
+		}
+		// The row vanished between index probe and heap read (deleted
+		// or moved by a concurrent writer); its chain has the snapshot
+		// view.
+		if v, cerr, ok := resolveChain(); ok {
+			return v, cerr
+		}
+		return nil, notFound(tbl, key)
+	}
+	if epoch != 0 {
+		if v, cerr, ok := resolveChain(); ok {
+			return v, cerr
+		}
+	}
+	return rowValue(rec), nil
+}
+
+// snapshotScan is Scan on the snapshot path. Chained keys in range are
+// pre-resolved once, then merged with the index scan in key order:
+// pre-resolved keys serve their snapshot version (including rows the
+// index no longer lists, because a newer transaction deleted them);
+// unchained keys serve the heap row, rechecked against the chain when
+// the page's version epoch shows versioned writes. A row whose index
+// entry is removed by a delete committing mid-scan, after the
+// pre-resolution, may be omitted — the snapshot guarantee the stress
+// tests pin down is that no concurrent writer's UPDATES are ever
+// visible.
+func (t *Txn) snapshotScan(tbl *Table, lo, hi uint64, fn func(key uint64, value []byte) bool) error {
+	e := t.e
+	e.mvcc.snapReads.Inc()
+	e.locks.NoteBypass(1) // the locked path's table S lock
+	pre, extras := e.mvcc.collectRange(tbl.ID, lo, hi, t.snap, &t.clock)
+	if pre != nil {
+		e.mvcc.chainReads.Add(uint64(len(pre)))
+	}
+	ei := 0
+	stopped := false
+	// emitBefore feeds fn the chain-only rows with keys below bound.
+	emitBefore := func(bound uint64, inclusive bool) bool {
+		for ei < len(extras) {
+			k := extras[ei]
+			if k > bound || (k == bound && !inclusive) {
+				return true
+			}
+			ei++
+			if !fn(k, rowValue(pre[k])) {
+				return false
+			}
+		}
+		return true
+	}
+	var scanErr error
+	err := tbl.Index.ScanC(lo, hi, &t.clock, func(key, packed uint64) bool {
+		if !emitBefore(key, false) {
+			stopped = true
+			return false
+		}
+		if v, chained := pre[key]; chained {
+			if ei < len(extras) && extras[ei] == key {
+				ei++ // consumed here, not as an extra
+			}
+			if v == nil {
+				return true // created after the snapshot: invisible
+			}
+			if !fn(key, rowValue(v)) {
+				stopped = true
+				return false
+			}
+			return true
+		}
+		rec, epoch, rerr := tbl.Heap.ReadVersionedC(heap.Unpack(packed), &t.clock)
+		if rerr != nil {
+			if !errors.Is(rerr, heap.ErrNotFound) {
+				scanErr = rerr
+				stopped = true
+				return false
+			}
+			// Row moved or was deleted after pre-resolution: late chain
+			// check.
+			if val, blocked := e.mvcc.resolve(tbl.ID, key, t.snap, &t.clock); blocked {
+				e.mvcc.chainReads.Inc()
+				if val == nil {
+					return true
+				}
+				if !fn(key, rowValue(val)) {
+					stopped = true
+					return false
+				}
+			}
+			return true
+		}
+		if epoch != 0 {
+			if val, blocked := e.mvcc.resolve(tbl.ID, key, t.snap, &t.clock); blocked {
+				e.mvcc.chainReads.Inc()
+				if val == nil {
+					return true
+				}
+				if !fn(key, rowValue(val)) {
+					stopped = true
+					return false
+				}
+				return true
+			}
+		}
+		if !fn(key, rowValue(rec)) {
+			stopped = true
+			return false
+		}
+		return true
+	})
+	if err != nil {
+		return err
+	}
+	if scanErr != nil {
+		return scanErr
+	}
+	if !stopped {
+		emitBefore(hi, true)
+	}
+	return nil
+}
+
+// appendCommitRecord appends t's commit record. A transaction that
+// installed versions publishes through the version table: append,
+// stamp, and snapshot-floor advance happen under publishMu so the
+// floor only ever names fully stamped commits, in LSN order.
+func (e *Engine) appendCommitRecord(t *Txn) (wal.LSN, error) {
+	if t.verTxn == nil {
+		return e.log.AppendFieldsC(wal.RecCommit, t.id, t.lastLSN, 0, 0, nil, &t.clock)
+	}
+	vt := e.mvcc
+	vt.publishMu.Lock()
+	invariant.Acquired(invariant.TierMVCCPublish, "core.verTable.publishMu")
+	lsn, err := e.log.AppendFieldsC(wal.RecCommit, t.id, t.lastLSN, 0, 0, nil, &t.clock)
+	if err == nil {
+		t.verTxn.commitLSN.Store(uint64(lsn))
+		vt.snapFloor.Store(uint64(lsn))
+	}
+	invariant.Released(invariant.TierMVCCPublish, "core.verTable.publishMu")
+	vt.publishMu.Unlock()
+	return lsn, err
+}

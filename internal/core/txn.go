@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"sync"
 
+	"hydra/internal/btree"
 	"hydra/internal/heap"
 	"hydra/internal/invariant"
 	"hydra/internal/lock"
@@ -50,6 +51,15 @@ type Txn struct {
 	// path tags which execution path runs the transaction (DORA sets
 	// it after Begin; conventional transactions keep PathConv).
 	path obs.TxnPath
+
+	// Snapshot-read state (see snapshot.go). snapRO marks a read-only
+	// snapshot transaction pinned to snap; verTxn/verNodes track the
+	// versions a writing transaction installed, so commit can stamp
+	// them and abort can unlink them.
+	snap     uint64
+	snapRO   bool
+	verTxn   *verTxn
+	verNodes []*verNode
 	// clock accumulates the transaction's critical-path breakdown. It
 	// lives by value so a pooled handle's clock costs no allocation;
 	// its address is stable for the handle's lifetime, which lets the
@@ -138,6 +148,9 @@ func (e *Engine) Begin() *Txn {
 	t.lastLSN = wal.NilLSN
 	t.firstLSN = wal.NilLSN
 	t.logged = false
+	t.snap = 0
+	t.snapRO = false
+	t.verTxn = nil
 	// No clock Reset here: finish's fold drains every lap to zero, so a
 	// pooled handle's clock is already clean; Start just restamps.
 	t.path = obs.PathConv
@@ -166,6 +179,11 @@ func (t *Txn) finish(state txnState) {
 	var phases [obs.NumPhases]int64
 	obs.TxnPhases.Fold(t.path, oc, &t.clock, total, &phases)
 	obs.SlowTxns.Offer(t.id, t.path, oc, end, total, &phases)
+	if t.snapRO {
+		// Unpin the snapshot; if it was the oldest, the watermark
+		// advances and release sweeps newly dead versions.
+		e.mvcc.release(t.id)
+	}
 	e.activeMu.Lock()
 	delete(e.active, t.id)
 	e.activeMu.Unlock()
@@ -175,6 +193,12 @@ func (t *Txn) finish(state txnState) {
 		t.undo[i] = undoEntry{}
 	}
 	t.undo = t.undo[:0]
+	// Version nodes now live (or died) in the chains; drop the handle's
+	// references so the pool doesn't pin them.
+	for i := range t.verNodes {
+		t.verNodes[i] = nil
+	}
+	t.verNodes = t.verNodes[:0]
 	// The undo entries were the only holders of arena bytes; reuse the
 	// current chunk (abandoned full ones are garbage now).
 	t.arena = t.arena[:0]
@@ -272,13 +296,24 @@ func (t *Txn) logOp(op *OpRecord) (wal.LSN, error) {
 	// the mutated op — can keep for the transaction's lifetime.
 	op.Before = t.arenaCopy(op.Before)
 	t.undo = append(t.undo, undoEntry{op: *op, prev: prev})
+	// logOp runs inside the heap page's X-latch window (the *FnC
+	// callbacks), so a snapshot reader that saw this op's effect is
+	// guaranteed to find the version node installed here.
+	if t.e.cfg.MVCC && op.Op != OpExtend {
+		t.installVersion(op.Table, op.Key, op.Before)
+	}
 	return lsn, nil
 }
 
-// Read returns the value stored under key in table.
+// Read returns the value stored under key in table. On a snapshot
+// transaction it resolves against the pinned snapshot without touching
+// the lock manager.
 func (t *Txn) Read(tbl *Table, key uint64) ([]byte, error) {
 	if err := t.checkActive(); err != nil {
 		return nil, err
+	}
+	if t.snapRO {
+		return t.snapshotRead(tbl, key)
 	}
 	if err := t.acquire(lock.TableName(tbl.ID), lock.IS); err != nil {
 		return nil, err
@@ -288,7 +323,7 @@ func (t *Txn) Read(tbl *Table, key uint64) ([]byte, error) {
 	}
 	packed, err := tbl.Index.GetC(key, &t.clock)
 	if err != nil {
-		return nil, fmt.Errorf("%w: table %s key %d", ErrNotFound, tbl.Name, key)
+		return nil, indexReadErr(err, tbl, key)
 	}
 	rec, err := tbl.Heap.ReadC(heap.Unpack(packed), &t.clock)
 	if err != nil {
@@ -304,6 +339,9 @@ func (t *Txn) ReadForUpdate(tbl *Table, key uint64) ([]byte, error) {
 	if err := t.checkActive(); err != nil {
 		return nil, err
 	}
+	if t.snapRO {
+		return nil, ErrReadOnlyTxn
+	}
 	if err := t.acquire(lock.TableName(tbl.ID), lock.IX); err != nil {
 		return nil, err
 	}
@@ -312,7 +350,7 @@ func (t *Txn) ReadForUpdate(tbl *Table, key uint64) ([]byte, error) {
 	}
 	packed, err := tbl.Index.GetC(key, &t.clock)
 	if err != nil {
-		return nil, fmt.Errorf("%w: table %s key %d", ErrNotFound, tbl.Name, key)
+		return nil, indexReadErr(err, tbl, key)
 	}
 	rec, err := tbl.Heap.ReadC(heap.Unpack(packed), &t.clock)
 	if err != nil {
@@ -326,6 +364,9 @@ func (t *Txn) Insert(tbl *Table, key uint64, value []byte) error {
 	if err := t.checkActive(); err != nil {
 		return err
 	}
+	if t.snapRO {
+		return ErrReadOnlyTxn
+	}
 	if err := t.ensureBegin(); err != nil {
 		return err
 	}
@@ -337,6 +378,10 @@ func (t *Txn) Insert(tbl *Table, key uint64, value []byte) error {
 	}
 	if _, err := tbl.Index.GetC(key, &t.clock); err == nil {
 		return fmt.Errorf("%w: table %s key %d", ErrExists, tbl.Name, key)
+	} else if !errors.Is(err, btree.ErrNotFound) {
+		// An infrastructure failure (IO error, poisoned WAL) must not
+		// masquerade as "key absent" and let the insert proceed.
+		return indexReadErr(err, tbl, key)
 	}
 	rec := t.arenaRowRecord(key, value)
 	op := OpRecord{Op: OpInsert, Table: tbl.ID, Key: key, After: rec}
@@ -359,6 +404,9 @@ func (t *Txn) Update(tbl *Table, key uint64, value []byte) error {
 	if err := t.checkActive(); err != nil {
 		return err
 	}
+	if t.snapRO {
+		return ErrReadOnlyTxn
+	}
 	if err := t.ensureBegin(); err != nil {
 		return err
 	}
@@ -370,7 +418,7 @@ func (t *Txn) Update(tbl *Table, key uint64, value []byte) error {
 	}
 	packed, err := tbl.Index.GetC(key, &t.clock)
 	if err != nil {
-		return fmt.Errorf("%w: table %s key %d", ErrNotFound, tbl.Name, key)
+		return indexReadErr(err, tbl, key)
 	}
 	rid := heap.Unpack(packed)
 	rec := t.arenaRowRecord(key, value)
@@ -419,6 +467,9 @@ func (t *Txn) Delete(tbl *Table, key uint64) error {
 	if err := t.checkActive(); err != nil {
 		return err
 	}
+	if t.snapRO {
+		return ErrReadOnlyTxn
+	}
 	if err := t.ensureBegin(); err != nil {
 		return err
 	}
@@ -430,7 +481,7 @@ func (t *Txn) Delete(tbl *Table, key uint64) error {
 	}
 	packed, err := tbl.Index.GetC(key, &t.clock)
 	if err != nil {
-		return fmt.Errorf("%w: table %s key %d", ErrNotFound, tbl.Name, key)
+		return indexReadErr(err, tbl, key)
 	}
 	rid := heap.Unpack(packed)
 	op := OpRecord{Op: OpDelete, Table: tbl.ID, Key: key, RID: rid}
@@ -452,6 +503,9 @@ func (t *Txn) Delete(tbl *Table, key uint64) error {
 func (t *Txn) Scan(tbl *Table, lo, hi uint64, fn func(key uint64, value []byte) bool) error {
 	if err := t.checkActive(); err != nil {
 		return err
+	}
+	if t.snapRO {
+		return t.snapshotScan(tbl, lo, hi, fn)
 	}
 	if err := t.acquire(lock.TableName(tbl.ID), lock.S); err != nil {
 		return err
@@ -481,7 +535,7 @@ func (t *Txn) Commit() error {
 		e.commits.Inc()
 		return nil
 	}
-	commitLSN, err := e.log.AppendFieldsC(wal.RecCommit, t.id, t.lastLSN, 0, 0, nil, &t.clock)
+	commitLSN, err := e.appendCommitRecord(t)
 	if err != nil {
 		return err
 	}
@@ -532,7 +586,7 @@ func (t *Txn) CommitAsync() (wal.LSN, error) {
 		e.commits.Inc()
 		return wal.NilLSN, nil
 	}
-	commitLSN, err := e.log.AppendFieldsC(wal.RecCommit, t.id, t.lastLSN, 0, 0, nil, &t.clock)
+	commitLSN, err := e.appendCommitRecord(t)
 	if err != nil {
 		return wal.NilLSN, err
 	}
@@ -592,6 +646,12 @@ func (t *Txn) Abort() error {
 		if _, err := e.log.AppendFieldsC(wal.RecEnd, t.id, t.lastLSN, 0, 0, nil, &t.clock); err != nil {
 			return err
 		}
+	}
+	// The undo ops above restored the rows; the never-stamped version
+	// nodes must leave the chains too (they'd otherwise block snapshot
+	// readers forever).
+	if len(t.verNodes) > 0 {
+		e.mvcc.unlink(t.verNodes, &t.clock)
 	}
 	t.releaseLocks(true)
 	obs.TraceEvent(obs.EvAbort, t.id, 0, 0)

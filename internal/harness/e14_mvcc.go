@@ -1,0 +1,115 @@
+package harness
+
+import (
+	"fmt"
+	"runtime"
+
+	"hydra/internal/core"
+	"hydra/internal/workload"
+)
+
+// E14 measures what MVCC snapshot reads buy on a read-mostly mix with
+// writers present: the same micro workload runs its read operations
+// either through the conventional locked path (IS/S acquisition on
+// the shared lock manager, blocking behind in-flight writers) or as
+// lock-free snapshot transactions resolved against the undo-based
+// version chains. Both cells share one MVCC-enabled substrate, so the
+// writers pay identical version-install costs and the only variable
+// is the read path. The lock-acquire and mvcc counters per cell show
+// the mechanism: snapshot reads add zero lock-manager traffic while
+// hydra_mvcc_snapshot_reads climbs one-for-one with throughput.
+func E14(s Scale) (*Report, error) {
+	keys := uint64(8000)
+	if s == Full {
+		keys = 20000
+	}
+	const hotKeys = 16
+	threads := runtime.GOMAXPROCS(0)
+	if threads > 8 {
+		threads = 8
+	}
+	if threads < 2 {
+		threads = 2
+	}
+	rep := &Report{
+		ID:    "E14",
+		Title: "MVCC snapshot reads vs locked reads under write traffic",
+		Claim: "C2: readers and writers need not block each other — versioned reads remove the reader's lock-manager interaction entirely",
+	}
+	tab := &Table{
+		Title: fmt.Sprintf("micro mix (%d keys, %d hot, %d workers), ops/s and per-cell counter deltas",
+			keys, hotKeys, threads),
+		Columns: []string{"write-frac", "read path", "ops/s", "lock acq", "snap reads", "chain reads"},
+	}
+
+	cfg := core.Scalable()
+	cfg.Frames = 32768
+	cfg.MVCC = true
+	e, err := core.Open(cfg)
+	if err != nil {
+		return nil, err
+	}
+	defer e.Close()
+	w, err := workload.SetupMicro(e, keys, 0, 0, 16)
+	if err != nil {
+		return nil, err
+	}
+	w.HotKeys = hotKeys
+	w.HotFrac = 0.5
+
+	var ratios []string
+	for _, writeFrac := range []float64{0.05, 0.2, 0.5} {
+		w.WriteFrac = writeFrac
+		var opsBySnap [2]float64
+		for _, snapFrac := range []float64{0, 1} {
+			w.SnapFrac = snapFrac
+			x := workload.LockExecutor{Engine: e}
+			src := make([]*workload.Sampler, threads)
+			for i := range src {
+				src[i] = w.NewSampler(uint64(i)<<8 ^ uint64(writeFrac*100) ^ uint64(snapFrac*7))
+			}
+			before := e.StatsSnapshot()
+			ops, dur, err := RunWorkers(threads, s.Window(), func(wk int) (uint64, error) {
+				var n uint64
+				for i := 0; i < 32; i++ {
+					if err := w.RunOne(src[wk], x); err != nil {
+						return n, err
+					}
+					n++
+				}
+				return n, nil
+			})
+			if err != nil {
+				return nil, fmt.Errorf("E14 (write %.2f snap %.0f): %w", writeFrac, snapFrac, err)
+			}
+			after := e.StatsSnapshot()
+
+			path := "locked"
+			if snapFrac > 0 {
+				path = "snapshot"
+			}
+			tps := float64(ops) / dur.Seconds()
+			opsBySnap[int(snapFrac)] = tps
+			tab.AddRow(fmt.Sprintf("%.2f", writeFrac), path, F(tps),
+				F(float64(after.Lock.Acquires-before.Lock.Acquires)),
+				F(float64(after.Mvcc.SnapshotReads-before.Mvcc.SnapshotReads)),
+				F(float64(after.Mvcc.ChainReads-before.Mvcc.ChainReads)))
+		}
+		ratios = append(ratios, fmt.Sprintf("%.2f: %.2fx", writeFrac, opsBySnap[1]/opsBySnap[0]))
+	}
+	rep.Tab = append(rep.Tab, tab)
+
+	// Conservation: the per-key write counters must still sum
+	// consistently after both read paths ran against the table.
+	if _, err := w.TotalWrites(e); err != nil {
+		return nil, err
+	}
+	st := e.StatsSnapshot()
+	rep.Notes = append(rep.Notes,
+		fmt.Sprintf("snapshot/locked ops ratio by write-frac: %v", ratios),
+		fmt.Sprintf("version-chain state at end: installs=%d live_nodes=%d gc_nodes=%d sweeps=%d lock_bypasses=%d",
+			st.Mvcc.Installs, st.Mvcc.LiveNodes, st.Mvcc.GCNodes, st.Mvcc.GCSweeps, st.Lock.Bypasses),
+		"both cells run on the same MVCC-enabled engine (writers pay identical version-install cost); the lock-acq column isolates the read path — snapshot cells show only the writers' acquisitions",
+		fmt.Sprintf("ran with GOMAXPROCS=%d; the snapshot advantage grows with writer concurrency since locked readers queue behind X holders", runtime.GOMAXPROCS(0)))
+	return rep, nil
+}

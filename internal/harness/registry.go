@@ -22,6 +22,7 @@ func All() []Experiment {
 		{"e8", "ELR commit path and ARIES restart", E8},
 		{"e9", "ablation of the scalable constructs", E9},
 		{"e10", "contention crossover: lock manager vs DORA", E10},
+		{"e14", "MVCC snapshot reads vs locked reads", E14},
 	}
 }
 

@@ -46,7 +46,18 @@ type File struct {
 
 	// extend, when set, logs chain growth (see SetExtendHook).
 	extend ExtendHook
+
+	// versioned, when set, makes the logged write paths bump the page
+	// version epoch so MVCC snapshot readers know which pages may have
+	// version chains (see SetVersioned).
+	versioned bool
 }
+
+// SetVersioned enables version-epoch maintenance: every logged write
+// (InsertFnC/UpdateFnC/DeleteFnC) bumps the page's version epoch under
+// the same X latch that stamps the pageLSN. Set once at table attach,
+// before concurrent use.
+func (h *File) SetVersioned(v bool) { h.versioned = v }
 
 // Create allocates a new heap file and returns it. The first page id
 // is the file's persistent identity: store it in the catalog and pass
@@ -216,6 +227,28 @@ func (h *File) ReadC(rid RID, c *obs.PhaseClock) ([]byte, error) {
 		return nil, fmt.Errorf("%w: %v", ErrNotFound, rid)
 	}
 	return append([]byte(nil), rec...), nil
+}
+
+// ReadVersionedC is ReadC plus the page's version epoch, read under
+// the same S latch as the record. A zero epoch tells MVCC snapshot
+// readers the page never carried a versioned write, so the record is
+// authoritative without a chain lookup. The epoch is returned even on
+// ErrNotFound: a missing slot on a touched page still needs the chain
+// consulted.
+func (h *File) ReadVersionedC(rid RID, c *obs.PhaseClock) ([]byte, uint32, error) {
+	f, err := h.pool.FetchC(rid.Page, c)
+	if err != nil {
+		return nil, 0, err
+	}
+	defer h.pool.Unpin(f, false)
+	f.Latch.AcquireC(latch.Shared, c)
+	defer f.Latch.Release(latch.Shared)
+	epoch := f.Page.VerEpoch()
+	rec, err := f.Page.Read(int(rid.Slot))
+	if err != nil {
+		return nil, epoch, fmt.Errorf("%w: %v", ErrNotFound, rid)
+	}
+	return append([]byte(nil), rec...), epoch, nil
 }
 
 // Update replaces the record at rid in place. It fails with

@@ -66,6 +66,9 @@ func (h *File) InsertFnC(rec []byte, c *obs.PhaseClock, logFn func(rid RID) (uin
 				return RID{}, lerr
 			}
 			f.Page.SetLSN(lsn)
+			if h.versioned {
+				f.Page.BumpVerEpoch()
+			}
 			f.Latch.Release(latchExclusive)
 			h.pool.Unpin(f, true)
 			return rid, nil
@@ -155,6 +158,9 @@ func (h *File) UpdateFnC(rid RID, rec []byte, c *obs.PhaseClock, logFn func(befo
 			return err
 		}
 		p.SetLSN(lsn)
+		if h.versioned {
+			p.BumpVerEpoch()
+		}
 		return nil
 	})
 }
@@ -179,6 +185,9 @@ func (h *File) DeleteFnC(rid RID, c *obs.PhaseClock, logFn func(before []byte) (
 			return fmt.Errorf("%w: %v", ErrNotFound, rid)
 		}
 		p.SetLSN(lsn)
+		if h.versioned {
+			p.BumpVerEpoch()
+		}
 		return nil
 	})
 }

@@ -22,17 +22,20 @@ package invariant
 // the table in DESIGN.md documents them. Adding a lock means adding a
 // tier here and a site entry in latchorder.Hierarchy.
 const (
-	TierEngineCkpt = 10 // core.Engine.ckptMu
-	TierEngineMu   = 20 // core.Engine.mu
-	TierTxnMu      = 30 // core.Txn.mu
-	TierTreeCoarse = 40 // btree.Tree.coarse
-	TierTreeRoot   = 42 // btree.Tree.rootMu
-	TierLockPart   = 50 // lock.partition.mu
-	TierFrameLatch = 60 // buffer.Frame.Latch
-	TierPoolShard  = 70 // buffer.shard.mu
-	TierFileStore  = 72 // buffer.FileStore.mu
-	TierWALLog     = 80 // wal.Log.mu
-	TierWALWait    = 82 // wal.Log.waitMu
-	TierWALDevice  = 84 // wal.SegmentedDevice.mu
-	TierDoraQueue  = 90 // sync2.Queue.mu (DORA executor inboxes)
+	TierEngineCkpt  = 10 // core.Engine.ckptMu
+	TierEngineMu    = 20 // core.Engine.mu
+	TierTxnMu       = 30 // core.Txn.mu
+	TierMVCCPublish = 32 // core.verTable.publishMu (commit publish; ascends into the WAL tiers)
+	TierMVCCSnap    = 34 // core.verTable.snapMu (snapshot registry; ascends into verShard.mu via sweep)
+	TierTreeCoarse  = 40 // btree.Tree.coarse
+	TierTreeRoot    = 42 // btree.Tree.rootMu
+	TierLockPart    = 50 // lock.partition.mu
+	TierFrameLatch  = 60 // buffer.Frame.Latch
+	TierMVCCShard   = 62 // core.verShard.mu (version chains; acquired under page latches on install)
+	TierPoolShard   = 70 // buffer.shard.mu
+	TierFileStore   = 72 // buffer.FileStore.mu
+	TierWALLog      = 80 // wal.Log.mu
+	TierWALWait     = 82 // wal.Log.waitMu
+	TierWALDevice   = 84 // wal.SegmentedDevice.mu
+	TierDoraQueue   = 90 // sync2.Queue.mu (DORA executor inboxes)
 )

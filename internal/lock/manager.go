@@ -70,6 +70,10 @@ type Stats struct {
 	HeadRecycles  uint64
 	HeadRetires   uint64
 	HeatEvictions uint64
+	// Bypasses counts logical acquisitions the MVCC snapshot-read path
+	// skipped entirely: reads that, on the locked path, would have gone
+	// through Acquire but instead resolved against version chains.
+	Bypasses uint64
 }
 
 type grant struct {
@@ -295,6 +299,7 @@ type Manager struct {
 		escalations, escalatedAcqs    obs.Counter
 		headAllocs, headRecycles      obs.Counter
 		headRetires, heatEvictions    obs.Counter
+		bypasses                      obs.Counter
 	}
 
 	// waitProf is the time-to-acquire distribution of transactional
@@ -759,5 +764,12 @@ func (m *Manager) StatsSnapshot() Stats {
 		HeadRecycles:  m.stats.headRecycles.Load(),
 		HeadRetires:   m.stats.headRetires.Load(),
 		HeatEvictions: m.stats.heatEvictions.Load(),
+		Bypasses:      m.stats.bypasses.Load(),
 	}
+}
+
+// NoteBypass records n logical acquisitions the MVCC snapshot path
+// skipped. Pure accounting: no partition is touched.
+func (m *Manager) NoteBypass(n int) {
+	m.stats.bypasses.Add(uint64(n))
 }

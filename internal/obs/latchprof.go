@@ -23,6 +23,7 @@ const (
 	TierWALWait                // wal.Log.waitMu
 	TierWALDevice              // wal.SegmentedDevice.mu
 	TierDoraQueue              // sync2.Queue.mu (DORA executor inboxes)
+	TierMVCCShard              // core.verShard.mu (MVCC version chains)
 
 	// NumTiers is the tier count; valid tiers are < NumTiers.
 	NumTiers
@@ -31,7 +32,7 @@ const (
 var tierNames = [NumTiers]string{
 	"engine_ckpt", "engine_mu", "txn_mu", "tree_coarse", "tree_root",
 	"lock_part", "frame_latch", "pool_shard", "file_store",
-	"wal_log", "wal_wait", "wal_device", "dora_queue",
+	"wal_log", "wal_wait", "wal_device", "dora_queue", "mvcc_shard",
 }
 
 func (t Tier) String() string {

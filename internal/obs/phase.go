@@ -87,6 +87,10 @@ const (
 	// PathDoraCross is DORA's cross-partition path: actions fan out
 	// to executors and rendezvous at commit.
 	PathDoraCross
+	// PathROSnap is the MVCC snapshot path: a read-only transaction
+	// pinned to a snapshot LSN, resolving reads against the version
+	// chains with zero lock-manager traffic.
+	PathROSnap
 
 	// NumPaths is the number of execution paths (array sizing).
 	NumPaths
@@ -96,6 +100,7 @@ var pathNames = [NumPaths]string{
 	PathConv:       "conv",
 	PathDoraSingle: "dora_single",
 	PathDoraCross:  "dora_cross",
+	PathROSnap:     "ro_snap",
 }
 
 // String returns the path label used in /metrics.

@@ -14,7 +14,7 @@
 //	22     2    reserved
 //	24     8    next page id (heap chain / B+-tree right sibling)
 //	32     4    checksum (CRC-32C over the rest of the page)
-//	36     4    reserved
+//	36     4    version epoch (bumped by versioned heap writes)
 //	40     ...  slot array (4 bytes/slot), growing up
 //	...    ...  record heap, growing down from Size
 package page
@@ -149,6 +149,21 @@ func (p *Page) Next() ID { return ID(binary.LittleEndian.Uint64(p.buf[24:32])) }
 
 // SetNext stores the successor page id.
 func (p *Page) SetNext(id ID) { binary.LittleEndian.PutUint64(p.buf[24:32], uint64(id)) }
+
+// VerEpoch returns the page's version epoch: a counter bumped by every
+// versioned (MVCC-tracked) write to the page. Zero proves no versioned
+// write ever touched the page, letting snapshot readers skip the
+// version-chain lookup. The value is advisory — after a crash it may
+// read lower than writes that were logged but not flushed, which only
+// costs a spurious chain lookup, never a wrong read (the chains
+// themselves are volatile and rebuilt empty).
+func (p *Page) VerEpoch() uint32 { return binary.LittleEndian.Uint32(p.buf[36:40]) }
+
+// BumpVerEpoch increments the version epoch; call under the page
+// X latch alongside SetLSN.
+func (p *Page) BumpVerEpoch() {
+	binary.LittleEndian.PutUint32(p.buf[36:40], binary.LittleEndian.Uint32(p.buf[36:40])+1)
+}
 
 var castagnoli = crc32.MakeTable(crc32.Castagnoli)
 

@@ -74,6 +74,7 @@ type StatsJSON struct {
 	LockWait     HistJSON        `json:"lock_wait"`
 	Log          logStatsJSON    `json:"log"`
 	Buffer       bufStatsJSON    `json:"buffer"`
+	Mvcc         mvccStatsJSON   `json:"mvcc"`
 	Dora         doraStatsJSON   `json:"dora"`
 	Latches      []TierJSON      `json:"latches"`
 	Phases       []PhaseCellJSON `json:"phases"`
@@ -210,6 +211,22 @@ type lockStatsJSON struct {
 	HeadRecycles  uint64 `json:"head_recycles"`
 	HeadRetires   uint64 `json:"head_retires"`
 	HeatEvictions uint64 `json:"heat_evictions"`
+	Bypasses      uint64 `json:"bypasses"`
+}
+
+// mvccStatsJSON mirrors core.MvccStats (version chains and the
+// snapshot-read path).
+type mvccStatsJSON struct {
+	SnapshotBegins      uint64 `json:"snapshot_begins"`
+	SnapshotReads       uint64 `json:"snapshot_reads"`
+	ChainReads          uint64 `json:"chain_reads"`
+	Installs            uint64 `json:"installs"`
+	GCNodes             uint64 `json:"gc_nodes"`
+	GCSweeps            uint64 `json:"gc_sweeps"`
+	LiveNodes           int64  `json:"live_nodes"`
+	SnapshotFloor       uint64 `json:"snapshot_floor"`
+	ActiveSnapshots     int    `json:"active_snapshots"`
+	OldestSnapshotAgeNs int64  `json:"oldest_snapshot_age_ns"`
 }
 
 type logStatsJSON struct {
@@ -274,6 +291,7 @@ func Snapshot(e *core.Engine, fr *FlightRecorder) StatsJSON {
 			Escalations: st.Lock.Escalations, EscalatedAcqs: st.Lock.EscalatedAcqs,
 			HeadAllocs: st.Lock.HeadAllocs, HeadRecycles: st.Lock.HeadRecycles,
 			HeadRetires: st.Lock.HeadRetires, HeatEvictions: st.Lock.HeatEvictions,
+			Bypasses: st.Lock.Bypasses,
 		},
 		LockWait: histJSON(e.Locks().WaitHist()),
 		Log: logStatsJSON{
@@ -288,6 +306,14 @@ func Snapshot(e *core.Engine, fr *FlightRecorder) StatsJSON {
 		Buffer: bufStatsJSON{
 			Hits: st.Buffer.Hits, Misses: st.Buffer.Misses,
 			Evictions: st.Buffer.Evictions, Writebacks: st.Buffer.Writebacks,
+		},
+		Mvcc: mvccStatsJSON{
+			SnapshotBegins: st.Mvcc.SnapshotBegins, SnapshotReads: st.Mvcc.SnapshotReads,
+			ChainReads: st.Mvcc.ChainReads, Installs: st.Mvcc.Installs,
+			GCNodes: st.Mvcc.GCNodes, GCSweeps: st.Mvcc.GCSweeps,
+			LiveNodes: st.Mvcc.LiveNodes, SnapshotFloor: st.Mvcc.SnapshotFloor,
+			ActiveSnapshots:     st.Mvcc.ActiveSnapshots,
+			OldestSnapshotAgeNs: st.Mvcc.OldestSnapshotAgeNs,
 		},
 		Latches:      make([]TierJSON, 0, len(tiers)),
 		Phases:       phaseCells(),
@@ -368,6 +394,21 @@ func writeMetrics(w io.Writer, e *core.Engine, fr *FlightRecorder) {
 	writePromCounter(w, "hydra_lock_head_recycles_total", st.Lock.HeadRecycles)
 	writePromCounter(w, "hydra_lock_head_retires_total", st.Lock.HeadRetires)
 	writePromCounter(w, "hydra_lock_heat_evictions_total", st.Lock.HeatEvictions)
+	writePromCounter(w, "hydra_lock_bypasses_total", st.Lock.Bypasses)
+
+	// MVCC snapshot-read path: hydra_lock_bypasses_total above climbs
+	// with hydra_mvcc_snapshot_reads_total while hydra_lock_acquires
+	// stays flat — the "zero lock traffic" signature.
+	writePromCounter(w, "hydra_mvcc_snapshot_begins_total", st.Mvcc.SnapshotBegins)
+	writePromCounter(w, "hydra_mvcc_snapshot_reads_total", st.Mvcc.SnapshotReads)
+	writePromCounter(w, "hydra_mvcc_chain_reads_total", st.Mvcc.ChainReads)
+	writePromCounter(w, "hydra_mvcc_installs_total", st.Mvcc.Installs)
+	writePromCounter(w, "hydra_mvcc_gc_nodes_total", st.Mvcc.GCNodes)
+	writePromCounter(w, "hydra_mvcc_gc_sweeps_total", st.Mvcc.GCSweeps)
+	fmt.Fprintf(w, "# TYPE hydra_mvcc_live_nodes gauge\nhydra_mvcc_live_nodes %d\n", st.Mvcc.LiveNodes)
+	fmt.Fprintf(w, "# TYPE hydra_mvcc_active_snapshots gauge\nhydra_mvcc_active_snapshots %d\n", st.Mvcc.ActiveSnapshots)
+	fmt.Fprintf(w, "# TYPE hydra_mvcc_oldest_snapshot_age_seconds gauge\nhydra_mvcc_oldest_snapshot_age_seconds %g\n",
+		time.Duration(st.Mvcc.OldestSnapshotAgeNs).Seconds())
 
 	writePromCounter(w, "hydra_log_inserts_total", st.Log.Inserts)
 	writePromCounter(w, "hydra_log_inserted_bytes_total", st.Log.InsertedBytes)

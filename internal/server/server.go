@@ -257,10 +257,15 @@ func (s *Server) data(cmd string, fields []string, txn **core.Txn) string {
 		return "-ERR bad key"
 	}
 
-	// Run within the open transaction, or autocommit.
+	// Run within the open transaction, or autocommit. Autocommitted
+	// reads ride the MVCC snapshot path when the engine has it: a wire
+	// GET/SCAN then takes zero lock-manager traffic.
 	run := func(fn func(tx *core.Txn) error) error {
 		if *txn != nil {
 			return fn(*txn)
+		}
+		if s.engine.MVCCEnabled() && (cmd == "GET" || cmd == "SCAN") {
+			return s.engine.ExecSnapshot(fn)
 		}
 		return s.engine.Exec(fn)
 	}

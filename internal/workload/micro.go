@@ -25,7 +25,15 @@ type Micro struct {
 	HotKeys uint64
 	HotFrac float64
 
-	Table *core.Table
+	// SnapFrac routes that fraction of read operations through an MVCC
+	// snapshot transaction on Engine instead of the Executor's locked
+	// path. It requires core.Config.MVCC; the read-mostly crossover
+	// experiment sweeps it to show lock traffic flat-lining while
+	// hydra_mvcc_snapshot_reads climbs.
+	SnapFrac float64
+
+	Engine *core.Engine
+	Table  *core.Table
 }
 
 // SetupMicro creates and loads the microbenchmark table.
@@ -33,7 +41,7 @@ func SetupMicro(e *core.Engine, keys uint64, writeFrac, theta float64, valueSize
 	if valueSize < 8 {
 		valueSize = 8
 	}
-	w := &Micro{Keys: keys, WriteFrac: writeFrac, Theta: theta, ValueSize: valueSize}
+	w := &Micro{Keys: keys, WriteFrac: writeFrac, Theta: theta, ValueSize: valueSize, Engine: e}
 	var err error
 	if w.Table, err = e.CreateTable("micro_kv"); err != nil {
 		return nil, err
@@ -104,6 +112,9 @@ func (s *Sampler) Src() *rng.Source { return s.src }
 func (w *Micro) RunOne(s *Sampler, x Executor) error {
 	k := s.Next()
 	if s.src.Float64() >= w.WriteFrac {
+		if w.SnapFrac > 0 && s.src.Float64() < w.SnapFrac {
+			return w.snapshotRead(k)
+		}
 		return x.Run(w.Table, k, func(tx *core.Txn) error {
 			_, err := tx.Read(w.Table, k)
 			if errors.Is(err, core.ErrNotFound) {
@@ -120,6 +131,21 @@ func (w *Micro) RunOne(s *Sampler, x Executor) error {
 		copy(v, U64(DecU64(v)+1))
 		return tx.Update(w.Table, k, v)
 	})
+}
+
+// snapshotRead serves one read from a pinned snapshot: no lock
+// manager traffic, version-chain resolution when a writer has the row
+// in flight. Misses are tolerated like the locked read path.
+func (w *Micro) snapshotRead(k uint64) error {
+	t, err := w.Engine.BeginSnapshot()
+	if err != nil {
+		return err
+	}
+	if _, err := t.Read(w.Table, k); err != nil && !errors.Is(err, core.ErrNotFound) {
+		t.Abort()
+		return err
+	}
+	return t.Commit()
 }
 
 // TotalWrites sums the per-key write counters (the first 8 bytes of
