@@ -7,18 +7,34 @@
 // the same page X latch + Txn.mu window that logs the operation. At
 // commit the transaction's nodes are stamped — one atomic store on the
 // shared verTxn, visible through every node — with the commit record's
-// LSN, and the snapshot floor advances to it. A read-only transaction
-// pins the floor at begin and resolves each read by walking the chain
-// for the oldest node whose commit LSN is pending or newer than its
-// snapshot: that node's before-image is the row as of the snapshot
-// (nil = the key did not exist). No blocking node means the current
-// row is the snapshot row. Zero lock-manager traffic either way.
+// LSN, and the snapshot floor advances to it. An ABORT publishes the
+// same way: after undo has restored the heap rows, the end record's
+// LSN stamps the nodes and advances the floor. Either way a stamped
+// node means "the heap row stopped reflecting this transaction's write
+// at LSN c" — for a commit because the write became permanent there,
+// for an abort because undo had restored the before-image by the time
+// c was appended. A read-only transaction pins the floor at begin and
+// resolves each read by walking the chain for the oldest node whose
+// stamp is pending or newer than its snapshot: that node's
+// before-image is the row as of the snapshot (nil = the key did not
+// exist). No blocking node means the current row is the snapshot row.
+// Zero lock-manager traffic either way.
 //
-// Publish ordering: for version-installing transactions the commit
-// record append, the stamp, and the floor advance happen under one
-// mutex (publishMu), so the floor only ever names fully stamped
-// commits and advances in LSN order — a snapshot can never pin a
-// floor whose transaction is still half-published.
+// Stamping aborts (rather than unlinking their nodes) is what makes
+// the read path race-free: a reader that caught the heap row mid-write
+// finds the writer's node still in the chain — pending, or stamped
+// with an LSN that is necessarily newer than the reader's snapshot —
+// and serves the before-image. An unlink would leave a window where
+// the reader's stale row copy survives the chain check.
+//
+// Publish ordering: for version-installing transactions the
+// commit/end record append, the stamp, and the floor advance happen
+// under one mutex (publishMu), so the floor only ever names fully
+// stamped transactions and advances in LSN order. The floor store
+// additionally happens under snapMu — the same mutex pin() holds
+// while it loads the floor and registers a snapshot — which, together
+// with watermark() loading the floor BEFORE oldestSnap, closes the
+// pin/GC race (see watermark).
 //
 // Chains are volatile: a crash discards them with the process, and
 // recovery restarts the floor at the log's next LSN. The per-page
@@ -26,12 +42,12 @@
 // epochs after a restart cost a chain lookup that misses, never a
 // wrong read.
 //
-// GC: a node whose commit LSN is at or below the watermark — the
-// oldest active snapshot, or the floor when none is active — serves no
+// GC: a node whose stamp is at or below the watermark — the oldest
+// active snapshot, or the floor when none is active — serves no
 // current or future snapshot and is pruned. Writers prune their own
-// chain's tail on install; releasing the oldest snapshot sweeps all
-// shards. Pending nodes are never pruned; aborted transactions unlink
-// their nodes eagerly after undo restores the heap rows.
+// chain's tail on install; an abort prunes the chains it touched after
+// publishing; releasing the oldest snapshot sweeps all shards. Pending
+// nodes are never pruned.
 package core
 
 import (
@@ -49,9 +65,9 @@ type verKey struct {
 	key   uint64
 }
 
-// verTxn is the per-transaction commit stamp shared by all of the
-// transaction's version nodes: one atomic store at publish flips every
-// node from pending (0) to committed.
+// verTxn is the per-transaction publish stamp shared by all of the
+// transaction's version nodes: one atomic store at publish (commit or
+// abort) flips every node from pending (0) to stamped.
 type verTxn struct {
 	commitLSN atomic.Uint64
 }
@@ -77,6 +93,10 @@ type verShard struct {
 	// a map probe plus pointer splices, never IO and never parking.
 	mu     sync.Mutex
 	chains map[verKey]*verNode
+	// perTable counts live chains (keys, not nodes) per table, so a
+	// range scan's collectRange can skip stripes that hold nothing for
+	// the scanned table instead of walking every resident chain.
+	perTable map[uint32]int
 }
 
 // lock acquires the shard mutex, feeding the latch profile and
@@ -98,6 +118,17 @@ func (sh *verShard) unlock() {
 	sh.mu.Unlock()
 }
 
+// dropChain removes k's (empty) chain entry and its table count.
+// Callers hold sh.mu.
+func (sh *verShard) dropChain(k verKey) {
+	delete(sh.chains, k)
+	if n := sh.perTable[k.table] - 1; n > 0 {
+		sh.perTable[k.table] = n
+	} else {
+		delete(sh.perTable, k.table)
+	}
+}
+
 // noSnapshot is the oldestSnap sentinel when no snapshot is active.
 const noSnapshot = ^uint64(0)
 
@@ -105,17 +136,19 @@ const noSnapshot = ^uint64(0)
 type verTable struct {
 	shards [verShardCount]verShard
 
-	// publishMu serializes {commit-record append, version stamp, floor
-	// advance} for version-installing transactions. The append is a log
-	// ring copy (group commit keeps the IO asynchronous), so the
+	// publishMu serializes {commit/end-record append, version stamp,
+	// floor advance} for version-installing transactions. The append is
+	// a log ring copy (group commit keeps the IO asynchronous), so the
 	// critical section is short; correctness needs the three steps
-	// indivisible so the floor advances in commit-LSN order over fully
+	// indivisible so the floor advances in LSN order over fully
 	// stamped transactions only.
 	//hydra:vet:coarse -- commit publish lock: held across the WAL ring append by design so snapshot floor, stamp, and commit record advance atomically
 	publishMu sync.Mutex
 
-	// snapFloor is the newest published commit LSN: the snapshot a new
-	// read-only transaction pins.
+	// snapFloor is the newest published commit-or-abort LSN: the
+	// snapshot a new read-only transaction pins. It advances only under
+	// snapMu (see publish), which freezes it across pin's
+	// load-and-register window.
 	snapFloor atomic.Uint64
 
 	// snapMu guards the active-snapshot registry; oldestSnap mirrors
@@ -142,6 +175,7 @@ func newVerTable() *verTable {
 	vt.oldestSnap.Store(noSnapshot)
 	for i := range vt.shards {
 		vt.shards[i].chains = make(map[verKey]*verNode)
+		vt.shards[i].perTable = make(map[uint32]int)
 	}
 	return vt
 }
@@ -151,18 +185,46 @@ func (vt *verTable) shard(k verKey) *verShard {
 	return &vt.shards[h>>(64-6)] // top bits: verShardCount == 64
 }
 
+// publish stamps a transaction's version nodes with lsn and advances
+// the snapshot floor to it. Callers hold publishMu (so publishes are
+// LSN-ordered); the body runs under snapMu so the floor cannot move
+// while pin() is between loading it and registering a snapshot.
+func (vt *verTable) publish(v *verTxn, lsn uint64) {
+	vt.snapMu.Lock()
+	invariant.Acquired(invariant.TierMVCCSnap, "core.verTable.snapMu")
+	v.commitLSN.Store(lsn)
+	vt.snapFloor.Store(lsn)
+	invariant.Released(invariant.TierMVCCSnap, "core.verTable.snapMu")
+	vt.snapMu.Unlock()
+}
+
 // watermark returns the GC horizon: the oldest active snapshot, or the
-// floor when none is active. A node committed at or below it serves no
-// current or future snapshot (new snapshots pin >= the current floor,
-// and the floor is monotone).
+// floor when none is active. A node stamped at or below it serves no
+// current or future snapshot.
+//
+// The lock-free read is safe because of its ORDER — floor first, then
+// oldestSnap — combined with the floor only advancing under snapMu:
+// any pin that registered a snapshot s below the floor value f read
+// here must have stored oldestSnap (≤ s) before the floor advanced to
+// f, i.e. before this function's floor load, so the subsequent
+// oldestSnap load observes it and the result never exceeds an active
+// or in-flight snapshot. Pins that begin after the floor load pin the
+// then-current floor ≥ f (the floor is monotone). Reading the two in
+// the opposite order re-opens the race: a pin could load floor s,
+// a writer publish c > s, and a reader that had already seen
+// oldestSnap == none return c while snapshot s registers.
 func (vt *verTable) watermark() uint64 {
-	if o := vt.oldestSnap.Load(); o != noSnapshot {
+	f := vt.snapFloor.Load()
+	if o := vt.oldestSnap.Load(); o != noSnapshot && o < f {
 		return o
 	}
-	return vt.snapFloor.Load()
+	return f
 }
 
 // pin registers a snapshot for txn id and returns its snapshot LSN.
+// snapMu freezes the floor (publish stores it under the same mutex),
+// so the snapshot is registered before any later commit can advance
+// the watermark past it.
 func (vt *verTable) pin(id uint64) uint64 {
 	vt.snapMu.Lock()
 	invariant.Acquired(invariant.TierMVCCSnap, "core.verTable.snapMu")
@@ -231,11 +293,15 @@ func (t *Txn) installVersion(table uint32, key uint64, before []byte) {
 	w := vt.watermark()
 	sh := vt.shard(n.key)
 	sh.lock(&t.clock)
-	n.next = sh.chains[n.key]
+	head, existed := sh.chains[n.key]
+	n.next = head
 	// Prune the tail the new head obsoletes; n itself is pending and
 	// never prunable.
 	_, freed := pruneChain(n, w)
 	sh.chains[n.key] = n
+	if !existed {
+		sh.perTable[table]++
+	}
 	sh.unlock()
 	t.verNodes = append(t.verNodes, n)
 	vt.installs.Inc()
@@ -246,8 +312,8 @@ func (t *Txn) installVersion(table uint32, key uint64, before []byte) {
 }
 
 // pruneChain cuts the chain suffix invisible under watermark w: the
-// first node (newest-first order) committed at or below w starts the
-// dead tail — every node older than it is committed no later, and the
+// first node (newest-first order) stamped at or below w starts the
+// dead tail — every node older than it is stamped no later, and the
 // before-images of dead nodes serve only snapshots older than w.
 // Returns the surviving head (nil when the whole chain dies) and the
 // number of nodes freed.
@@ -284,7 +350,7 @@ func (vt *verTable) resolve(table uint32, key uint64, snap uint64, c *obs.PhaseC
 	for n := sh.chains[k]; n != nil; n = n.next {
 		cl := n.txn.commitLSN.Load()
 		if cl != 0 && cl <= snap {
-			break // committed at or before the snapshot: visible from here
+			break // published at or before the snapshot: visible from here
 		}
 		oldest = n
 	}
@@ -298,15 +364,22 @@ func (vt *verTable) resolve(table uint32, key uint64, snap uint64, c *obs.PhaseC
 	return val, blocked
 }
 
-// collectRange pre-resolves every chained key of table in [lo, hi]
-// for snapshot snap. pre maps key -> visible record (nil = invisible
-// at snap) for every key whose chain blocks; extras lists, sorted, the
+// collectRange resolves every chained key of table in [lo, hi] for
+// snapshot snap. pre maps key -> visible record (nil = invisible at
+// snap) for every key whose chain blocks; extras lists, sorted, the
 // blocked keys with a visible record — the scan merges them in key
-// order so rows deleted after the snapshot still appear.
+// order so rows deleted after the snapshot still appear. Stripes with
+// no chains for the table are skipped via the per-shard table counts,
+// so scans over quiet tables pay 64 lock/probe pairs, not a walk over
+// every resident chain.
 func (vt *verTable) collectRange(table uint32, lo, hi, snap uint64, c *obs.PhaseClock) (pre map[uint64][]byte, extras []uint64) {
 	for i := range vt.shards {
 		sh := &vt.shards[i]
 		sh.lock(c)
+		if sh.perTable[table] == 0 {
+			sh.unlock()
+			continue
+		}
 		for k, head := range sh.chains {
 			if k.table != table || k.key < lo || k.key > hi {
 				continue
@@ -338,36 +411,31 @@ func (vt *verTable) collectRange(table uint32, lo, hi, snap uint64, c *obs.Phase
 	return pre, extras
 }
 
-// unlink removes an aborted transaction's nodes from their chains.
-// Called after undo restored the heap rows: until then the pending
-// nodes correctly block snapshot readers onto the before-images.
-func (vt *verTable) unlink(nodes []*verNode, c *obs.PhaseClock) {
-	removed := 0
+// retireAborted prunes the chains an aborted transaction touched.
+// Called after the abort published (stamping the nodes with the end
+// record's LSN): with no snapshot pinned the watermark has already
+// passed the stamp, so the aborted nodes — and any dead tail below
+// them — go at once; with an older snapshot pinned they stay, blocking
+// its readers onto the restored before-images, until sweep or a later
+// install prunes them.
+func (vt *verTable) retireAborted(nodes []*verNode, c *obs.PhaseClock) {
+	w := vt.watermark()
+	freed := 0
 	for _, n := range nodes {
 		sh := vt.shard(n.key)
 		sh.lock(c)
-		cur := sh.chains[n.key]
-		var prev *verNode
-		for cur != nil && cur != n {
-			prev = cur
-			cur = cur.next
-		}
-		if cur == n {
-			if prev == nil {
-				if n.next == nil {
-					delete(sh.chains, n.key)
-				} else {
-					sh.chains[n.key] = n.next
-				}
-			} else {
-				prev.next = n.next
+		if head, ok := sh.chains[n.key]; ok {
+			nh, f := pruneChain(head, w)
+			freed += f
+			if nh == nil {
+				sh.dropChain(n.key)
 			}
-			removed++
 		}
 		sh.unlock()
 	}
-	if removed > 0 {
-		vt.liveNodes.Add(int64(-removed))
+	if freed > 0 {
+		vt.gcNodes.Add(uint64(freed))
+		vt.liveNodes.Add(int64(-freed))
 	}
 }
 
@@ -381,7 +449,7 @@ func (vt *verTable) sweep(w uint64) {
 			nh, f := pruneChain(head, w)
 			freed += f
 			if nh == nil {
-				delete(sh.chains, k)
+				sh.dropChain(k)
 			}
 		}
 		sh.unlock()
@@ -402,7 +470,7 @@ type MvccStats struct {
 	GCNodes        uint64 // nodes reclaimed
 	GCSweeps       uint64 // whole-table sweeps
 	LiveNodes      int64  // nodes currently linked
-	SnapshotFloor  uint64 // newest published commit LSN
+	SnapshotFloor  uint64 // newest published commit-or-abort LSN
 
 	ActiveSnapshots     int   // snapshots currently pinned
 	OldestSnapshotAgeNs int64 // age of the oldest pinned snapshot

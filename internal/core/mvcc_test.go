@@ -397,6 +397,230 @@ func TestReadTrueMissStillNotFound(t *testing.T) {
 	}
 }
 
+// A chunked snapshot scan merges walked rows, chain-overridden rows,
+// and chain-only rows (deleted after the snapshot) correctly across
+// chunk boundaries, and hides rows created after the snapshot.
+func TestSnapshotScanChunkBoundaries(t *testing.T) {
+	old := snapScanChunk
+	snapScanChunk = 4
+	defer func() { snapScanChunk = old }()
+	e := mvccEngine(t)
+	tbl, _ := e.CreateTable("t")
+	const rows = 20
+	for i := uint64(0); i < rows; i++ {
+		if err := e.Exec(func(tx *Txn) error { return tx.Insert(tbl, i, []byte{byte(i)}) }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s, err := e.BeginSnapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Commit()
+	// Post-snapshot churn: delete keys at and around chunk edges
+	// (including the first and last), rewrite some, insert new ones.
+	for _, k := range []uint64{0, 3, 4, 7, 8, 19} {
+		if err := e.Exec(func(tx *Txn) error { return tx.Delete(tbl, k) }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, k := range []uint64{1, 5, 18} {
+		if err := e.Exec(func(tx *Txn) error { return tx.Update(tbl, k, []byte{0xff}) }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, k := range []uint64{2, 25, 30} {
+		if err := e.Exec(func(tx *Txn) error {
+			if k == 2 {
+				return nil // already present
+			}
+			return tx.Insert(tbl, k, []byte{0xee})
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var keys []uint64
+	if err := s.Scan(tbl, 0, ^uint64(0), func(k uint64, v []byte) bool {
+		if len(v) != 1 || v[0] != byte(k) {
+			t.Fatalf("key %d read %v, want original %v", k, v, []byte{byte(k)})
+		}
+		keys = append(keys, k)
+		return true
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if len(keys) != rows {
+		t.Fatalf("scan saw %d rows %v, want all %d originals", len(keys), keys, rows)
+	}
+	for i, k := range keys {
+		if k != uint64(i) {
+			t.Fatalf("scan out of order at %d: %v", i, keys)
+		}
+	}
+	// Early termination still works mid-merge.
+	n := 0
+	if err := s.Scan(tbl, 0, ^uint64(0), func(uint64, []byte) bool {
+		n++
+		return n < 3
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if n != 3 {
+		t.Fatalf("early-stopped scan visited %d rows", n)
+	}
+}
+
+// Regression for the scan omission gap: a delete whose index-entry
+// removal lands between the chain resolution and the B+-tree walk must
+// still appear in a snapshot scan. Writers continuously delete and
+// re-insert rows while pinned snapshots scan; every scan must see the
+// full row set. Run with -race (make race).
+func TestStressSnapshotScanConcurrentDeleteNoOmission(t *testing.T) {
+	old := snapScanChunk
+	snapScanChunk = 8 // force chunk boundaries under churn
+	defer func() { snapScanChunk = old }()
+	e := mvccEngine(t)
+	tbl, _ := e.CreateTable("t")
+	const rows = 64
+	for i := uint64(0); i < rows; i++ {
+		if err := e.Exec(func(tx *Txn) error { return tx.Insert(tbl, i, []byte("v")) }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for w := 0; w < 2; w++ {
+		wg.Add(1)
+		go func(part uint64) {
+			defer wg.Done()
+			// Each writer owns half the keys; delete + re-insert commit
+			// as ONE transaction, so at every commit point the full row
+			// set exists — but the index entry is missing while the
+			// transaction is in flight, which is exactly the window the
+			// scan must cover from the version chain.
+			for i := uint64(0); ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				k := (i*2 + part) % rows
+				if err := e.Exec(func(tx *Txn) error {
+					if err := tx.Delete(tbl, k); err != nil {
+						return err
+					}
+					return tx.Insert(tbl, k, []byte("v"))
+				}); err != nil {
+					if errors.Is(err, ErrClosed) {
+						return
+					}
+					t.Errorf("rewrite: %v", err)
+					return
+				}
+			}
+		}(uint64(w))
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) {
+		s, err := e.BeginSnapshot()
+		if err != nil {
+			t.Fatal(err)
+		}
+		n := 0
+		prev := int64(-1)
+		if err := s.Scan(tbl, 0, rows-1, func(k uint64, v []byte) bool {
+			if int64(k) <= prev {
+				t.Errorf("scan out of order: %d after %d", k, prev)
+			}
+			prev = int64(k)
+			if string(v) != "v" {
+				t.Errorf("key %d read %q", k, v)
+			}
+			n++
+			return true
+		}); err != nil {
+			t.Fatal(err)
+		}
+		// Deletes and re-inserts each commit whole rows; at any snapshot
+		// every key exists (either the original or a committed
+		// re-insert), so an incomplete scan is an omission bug.
+		if n != rows {
+			t.Fatalf("scan saw %d rows, want %d", n, rows)
+		}
+		if err := s.Commit(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	close(stop)
+	wg.Wait()
+}
+
+// Regression for the abort pin leak: finishing a snapshot transaction
+// must release its pin even when the engine has already closed —
+// Commit and Abort on a snapshot handle never fail with ErrClosed.
+func TestSnapshotPinReleasedAfterClose(t *testing.T) {
+	e := memEngine(t, mvccConfig())
+	tbl, _ := e.CreateTable("t")
+	if err := e.Exec(func(tx *Txn) error { return tx.Insert(tbl, 1, []byte("v")) }); err != nil {
+		t.Fatal(err)
+	}
+	s1, err := e.BeginSnapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, err := e.BeginSnapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s1.Commit(); err != nil {
+		t.Fatalf("snapshot commit after close: %v", err)
+	}
+	if err := s2.Abort(); err != nil {
+		t.Fatalf("snapshot abort after close: %v", err)
+	}
+	if n := e.StatsSnapshot().Mvcc.ActiveSnapshots; n != 0 {
+		t.Fatalf("%d snapshots still pinned after finish", n)
+	}
+	// Double-finish still reports handle reuse.
+	if err := s1.Commit(); !errors.Is(err, ErrTxnDone) {
+		t.Fatalf("double commit: %v", err)
+	}
+}
+
+// An abort with no snapshot pinned leaves no version garbage: the
+// stamped nodes are pruned on the spot.
+func TestAbortedVersionsPrunedEagerly(t *testing.T) {
+	e := mvccEngine(t)
+	tbl, _ := e.CreateTable("t")
+	if err := e.Exec(func(tx *Txn) error { return tx.Insert(tbl, 1, []byte("keep")) }); err != nil {
+		t.Fatal(err)
+	}
+	w := e.Begin()
+	if err := w.Update(tbl, 1, []byte("dirty")); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Insert(tbl, 2, []byte("dirty")); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Abort(); err != nil {
+		t.Fatal(err)
+	}
+	if n := e.StatsSnapshot().Mvcc.LiveNodes; n != 0 {
+		t.Fatalf("%d live nodes after abort with no snapshots", n)
+	}
+	tx := e.Begin()
+	defer tx.Abort()
+	if val, err := tx.Read(tbl, 1); err != nil || string(val) != "keep" {
+		t.Fatalf("post-abort read %q, %v", val, err)
+	}
+	if _, err := tx.Read(tbl, 2); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("aborted insert survived: %v", err)
+	}
+}
+
 // SI anomaly stress: a reader mid-scan must see none of a concurrently
 // committing writer's updates — every scanned row carries the value the
 // snapshot pinned, never a newer one. Run with -race (make race) and

@@ -15,10 +15,12 @@ import (
 
 // BeginSnapshot starts a read-only transaction that reads a fixed
 // snapshot of the database: the state as of the newest published
-// commit at begin. Reads resolve against the version chains and take
-// no transactional locks — writers never block this transaction and it
-// never blocks writers. Write operations (and ReadForUpdate) fail with
-// ErrReadOnlyTxn. Requires Config.MVCC.
+// commit at begin. Point reads and scans — including rows deleted or
+// rewritten by transactions committing concurrently — all resolve
+// against that one state; reads take no transactional locks, writers
+// never block this transaction, and it never blocks writers. Write
+// operations (and ReadForUpdate) fail with ErrReadOnlyTxn. Requires
+// Config.MVCC.
 func (e *Engine) BeginSnapshot() (*Txn, error) {
 	if !e.cfg.MVCC {
 		return nil, ErrMVCCDisabled
@@ -46,8 +48,10 @@ func (e *Engine) ExecSnapshot(fn func(tx *Txn) error) error {
 		return err
 	}
 	if err := fn(t); err != nil {
-		t.Abort()
-		return err
+		// Abort on a snapshot transaction only fails on reuse of a
+		// finished handle; join rather than drop it so a pin leak could
+		// never pass silently.
+		return errors.Join(err, t.Abort())
 	}
 	return t.Commit()
 }
@@ -84,7 +88,9 @@ func indexReadErr(err error, tbl *Table, key uint64) error {
 // row. The check runs after the heap read: version install happens
 // inside the writer's page X-latch window, so any write whose effect
 // the reader observed had installed its node before the reader's S
-// latch was granted.
+// latch was granted — and the node outlives the writer (commit AND
+// abort stamp it in place rather than unlinking), so the check cannot
+// miss it.
 func (t *Txn) snapshotRead(tbl *Table, key uint64) ([]byte, error) {
 	e := t.e
 	e.mvcc.snapReads.Inc()
@@ -135,128 +141,149 @@ func (t *Txn) snapshotRead(tbl *Table, key uint64) ([]byte, error) {
 	return rowValue(rec), nil
 }
 
-// snapshotScan is Scan on the snapshot path. Chained keys in range are
-// pre-resolved once, then merged with the index scan in key order:
-// pre-resolved keys serve their snapshot version (including rows the
-// index no longer lists, because a newer transaction deleted them);
-// unchained keys serve the heap row, rechecked against the chain when
-// the page's version epoch shows versioned writes. A row whose index
-// entry is removed by a delete committing mid-scan, after the
-// pre-resolution, may be omitted — the snapshot guarantee the stress
-// tests pin down is that no concurrent writer's UPDATES are ever
-// visible.
+// snapScanChunk bounds the rows a snapshot scan buffers per merge
+// round; it is a variable only so tests can shrink it to exercise
+// chunk boundaries.
+var snapScanChunk = 512
+
+// snapshotScan is Scan on the snapshot path. It works in chunks: walk
+// up to snapScanChunk index entries buffering their heap rows, then
+// resolve every chained key in the walked span against the snapshot
+// (collectRange), then emit the merge of the two in key order — the
+// chain result overrides a buffered row, supplies rows whose index
+// entry a concurrent delete already removed, and hides rows created
+// after the snapshot.
+//
+// Resolving AFTER the walk is what makes the scan exhaustive: a
+// concurrent delete removes the index entry only after installing its
+// version node (install happens inside the page X-latch window of the
+// write, before the removal is observable), so any key the walk could
+// have missed has a blocking chain entry by the time the walk ends,
+// and the collect sees it. The reverse order — the pre-resolve this
+// path originally used — left a window where a delete landing between
+// the resolve and the walk escaped both. Chains that block this
+// snapshot cannot be GC'd while it is pinned (the watermark never
+// passes the oldest pin), so the late collect also cannot lose
+// entries to pruning. Buffered heap rows are safe to emit when the
+// collect does not override them: any write that changed a walked row
+// after its read — including a now-rolled-back abort, whose nodes are
+// stamped in place rather than unlinked — still blocks the chain at
+// collect time.
 func (t *Txn) snapshotScan(tbl *Table, lo, hi uint64, fn func(key uint64, value []byte) bool) error {
 	e := t.e
 	e.mvcc.snapReads.Inc()
 	e.locks.NoteBypass(1) // the locked path's table S lock
-	pre, extras := e.mvcc.collectRange(tbl.ID, lo, hi, t.snap, &t.clock)
-	if pre != nil {
-		e.mvcc.chainReads.Add(uint64(len(pre)))
+	type walkedRow struct {
+		key uint64
+		rec []byte
 	}
-	ei := 0
-	stopped := false
-	// emitBefore feeds fn the chain-only rows with keys below bound.
-	emitBefore := func(bound uint64, inclusive bool) bool {
+	var walked []walkedRow
+	cursor := lo
+	for {
+		walked = walked[:0]
+		full := false
+		last := cursor
+		var readErr error
+		if err := tbl.Index.ScanC(cursor, hi, &t.clock, func(key, packed uint64) bool {
+			last = key
+			rec, rerr := tbl.Heap.ReadC(heap.Unpack(packed), &t.clock)
+			if rerr != nil {
+				if !errors.Is(rerr, heap.ErrNotFound) {
+					readErr = rerr
+					return false
+				}
+				// Row vanished between index probe and heap read: if it
+				// was visible at the snapshot, the remover's chain entry
+				// supplies it in the collect below.
+				return true
+			}
+			walked = append(walked, walkedRow{key: key, rec: rec})
+			if len(walked) >= snapScanChunk {
+				full = true
+				return false
+			}
+			return true
+		}); err != nil {
+			return err
+		}
+		if readErr != nil {
+			return readErr
+		}
+		spanHi := hi
+		if full {
+			spanHi = last
+		}
+		pre, extras := e.mvcc.collectRange(tbl.ID, cursor, spanHi, t.snap, &t.clock)
+		if len(pre) > 0 {
+			e.mvcc.chainReads.Add(uint64(len(pre)))
+		}
+		ei := 0
+		for i := range walked {
+			r := &walked[i]
+			// Chain-only keys (deleted after the snapshot; absent from
+			// the walk) interleave in key order.
+			for ei < len(extras) && extras[ei] < r.key {
+				k := extras[ei]
+				ei++
+				if !fn(k, rowValue(pre[k])) {
+					return nil
+				}
+			}
+			if ei < len(extras) && extras[ei] == r.key {
+				ei++ // emitted via the override below, not as an extra
+			}
+			if v, chained := pre[r.key]; chained {
+				if v == nil {
+					continue // created after the snapshot: invisible
+				}
+				if !fn(r.key, rowValue(v)) {
+					return nil
+				}
+				continue
+			}
+			if !fn(r.key, rowValue(r.rec)) {
+				return nil
+			}
+		}
 		for ei < len(extras) {
 			k := extras[ei]
-			if k > bound || (k == bound && !inclusive) {
-				return true
-			}
 			ei++
 			if !fn(k, rowValue(pre[k])) {
-				return false
+				return nil
 			}
 		}
-		return true
+		if !full || spanHi >= hi {
+			return nil
+		}
+		cursor = spanHi + 1
 	}
-	var scanErr error
-	err := tbl.Index.ScanC(lo, hi, &t.clock, func(key, packed uint64) bool {
-		if !emitBefore(key, false) {
-			stopped = true
-			return false
-		}
-		if v, chained := pre[key]; chained {
-			if ei < len(extras) && extras[ei] == key {
-				ei++ // consumed here, not as an extra
-			}
-			if v == nil {
-				return true // created after the snapshot: invisible
-			}
-			if !fn(key, rowValue(v)) {
-				stopped = true
-				return false
-			}
-			return true
-		}
-		rec, epoch, rerr := tbl.Heap.ReadVersionedC(heap.Unpack(packed), &t.clock)
-		if rerr != nil {
-			if !errors.Is(rerr, heap.ErrNotFound) {
-				scanErr = rerr
-				stopped = true
-				return false
-			}
-			// Row moved or was deleted after pre-resolution: late chain
-			// check.
-			if val, blocked := e.mvcc.resolve(tbl.ID, key, t.snap, &t.clock); blocked {
-				e.mvcc.chainReads.Inc()
-				if val == nil {
-					return true
-				}
-				if !fn(key, rowValue(val)) {
-					stopped = true
-					return false
-				}
-			}
-			return true
-		}
-		if epoch != 0 {
-			if val, blocked := e.mvcc.resolve(tbl.ID, key, t.snap, &t.clock); blocked {
-				e.mvcc.chainReads.Inc()
-				if val == nil {
-					return true
-				}
-				if !fn(key, rowValue(val)) {
-					stopped = true
-					return false
-				}
-				return true
-			}
-		}
-		if !fn(key, rowValue(rec)) {
-			stopped = true
-			return false
-		}
-		return true
-	})
-	if err != nil {
-		return err
-	}
-	if scanErr != nil {
-		return scanErr
-	}
-	if !stopped {
-		emitBefore(hi, true)
-	}
-	return nil
 }
 
-// appendCommitRecord appends t's commit record. A transaction that
-// installed versions publishes through the version table: append,
-// stamp, and snapshot-floor advance happen under publishMu so the
-// floor only ever names fully stamped commits, in LSN order.
-func (e *Engine) appendCommitRecord(t *Txn) (wal.LSN, error) {
-	if t.verTxn == nil {
-		return e.log.AppendFieldsC(wal.RecCommit, t.id, t.lastLSN, 0, 0, nil, &t.clock)
-	}
+// appendPublished appends t's commit or end record and publishes the
+// transaction's version nodes: the append, the stamp, and the
+// snapshot-floor advance happen under publishMu so the floor only ever
+// names fully stamped transactions, in LSN order. Commit publishes its
+// commit record; Abort publishes its end record — appended after undo
+// restored the heap rows, so a snapshot that pins at or past the stamp
+// is guaranteed to read restored rows.
+func (e *Engine) appendPublished(t *Txn, kind wal.RecType) (wal.LSN, error) {
 	vt := e.mvcc
 	vt.publishMu.Lock()
 	invariant.Acquired(invariant.TierMVCCPublish, "core.verTable.publishMu")
-	lsn, err := e.log.AppendFieldsC(wal.RecCommit, t.id, t.lastLSN, 0, 0, nil, &t.clock)
+	lsn, err := e.log.AppendFieldsC(kind, t.id, t.lastLSN, 0, 0, nil, &t.clock)
 	if err == nil {
-		t.verTxn.commitLSN.Store(uint64(lsn))
-		vt.snapFloor.Store(uint64(lsn))
+		vt.publish(t.verTxn, uint64(lsn))
 	}
 	invariant.Released(invariant.TierMVCCPublish, "core.verTable.publishMu")
 	vt.publishMu.Unlock()
 	return lsn, err
+}
+
+// appendCommitRecord appends t's commit record; a transaction that
+// installed versions publishes it through the version table.
+func (e *Engine) appendCommitRecord(t *Txn) (wal.LSN, error) {
+	if t.verTxn == nil {
+		return e.log.AppendFieldsC(wal.RecCommit, t.id, t.lastLSN, 0, 0, nil, &t.clock)
+	}
+	return e.appendPublished(t, wal.RecCommit)
 }

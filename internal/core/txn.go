@@ -54,8 +54,9 @@ type Txn struct {
 
 	// Snapshot-read state (see snapshot.go). snapRO marks a read-only
 	// snapshot transaction pinned to snap; verTxn/verNodes track the
-	// versions a writing transaction installed, so commit can stamp
-	// them and abort can unlink them.
+	// versions a writing transaction installed — commit and abort both
+	// stamp them (through the shared verTxn), and abort additionally
+	// prunes the touched chains once the stamp is published.
 	snap     uint64
 	snapRO   bool
 	verTxn   *verTxn
@@ -523,6 +524,9 @@ func (t *Txn) Scan(tbl *Table, lo, hi uint64, fn func(key uint64, value []byte) 
 // ELR, locks are released as soon as the commit record is in the log
 // buffer; the call still blocks for durability before returning.
 func (t *Txn) Commit() error {
+	if t.snapRO {
+		return t.finishSnapshot(txnCommitted)
+	}
 	if err := t.checkActive(); err != nil {
 		return err
 	}
@@ -621,6 +625,9 @@ func (t *Txn) CommitWait(commitLSN wal.LSN) error {
 // Abort rolls the transaction back, writing compensation records so
 // a crash mid-abort resumes correctly, and releases its locks.
 func (t *Txn) Abort() error {
+	if t.snapRO {
+		return t.finishSnapshot(txnAborted)
+	}
 	if err := t.checkActive(); err != nil {
 		return err
 	}
@@ -643,20 +650,54 @@ func (t *Txn) Abort() error {
 			}
 			t.setLastLSN(clr)
 		}
-		if _, err := e.log.AppendFieldsC(wal.RecEnd, t.id, t.lastLSN, 0, 0, nil, &t.clock); err != nil {
+		if t.verTxn != nil {
+			// The undo ops above restored the rows; publishing the end
+			// record stamps the transaction's version nodes with its LSN
+			// (instead of unlinking them — a reader holding a stale row
+			// copy must still find a blocking node in the chain) and
+			// advances the snapshot floor past the rollback. Readers
+			// below the stamp keep resolving onto the before-images,
+			// which equal the restored rows.
+			if _, err := e.appendPublished(t, wal.RecEnd); err != nil {
+				return err
+			}
+		} else if _, err := e.log.AppendFieldsC(wal.RecEnd, t.id, t.lastLSN, 0, 0, nil, &t.clock); err != nil {
 			return err
 		}
 	}
-	// The undo ops above restored the rows; the never-stamped version
-	// nodes must leave the chains too (they'd otherwise block snapshot
-	// readers forever).
-	if len(t.verNodes) > 0 {
-		e.mvcc.unlink(t.verNodes, &t.clock)
-	}
 	t.releaseLocks(true)
+	// With the stamp published the aborted nodes are ordinary dead
+	// versions; prune the chains they sit on so an abort with no
+	// snapshot pinned leaves no garbage behind.
+	if len(t.verNodes) > 0 {
+		e.mvcc.retireAborted(t.verNodes, &t.clock)
+	}
 	obs.TraceEvent(obs.EvAbort, t.id, 0, 0)
 	t.finish(txnAborted)
 	e.aborts.Inc()
+	return nil
+}
+
+// finishSnapshot retires a read-only snapshot transaction (both
+// Commit and Abort land here). It succeeds even while the engine is
+// closing: nothing was logged, so the only work is in-memory — and the
+// snapshot pin MUST be released on every path, or the GC watermark
+// stays held back for the life of the process.
+func (t *Txn) finishSnapshot(state txnState) error {
+	if t.state != txnActive {
+		return ErrTxnDone
+	}
+	e := t.e
+	t.releaseLocks(state == txnAborted)
+	if state == txnAborted {
+		obs.TraceEvent(obs.EvAbort, t.id, 0, 0)
+		t.finish(txnAborted)
+		e.aborts.Inc()
+	} else {
+		obs.TraceEvent(obs.EvCommit, t.id, 0, 0)
+		t.finish(txnCommitted)
+		e.commits.Inc()
+	}
 	return nil
 }
 
