@@ -62,7 +62,9 @@ bench:
 # bench-json runs the full experiment suite and archives the results
 # as a dated machine-readable document (schema hydra-bench/v1, see
 # EXPERIMENTS.md "Machine-readable runs"). Override BENCH_SCALE=full
-# for report sizing.
+# for report sizing. This is the only sanctioned bench artifact path:
+# do not commit raw `make bench | tee` dumps (bench_full_output.txt is
+# gitignored for exactly that reason) — archive a dated BENCH_*.json.
 BENCH_SCALE ?= quick
 bench-json:
 	$(GO) run ./cmd/hydra-bench -scale $(BENCH_SCALE) -json BENCH_$$(date +%Y-%m-%d).json

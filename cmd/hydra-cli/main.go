@@ -245,6 +245,8 @@ func printStats(st server.StatsJSON) {
 		fmt.Printf("            installs=%d live_nodes=%d gc_nodes=%d sweeps=%d floor=%d active=%d\n",
 			st.Mvcc.Installs, st.Mvcc.LiveNodes, st.Mvcc.GCNodes, st.Mvcc.GCSweeps,
 			st.Mvcc.SnapshotFloor, st.Mvcc.ActiveSnapshots)
+		fmt.Printf("            si_begins=%d si_commits=%d si_conflict_aborts=%d snapshots_expired=%d\n",
+			st.Mvcc.SIBegins, st.Mvcc.SICommits, st.Mvcc.SIConflictAborts, st.Mvcc.SnapshotsExpired)
 	}
 	if len(st.Latches) > 0 {
 		fmt.Println("latch tiers (sampled time-to-acquire)")

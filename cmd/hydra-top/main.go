@@ -192,6 +192,15 @@ func render(w *os.File, st, prev *server.StatsJSON, dt time.Duration) {
 				time.Duration(st.Mvcc.OldestSnapshotAgeNs).Round(time.Millisecond),
 				st.Mvcc.SnapshotFloor)
 		}
+		// SI writers: conflict tracks first-committer-wins losers,
+		// expired counts pins cut loose by MaxSnapshotAge.
+		if st.Mvcc.SIBegins > 0 || st.Mvcc.SnapshotsExpired > 0 {
+			fmt.Fprintf(w, "        si begin=%-9s commit=%-8s conflict=%-8s expired=%d\n",
+				r(st.Mvcc.SIBegins, p.Mvcc.SIBegins),
+				r(st.Mvcc.SICommits, p.Mvcc.SICommits),
+				r(st.Mvcc.SIConflictAborts, p.Mvcc.SIConflictAborts),
+				st.Mvcc.SnapshotsExpired)
+		}
 	}
 
 	fmt.Fprintf(w, "\n%-12s %10s  %9s %9s %9s %9s\n",

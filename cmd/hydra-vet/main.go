@@ -23,9 +23,17 @@
 //
 // Machine-readable output and baselining, for CI:
 //
-//	hydra-vet -json ./...                    # findings as a JSON array
+//	hydra-vet -json ./...                    # {"findings": [...], "dyn_calls": [...]}
 //	hydra-vet -write-baseline vet.baseline.json ./...
 //	hydra-vet -baseline vet.baseline.json ./...  # exit 1 only on NEW findings
+//
+// The -json object carries, alongside the findings, the latchsum
+// dynamic-dispatch census: every function whose synchronous path has
+// interface-method or function-value call sites, with the count of
+// such sites. These are the closure's blind spots — acquisitions
+// behind them are invisible to latchorder/blockscope (DESIGN.md §6) —
+// so the census is the honest "what the analysis did NOT see" half of
+// the report. Baseline files remain plain finding arrays.
 //
 // Baseline comparison matches findings by (file, analyzer, message),
 // ignoring line numbers, so unrelated edits above a baselined finding
@@ -170,7 +178,8 @@ func main() {
 		if findings == nil {
 			findings = []finding{}
 		}
-		if err := enc.Encode(findings); err != nil {
+		rep := jsonReport{Findings: findings, DynCalls: dynCensus(pkgs)}
+		if err := enc.Encode(rep); err != nil {
 			fail(err)
 		}
 	} else {
@@ -181,6 +190,37 @@ func main() {
 	if len(findings) > 0 {
 		os.Exit(1)
 	}
+}
+
+// jsonReport is the -json output shape: the findings plus the
+// latchsum dynamic-dispatch census (the analysis's known blind spots).
+type jsonReport struct {
+	Findings []finding  `json:"findings"`
+	DynCalls []dynCount `json:"dyn_calls"`
+}
+
+// dynCount is one function's dynamic-dispatch exposure: call sites on
+// its synchronous path (interface methods, function values) whose
+// runtime target — and whatever it acquires — the latchsum closure
+// cannot see.
+type dynCount struct {
+	Func  string `json:"func"`
+	Count int    `json:"count"`
+}
+
+// dynCensus collects every summarized function with dynamic call
+// sites, sorted by name for stable output.
+func dynCensus(pkgs []*analysis.Package) []dynCount {
+	out := []dynCount{}
+	for _, pkg := range pkgs {
+		for name, s := range latchsum.Default.ByName(pkg) {
+			if s.DynCalls > 0 {
+				out = append(out, dynCount{Func: name, Count: s.DynCalls})
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Func < out[j].Func })
+	return out
 }
 
 // render converts diagnostics to findings with repo-relative paths

@@ -12,6 +12,7 @@ import (
 	"latch"
 	"lock"
 	"sync"
+	"wal"
 )
 
 type verShard struct{ mu sync.Mutex }
@@ -69,4 +70,50 @@ func publishUnderSnapBad(t *verTable) {
 	t.publishMu.Lock() // want "acquires core.verTable.publishMu \\(rank 32\\) while holding core.verTable.snapMu \\(rank 34\\)"
 	t.publishMu.Unlock()
 	t.snapMu.Unlock()
+}
+
+// validateChain is the first-committer-wins probe: crab one chain
+// shard (62), read the head stamp, release. Nothing is held across
+// shards, so validation composes with any outer tier above 62.
+func validateChain(s *verShard) {
+	s.mu.Lock()
+	s.mu.Unlock()
+}
+
+// siCommitGood is the SI writer commit skeleton: 2PL row locks come
+// from the lock manager, whose partition latch (50) releases inside
+// the call; validation crabs chain shards one at a time; publication
+// then opens its own window (32) and descends through the WAL append
+// (80), the head stamps (62) and the snapshot floor (34). Every stage
+// drains its latches before the next begins, so nothing nests
+// backwards.
+func siCommitGood(t *verTable, l *wal.Log, s *verShard, k int) {
+	lock.AcquireRow(k)
+	validateChain(s)
+	t.publishMu.Lock()
+	l.Append()
+	s.mu.Lock()
+	s.mu.Unlock()
+	t.snapMu.Lock()
+	t.snapMu.Unlock()
+	t.publishMu.Unlock()
+}
+
+// siPublishUnderShardBad initiates publication from under a chain
+// shard: rank 32 under rank 62 is the inversion that would deadlock
+// against the stamp path, which takes the shard under publishMu.
+func siPublishUnderShardBad(t *verTable, s *verShard) {
+	s.mu.Lock()
+	t.publishMu.Lock() // want "acquires core.verTable.publishMu \\(rank 32\\) while holding core.verShard.mu \\(rank 62\\)"
+	t.publishMu.Unlock()
+	s.mu.Unlock()
+}
+
+// siValidateUnderPublishOK: re-validating from inside the publish
+// window is legal (62 above 32) — the summary closure resolves the
+// helper's shard acquisition and accepts it.
+func siValidateUnderPublishOK(t *verTable, s *verShard) {
+	t.publishMu.Lock()
+	validateChain(s)
+	t.publishMu.Unlock()
 }

@@ -49,3 +49,10 @@ func (l *Log) releasedBeforeInversion(deep bool) {
 	l.mu.Lock()
 	l.mu.Unlock()
 }
+
+// Append models the exported WAL append entry point (rank 80 inside),
+// which the SI commit fixtures call from under the publish lock.
+func (l *Log) Append() {
+	l.mu.Lock()
+	l.mu.Unlock()
+}

@@ -32,7 +32,11 @@
 //     they run on another goroutine or at an unknowable later time,
 //     carrying none of the caller's locks;
 //   - interface-method and function-value calls are excluded (no
-//     static callee).
+//     static callee). This is the closure's one soundness hole: an
+//     acquisition behind dynamic dispatch is invisible. Rather than
+//     hide it, every summary counts such skipped sites (DynCalls), so
+//     drivers can surface exactly where the analysis is blind
+//     (hydra-vet -json emits the census; DESIGN.md §6 documents it).
 package latchsum
 
 import (
@@ -102,6 +106,18 @@ type FuncSummary struct {
 	// reaches the acquisition, outermost callee first; empty when the
 	// function acquires Site directly.
 	Chain []string `json:"chain,omitempty"`
+	// DynCalls counts the dynamic-dispatch call sites (interface
+	// methods, function values) on the function's own synchronous path.
+	// Each is a hole in the closure: whatever the runtime target
+	// acquires is invisible here, so a non-zero count marks the summary
+	// (and every summary reached through this function) as a lower
+	// bound, not a proof. The count is per-function, not transitive.
+	//
+	// A function with dynamic sites but no reachable ranked acquisition
+	// still gets an entry, with Site == "" and Rank 0; consumers that
+	// rank calls must treat such entries as "no acquisition known"
+	// (PkgSummaries.Callee filters them).
+	DynCalls int `json:"dyn_calls,omitempty"`
 }
 
 // DepResolver resolves the summaries of an imported package, keyed by
@@ -117,6 +133,7 @@ func Summaries(pkg *analysis.Package, deps DepResolver) map[*types.Func]FuncSumm
 		fn    *types.Func
 		min   *FuncSummary
 		calls []*types.Func
+		dyn   int
 	}
 	var fns []*facts
 	for _, f := range pkg.Files {
@@ -141,8 +158,10 @@ func Summaries(pkg *analysis.Package, deps DepResolver) map[*types.Func]FuncSumm
 					}
 					return
 				}
-				if callee := CalleeOf(pkg.Info, c); callee != nil {
+				if callee := CalleeOf(pkg.Info, c); callee != nil && !ifaceMethod(callee) {
 					fa.calls = append(fa.calls, callee)
+				} else if DynCall(pkg.Info, c) {
+					fa.dyn++
 				}
 			})
 			fns = append(fns, fa)
@@ -189,7 +208,9 @@ func Summaries(pkg *analysis.Package, deps DepResolver) map[*types.Func]FuncSumm
 						s, ok = m[callee.FullName()]
 					}
 				}
-				if !ok {
+				// Dyn-only entries (Site == "") carry no acquisition to
+				// propagate — a cached dependency may publish them.
+				if !ok || s.Site == "" {
 					continue
 				}
 				have, got := cur[fa.fn]
@@ -202,6 +223,18 @@ func Summaries(pkg *analysis.Package, deps DepResolver) map[*types.Func]FuncSumm
 				}
 			}
 		}
+	}
+	// Fold in the dynamic-dispatch census after the rank fixed point
+	// settles: counts never influence rank propagation, and a function
+	// whose only call sites are dynamic still gets a (dyn-only) entry
+	// so the blind spot survives into the cache and driver output.
+	for _, fa := range fns {
+		if fa.dyn == 0 {
+			continue
+		}
+		s := cur[fa.fn]
+		s.DynCalls = fa.dyn
+		cur[fa.fn] = s
 	}
 	return cur
 }
@@ -242,7 +275,8 @@ func WalkSync(n ast.Node, visit func(*ast.CallExpr)) {
 // or nil for function values, builtins and type conversions.
 // Interface-method calls resolve to the interface's *types.Func; they
 // match no summary (summaries key concrete declarations) and so are
-// effectively skipped.
+// effectively skipped — DynCall classifies them so Summaries can count
+// the skip instead of losing it silently.
 func CalleeOf(info *types.Info, c *ast.CallExpr) *types.Func {
 	switch f := ast.Unparen(c.Fun).(type) {
 	case *ast.Ident:
@@ -253,6 +287,30 @@ func CalleeOf(info *types.Info, c *ast.CallExpr) *types.Func {
 		return fn
 	}
 	return nil
+}
+
+// ifaceMethod reports whether fn is declared on an interface — a call
+// to it dispatches dynamically, so no concrete summary can match.
+func ifaceMethod(fn *types.Func) bool {
+	sig, ok := fn.Type().(*types.Signature)
+	return ok && sig.Recv() != nil && types.IsInterface(sig.Recv().Type())
+}
+
+// DynCall reports whether c is a dynamic-dispatch call site — an
+// interface-method invocation or a call through a function value —
+// whose target the closure cannot resolve. Builtins, type conversions
+// and immediately-invoked literals (inlined by WalkSync) are not
+// dynamic: their effect is fully visible.
+func DynCall(info *types.Info, c *ast.CallExpr) bool {
+	if fn := CalleeOf(info, c); fn != nil {
+		return ifaceMethod(fn)
+	}
+	tv, ok := info.Types[ast.Unparen(c.Fun)]
+	if !ok || tv.IsType() || tv.IsBuiltin() {
+		return false
+	}
+	_, isFunc := tv.Type.Underlying().(*types.Signature)
+	return isFunc
 }
 
 // ShortName renders fn the way diagnostics spell functions:

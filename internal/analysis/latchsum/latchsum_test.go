@@ -66,6 +66,41 @@ func TestFixedPointConvergesOnRecursiveCycle(t *testing.T) {
 	}
 }
 
+// TestDynamicCallCensus pins the soundness-hole accounting: dynamic
+// call sites (interface methods, function values) are counted per
+// function, dyn-only entries carry no rank, and the count never
+// propagates through static call edges.
+func TestDynamicCallCensus(t *testing.T) {
+	pkg := loadFixture(t)
+	sums := latchsum.Summaries(pkg, nil)
+
+	dyn, ok := summaryOf(t, sums, "Dyn")
+	if !ok {
+		t.Fatal("Dyn: no entry; dynamic sites must earn a dyn-only summary")
+	}
+	// len(), int() and int64() are builtins/conversions, not dynamic.
+	if dyn.Site != "" || dyn.Rank != 0 || dyn.DynCalls != 2 {
+		t.Errorf("Dyn: summary = %+v, want dyn-only with DynCalls=2", dyn)
+	}
+
+	holder, ok := summaryOf(t, sums, "DynHolder")
+	if !ok || holder.Site != "core.Engine.mu" || holder.DynCalls != 1 {
+		t.Errorf("DynHolder: summary = %+v ok=%v, want core.Engine.mu with DynCalls=1", holder, ok)
+	}
+
+	// CallsDyn's only callee is dyn-only: no rank may leak out of it
+	// (Rank 0 would read as the outermost tier) and the per-function
+	// count stays with Dyn.
+	if s, ok := summaryOf(t, sums, "CallsDyn"); ok {
+		t.Errorf("CallsDyn: unexpected summary %+v", s)
+	}
+
+	// Static-call-only functions are untouched by the census.
+	if top, _ := summaryOf(t, sums, "Top"); top.DynCalls != 0 {
+		t.Errorf("Top: DynCalls = %d, want 0", top.DynCalls)
+	}
+}
+
 // TestFixedPointDeterministic recomputes the closure and demands
 // identical summaries — chains included — so repeated runs (and CI
 // baselines) never churn.

@@ -48,7 +48,9 @@ type PkgSummaries struct {
 	r   *Resolver
 	// Funcs maps every function declared in the package to its
 	// fixed-point summary; functions with no reachable ranked
-	// acquisition are absent.
+	// acquisition are absent — unless they contain dynamic-dispatch
+	// call sites, which earn a dyn-only entry (Site == "", DynCalls >
+	// 0) recording where the closure is blind.
 	Funcs map[*types.Func]FuncSummary
 }
 
@@ -66,7 +68,18 @@ func (r *Resolver) ForPackage(pkg *analysis.Package) *PkgSummaries {
 
 // Callee returns the summary of a function a call site in this
 // package statically invokes, whether declared here or in an import.
+// Dyn-only entries (Site == "": a dynamic-dispatch census with no
+// known acquisition) are filtered — their Rank 0 would otherwise read
+// as "acquires the outermost tier" and fabricate inversions.
 func (ps *PkgSummaries) Callee(fn *types.Func) (FuncSummary, bool) {
+	s, ok := ps.callee(fn)
+	if !ok || s.Site == "" {
+		return FuncSummary{}, false
+	}
+	return s, true
+}
+
+func (ps *PkgSummaries) callee(fn *types.Func) (FuncSummary, bool) {
 	if fn.Pkg() == ps.pkg.Types {
 		s, ok := ps.Funcs[fn]
 		return s, ok
@@ -164,7 +177,10 @@ func (r *Resolver) depResolver(pkg *analysis.Package) DepResolver {
 // package's summaries and writes them here; a subsequent go vet
 // -vettool run, which sees one package's source at a time, reads them
 // back so dora → core → lock chains stay visible. Entries carry a
-// source fingerprint so the writer refreshes stale packages.
+// source fingerprint so the writer refreshes stale packages. The
+// dynamic-dispatch census persists too: dyn-only entries serialize
+// with an empty site ("site": "") and a dyn_calls count, and readers
+// must keep filtering them from rank lookups (Callee does).
 type Cache struct {
 	path string
 

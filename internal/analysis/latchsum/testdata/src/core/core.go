@@ -49,3 +49,31 @@ func Quiet(n int) int {
 	}
 	return Quiet(n - 1)
 }
+
+// Closer is the dynamic-dispatch fixture interface.
+type Closer interface{ Close() error }
+
+// Dyn has only dynamic call sites: an interface method and a function
+// value. Neither resolves statically, so Dyn's summary is dyn-only
+// (no site, DynCalls = 2); the builtin and conversions below must not
+// count.
+func Dyn(c Closer, f func(), xs []int) int {
+	_ = c.Close()
+	f()
+	return len(xs) + int(int64(0))
+}
+
+// DynHolder acquires rank 20 directly and also has one dynamic site;
+// the summary keeps the acquisition and carries the count.
+func DynHolder(e *Engine, c Closer) {
+	e.mu.Lock()
+	e.mu.Unlock()
+	_ = c.Close()
+}
+
+// CallsDyn reaches no acquisition: Dyn's dyn-only summary must not
+// propagate a rank (and the count is per-function, so CallsDyn itself
+// has none).
+func CallsDyn(c Closer, f func(), xs []int) {
+	Dyn(c, f, xs)
+}

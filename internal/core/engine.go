@@ -82,6 +82,16 @@ type Config struct {
 	// pay a version install per logged op, so it is opted into by
 	// read-mostly workloads.
 	MVCC bool
+
+	// MaxSnapshotAge, when positive, bounds how long one snapshot pin
+	// may hold the version-chain GC watermark. A pin older than this is
+	// expired by the engine (checked from the writer publish path, so
+	// expiry triggers exactly when chains are growing): the watermark
+	// advances, dead versions sweep, and the expired transaction's next
+	// read or commit fails with ErrSnapshotExpired (retryable). 0 — the
+	// default — never expires a pin; long analytic snapshots then stall
+	// GC for their whole lifetime.
+	MaxSnapshotAge time.Duration
 }
 
 // Conventional returns the baseline configuration: every construct in
@@ -142,6 +152,15 @@ var (
 	ErrReadOnlyTxn = errors.New("core: read-only snapshot transaction")
 	// ErrMVCCDisabled rejects BeginSnapshot when Config.MVCC is off.
 	ErrMVCCDisabled = errors.New("core: MVCC disabled (Config.MVCC)")
+	// ErrWriteConflict aborts a snapshot-isolation writer whose write
+	// set intersects a transaction that committed after its snapshot
+	// (first committer wins). Retryable: ExecSI re-runs the body on a
+	// fresh snapshot, like deadlock/timeout victims on the locked path.
+	ErrWriteConflict = errors.New("core: snapshot write conflict (first committer wins)")
+	// ErrSnapshotExpired reports that the transaction's snapshot pin
+	// was expired by Config.MaxSnapshotAge to unblock version-chain GC.
+	// Retryable: a fresh snapshot starts at the current floor.
+	ErrSnapshotExpired = errors.New("core: snapshot expired (Config.MaxSnapshotAge)")
 )
 
 // Table is a keyed table: a heap file of rows plus a B+-tree index

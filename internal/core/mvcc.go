@@ -165,6 +165,17 @@ type verTable struct {
 	gcNodes    obs.Counter // nodes reclaimed by prune/sweep
 	gcSweeps   obs.Counter // whole-table sweeps
 	liveNodes  atomic.Int64
+
+	// Snapshot-isolation writer path (see si.go).
+	siBegins    obs.Counter // SI writer transactions begun
+	siCommits   obs.Counter // SI writers committed (validation passed)
+	siConflicts obs.Counter // SI writers aborted by first-committer-wins
+	snapExpired obs.Counter // pins expired by Config.MaxSnapshotAge
+
+	// expireTick samples the MaxSnapshotAge check off the writer
+	// publish path: one registry scan per expireEvery publishes, not
+	// one per commit.
+	expireTick atomic.Uint32
 }
 
 func newVerTable() *verTable {
@@ -236,7 +247,6 @@ func (vt *verTable) pin(id uint64) uint64 {
 	}
 	invariant.Released(invariant.TierMVCCSnap, "core.verTable.snapMu")
 	vt.snapMu.Unlock()
-	vt.snapBegins.Inc()
 	return s
 }
 
@@ -411,6 +421,79 @@ func (vt *verTable) collectRange(table uint32, lo, hi, snap uint64, c *obs.Phase
 	return pre, extras
 }
 
+// hasConflict reports whether (table, key)'s chain blocks a
+// snapshot-isolation writer that read snapshot snap: the chain head —
+// the newest version — is pending or stamped after snap. Older nodes
+// need no inspection (stamps only decrease down the chain), and a head
+// at or below snap means nothing committed on the row since the
+// snapshot. Callers hold the row's X lock, which (because commit,
+// CommitAsync and abort all publish their stamp before releasing
+// locks) also guarantees no lock-manager transaction's node is still
+// pending; a pending head can then only belong to a lock-bypassing
+// writer (DORA partition ownership), and counting it as a conflict is
+// the conservative, safe answer.
+func (vt *verTable) hasConflict(table uint32, key uint64, snap uint64, c *obs.PhaseClock) bool {
+	k := verKey{table: table, key: key}
+	sh := vt.shard(k)
+	sh.lock(c)
+	conflict := false
+	if head := sh.chains[k]; head != nil {
+		cl := head.txn.commitLSN.Load()
+		conflict = cl == 0 || cl > snap
+	}
+	sh.unlock()
+	return conflict
+}
+
+// expireEvery samples the MaxSnapshotAge scan: one registry walk per
+// this many version-installing publishes.
+const expireEvery = 64
+
+// expireStale expires every snapshot pin older than maxAge: the pin
+// leaves the registry (advancing the watermark so GC can run) and the
+// owning transaction — still holding its handle — discovers the
+// expiry on its next read or commit via ErrSnapshotExpired. Returns
+// the expired ids and the new GC horizon when the watermark moved
+// (0 when it did not); the caller sweeps outside snapMu and marks the
+// transactions through the engine's active registry.
+func (vt *verTable) expireStale(maxAge int64) (expired []uint64, sweepTo uint64) {
+	now := obs.Now()
+	vt.snapMu.Lock()
+	invariant.Acquired(invariant.TierMVCCSnap, "core.verTable.snapMu")
+	for id, born := range vt.snapBorn {
+		if age := now - born; age > maxAge {
+			expired = append(expired, id)
+		}
+	}
+	if len(expired) > 0 {
+		old := vt.oldestSnap.Load()
+		for _, id := range expired {
+			delete(vt.snaps, id)
+			delete(vt.snapBorn, id)
+		}
+		min := uint64(noSnapshot)
+		for _, s := range vt.snaps {
+			if s < min {
+				min = s
+			}
+		}
+		vt.oldestSnap.Store(min)
+		next := min
+		if next == noSnapshot {
+			next = vt.snapFloor.Load()
+		}
+		if next > old {
+			sweepTo = next
+		}
+	}
+	invariant.Released(invariant.TierMVCCSnap, "core.verTable.snapMu")
+	vt.snapMu.Unlock()
+	if n := len(expired); n > 0 {
+		vt.snapExpired.Add(uint64(n))
+	}
+	return expired, sweepTo
+}
+
 // retireAborted prunes the chains an aborted transaction touched.
 // Called after the abort published (stamping the nodes with the end
 // record's LSN): with no snapshot pinned the watermark has already
@@ -472,6 +555,11 @@ type MvccStats struct {
 	LiveNodes      int64  // nodes currently linked
 	SnapshotFloor  uint64 // newest published commit-or-abort LSN
 
+	SIBegins         uint64 // snapshot-isolation writers begun
+	SICommits        uint64 // SI writers committed
+	SIConflictAborts uint64 // SI writers aborted by first-committer-wins
+	SnapshotsExpired uint64 // pins expired by Config.MaxSnapshotAge
+
 	ActiveSnapshots     int   // snapshots currently pinned
 	OldestSnapshotAgeNs int64 // age of the oldest pinned snapshot
 }
@@ -486,6 +574,11 @@ func (vt *verTable) statsSnapshot() MvccStats {
 		GCSweeps:       vt.gcSweeps.Load(),
 		LiveNodes:      vt.liveNodes.Load(),
 		SnapshotFloor:  vt.snapFloor.Load(),
+
+		SIBegins:         vt.siBegins.Load(),
+		SICommits:        vt.siCommits.Load(),
+		SIConflictAborts: vt.siConflicts.Load(),
+		SnapshotsExpired: vt.snapExpired.Load(),
 	}
 	vt.snapMu.Lock()
 	invariant.Acquired(invariant.TierMVCCSnap, "core.verTable.snapMu")

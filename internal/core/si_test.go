@@ -1,0 +1,523 @@
+package core
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestSIRequiresMVCC(t *testing.T) {
+	e := memEngine(t, Scalable())
+	if _, err := e.BeginSnapshotRW(); !errors.Is(err, ErrMVCCDisabled) {
+		t.Fatalf("BeginSnapshotRW without MVCC: %v", err)
+	}
+}
+
+func TestSIReadYourWritesAndNetEffects(t *testing.T) {
+	e := mvccEngine(t)
+	tbl, _ := e.CreateTable("t")
+	if err := e.Exec(func(tx *Txn) error { return tx.Insert(tbl, 1, []byte("base")) }); err != nil {
+		t.Fatal(err)
+	}
+	s, err := e.BeginSnapshotRW()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Existence errors are decided against snapshot + write set.
+	if err := s.Insert(tbl, 1, []byte("dup")); !errors.Is(err, ErrExists) {
+		t.Fatalf("duplicate insert: %v", err)
+	}
+	if err := s.Update(tbl, 2, []byte("x")); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("update missing: %v", err)
+	}
+	if err := s.Delete(tbl, 2); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("delete missing: %v", err)
+	}
+	// Read-your-writes through the overlay.
+	if err := s.Update(tbl, 1, []byte("mine")); err != nil {
+		t.Fatal(err)
+	}
+	if v, err := s.Read(tbl, 1); err != nil || string(v) != "mine" {
+		t.Fatalf("read own update: %q, %v", v, err)
+	}
+	if err := s.Insert(tbl, 2, []byte("new")); err != nil {
+		t.Fatal(err)
+	}
+	if v, err := s.Read(tbl, 2); err != nil || string(v) != "new" {
+		t.Fatalf("read own insert: %q, %v", v, err)
+	}
+	// Insert-then-delete nets out.
+	if err := s.Insert(tbl, 3, []byte("gone")); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Delete(tbl, 3); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Read(tbl, 3); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("read netted-out insert: %v", err)
+	}
+	// Delete-then-insert nets to an update.
+	if err := s.Delete(tbl, 1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Read(tbl, 1); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("read own delete: %v", err)
+	}
+	if err := s.Insert(tbl, 1, []byte("reborn")); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	// Committed state reflects the net effects.
+	want := map[uint64]string{1: "reborn", 2: "new"}
+	if err := e.Exec(func(tx *Txn) error {
+		for k, w := range want {
+			v, err := tx.Read(tbl, k)
+			if err != nil {
+				return err
+			}
+			if string(v) != w {
+				return fmt.Errorf("key %d = %q, want %q", k, v, w)
+			}
+		}
+		if _, err := tx.Read(tbl, 3); !errors.Is(err, ErrNotFound) {
+			return fmt.Errorf("key 3 should be absent: %v", err)
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSIScanMergesOverlay(t *testing.T) {
+	e := mvccEngine(t)
+	tbl, _ := e.CreateTable("t")
+	if err := e.Exec(func(tx *Txn) error {
+		for _, k := range []uint64{10, 20, 30} {
+			if err := tx.Insert(tbl, k, []byte(fmt.Sprintf("v%d", k))); err != nil {
+				return err
+			}
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	s, err := e.BeginSnapshotRW()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Delete(tbl, 20); err != nil { // hide a snapshot row
+		t.Fatal(err)
+	}
+	if err := s.Update(tbl, 30, []byte("mine")); err != nil { // override one
+		t.Fatal(err)
+	}
+	if err := s.Insert(tbl, 25, []byte("ins")); err != nil { // add between
+		t.Fatal(err)
+	}
+	if err := s.Insert(tbl, 40, []byte("tail")); err != nil { // add past the walk
+		t.Fatal(err)
+	}
+	var got []string
+	if err := s.Scan(tbl, 0, 100, func(k uint64, v []byte) bool {
+		got = append(got, fmt.Sprintf("%d=%s", k, v))
+		return true
+	}); err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"10=v10", "25=ins", "30=mine", "40=tail"}
+	if len(got) != len(want) {
+		t.Fatalf("scan = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("scan = %v, want %v", got, want)
+		}
+	}
+	if err := s.Abort(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSIFirstCommitterWins is the deterministic conflict matrix:
+// every case pins two SI writers on the same snapshot, commits the
+// first, and checks what the second committer's validation decides.
+func TestSIFirstCommitterWins(t *testing.T) {
+	cases := []struct {
+		name   string
+		first  func(tx *Txn, tbl *Table) error
+		second func(tx *Txn, tbl *Table) error
+		// wantConflict is the second committer's fate once the first
+		// has committed.
+		wantConflict bool
+	}{
+		{
+			name:         "disjoint keys commit",
+			first:        func(tx *Txn, tbl *Table) error { return tx.Update(tbl, 1, []byte("a")) },
+			second:       func(tx *Txn, tbl *Table) error { return tx.Update(tbl, 2, []byte("b")) },
+			wantConflict: false,
+		},
+		{
+			name:         "overlapping update aborts second",
+			first:        func(tx *Txn, tbl *Table) error { return tx.Update(tbl, 1, []byte("a")) },
+			second:       func(tx *Txn, tbl *Table) error { return tx.Update(tbl, 1, []byte("b")) },
+			wantConflict: true,
+		},
+		{
+			name:         "write after delete conflicts",
+			first:        func(tx *Txn, tbl *Table) error { return tx.Delete(tbl, 1) },
+			second:       func(tx *Txn, tbl *Table) error { return tx.Update(tbl, 1, []byte("b")) },
+			wantConflict: true,
+		},
+		{
+			name:         "insert racing insert conflicts",
+			first:        func(tx *Txn, tbl *Table) error { return tx.Insert(tbl, 9, []byte("a")) },
+			second:       func(tx *Txn, tbl *Table) error { return tx.Insert(tbl, 9, []byte("b")) },
+			wantConflict: true,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			e := mvccEngine(t)
+			tbl, _ := e.CreateTable("t")
+			if err := e.Exec(func(tx *Txn) error {
+				if err := tx.Insert(tbl, 1, []byte("base")); err != nil {
+					return err
+				}
+				return tx.Insert(tbl, 2, []byte("base"))
+			}); err != nil {
+				t.Fatal(err)
+			}
+			t1, err := e.BeginSnapshotRW()
+			if err != nil {
+				t.Fatal(err)
+			}
+			t2, err := e.BeginSnapshotRW()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := tc.first(t1, tbl); err != nil {
+				t.Fatal(err)
+			}
+			if err := tc.second(t2, tbl); err != nil {
+				t.Fatal(err)
+			}
+			if err := t1.Commit(); err != nil {
+				t.Fatalf("first committer: %v", err)
+			}
+			err = t2.Commit()
+			if tc.wantConflict {
+				if !errors.Is(err, ErrWriteConflict) {
+					t.Fatalf("second committer: %v, want ErrWriteConflict", err)
+				}
+				st := e.StatsSnapshot().Mvcc
+				if st.SIConflictAborts == 0 {
+					t.Fatal("conflict abort not counted")
+				}
+			} else if err != nil {
+				t.Fatalf("second committer on disjoint keys: %v", err)
+			}
+		})
+	}
+}
+
+// An SI abort before commit leaves no trace: nothing logged, no
+// version nodes installed, data untouched.
+func TestSIAbortReleasesNothingIntoChains(t *testing.T) {
+	e := mvccEngine(t)
+	tbl, _ := e.CreateTable("t")
+	if err := e.Exec(func(tx *Txn) error { return tx.Insert(tbl, 1, []byte("keep")) }); err != nil {
+		t.Fatal(err)
+	}
+	before := e.StatsSnapshot().Mvcc
+	s, err := e.BeginSnapshotRW()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Update(tbl, 1, []byte("discard")); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Delete(tbl, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Abort(); err != nil {
+		t.Fatal(err)
+	}
+	after := e.StatsSnapshot().Mvcc
+	if after.Installs != before.Installs {
+		t.Fatalf("abort installed versions: %d -> %d", before.Installs, after.Installs)
+	}
+	if after.LiveNodes != before.LiveNodes {
+		t.Fatalf("abort changed live nodes: %d -> %d", before.LiveNodes, after.LiveNodes)
+	}
+	if after.ActiveSnapshots != 0 {
+		t.Fatalf("abort leaked a pin: %d active", after.ActiveSnapshots)
+	}
+	if err := e.Exec(func(tx *Txn) error {
+		v, err := tx.Read(tbl, 1)
+		if err != nil {
+			return err
+		}
+		if string(v) != "keep" {
+			return fmt.Errorf("key 1 = %q after SI abort", v)
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// SI writers and locked writers interoperate: a locked commit after
+// the SI snapshot conflicts the SI writer on the shared key.
+func TestSIConflictsWithLockedWriter(t *testing.T) {
+	e := mvccEngine(t)
+	tbl, _ := e.CreateTable("t")
+	if err := e.Exec(func(tx *Txn) error { return tx.Insert(tbl, 1, []byte("base")) }); err != nil {
+		t.Fatal(err)
+	}
+	s, err := e.BeginSnapshotRW()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Update(tbl, 1, []byte("si")); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Exec(func(tx *Txn) error { return tx.Update(tbl, 1, []byte("locked")) }); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Commit(); !errors.Is(err, ErrWriteConflict) {
+		t.Fatalf("SI commit after locked commit: %v, want ErrWriteConflict", err)
+	}
+	if err := e.Exec(func(tx *Txn) error {
+		v, err := tx.Read(tbl, 1)
+		if err != nil {
+			return err
+		}
+		if string(v) != "locked" {
+			return fmt.Errorf("key 1 = %q, want locked", v)
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// ExecSI retries a write conflict on a fresh snapshot and succeeds.
+func TestExecSIRetriesConflict(t *testing.T) {
+	e := mvccEngine(t)
+	tbl, _ := e.CreateTable("t")
+	if err := e.Exec(func(tx *Txn) error { return tx.Insert(tbl, 1, []byte{0}) }); err != nil {
+		t.Fatal(err)
+	}
+	attempts := 0
+	if err := e.ExecSI(func(tx *Txn) error {
+		attempts++
+		if attempts == 1 {
+			// Stage the write first so its snapshot predates the
+			// conflicting locked commit, then force the conflict.
+			if err := tx.Update(tbl, 1, []byte{1}); err != nil {
+				return err
+			}
+			return e.Exec(func(w *Txn) error { return w.Update(tbl, 1, []byte{9}) })
+		}
+		return tx.Update(tbl, 1, []byte{1})
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if attempts != 2 {
+		t.Fatalf("attempts = %d, want 2", attempts)
+	}
+	st := e.StatsSnapshot().Mvcc
+	if st.SIConflictAborts != 1 || st.SICommits == 0 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+// TestSIHotKeyStress hammers a few hot keys with concurrent SI
+// incrementers under -race: first-committer-wins must lose no update,
+// so each key's final value equals the number of commits that won it.
+func TestSIHotKeyStress(t *testing.T) {
+	e := mvccEngine(t)
+	tbl, _ := e.CreateTable("t")
+	const hotKeys = 4
+	if err := e.Exec(func(tx *Txn) error {
+		for k := uint64(0); k < hotKeys; k++ {
+			var z [8]byte
+			if err := tx.Insert(tbl, k, z[:]); err != nil {
+				return err
+			}
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	const (
+		workers = 8
+		iters   = 40
+	)
+	var committed [hotKeys]atomic.Uint64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				k := uint64((w + i) % hotKeys)
+				err := e.ExecSI(func(tx *Txn) error {
+					v, err := tx.Read(tbl, k)
+					if err != nil {
+						return err
+					}
+					n := binary.LittleEndian.Uint64(v)
+					var buf [8]byte
+					binary.LittleEndian.PutUint64(buf[:], n+1)
+					return tx.Update(tbl, k, buf[:])
+				})
+				if err == nil {
+					committed[k].Add(1)
+				} else if !retryableTxnErr(err) {
+					t.Errorf("worker %d: %v", w, err)
+					return
+				}
+				// A retryable loss (conflict or lock victim) that
+				// survived all retries is an allowed outcome under
+				// extreme contention; it must simply not count as an
+				// applied increment.
+			}
+		}(w)
+	}
+	wg.Wait()
+	if t.Failed() {
+		return
+	}
+	if err := e.Exec(func(tx *Txn) error {
+		for k := uint64(0); k < hotKeys; k++ {
+			v, err := tx.Read(tbl, k)
+			if err != nil {
+				return err
+			}
+			got := binary.LittleEndian.Uint64(v)
+			if want := committed[k].Load(); got != want {
+				return fmt.Errorf("key %d = %d, want %d committed increments (lost update)", k, got, want)
+			}
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	st := e.StatsSnapshot().Mvcc
+	if st.SICommits == 0 {
+		t.Fatal("no SI commits recorded")
+	}
+}
+
+// A pin older than MaxSnapshotAge is expired: the watermark advances
+// (GC reclaims the chains it pinned) and the owner's next read fails
+// with ErrSnapshotExpired.
+func TestMaxSnapshotAgeExpiresPin(t *testing.T) {
+	cfg := mvccConfig()
+	cfg.MaxSnapshotAge = time.Nanosecond
+	e := memEngine(t, cfg)
+	tbl, _ := e.CreateTable("t")
+	if err := e.Exec(func(tx *Txn) error { return tx.Insert(tbl, 1, []byte("v0")) }); err != nil {
+		t.Fatal(err)
+	}
+	s, err := e.BeginSnapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Grow the chain the pin holds live.
+	for i := 0; i < 4; i++ {
+		if err := e.Exec(func(tx *Txn) error { return tx.Update(tbl, 1, []byte{byte(i)}) }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if n := e.expireStaleSnapshots(); n != 1 {
+		t.Fatalf("expired %d pins, want 1", n)
+	}
+	if _, err := s.Read(tbl, 1); !errors.Is(err, ErrSnapshotExpired) {
+		t.Fatalf("read on expired snapshot: %v", err)
+	}
+	if err := s.Scan(tbl, 0, 10, func(uint64, []byte) bool { return true }); !errors.Is(err, ErrSnapshotExpired) {
+		t.Fatalf("scan on expired snapshot: %v", err)
+	}
+	st := e.StatsSnapshot().Mvcc
+	if st.SnapshotsExpired != 1 {
+		t.Fatalf("SnapshotsExpired = %d, want 1", st.SnapshotsExpired)
+	}
+	if st.ActiveSnapshots != 0 {
+		t.Fatalf("ActiveSnapshots = %d, want 0", st.ActiveSnapshots)
+	}
+	if st.LiveNodes != 0 {
+		t.Fatalf("LiveNodes = %d after expiry sweep, want 0", st.LiveNodes)
+	}
+	// Retiring the expired handle is clean (the pin is already gone).
+	if err := s.Commit(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// An expired SI writer fails at commit with the retryable error and
+// releases everything.
+func TestMaxSnapshotAgeExpiresSIWriter(t *testing.T) {
+	cfg := mvccConfig()
+	cfg.MaxSnapshotAge = time.Nanosecond
+	e := memEngine(t, cfg)
+	tbl, _ := e.CreateTable("t")
+	if err := e.Exec(func(tx *Txn) error { return tx.Insert(tbl, 1, []byte("v0")) }); err != nil {
+		t.Fatal(err)
+	}
+	s, err := e.BeginSnapshotRW()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Update(tbl, 1, []byte("mine")); err != nil {
+		t.Fatal(err)
+	}
+	if n := e.expireStaleSnapshots(); n != 1 {
+		t.Fatalf("expired %d pins, want 1", n)
+	}
+	if err := s.Commit(); !errors.Is(err, ErrSnapshotExpired) {
+		t.Fatalf("commit on expired snapshot: %v", err)
+	}
+	if err := e.Exec(func(tx *Txn) error {
+		v, err := tx.Read(tbl, 1)
+		if err != nil {
+			return err
+		}
+		if string(v) != "v0" {
+			return fmt.Errorf("key 1 = %q, want v0", v)
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// The expiry check is sampled from the writer publish path: enough
+// version-installing commits trip it without any explicit call.
+func TestMaxSnapshotAgeSampledFromWriters(t *testing.T) {
+	cfg := mvccConfig()
+	cfg.MaxSnapshotAge = time.Nanosecond
+	e := memEngine(t, cfg)
+	tbl, _ := e.CreateTable("t")
+	if err := e.Exec(func(tx *Txn) error { return tx.Insert(tbl, 1, []byte("v0")) }); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.BeginSnapshot(); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2*expireEvery; i++ {
+		if err := e.Exec(func(tx *Txn) error { return tx.Update(tbl, 1, []byte{byte(i)}) }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if st := e.StatsSnapshot().Mvcc; st.SnapshotsExpired == 0 {
+		t.Fatalf("sampled expiry never fired: %+v", st)
+	}
+}

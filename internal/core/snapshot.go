@@ -32,6 +32,9 @@ func (e *Engine) BeginSnapshot() (*Txn, error) {
 	t.snapRO = true
 	t.path = obs.PathROSnap
 	t.snap = e.mvcc.pin(t.id)
+	// Counted here, not in pin: SI writers pin too but count under
+	// siBegins.
+	e.mvcc.snapBegins.Inc()
 	return t, nil
 }
 
@@ -56,10 +59,10 @@ func (e *Engine) ExecSnapshot(fn func(tx *Txn) error) error {
 	return t.Commit()
 }
 
-// SnapshotLSN returns the snapshot a read-only transaction pinned at
-// begin, or 0 for read-write transactions.
+// SnapshotLSN returns the snapshot a snapshot transaction (read-only
+// or SI writer) pinned at begin, or 0 for locked transactions.
 func (t *Txn) SnapshotLSN() uint64 {
-	if !t.snapRO {
+	if !t.snapRO && !t.snapRW {
 		return 0
 	}
 	return t.snap
@@ -92,6 +95,11 @@ func indexReadErr(err error, tbl *Table, key uint64) error {
 // abort stamp it in place rather than unlinking), so the check cannot
 // miss it.
 func (t *Txn) snapshotRead(tbl *Table, key uint64) ([]byte, error) {
+	if t.snapExpired.Load() {
+		// The MaxSnapshotAge expirer dropped this transaction's pin;
+		// its chains may already be swept, so reads must stop.
+		return nil, ErrSnapshotExpired
+	}
 	e := t.e
 	e.mvcc.snapReads.Inc()
 	// Bypass accounting: the locked path would have taken IS(table) +
@@ -170,6 +178,9 @@ var snapScanChunk = 512
 // stamped in place rather than unlinked — still blocks the chain at
 // collect time.
 func (t *Txn) snapshotScan(tbl *Table, lo, hi uint64, fn func(key uint64, value []byte) bool) error {
+	if t.snapExpired.Load() {
+		return ErrSnapshotExpired
+	}
 	e := t.e
 	e.mvcc.snapReads.Inc()
 	e.locks.NoteBypass(1) // the locked path's table S lock

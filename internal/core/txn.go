@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"hydra/internal/btree"
 	"hydra/internal/heap"
@@ -61,6 +62,20 @@ type Txn struct {
 	snapRO   bool
 	verTxn   *verTxn
 	verNodes []*verNode
+	// Snapshot-isolation writer state (see si.go). snapRW marks an SI
+	// writer: reads resolve against snap like snapRO, writes buffer
+	// into writeSet and reach the heap only inside Commit, after
+	// first-committer-wins validation. siApply is set for that apply
+	// window so the ordinary write methods run their real bodies
+	// instead of re-buffering. snapExpired is flipped by the
+	// MaxSnapshotAge expirer (under the engine's activeMu, so it never
+	// lands on a recycled handle); the transaction observes it on its
+	// next read or commit as ErrSnapshotExpired.
+	snapRW      bool
+	siApply     bool
+	writeSet    map[verKey]siWrite
+	siKeys      []verKey // insertion-ordered writeSet keys (scan overlay, commit sort scratch)
+	snapExpired atomic.Bool
 	// clock accumulates the transaction's critical-path breakdown. It
 	// lives by value so a pooled handle's clock costs no allocation;
 	// its address is stable for the handle's lifetime, which lets the
@@ -151,6 +166,9 @@ func (e *Engine) Begin() *Txn {
 	t.logged = false
 	t.snap = 0
 	t.snapRO = false
+	t.snapRW = false
+	t.siApply = false
+	t.snapExpired.Store(false)
 	t.verTxn = nil
 	// No clock Reset here: finish's fold drains every lap to zero, so a
 	// pooled handle's clock is already clean; Start just restamps.
@@ -180,9 +198,10 @@ func (t *Txn) finish(state txnState) {
 	var phases [obs.NumPhases]int64
 	obs.TxnPhases.Fold(t.path, oc, &t.clock, total, &phases)
 	obs.SlowTxns.Offer(t.id, t.path, oc, end, total, &phases)
-	if t.snapRO {
+	if t.snapRO || t.snapRW {
 		// Unpin the snapshot; if it was the oldest, the watermark
-		// advances and release sweeps newly dead versions.
+		// advances and release sweeps newly dead versions. A pin the
+		// MaxSnapshotAge expirer already removed makes this a no-op.
 		e.mvcc.release(t.id)
 	}
 	e.activeMu.Lock()
@@ -200,6 +219,20 @@ func (t *Txn) finish(state txnState) {
 		t.verNodes[i] = nil
 	}
 	t.verNodes = t.verNodes[:0]
+	// Drop buffered SI writes (the map survives for the next SI txn on
+	// this handle; values are heap-allocated copies the map entry was
+	// the only holder of).
+	if len(t.writeSet) > 0 {
+		clear(t.writeSet)
+	}
+	t.siKeys = t.siKeys[:0]
+	// Writer publishes are when version chains grow; sample the
+	// MaxSnapshotAge check here so a stuck pin is expired exactly when
+	// it is holding garbage live (and never from inside a latch
+	// critical section).
+	if t.verTxn != nil {
+		e.maybeExpireSnapshots()
+	}
 	// The undo entries were the only holders of arena bytes; reuse the
 	// current chunk (abandoned full ones are garbage now).
 	t.arena = t.arena[:0]
@@ -316,6 +349,9 @@ func (t *Txn) Read(tbl *Table, key uint64) ([]byte, error) {
 	if t.snapRO {
 		return t.snapshotRead(tbl, key)
 	}
+	if t.snapRW {
+		return t.siRead(tbl, key)
+	}
 	if err := t.acquire(lock.TableName(tbl.ID), lock.IS); err != nil {
 		return nil, err
 	}
@@ -343,6 +379,14 @@ func (t *Txn) ReadForUpdate(tbl *Table, key uint64) ([]byte, error) {
 	if t.snapRO {
 		return nil, ErrReadOnlyTxn
 	}
+	if t.snapRW {
+		// SI never locks up front: the read serves the snapshot (plus
+		// the txn's own buffered writes), and the usual follow-up write
+		// puts the key in the write set, where first-committer-wins
+		// validation supplies the lost-update protection ReadForUpdate
+		// exists for on the locked path.
+		return t.siRead(tbl, key)
+	}
 	if err := t.acquire(lock.TableName(tbl.ID), lock.IX); err != nil {
 		return nil, err
 	}
@@ -367,6 +411,9 @@ func (t *Txn) Insert(tbl *Table, key uint64, value []byte) error {
 	}
 	if t.snapRO {
 		return ErrReadOnlyTxn
+	}
+	if t.snapRW && !t.siApply {
+		return t.siInsert(tbl, key, value)
 	}
 	if err := t.ensureBegin(); err != nil {
 		return err
@@ -407,6 +454,9 @@ func (t *Txn) Update(tbl *Table, key uint64, value []byte) error {
 	}
 	if t.snapRO {
 		return ErrReadOnlyTxn
+	}
+	if t.snapRW && !t.siApply {
+		return t.siUpdate(tbl, key, value)
 	}
 	if err := t.ensureBegin(); err != nil {
 		return err
@@ -471,6 +521,9 @@ func (t *Txn) Delete(tbl *Table, key uint64) error {
 	if t.snapRO {
 		return ErrReadOnlyTxn
 	}
+	if t.snapRW && !t.siApply {
+		return t.siDelete(tbl, key)
+	}
 	if err := t.ensureBegin(); err != nil {
 		return err
 	}
@@ -508,6 +561,9 @@ func (t *Txn) Scan(tbl *Table, lo, hi uint64, fn func(key uint64, value []byte) 
 	if t.snapRO {
 		return t.snapshotScan(tbl, lo, hi, fn)
 	}
+	if t.snapRW {
+		return t.siScan(tbl, lo, hi, fn)
+	}
 	if err := t.acquire(lock.TableName(tbl.ID), lock.S); err != nil {
 		return err
 	}
@@ -527,6 +583,9 @@ func (t *Txn) Commit() error {
 	if t.snapRO {
 		return t.finishSnapshot(txnCommitted)
 	}
+	if t.snapRW {
+		return t.commitSI()
+	}
 	if err := t.checkActive(); err != nil {
 		return err
 	}
@@ -539,6 +598,16 @@ func (t *Txn) Commit() error {
 		e.commits.Inc()
 		return nil
 	}
+	return t.commitLogged()
+}
+
+// commitLogged is the durable half of Commit for a transaction that
+// wrote at least one record: append the commit record (publishing
+// version stamps when the transaction installed any), release locks
+// (ELR: before the flush wait), wait for durability, and retire the
+// handle. Shared by the locked path and the SI apply path.
+func (t *Txn) commitLogged() error {
+	e := t.e
 	commitLSN, err := e.appendCommitRecord(t)
 	if err != nil {
 		return err
@@ -625,7 +694,10 @@ func (t *Txn) CommitWait(commitLSN wal.LSN) error {
 // Abort rolls the transaction back, writing compensation records so
 // a crash mid-abort resumes correctly, and releases its locks.
 func (t *Txn) Abort() error {
-	if t.snapRO {
+	if t.snapRO || (t.snapRW && !t.logged) {
+		// Nothing logged: releasing locks and the snapshot pin is the
+		// whole rollback (an SI writer's buffered write set is simply
+		// discarded — nothing ever entered the heap or the chains).
 		return t.finishSnapshot(txnAborted)
 	}
 	if err := t.checkActive(); err != nil {
@@ -759,7 +831,9 @@ func (e *Engine) applyOp(op *OpRecord, lsn uint64, maintainIndex bool) error {
 }
 
 // Exec runs fn inside a transaction, committing on nil and aborting
-// on error; deadlock and timeout victims are retried.
+// on error; deadlock and timeout victims are retried with the shared
+// capped exponential backoff (see retry.go) so re-runs of the same
+// contenders don't re-collide in lockstep.
 func (e *Engine) Exec(fn func(*Txn) error) error {
 	for attempt := 0; ; attempt++ {
 		t := e.Begin()
@@ -774,7 +848,8 @@ func (e *Engine) Exec(fn func(*Txn) error) error {
 				return fmt.Errorf("core: abort after %v: %w", err, aerr)
 			}
 		}
-		if (errors.Is(err, lock.ErrDeadlock) || errors.Is(err, lock.ErrTimeout)) && attempt < 10 {
+		if retryableTxnErr(err) && attempt < maxTxnRetries {
+			retrySleep(attempt)
 			continue
 		}
 		return err

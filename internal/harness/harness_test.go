@@ -58,7 +58,7 @@ func TestFFormat(t *testing.T) {
 }
 
 func TestFindRegistry(t *testing.T) {
-	if len(All()) != 11 {
+	if len(All()) != 12 {
 		t.Fatalf("registry has %d experiments", len(All()))
 	}
 	if _, err := Find("e4"); err != nil {

@@ -23,6 +23,7 @@ func All() []Experiment {
 		{"e9", "ablation of the scalable constructs", E9},
 		{"e10", "contention crossover: lock manager vs DORA", E10},
 		{"e14", "MVCC snapshot reads vs locked reads", E14},
+		{"e15", "SI writers vs locked writers vs DORA", E15},
 	}
 }
 

@@ -91,6 +91,10 @@ const (
 	// pinned to a snapshot LSN, resolving reads against the version
 	// chains with zero lock-manager traffic.
 	PathROSnap
+	// PathSIWrite is the snapshot-isolation writer path: reads resolve
+	// against a pinned snapshot, writes buffer into a write set and
+	// validate first-committer-wins at commit.
+	PathSIWrite
 
 	// NumPaths is the number of execution paths (array sizing).
 	NumPaths
@@ -101,6 +105,7 @@ var pathNames = [NumPaths]string{
 	PathDoraSingle: "dora_single",
 	PathDoraCross:  "dora_cross",
 	PathROSnap:     "ro_snap",
+	PathSIWrite:    "si_write",
 }
 
 // String returns the path label used in /metrics.

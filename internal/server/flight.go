@@ -38,6 +38,12 @@ const (
 	// configured horizon: admission is stalled behind a lock that is
 	// not being released (leaked holder, undetected cycle).
 	StallLockWaiter
+	// StallMVCCGC fires when the oldest pinned snapshot exceeds the
+	// configured horizon WHILE the version store keeps growing: the
+	// pin is holding the GC watermark and chains accumulate without
+	// bound (the long-snapshot stall; Config.MaxSnapshotAge is the
+	// opt-in remedy, this incident is the evidence either way).
+	StallMVCCGC
 
 	numStallKinds
 )
@@ -46,6 +52,7 @@ var stallKindNames = [numStallKinds]string{
 	StallWAL:        "wal_stall",
 	StallDoraQueue:  "dora_queue_pinned",
 	StallLockWaiter: "lock_waiter_stuck",
+	StallMVCCGC:     "mvcc_gc_stalled",
 }
 
 // String returns the kind label used in /metrics and /incidents.
@@ -69,6 +76,10 @@ type FlightOptions struct {
 	// LockWaiterHorizon is the oldest-waiter age that counts as a
 	// stall. Default 2s (beyond any configured lock timeout).
 	LockWaiterHorizon time.Duration
+	// SnapshotAgeHorizon is the oldest-pinned-snapshot age beyond
+	// which a still-growing version store counts as a GC stall.
+	// Default 5s.
+	SnapshotAgeHorizon time.Duration
 }
 
 func (o *FlightOptions) fill() {
@@ -83,6 +94,9 @@ func (o *FlightOptions) fill() {
 	}
 	if o.LockWaiterHorizon <= 0 {
 		o.LockWaiterHorizon = 2 * time.Second
+	}
+	if o.SnapshotAgeHorizon <= 0 {
+		o.SnapshotAgeHorizon = 5 * time.Second
 	}
 }
 
@@ -119,6 +133,13 @@ type Incident struct {
 	WaitsFor         map[uint64][]uint64 `json:"waits_for,omitempty"`
 	WaitsForTrunc    bool                `json:"waits_for_truncated,omitempty"`
 
+	// MVCC state at capture: the pin holding the watermark and the
+	// growth it is causing.
+	OldestSnapshotAgeNs int64  `json:"oldest_snapshot_age_ns,omitempty"`
+	ActiveSnapshots     int    `json:"active_snapshots,omitempty"`
+	MvccLiveNodes       int64  `json:"mvcc_live_nodes,omitempty"`
+	MvccGCNodes         uint64 `json:"mvcc_gc_nodes,omitempty"`
+
 	// The slowest retained transactions with their phase breakdowns:
 	// where the time of the transactions that did finish went.
 	SlowTop []SlowTxnJSON `json:"slow_top,omitempty"`
@@ -138,9 +159,10 @@ type FlightRecorder struct {
 	seq  uint64
 
 	// per-kind detector state, watchdog goroutine only
-	lastFlushed uint64
-	streak      [numStallKinds]int
-	lastFire    [numStallKinds]int64
+	lastFlushed   uint64
+	lastLiveNodes int64
+	streak        [numStallKinds]int
+	lastFire      [numStallKinds]int64
 
 	stop chan struct{}
 	done chan struct{}
@@ -227,6 +249,23 @@ func (fr *FlightRecorder) poll() {
 	} else {
 		fr.streak[StallLockWaiter] = 0
 	}
+
+	// MVCC: an old pin holding the watermark while chains still grow.
+	// Both halves matter: an old pin over a quiet store holds nothing
+	// live, and growth without an old pin is normal write traffic the
+	// next release will sweep.
+	mv := fr.e.StatsSnapshot().Mvcc
+	if mv.ActiveSnapshots > 0 && mv.OldestSnapshotAgeNs > int64(fr.opts.SnapshotAgeHorizon) &&
+		mv.LiveNodes > fr.lastLiveNodes {
+		grown := mv.LiveNodes - fr.lastLiveNodes
+		fr.bump(StallMVCCGC, now, func() string {
+			return fmt.Sprintf("oldest snapshot %.1fms old pins GC watermark; %d live version nodes (+%d since last poll)",
+				float64(mv.OldestSnapshotAgeNs)/1e6, mv.LiveNodes, grown)
+		})
+	} else {
+		fr.streak[StallMVCCGC] = 0
+	}
+	fr.lastLiveNodes = mv.LiveNodes
 }
 
 // bump advances one kind's confirmation streak and captures an
@@ -287,7 +326,13 @@ func (fr *FlightRecorder) capture(k StallKind, now int64, detail string, polls i
 		LockWaiters:      nw,
 		WaitsFor:         wf,
 		WaitsForTrunc:    trunc,
-		SlowTop:          slowTxnsJSON(top),
+
+		OldestSnapshotAgeNs: st.Mvcc.OldestSnapshotAgeNs,
+		ActiveSnapshots:     st.Mvcc.ActiveSnapshots,
+		MvccLiveNodes:       st.Mvcc.LiveNodes,
+		MvccGCNodes:         st.Mvcc.GCNodes,
+
+		SlowTop: slowTxnsJSON(top),
 	}
 	fr.mu.Lock()
 	fr.seq++

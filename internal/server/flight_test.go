@@ -213,3 +213,84 @@ func TestFlightRecorderLockWaiter(t *testing.T) {
 		t.Error("lock_waiter_stuck incident not retained")
 	}
 }
+
+// TestFlightRecorderMVCCGCStall pins a snapshot past the age horizon
+// while writers keep growing the version chains and asserts the
+// watchdog captures a mvcc_gc_stalled incident with the pin-age and
+// live-node evidence.
+func TestFlightRecorderMVCCGCStall(t *testing.T) {
+	cfg := core.Scalable()
+	cfg.MVCC = true
+	e, err := core.Open(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+	tbl, err := e.CreateTable("gc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Exec(func(tx *core.Txn) error { return tx.Insert(tbl, 1, []byte("v")) }); err != nil {
+		t.Fatal(err)
+	}
+
+	fr := NewFlightRecorder(e, FlightOptions{
+		Poll:               2 * time.Millisecond,
+		Confirm:            3,
+		Cooldown:           time.Minute,
+		SnapshotAgeHorizon: 10 * time.Millisecond,
+	})
+	fr.Start()
+	defer fr.Stop()
+
+	// The long snapshot: pinned and never released until the incident
+	// fires. Writers keep the chains growing the whole time, so every
+	// poll sees {old pin, growth} together.
+	snap, err := e.BeginSnapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	stopWriters := make(chan struct{})
+	writersDone := make(chan struct{})
+	go func() {
+		defer close(writersDone)
+		for i := 0; ; i++ {
+			select {
+			case <-stopWriters:
+				return
+			default:
+			}
+			e.Exec(func(tx *core.Txn) error { return tx.Update(tbl, 1, []byte{byte(i)}) })
+		}
+	}()
+
+	deadline := time.After(5 * time.Second)
+	for fr.Count(StallMVCCGC) == 0 {
+		select {
+		case <-deadline:
+			t.Fatal("no mvcc_gc_stalled incident within deadline")
+		case <-time.After(5 * time.Millisecond):
+		}
+	}
+	close(stopWriters)
+	<-writersDone
+	if err := snap.Commit(); err != nil {
+		t.Fatal(err)
+	}
+
+	found := false
+	for _, inc := range fr.Snapshot() {
+		if inc.Kind == "mvcc_gc_stalled" {
+			found = true
+			if inc.OldestSnapshotAgeNs <= 0 || inc.ActiveSnapshots == 0 || inc.MvccLiveNodes <= 0 {
+				t.Errorf("bundle missing MVCC evidence: %+v", inc)
+			}
+			if !strings.Contains(inc.Detail, "pins GC watermark") {
+				t.Errorf("unexpected detail %q", inc.Detail)
+			}
+		}
+	}
+	if !found {
+		t.Error("mvcc_gc_stalled incident not retained")
+	}
+}

@@ -227,6 +227,12 @@ type mvccStatsJSON struct {
 	SnapshotFloor       uint64 `json:"snapshot_floor"`
 	ActiveSnapshots     int    `json:"active_snapshots"`
 	OldestSnapshotAgeNs int64  `json:"oldest_snapshot_age_ns"`
+
+	// Snapshot-isolation writer path.
+	SIBegins         uint64 `json:"si_begins"`
+	SICommits        uint64 `json:"si_commits"`
+	SIConflictAborts uint64 `json:"si_conflict_aborts"`
+	SnapshotsExpired uint64 `json:"snapshots_expired"`
 }
 
 type logStatsJSON struct {
@@ -314,6 +320,10 @@ func Snapshot(e *core.Engine, fr *FlightRecorder) StatsJSON {
 			LiveNodes: st.Mvcc.LiveNodes, SnapshotFloor: st.Mvcc.SnapshotFloor,
 			ActiveSnapshots:     st.Mvcc.ActiveSnapshots,
 			OldestSnapshotAgeNs: st.Mvcc.OldestSnapshotAgeNs,
+			SIBegins:            st.Mvcc.SIBegins,
+			SICommits:           st.Mvcc.SICommits,
+			SIConflictAborts:    st.Mvcc.SIConflictAborts,
+			SnapshotsExpired:    st.Mvcc.SnapshotsExpired,
 		},
 		Latches:      make([]TierJSON, 0, len(tiers)),
 		Phases:       phaseCells(),
@@ -405,6 +415,13 @@ func writeMetrics(w io.Writer, e *core.Engine, fr *FlightRecorder) {
 	writePromCounter(w, "hydra_mvcc_installs_total", st.Mvcc.Installs)
 	writePromCounter(w, "hydra_mvcc_gc_nodes_total", st.Mvcc.GCNodes)
 	writePromCounter(w, "hydra_mvcc_gc_sweeps_total", st.Mvcc.GCSweeps)
+	// SI writer path: si_commits / (si_commits + si_conflict_aborts)
+	// is the first-committer-wins win rate; snapshots_expired counts
+	// pins the MaxSnapshotAge remedy cut loose.
+	writePromCounter(w, "hydra_mvcc_si_begins_total", st.Mvcc.SIBegins)
+	writePromCounter(w, "hydra_mvcc_si_commits_total", st.Mvcc.SICommits)
+	writePromCounter(w, "hydra_mvcc_si_conflict_aborts_total", st.Mvcc.SIConflictAborts)
+	writePromCounter(w, "hydra_mvcc_snapshots_expired_total", st.Mvcc.SnapshotsExpired)
 	fmt.Fprintf(w, "# TYPE hydra_mvcc_live_nodes gauge\nhydra_mvcc_live_nodes %d\n", st.Mvcc.LiveNodes)
 	fmt.Fprintf(w, "# TYPE hydra_mvcc_active_snapshots gauge\nhydra_mvcc_active_snapshots %d\n", st.Mvcc.ActiveSnapshots)
 	fmt.Fprintf(w, "# TYPE hydra_mvcc_oldest_snapshot_age_seconds gauge\nhydra_mvcc_oldest_snapshot_age_seconds %g\n",

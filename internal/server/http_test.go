@@ -2,6 +2,7 @@ package server
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"net/http"
@@ -487,6 +488,24 @@ func TestMVCCMetricsExposition(t *testing.T) {
 	if v, err := s.Read(tbl, 1); err != nil || string(v) != "v" {
 		t.Fatalf("chain read %q, %v", v, err)
 	}
+	// SI writer traffic: one commit and one deterministic
+	// first-committer-wins abort, so both si counters are non-zero.
+	if err := e.ExecSI(func(tx *core.Txn) error { return tx.Update(tbl, 2, []byte("si")) }); err != nil {
+		t.Fatal(err)
+	}
+	loser, err := e.BeginSnapshotRW()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := loser.Update(tbl, 3, []byte("l")); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Exec(func(tx *core.Txn) error { return tx.Update(tbl, 3, []byte("w")) }); err != nil {
+		t.Fatal(err)
+	}
+	if err := loser.Commit(); !errors.Is(err, core.ErrWriteConflict) {
+		t.Fatalf("loser commit: %v, want ErrWriteConflict", err)
+	}
 
 	body := get(t, ts.URL+"/metrics")
 	checkExposition(t, body)
@@ -500,6 +519,10 @@ func TestMVCCMetricsExposition(t *testing.T) {
 		"hydra_mvcc_live_nodes",
 		"hydra_mvcc_active_snapshots 1",
 		"hydra_mvcc_oldest_snapshot_age_seconds",
+		"hydra_mvcc_si_begins_total",
+		"hydra_mvcc_si_commits_total 1",
+		"hydra_mvcc_si_conflict_aborts_total 1",
+		"hydra_mvcc_snapshots_expired_total",
 		"hydra_lock_bypasses_total",
 	} {
 		if !strings.Contains(body, want) {
@@ -522,6 +545,10 @@ func TestMVCCMetricsExposition(t *testing.T) {
 	}
 	if st.Lock.Bypasses < 65 {
 		t.Errorf("lock bypasses = %d, want >= 65", st.Lock.Bypasses)
+	}
+	if st.Mvcc.SIBegins != 2 || st.Mvcc.SICommits != 1 || st.Mvcc.SIConflictAborts != 1 {
+		t.Errorf("si counters: begins=%d commits=%d conflicts=%d",
+			st.Mvcc.SIBegins, st.Mvcc.SICommits, st.Mvcc.SIConflictAborts)
 	}
 	if err := s.Commit(); err != nil {
 		t.Fatal(err)

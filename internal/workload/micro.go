@@ -32,6 +32,14 @@ type Micro struct {
 	// hydra_mvcc_snapshot_reads climbs.
 	SnapFrac float64
 
+	// SIFrac routes that fraction of write operations through a
+	// snapshot-isolation writer transaction (Engine.ExecSI) instead of
+	// the Executor's path: snapshot read, buffered write, commit-time
+	// first-committer-wins validation. Requires core.Config.MVCC. The
+	// SI crossover experiment sweeps hot-set contention to measure the
+	// conflict-abort rate against locked-writer throughput.
+	SIFrac float64
+
 	Engine *core.Engine
 	Table  *core.Table
 }
@@ -123,8 +131,27 @@ func (w *Micro) RunOne(s *Sampler, x Executor) error {
 			return err
 		})
 	}
+	if w.SIFrac > 0 && s.src.Float64() < w.SIFrac {
+		return w.siWrite(k)
+	}
 	return x.Run(w.Table, k, func(tx *core.Txn) error {
 		v, err := tx.ReadForUpdate(w.Table, k)
+		if err != nil {
+			return err
+		}
+		copy(v, U64(DecU64(v)+1))
+		return tx.Update(w.Table, k, v)
+	})
+}
+
+// siWrite runs one read-modify-write increment as a snapshot-isolation
+// writer: the read takes no locks, the update buffers, and commit
+// validates first-committer-wins (ExecSI retries conflict victims). A
+// conflict that survives every retry surfaces to the harness as an
+// aborted operation.
+func (w *Micro) siWrite(k uint64) error {
+	return w.Engine.ExecSI(func(tx *core.Txn) error {
+		v, err := tx.Read(w.Table, k)
 		if err != nil {
 			return err
 		}

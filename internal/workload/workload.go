@@ -13,6 +13,7 @@ package workload
 import (
 	"encoding/binary"
 	"errors"
+	"time"
 
 	"hydra/internal/core"
 	"hydra/internal/dora"
@@ -40,7 +41,8 @@ func (x LockExecutor) Run(_ *core.Table, _ uint64, fn func(tx *core.Txn) error) 
 	if x.Agent == nil {
 		return x.Engine.Exec(fn)
 	}
-	// Agent path: same retry loop as Engine.Exec but with agent txns.
+	// Agent path: same retry policy as Engine.Exec (capped backoff
+	// with jitter between attempts) but with agent txns.
 	for attempt := 0; ; attempt++ {
 		t := x.Engine.BeginWithAgent(x.Agent)
 		err := fn(t)
@@ -53,6 +55,7 @@ func (x LockExecutor) Run(_ *core.Table, _ uint64, fn func(tx *core.Txn) error) 
 			err = aerr
 		}
 		if attempt < 10 && retryable(err) {
+			time.Sleep(core.BackoffDelay(attempt))
 			continue
 		}
 		return err
@@ -61,6 +64,19 @@ func (x LockExecutor) Run(_ *core.Table, _ uint64, fn func(tx *core.Txn) error) 
 
 func retryable(err error) bool {
 	return errors.Is(err, lock.ErrDeadlock) || errors.Is(err, lock.ErrTimeout)
+}
+
+// SIExecutor is the snapshot-isolation model: reads resolve against a
+// pinned snapshot with zero lock-manager traffic, writes buffer and
+// validate first-committer-wins at commit. Conflict victims retry
+// inside ExecSI with the shared backoff.
+type SIExecutor struct {
+	Engine *core.Engine
+}
+
+// Run implements Executor.
+func (x SIExecutor) Run(_ *core.Table, _ uint64, fn func(tx *core.Txn) error) error {
+	return x.Engine.ExecSI(fn)
 }
 
 // DoraExecutor is the thread-to-data model: the transaction body is
